@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the flow substrate (§4 / §6: the paper selected
+//! Dinic [10] as the best-performing flow algorithm on the bipartite WVC
+//! networks; this bench also covers the matching-based path used by the
+//! Mixed baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc3_core::Weight;
+use mc3_flow::{
+    hopcroft_karp, koenig_vertex_cover, solve_bipartite_wvc, BipartiteGraph, BipartiteWvc, Dinic,
+    FlowNetwork,
+};
+use rand::prelude::*;
+use std::hint::black_box;
+
+/// A random bipartite WVC instance shaped like the Algorithm-2 reduction:
+/// `n` right nodes (pair classifiers) each touching two of `n/2` left nodes.
+fn random_wvc(n: usize, seed: u64) -> BipartiteWvc {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nl = (n / 2).max(2);
+    let left_weights = (0..nl).map(|_| Weight::new(rng.gen_range(1..50))).collect();
+    let right_weights = (0..n).map(|_| Weight::new(rng.gen_range(1..50))).collect();
+    let mut edges = Vec::with_capacity(2 * n);
+    for r in 0..n as u32 {
+        let a = rng.gen_range(0..nl as u32);
+        let mut b = rng.gen_range(0..nl as u32);
+        if b == a {
+            b = (b + 1) % nl as u32;
+        }
+        edges.push((a, r));
+        edges.push((b, r));
+    }
+    BipartiteWvc {
+        left_weights,
+        right_weights,
+        edges,
+    }
+}
+
+fn bench_dinic_raw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dinic_unit_bipartite");
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let nl = n / 2;
+            let edges: Vec<(usize, usize)> = (0..2 * n)
+                .map(|_| (1 + rng.gen_range(0..nl), 1 + nl + rng.gen_range(0..n)))
+                .collect();
+            b.iter(|| {
+                let mut g = FlowNetwork::with_capacity(nl + n + 2, edges.len() + nl + n);
+                let (s, t) = (0usize, nl + n + 1);
+                for l in 0..nl {
+                    g.add_edge(s, 1 + l, 1);
+                }
+                for r in 0..n {
+                    g.add_edge(1 + nl + r, t, 1);
+                }
+                for &(u, v) in &edges {
+                    g.add_edge(u, v, 1);
+                }
+                black_box(Dinic::new(&mut g).max_flow(s, t))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_wvc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bipartite_wvc_via_maxflow");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let inst = random_wvc(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(solve_bipartite_wvc(inst).unwrap().weight));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopcroft_karp_koenig");
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(13);
+            let mut g = BipartiteGraph::new(n / 2, n);
+            for r in 0..n {
+                g.add_edge(rng.gen_range(0..n / 2), r);
+                g.add_edge(rng.gen_range(0..n / 2), r);
+            }
+            b.iter(|| {
+                let m = hopcroft_karp(&g);
+                let (l, r) = koenig_vertex_cover(&g, &m);
+                black_box((m.size, l.len(), r.len()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dinic_raw, bench_wvc, bench_matching);
+criterion_main!(benches);

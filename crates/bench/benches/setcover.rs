@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the WSC substrate (§5.2): lazy-heap greedy [6, 9],
+//! the primal–dual f-approximation, LP rounding [50] on small instances,
+//! and the reverse-delete refinement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc3_core::Weight;
+use mc3_setcover::{
+    prune_redundant, solve_greedy, solve_lp_rounding, solve_primal_dual, SetCoverInstance,
+};
+use rand::prelude::*;
+use std::hint::black_box;
+
+/// A random coverable WSC instance with `n` elements and ~`3n` sets.
+fn random_wsc(n: usize, seed: u64) -> SetCoverInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sets = Vec::with_capacity(3 * n);
+    for e in 0..n as u32 {
+        sets.push((vec![e], Weight::new(rng.gen_range(1..50))));
+    }
+    for _ in 0..2 * n {
+        let size = rng.gen_range(2..8usize);
+        let els: Vec<u32> = (0..size).map(|_| rng.gen_range(0..n as u32)).collect();
+        sets.push((els, Weight::new(rng.gen_range(1..50))));
+    }
+    SetCoverInstance::new(n, sets)
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wsc_greedy_lazy_heap");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let inst = random_wsc(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(solve_greedy(inst).unwrap().cost));
+        });
+    }
+    group.finish();
+}
+
+fn bench_primal_dual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wsc_primal_dual");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let inst = random_wsc(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(solve_primal_dual(inst).unwrap().cost));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp_rounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wsc_lp_rounding_simplex");
+    group.sample_size(10);
+    for &n in &[50usize, 150] {
+        let inst = random_wsc(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(solve_lp_rounding(inst).unwrap().cost));
+        });
+    }
+    group.finish();
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wsc_reverse_delete");
+    for &n in &[10_000usize, 100_000] {
+        let inst = random_wsc(n, 4);
+        let sol = solve_greedy(&inst).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&inst, &sol),
+            |b, (inst, sol)| {
+                b.iter(|| black_box(prune_redundant(inst, sol).cost));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_greedy,
+    bench_primal_dual,
+    bench_lp_rounding,
+    bench_prune
+);
+criterion_main!(benches);

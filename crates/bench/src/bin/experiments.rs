@@ -1,0 +1,51 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p mc3-bench --bin experiments -- all [--full]
+//! cargo run --release -p mc3-bench --bin experiments -- fig3a fig3d
+//! ```
+
+use mc3_bench::{run_experiment, ExperimentScale, EXPERIMENT_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full {
+        ExperimentScale::Full
+    } else {
+        ExperimentScale::Quick
+    };
+    let mut ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() || ids.contains(&"all") {
+        ids = EXPERIMENT_IDS.to_vec();
+    }
+
+    println!(
+        "# MC3 experiment harness ({} scale)\n",
+        if full { "full / paper" } else { "quick" }
+    );
+    let mut failed = false;
+    for id in ids {
+        let start = std::time::Instant::now();
+        match run_experiment(id, scale) {
+            Ok(report) => {
+                println!("{report}");
+                println!(
+                    "[{id} completed in {:.2}s]\n",
+                    start.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

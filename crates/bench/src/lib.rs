@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Experiment harness regenerating the paper's evaluation (§6).
+//!
+//! Each experiment id maps to a table or figure of the paper (see
+//! DESIGN.md's per-experiment index) and produces the same rows/series the
+//! paper reports:
+//!
+//! | id | artifact |
+//! |----|----------|
+//! | `table1` | Table 1 — dataset summary |
+//! | `fig3a`  | Fig. 3a — BB: cost vs #queries, MC3\[S\]/Mixed/QO/PO |
+//! | `fig3b`  | Fig. 3b — P (short): cost vs #queries, MC3\[S\]/QO/PO |
+//! | `fig3c`  | Fig. 3c — synthetic short: MC3\[S\] runtime ± preprocessing |
+//! | `fig3d`  | Fig. 3d — P: cost vs #queries, MC3\[G\]/SF/LG/QO/PO |
+//! | `fig3e`  | Fig. 3e — synthetic: MC3\[G\] cost ± preprocessing |
+//! | `fig3f`  | Fig. 3f — synthetic: MC3\[G\] runtime ± preprocessing |
+//! | `example11` | Example 1.1 — the soccer-shirts instance |
+//! | `ablation-wsc` | §5.2 — greedy vs LP vs primal–dual vs combined |
+//! | `ablation-preprocess` | §3 — per-step preprocessing effect |
+//! | `ablation-flow` | §4/§6 — Dinic vs push-relabel inside Algorithm 2 |
+//! | `ablation-guarantee` | Theorem 5.3 bound vs empirical ratios |
+//! | `ablation-popularity` | uniform vs Zipf property popularity |
+//! | `ablation-bounded` | §5.3 — bounded classifier length `k'` |
+//! | `ablation-partial` | §5.3/§8 — budgeted partial-cover strategies |
+//!
+//! Run with `cargo run --release -p mc3-bench --bin experiments -- <id>|all
+//! [--full]`; `--full` uses the paper's full dataset sizes (slower).
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{run_experiment, ExperimentScale, EXPERIMENT_IDS};
+pub use report::Table;

@@ -1,0 +1,115 @@
+//! Minimal aligned-column table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple text table with a header row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.chars().count());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for c in 0..cols {
+                write!(f, " {:<width$} |", cells[c], width = widths[c])?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.header)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a `Duration` as fractional seconds with millisecond precision.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Formats `part / whole` as a percentage string.
+pub fn pct(part: f64, whole: f64) -> String {
+    if whole == 0.0 {
+        "–".to_owned()
+    } else {
+        format!("{:.1}%", 100.0 * part / whole)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("demo", &["n", "cost"]);
+        t.row(vec!["10".into(), "5".into()]);
+        t.row(vec!["10000".into(), "42".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| n     | cost |"));
+        assert!(s.contains("| 10000 | 42   |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500s");
+        assert_eq!(pct(25.0, 100.0), "25.0%");
+        assert_eq!(pct(1.0, 0.0), "–");
+    }
+}

@@ -1,0 +1,419 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use mc3_solver::Algorithm;
+
+/// Which dataset generator `mc3 generate` uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeneratorKind {
+    /// The paper's §6.1 synthetic recipe.
+    Synthetic,
+    /// Synthetic restricted to length-2 queries.
+    SyntheticShort,
+    /// BestBuy-alike (uniform costs, 95 % short).
+    BestBuy,
+    /// Private-alike (three categories, costs 1–63).
+    Private,
+    /// Only the Fashion category of the private-alike dataset.
+    PrivateFashion,
+}
+
+impl GeneratorKind {
+    fn parse(s: &str) -> Result<GeneratorKind, String> {
+        match s {
+            "synthetic" => Ok(GeneratorKind::Synthetic),
+            "synthetic-short" => Ok(GeneratorKind::SyntheticShort),
+            "bestbuy" => Ok(GeneratorKind::BestBuy),
+            "private" => Ok(GeneratorKind::Private),
+            "private-fashion" => Ok(GeneratorKind::PrivateFashion),
+            other => Err(format!(
+                "unknown generator '{other}' (expected synthetic, synthetic-short, bestbuy, private, private-fashion)"
+            )),
+        }
+    }
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+}
+
+/// The `mc3` subcommands.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// `mc3 generate --kind K --queries N [--seed S] --out FILE`
+    Generate {
+        /// Generator to use.
+        kind: GeneratorKind,
+        /// Number of queries.
+        queries: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Output JSON path (`-` = stdout).
+        out: String,
+    },
+    /// `mc3 stats FILE`
+    Stats {
+        /// Dataset JSON path.
+        dataset: String,
+    },
+    /// `mc3 solve FILE [--algorithm A] [--no-preprocess] [--no-refine]
+    /// [--parallel] [--max-classifier-len K] [--out FILE]`
+    Solve {
+        /// Dataset JSON path.
+        dataset: String,
+        /// Algorithm to run.
+        algorithm: Algorithm,
+        /// Disable Algorithm 1.
+        no_preprocess: bool,
+        /// Disable reverse-delete refinement.
+        no_refine: bool,
+        /// Solve components in parallel.
+        parallel: bool,
+        /// Bounded classifier length `k'`.
+        max_classifier_len: Option<usize>,
+        /// Optional solution output path (`-` = stdout).
+        out: Option<String>,
+    },
+    /// `mc3 verify DATASET SOLUTION`
+    Verify {
+        /// Dataset JSON path.
+        dataset: String,
+        /// Solution JSON path.
+        solution: String,
+    },
+    /// `mc3 parse QUERIES.txt [--uniform-cost N | --cost-range LO..HI [--seed S]] --out FILE`
+    Parse {
+        /// Text file: one conjunctive query per line (`a AND b`).
+        queries: String,
+        /// Uniform classifier cost; mutually exclusive with `cost_range`.
+        uniform_cost: Option<u64>,
+        /// Seeded cost range `(lo, hi)`.
+        cost_range: Option<(u64, u64)>,
+        /// Seed for the cost range.
+        seed: u64,
+        /// Output dataset JSON path (`-` = stdout).
+        out: String,
+    },
+    /// `mc3 compare DATASET` — run every applicable algorithm.
+    Compare {
+        /// Dataset JSON path.
+        dataset: String,
+    },
+    /// `mc3 help`
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+mc3 — Minimization of Classifier Construction Cost for Search Queries
+
+USAGE:
+  mc3 generate --kind <synthetic|synthetic-short|bestbuy|private|private-fashion>
+               --queries <N> [--seed <S>] --out <FILE|->
+  mc3 stats <DATASET.json>
+  mc3 solve <DATASET.json> [--algorithm <auto|k2|general|short-first|exact|
+                             property-oriented|query-oriented|mixed|local-greedy>]
+            [--no-preprocess] [--no-refine] [--parallel]
+            [--max-classifier-len <K>] [--out <FILE|->]
+  mc3 verify <DATASET.json> <SOLUTION.json>
+  mc3 parse <QUERIES.txt> [--uniform-cost <N> | --cost-range <LO..HI> [--seed <S>]]
+            --out <FILE|->
+  mc3 compare <DATASET.json>
+  mc3 help
+";
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
+    match s {
+        "auto" => Ok(Algorithm::Auto),
+        "k2" => Ok(Algorithm::K2Exact),
+        "general" => Ok(Algorithm::General),
+        "short-first" => Ok(Algorithm::ShortFirst),
+        "exact" => Ok(Algorithm::Exact),
+        "property-oriented" | "po" => Ok(Algorithm::PropertyOriented),
+        "query-oriented" | "qo" => Ok(Algorithm::QueryOriented),
+        "mixed" => Ok(Algorithm::Mixed),
+        "local-greedy" | "lg" => Ok(Algorithm::LocalGreedy),
+        other => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+struct ArgStream {
+    args: Vec<String>,
+    pos: usize,
+}
+
+impl ArgStream {
+    fn next(&mut self) -> Option<&str> {
+        let a = self.args.get(self.pos).map(String::as_str);
+        if a.is_some() {
+            self.pos += 1;
+        }
+        a
+    }
+
+    fn value_of(&mut self, flag: &str) -> Result<String, String> {
+        self.next()
+            .map(str::to_owned)
+            .ok_or_else(|| format!("flag {flag} requires a value"))
+    }
+}
+
+impl Cli {
+    /// Parses `args` (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<Cli, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut s = ArgStream {
+            args: args.into_iter().map(Into::into).collect(),
+            pos: 0,
+        };
+        let Some(cmd) = s.next().map(str::to_owned) else {
+            return Ok(Cli {
+                command: Command::Help,
+            });
+        };
+        let command = match cmd.as_str() {
+            "help" | "--help" | "-h" => Command::Help,
+            "generate" => {
+                let mut kind = None;
+                let mut queries = None;
+                let mut seed = 0u64;
+                let mut out = None;
+                while let Some(flag) = s.next().map(str::to_owned) {
+                    match flag.as_str() {
+                        "--kind" => kind = Some(GeneratorKind::parse(&s.value_of("--kind")?)?),
+                        "--queries" => {
+                            queries = Some(
+                                s.value_of("--queries")?
+                                    .parse()
+                                    .map_err(|e| format!("--queries: {e}"))?,
+                            )
+                        }
+                        "--seed" => {
+                            seed = s
+                                .value_of("--seed")?
+                                .parse()
+                                .map_err(|e| format!("--seed: {e}"))?
+                        }
+                        "--out" => out = Some(s.value_of("--out")?),
+                        other => return Err(format!("unknown flag '{other}' for generate")),
+                    }
+                }
+                Command::Generate {
+                    kind: kind.ok_or("generate requires --kind")?,
+                    queries: queries.ok_or("generate requires --queries")?,
+                    seed,
+                    out: out.ok_or("generate requires --out")?,
+                }
+            }
+            "stats" => Command::Stats {
+                dataset: s.next().ok_or("stats requires a dataset path")?.to_owned(),
+            },
+            "solve" => {
+                let dataset = s.next().ok_or("solve requires a dataset path")?.to_owned();
+                let mut algorithm = Algorithm::Auto;
+                let mut no_preprocess = false;
+                let mut no_refine = false;
+                let mut parallel = false;
+                let mut max_classifier_len = None;
+                let mut out = None;
+                while let Some(flag) = s.next().map(str::to_owned) {
+                    match flag.as_str() {
+                        "--algorithm" => algorithm = parse_algorithm(&s.value_of("--algorithm")?)?,
+                        "--no-preprocess" => no_preprocess = true,
+                        "--no-refine" => no_refine = true,
+                        "--parallel" => parallel = true,
+                        "--max-classifier-len" => {
+                            max_classifier_len = Some(
+                                s.value_of("--max-classifier-len")?
+                                    .parse()
+                                    .map_err(|e| format!("--max-classifier-len: {e}"))?,
+                            )
+                        }
+                        "--out" => out = Some(s.value_of("--out")?),
+                        other => return Err(format!("unknown flag '{other}' for solve")),
+                    }
+                }
+                Command::Solve {
+                    dataset,
+                    algorithm,
+                    no_preprocess,
+                    no_refine,
+                    parallel,
+                    max_classifier_len,
+                    out,
+                }
+            }
+            "verify" => {
+                let dataset = s.next().ok_or("verify requires a dataset path")?.to_owned();
+                let solution = s
+                    .next()
+                    .ok_or("verify requires a solution path")?
+                    .to_owned();
+                Command::Verify { dataset, solution }
+            }
+            "parse" => {
+                let queries = s.next().ok_or("parse requires a queries path")?.to_owned();
+                let mut uniform_cost = None;
+                let mut cost_range = None;
+                let mut seed = 0u64;
+                let mut out = None;
+                while let Some(flag) = s.next().map(str::to_owned) {
+                    match flag.as_str() {
+                        "--uniform-cost" => {
+                            uniform_cost = Some(
+                                s.value_of("--uniform-cost")?
+                                    .parse()
+                                    .map_err(|e| format!("--uniform-cost: {e}"))?,
+                            )
+                        }
+                        "--cost-range" => {
+                            let v = s.value_of("--cost-range")?;
+                            let (lo, hi) = v
+                                .split_once("..")
+                                .ok_or_else(|| format!("--cost-range expects LO..HI, got '{v}'"))?;
+                            cost_range = Some((
+                                lo.parse().map_err(|e| format!("--cost-range lo: {e}"))?,
+                                hi.parse().map_err(|e| format!("--cost-range hi: {e}"))?,
+                            ));
+                        }
+                        "--seed" => {
+                            seed = s
+                                .value_of("--seed")?
+                                .parse()
+                                .map_err(|e| format!("--seed: {e}"))?
+                        }
+                        "--out" => out = Some(s.value_of("--out")?),
+                        other => return Err(format!("unknown flag '{other}' for parse")),
+                    }
+                }
+                if uniform_cost.is_some() && cost_range.is_some() {
+                    return Err("--uniform-cost and --cost-range are mutually exclusive".into());
+                }
+                Command::Parse {
+                    queries,
+                    uniform_cost,
+                    cost_range,
+                    seed,
+                    out: out.ok_or("parse requires --out")?,
+                }
+            }
+            "compare" => Command::Compare {
+                dataset: s
+                    .next()
+                    .ok_or("compare requires a dataset path")?
+                    .to_owned(),
+            },
+            other => return Err(format!("unknown command '{other}'\n{USAGE}")),
+        };
+        Ok(Cli { command })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_generate() {
+        let cli = Cli::parse([
+            "generate",
+            "--kind",
+            "bestbuy",
+            "--queries",
+            "500",
+            "--seed",
+            "9",
+            "--out",
+            "x.json",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Generate {
+                kind,
+                queries,
+                seed,
+                out,
+            } => {
+                assert_eq!(kind, GeneratorKind::BestBuy);
+                assert_eq!(queries, 500);
+                assert_eq!(seed, 9);
+                assert_eq!(out, "x.json");
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_solve_with_flags() {
+        let cli = Cli::parse([
+            "solve",
+            "d.json",
+            "--algorithm",
+            "short-first",
+            "--no-preprocess",
+            "--parallel",
+            "--max-classifier-len",
+            "2",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Solve {
+                dataset,
+                algorithm,
+                no_preprocess,
+                parallel,
+                max_classifier_len,
+                ..
+            } => {
+                assert_eq!(dataset, "d.json");
+                assert_eq!(algorithm, Algorithm::ShortFirst);
+                assert!(no_preprocess);
+                assert!(parallel);
+                assert_eq!(max_classifier_len, Some(2));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(Cli::parse(["generate", "--queries", "5"]).is_err());
+        assert!(Cli::parse(["stats"]).is_err());
+        assert!(Cli::parse(["verify", "only-one"]).is_err());
+        assert!(Cli::parse([
+            "generate",
+            "--kind",
+            "weird",
+            "--queries",
+            "5",
+            "--out",
+            "x"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_command_and_help() {
+        assert!(Cli::parse(["frobnicate"]).is_err());
+        assert!(matches!(
+            Cli::parse(["help"]).unwrap().command,
+            Command::Help
+        ));
+        assert!(matches!(
+            Cli::parse(Vec::<String>::new()).unwrap().command,
+            Command::Help
+        ));
+    }
+
+    #[test]
+    fn algorithm_aliases() {
+        assert_eq!(parse_algorithm("po").unwrap(), Algorithm::PropertyOriented);
+        assert_eq!(parse_algorithm("lg").unwrap(), Algorithm::LocalGreedy);
+        assert!(parse_algorithm("nope").is_err());
+    }
+}

@@ -1,0 +1,438 @@
+//! Command implementations; each returns its textual output so tests can
+//! assert on it without process spawning.
+
+use crate::args::{Cli, Command, GeneratorKind, USAGE};
+use crate::solution_io::SolutionFile;
+use mc3_core::InstanceStats;
+use mc3_solver::Mc3Solver;
+use mc3_workload::{
+    read_dataset_json, write_dataset_json, BestBuyConfig, Dataset, PrivateConfig, SyntheticConfig,
+};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Read;
+
+/// Runs a parsed CLI invocation; returns the report to print.
+pub fn run(cli: &Cli) -> Result<String, String> {
+    match &cli.command {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::Generate {
+            kind,
+            queries,
+            seed,
+            out,
+        } => generate(*kind, *queries, *seed, out),
+        Command::Stats { dataset } => stats(dataset),
+        Command::Solve {
+            dataset,
+            algorithm,
+            no_preprocess,
+            no_refine,
+            parallel,
+            max_classifier_len,
+            out,
+        } => solve(
+            dataset,
+            *algorithm,
+            *no_preprocess,
+            *no_refine,
+            *parallel,
+            *max_classifier_len,
+            out.as_deref(),
+        ),
+        Command::Verify { dataset, solution } => verify(dataset, solution),
+        Command::Parse {
+            queries,
+            uniform_cost,
+            cost_range,
+            seed,
+            out,
+        } => parse_cmd(queries, *uniform_cost, *cost_range, *seed, out),
+        Command::Compare { dataset } => compare(dataset),
+    }
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_dataset_json(file).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn write_out(path: &str, content: &str) -> Result<String, String> {
+    if path == "-" {
+        Ok(content.to_owned())
+    } else {
+        std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
+        Ok(format!("wrote {path}\n"))
+    }
+}
+
+fn generate(kind: GeneratorKind, queries: usize, seed: u64, out: &str) -> Result<String, String> {
+    let ds = match kind {
+        GeneratorKind::Synthetic => SyntheticConfig::with_queries(queries).seed(seed).generate(),
+        GeneratorKind::SyntheticShort => SyntheticConfig::short(queries).seed(seed).generate(),
+        GeneratorKind::BestBuy => {
+            let mut cfg = BestBuyConfig::with_queries(queries);
+            cfg.seed = seed.max(1);
+            cfg.generate()
+        }
+        GeneratorKind::Private => {
+            let mut cfg = PrivateConfig::with_queries(queries);
+            cfg.seed = seed.max(1);
+            cfg.generate()
+        }
+        GeneratorKind::PrivateFashion => {
+            // the fashion share is queries/10 of the configured total
+            let mut cfg = PrivateConfig::with_queries(queries * 10);
+            cfg.seed = seed.max(1);
+            cfg.generate_fashion()
+        }
+    };
+    let mut buf = Vec::new();
+    write_dataset_json(&ds, &mut buf).map_err(|e| e.to_string())?;
+    let json = String::from_utf8(buf).expect("JSON is UTF-8");
+    let mut report = write_out(out, &json)?;
+    if out != "-" {
+        let _ = writeln!(
+            report,
+            "generated '{}': {} queries, {} properties, k = {}",
+            ds.name,
+            ds.instance.num_queries(),
+            ds.instance.num_properties(),
+            ds.instance.max_query_len()
+        );
+    }
+    Ok(report)
+}
+
+fn stats(path: &str) -> Result<String, String> {
+    let ds = load_dataset(path)?;
+    let stats = InstanceStats::gather(&ds.instance);
+    let mut out = String::new();
+    let _ = writeln!(out, "dataset:            {}", ds.name);
+    let _ = writeln!(out, "queries (n):        {}", stats.num_queries);
+    let _ = writeln!(out, "properties |P|:     {}", stats.num_properties);
+    let _ = writeln!(out, "max query len (k):  {}", stats.max_query_len);
+    let _ = writeln!(out, "classifiers |C_Q|:  {}", stats.num_classifiers);
+    let _ = writeln!(out, "incidence (I):      {}", stats.max_incidence);
+    let _ = writeln!(out, "sum of lengths n̂:   {}", stats.sum_query_lens);
+    let _ = writeln!(
+        out,
+        "short queries (≤2): {:.1}%",
+        100.0 * stats.short_query_fraction()
+    );
+    let _ = writeln!(
+        out,
+        "Theorem 5.3 guarantee for MC3[G]: {:.2}×",
+        stats.approximation_guarantee()
+    );
+    let _ = writeln!(out, "length histogram:   {:?}", stats.length_histogram);
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve(
+    dataset: &str,
+    algorithm: mc3_solver::Algorithm,
+    no_preprocess: bool,
+    no_refine: bool,
+    parallel: bool,
+    max_classifier_len: Option<usize>,
+    out: Option<&str>,
+) -> Result<String, String> {
+    let ds = load_dataset(dataset)?;
+    let mut solver = Mc3Solver::new().algorithm(algorithm).parallel(parallel);
+    if no_preprocess {
+        solver = solver.without_preprocessing();
+    }
+    if no_refine {
+        solver = solver.without_refinement();
+    }
+    if let Some(kp) = max_classifier_len {
+        solver = solver.max_classifier_len(kp);
+    }
+    let report = solver
+        .solve_report(&ds.instance)
+        .map_err(|e| format!("solve failed: {e}"))?;
+    report
+        .solution
+        .verify(&ds.instance)
+        .map_err(|e| format!("internal error — solution failed verification: {e}"))?;
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "algorithm {:?}: cost {} with {} classifiers ({} components, {:.3}s total)",
+        algorithm,
+        report.solution.cost(),
+        report.solution.len(),
+        report.components,
+        report.timings.total.as_secs_f64()
+    );
+    let _ = writeln!(
+        text,
+        "preprocessing: {} selected, {} removed, {} queries closed",
+        report.preprocess_stats.selected,
+        report.preprocess_stats.removed_by_decomposition
+            + report.preprocess_stats.removed_by_singleton_pruning,
+        report.preprocess_stats.covered_queries
+    );
+    if let Some(path) = out {
+        let file = SolutionFile::from_solution(&report.solution);
+        let json = serde_json::to_string_pretty(&file).expect("solution serializes");
+        text.push_str(&write_out(path, &json)?);
+    }
+    Ok(text)
+}
+
+fn verify(dataset: &str, solution: &str) -> Result<String, String> {
+    let ds = load_dataset(dataset)?;
+    let mut json = String::new();
+    File::open(solution)
+        .map_err(|e| format!("cannot open {solution}: {e}"))?
+        .read_to_string(&mut json)
+        .map_err(|e| e.to_string())?;
+    let file: SolutionFile =
+        serde_json::from_str(&json).map_err(|e| format!("cannot parse {solution}: {e}"))?;
+    let sol = file
+        .into_solution(&ds.instance)
+        .map_err(|e| format!("invalid solution: {e}"))?;
+    sol.verify(&ds.instance)
+        .map_err(|e| format!("solution does NOT cover the query load: {e}"))?;
+    Ok(format!(
+        "OK: {} classifiers cover all {} queries at cost {}\n",
+        sol.len(),
+        ds.instance.num_queries(),
+        sol.cost()
+    ))
+}
+
+fn parse_cmd(
+    queries_path: &str,
+    uniform_cost: Option<u64>,
+    cost_range: Option<(u64, u64)>,
+    seed: u64,
+    out: &str,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(queries_path)
+        .map_err(|e| format!("cannot read {queries_path}: {e}"))?;
+    let (queries, interner) =
+        mc3_core::parse_queries(&text).map_err(|e| format!("cannot parse queries: {e}"))?;
+    let weights = match (uniform_cost, cost_range) {
+        (Some(c), None) => mc3_core::Weights::uniform(c),
+        (None, Some((lo, hi))) => mc3_core::Weights::seeded(seed, lo, hi),
+        (None, None) => mc3_core::Weights::uniform(1u64),
+        (Some(_), Some(_)) => unreachable!("rejected during arg parsing"),
+    };
+    let instance = mc3_core::Instance::from_propsets(queries, weights)
+        .map_err(|e| format!("invalid query load: {e}"))?;
+    let name = std::path::Path::new(queries_path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "parsed".to_owned());
+    let ds = Dataset::new(name, instance);
+    let mut buf = Vec::new();
+    write_dataset_json(&ds, &mut buf).map_err(|e| e.to_string())?;
+    let json = String::from_utf8(buf).expect("JSON is UTF-8");
+    let mut report = write_out(out, &json)?;
+    if out != "-" {
+        let _ = writeln!(
+            report,
+            "parsed {} queries over {} properties",
+            ds.instance.num_queries(),
+            interner.len()
+        );
+    }
+    Ok(report)
+}
+
+fn compare(path: &str) -> Result<String, String> {
+    use mc3_solver::Algorithm;
+    let ds = load_dataset(path)?;
+    let short = ds.instance.is_short();
+    let uniform = matches!(ds.instance.weights(), mc3_core::Weights::Uniform(_));
+    let mut algorithms: Vec<(&str, Algorithm)> = vec![("MC3 (auto)", Algorithm::Auto)];
+    if !short {
+        algorithms.push(("Short-First", Algorithm::ShortFirst));
+    }
+    algorithms.push(("Local-Greedy", Algorithm::LocalGreedy));
+    algorithms.push(("Query-Oriented", Algorithm::QueryOriented));
+    algorithms.push(("Property-Oriented", Algorithm::PropertyOriented));
+    if short && uniform {
+        algorithms.push(("Mixed [13]", Algorithm::Mixed));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>12} {:>9}",
+        "algorithm", "cost", "classifiers", "time"
+    );
+    for (label, alg) in algorithms {
+        let report = Mc3Solver::new()
+            .algorithm(alg)
+            .solve_report(&ds.instance)
+            .map_err(|e| format!("{label} failed: {e}"))?;
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12} {:>12} {:>8.3}s",
+            label,
+            report.solution.cost().to_string(),
+            report.solution.len(),
+            report.timings.total.as_secs_f64()
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Cli;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mc3_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_stats_solve_verify_pipeline() {
+        let data = tmp("pipeline.json");
+        let solution = tmp("pipeline_solution.json");
+
+        let cli = Cli::parse([
+            "generate",
+            "--kind",
+            "bestbuy",
+            "--queries",
+            "120",
+            "--seed",
+            "3",
+            "--out",
+            &data,
+        ])
+        .unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("120 queries"), "{out}");
+
+        let out = run(&Cli::parse(["stats", &data]).unwrap()).unwrap();
+        assert!(out.contains("queries (n):        120"), "{out}");
+
+        let out =
+            run(&Cli::parse(["solve", &data, "--algorithm", "auto", "--out", &solution]).unwrap())
+                .unwrap();
+        assert!(out.contains("cost"), "{out}");
+
+        let out = run(&Cli::parse(["verify", &data, &solution]).unwrap()).unwrap();
+        assert!(out.starts_with("OK:"), "{out}");
+
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&solution).ok();
+    }
+
+    #[test]
+    fn solve_to_stdout() {
+        let data = tmp("stdout.json");
+        run(&Cli::parse([
+            "generate",
+            "--kind",
+            "synthetic-short",
+            "--queries",
+            "50",
+            "--out",
+            &data,
+        ])
+        .unwrap())
+        .unwrap();
+        let out = run(&Cli::parse(["solve", &data, "--out", "-"]).unwrap()).unwrap();
+        assert!(out.contains("\"classifiers\""), "{out}");
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn missing_file_errors_cleanly() {
+        let err = run(&Cli::parse(["stats", "/nonexistent/x.json"]).unwrap()).unwrap_err();
+        assert!(err.contains("cannot open"));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_solution() {
+        let data = tmp("tamper.json");
+        let solution = tmp("tamper_solution.json");
+        run(&Cli::parse([
+            "generate",
+            "--kind",
+            "bestbuy",
+            "--queries",
+            "40",
+            "--out",
+            &data,
+        ])
+        .unwrap())
+        .unwrap();
+        run(&Cli::parse(["solve", &data, "--out", &solution]).unwrap()).unwrap();
+        // tamper: drop one classifier
+        let mut file: SolutionFile =
+            serde_json::from_str(&std::fs::read_to_string(&solution).unwrap()).unwrap();
+        let dropped = file.classifiers.pop().unwrap();
+        file.cost -= 1; // uniform cost 1 per classifier in BB
+        std::fs::write(&solution, serde_json::to_string(&file).unwrap()).unwrap();
+        let err = run(&Cli::parse(["verify", &data, &solution]).unwrap()).unwrap_err();
+        assert!(
+            err.contains("does NOT cover") || err.contains("invalid solution"),
+            "unexpected: {err} (dropped {dropped:?})"
+        );
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&solution).ok();
+    }
+
+    #[test]
+    fn parse_then_compare_pipeline() {
+        let queries = tmp("load.txt");
+        let data = tmp("load.json");
+        std::fs::write(
+            &queries,
+            "team=Juventus AND color=White AND brand=Adidas\nteam=Chelsea AND brand=Adidas\nbrand=Adidas",
+        )
+        .unwrap();
+        let out = run(&Cli::parse([
+            "parse",
+            &queries,
+            "--cost-range",
+            "1..9",
+            "--seed",
+            "4",
+            "--out",
+            &data,
+        ])
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("parsed 3 queries over 4 properties"), "{out}");
+        let out = run(&Cli::parse(["compare", &data]).unwrap()).unwrap();
+        assert!(out.contains("MC3 (auto)"), "{out}");
+        assert!(out.contains("Property-Oriented"), "{out}");
+        std::fs::remove_file(&queries).ok();
+        std::fs::remove_file(&data).ok();
+    }
+
+    #[test]
+    fn parse_rejects_conflicting_cost_flags() {
+        assert!(Cli::parse([
+            "parse",
+            "x.txt",
+            "--uniform-cost",
+            "1",
+            "--cost-range",
+            "1..5",
+            "--out",
+            "-",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&Cli::parse(["help"]).unwrap()).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! Library backing the `mc3` command-line tool.
+//!
+//! The CLI is a thin wrapper over these functions so that every command is
+//! unit-testable without spawning processes:
+//!
+//! ```text
+//! mc3 generate --kind synthetic --queries 10000 --seed 7 --out load.json
+//! mc3 stats load.json
+//! mc3 solve load.json --algorithm general --out solution.json
+//! mc3 verify load.json solution.json
+//! ```
+
+pub mod args;
+pub mod commands;
+pub mod solution_io;
+
+pub use args::{Cli, Command};
+pub use commands::run;

@@ -1,0 +1,19 @@
+//! The `mc3` command-line entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match mc3_cli::Cli::parse(args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match mc3_cli::run(&cli) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

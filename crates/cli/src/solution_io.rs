@@ -1,0 +1,74 @@
+//! JSON (de)serialization of solutions.
+
+use mc3_core::{Instance, PropSet, Result, Solution};
+use serde::{Deserialize, Serialize};
+
+/// The serializable solution format: selected classifiers as property-id
+/// lists plus the recorded total cost.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolutionFile {
+    /// Total construction cost.
+    pub cost: u64,
+    /// Selected classifiers (sorted property ids each).
+    pub classifiers: Vec<Vec<u32>>,
+}
+
+impl SolutionFile {
+    /// Captures a solution.
+    pub fn from_solution(solution: &Solution) -> SolutionFile {
+        SolutionFile {
+            cost: solution.cost().raw(),
+            classifiers: solution
+                .classifiers()
+                .iter()
+                .map(|c| c.iter().map(|p| p.0).collect())
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the solution against `instance` (recomputing and checking
+    /// the cost).
+    pub fn into_solution(self, instance: &Instance) -> Result<Solution> {
+        let classifiers: Vec<PropSet> = self
+            .classifiers
+            .into_iter()
+            .map(PropSet::from_ids)
+            .collect();
+        let solution = Solution::new(instance, classifiers)?;
+        if solution.cost().raw() != self.cost {
+            return Err(mc3_core::Mc3Error::Internal(format!(
+                "solution file claims cost {} but weights sum to {}",
+                self.cost,
+                solution.cost()
+            )));
+        }
+        Ok(solution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc3_core::Weights;
+
+    #[test]
+    fn roundtrip() {
+        let instance = Instance::new(vec![vec![0u32, 1]], Weights::uniform(3u64)).unwrap();
+        let solution = Solution::new(&instance, vec![PropSet::from_ids([0u32, 1])]).unwrap();
+        let file = SolutionFile::from_solution(&solution);
+        let json = serde_json::to_string(&file).unwrap();
+        let back: SolutionFile = serde_json::from_str(&json).unwrap();
+        let rebuilt = back.into_solution(&instance).unwrap();
+        assert_eq!(rebuilt, solution);
+    }
+
+    #[test]
+    fn cost_mismatch_is_rejected() {
+        let instance = Instance::new(vec![vec![0u32]], Weights::uniform(3u64)).unwrap();
+        let file = SolutionFile {
+            cost: 99,
+            classifiers: vec![vec![0]],
+        };
+        assert!(file.into_solution(&instance).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Cover semantics (§2.1).
+//!
+//! A query `q` is covered by a classifier set `S` iff some `T ⊆ S` satisfies
+//! `⋃T = q`. Since the union must equal `q` *exactly*, every member of such a
+//! `T` is necessarily a subset of `q`; hence `q` is covered iff the union of
+//! all members of `S` that are subsets of `q` equals `q`.
+
+use crate::instance::Instance;
+use crate::propset::{Classifier, PropSet, Query};
+
+/// Whether `query` is covered by `classifiers`.
+pub fn covered(query: &Query, classifiers: &[Classifier]) -> bool {
+    covering_subset(query, classifiers).is_some()
+}
+
+/// The indices of all members of `classifiers` that are subsets of `query`,
+/// if their union equals `query`; `None` if the query is not covered.
+///
+/// The returned witness is the maximal covering subset; callers wanting an
+/// irredundant witness can post-process.
+pub fn covering_subset(query: &Query, classifiers: &[Classifier]) -> Option<Vec<usize>> {
+    let mut union = PropSet::empty();
+    let mut witness = Vec::new();
+    for (i, c) in classifiers.iter().enumerate() {
+        if c.is_subset_of(query) {
+            witness.push(i);
+            union = union.union(c);
+        }
+    }
+    if &union == query {
+        Some(witness)
+    } else {
+        None
+    }
+}
+
+/// Whether every query of `instance` is covered by `classifiers`.
+///
+/// Uses a property → classifier inverted index so each query only inspects
+/// classifiers sharing at least one of its properties.
+pub fn is_cover(instance: &Instance, classifiers: &[Classifier]) -> bool {
+    first_uncovered(instance, classifiers).is_none()
+}
+
+/// Index of the first uncovered query, if any.
+pub fn first_uncovered(instance: &Instance, classifiers: &[Classifier]) -> Option<usize> {
+    use crate::fxhash::FxHashMap;
+    let mut by_prop: FxHashMap<crate::prop::PropId, Vec<u32>> = FxHashMap::default();
+    for (i, c) in classifiers.iter().enumerate() {
+        for p in c.iter() {
+            by_prop.entry(p).or_default().push(i as u32);
+        }
+    }
+    let mut seen: Vec<u32> = Vec::new();
+    let mut stamp: FxHashMap<u32, ()> = FxHashMap::default();
+    for (qi, q) in instance.queries().iter().enumerate() {
+        seen.clear();
+        stamp.clear();
+        for p in q.iter() {
+            if let Some(list) = by_prop.get(&p) {
+                for &ci in list {
+                    if stamp.insert(ci, ()).is_none() {
+                        seen.push(ci);
+                    }
+                }
+            }
+        }
+        let mut union = PropSet::empty();
+        for &ci in &seen {
+            let c = &classifiers[ci as usize];
+            if c.is_subset_of(q) {
+                union = union.union(c);
+                if &union == q {
+                    break;
+                }
+            }
+        }
+        if &union != q {
+            return Some(qi);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::Weights;
+
+    fn ps(ids: &[u32]) -> PropSet {
+        PropSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn exact_union_required() {
+        let q = ps(&[1, 2, 3]);
+        // {1,2} ∪ {3} = q → covered
+        assert!(covered(&q, &[ps(&[1, 2]), ps(&[3])]));
+        // {1,2} alone: union ⊊ q
+        assert!(!covered(&q, &[ps(&[1, 2])]));
+        // {1,2,3,4} is not a subset of q, so it cannot participate
+        assert!(!covered(&q, &[ps(&[1, 2, 3, 4])]));
+        // overlapping subsets are fine
+        assert!(covered(&q, &[ps(&[1, 2]), ps(&[2, 3])]));
+    }
+
+    #[test]
+    fn witness_lists_participating_classifiers() {
+        let q = ps(&[1, 2]);
+        let cs = [ps(&[5]), ps(&[1]), ps(&[2])];
+        let w = covering_subset(&q, &cs).unwrap();
+        assert_eq!(w, vec![1, 2]);
+    }
+
+    #[test]
+    fn full_query_classifier_covers() {
+        let q = ps(&[4, 5]);
+        assert!(covered(&q, &[ps(&[4, 5])]));
+    }
+
+    #[test]
+    fn instance_cover_check() {
+        let instance =
+            Instance::new(vec![vec![0u32, 1], vec![1u32, 2]], Weights::uniform(1u64)).unwrap();
+        assert!(is_cover(&instance, &[ps(&[0]), ps(&[1]), ps(&[2])]));
+        assert!(is_cover(&instance, &[ps(&[0, 1]), ps(&[1, 2])]));
+        assert!(!is_cover(&instance, &[ps(&[0, 1])]));
+        assert_eq!(first_uncovered(&instance, &[ps(&[0, 1])]), Some(1));
+        assert_eq!(first_uncovered(&instance, &[]), Some(0));
+    }
+
+    #[test]
+    fn empty_instance_is_trivially_covered() {
+        let instance = Instance::new(Vec::<Vec<u32>>::new(), Weights::uniform(1u64)).unwrap();
+        assert!(is_cover(&instance, &[]));
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types shared by every `mc3-*` crate.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Mc3Error>;
+
+/// Errors produced while building or solving MC³ instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mc3Error {
+    /// A query with zero properties was supplied.
+    EmptyQuery {
+        /// Position of the offending query in the input.
+        index: usize,
+    },
+    /// A query exceeds [`crate::MAX_QUERY_LEN`].
+    QueryTooLong {
+        /// Position of the offending query in the input.
+        index: usize,
+        /// Its length.
+        len: usize,
+    },
+    /// The instance admits no finite-weight cover.
+    ///
+    /// The paper assumes `Q` can be covered by a solution of finite weight
+    /// and disregards the trivial cases where this does not hold (§2.1); we
+    /// detect and report them instead.
+    Uncoverable {
+        /// Index of the first query with no finite-weight cover.
+        query_index: usize,
+    },
+    /// A classifier that is not a subset of any query was supplied where a
+    /// member of `C_Q` was expected.
+    ClassifierOutsideUniverse {
+        /// Rendered classifier (sorted property ids).
+        classifier: String,
+    },
+    /// Costs overflowed `u64` while being summed.
+    CostOverflow,
+    /// An algorithm-specific invariant was violated (bug guard).
+    Internal(String),
+}
+
+impl fmt::Display for Mc3Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mc3Error::EmptyQuery { index } => {
+                write!(
+                    f,
+                    "query #{index} is empty; queries must test at least one property"
+                )
+            }
+            Mc3Error::QueryTooLong { index, len } => write!(
+                f,
+                "query #{index} has {len} properties, exceeding the supported maximum of {}",
+                crate::MAX_QUERY_LEN
+            ),
+            Mc3Error::Uncoverable { query_index } => write!(
+                f,
+                "query #{query_index} has no finite-weight cover; the instance is uncoverable"
+            ),
+            Mc3Error::ClassifierOutsideUniverse { classifier } => {
+                write!(
+                    f,
+                    "classifier {classifier} is not in the classifier universe C_Q"
+                )
+            }
+            Mc3Error::CostOverflow => write!(f, "classifier cost sum overflowed u64"),
+            Mc3Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Mc3Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_query_index() {
+        let err = Mc3Error::EmptyQuery { index: 3 };
+        assert!(err.to_string().contains("#3"));
+        let err = Mc3Error::QueryTooLong { index: 7, len: 40 };
+        assert!(err.to_string().contains("#7"));
+        assert!(err.to_string().contains("40"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&Mc3Error::CostOverflow);
+    }
+}

@@ -1,0 +1,219 @@
+//! The MC³ problem instance `⟨Q, W⟩`.
+
+use crate::error::{Mc3Error, Result};
+use crate::fxhash::FxHashSet;
+use crate::prop::PropId;
+use crate::propset::{PropSet, Query};
+use crate::weight::Weight;
+use crate::weights::Weights;
+use crate::MAX_QUERY_LEN;
+
+/// An MC³ instance: a set of distinct conjunctive queries plus a weight
+/// function over their classifier universe.
+///
+/// Queries are deduplicated and stored in canonical form. The paper assumes
+/// `P` only includes properties appearing in at least one query; this holds
+/// by construction here because the instance derives its property set from
+/// the queries themselves.
+///
+/// # Example
+///
+/// ```
+/// use mc3_core::{Instance, Weights};
+///
+/// let queries = vec![vec![0u32, 1], vec![1u32, 2], vec![0u32, 1]]; // dup removed
+/// let instance = Instance::new(queries, Weights::uniform(1u64)).unwrap();
+/// assert_eq!(instance.num_queries(), 2);
+/// assert_eq!(instance.max_query_len(), 2);
+/// assert_eq!(instance.num_properties(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Instance {
+    queries: Vec<Query>,
+    weights: Weights,
+    max_len: usize,
+    num_properties: usize,
+}
+
+impl Instance {
+    /// Builds an instance from raw queries (any iterator of property-id
+    /// collections) and a weight function.
+    ///
+    /// Validates that every query is non-empty and within
+    /// [`MAX_QUERY_LEN`], canonicalizes and deduplicates.
+    pub fn new<Q, I, T>(queries: Q, weights: Weights) -> Result<Instance>
+    where
+        Q: IntoIterator<Item = I>,
+        I: IntoIterator<Item = T>,
+        T: Into<PropId>,
+    {
+        let sets: Vec<PropSet> = queries.into_iter().map(PropSet::from_ids).collect();
+        Self::from_propsets(sets, weights)
+    }
+
+    /// Builds an instance from already-canonical [`PropSet`] queries.
+    pub fn from_propsets(queries: Vec<Query>, weights: Weights) -> Result<Instance> {
+        for (index, q) in queries.iter().enumerate() {
+            if q.is_empty() {
+                return Err(Mc3Error::EmptyQuery { index });
+            }
+            if q.len() > MAX_QUERY_LEN {
+                return Err(Mc3Error::QueryTooLong {
+                    index,
+                    len: q.len(),
+                });
+            }
+        }
+        let mut queries = queries;
+        queries.sort_unstable();
+        queries.dedup();
+        let max_len = queries.iter().map(PropSet::len).max().unwrap_or(0);
+        let props: FxHashSet<PropId> = queries.iter().flat_map(PropSet::iter).collect();
+        Ok(Instance {
+            queries,
+            weights,
+            max_len,
+            num_properties: props.len(),
+        })
+    }
+
+    /// The distinct queries, in canonical (sorted) order.
+    #[inline]
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Number of distinct queries (`n` in the paper).
+    #[inline]
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Maximal query length (`k` in the paper).
+    #[inline]
+    pub fn max_query_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Number of distinct properties appearing in queries.
+    #[inline]
+    pub fn num_properties(&self) -> usize {
+        self.num_properties
+    }
+
+    /// The weight function.
+    #[inline]
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// Cost of one classifier under this instance's weight function.
+    #[inline]
+    pub fn weight(&self, classifier: &PropSet) -> Weight {
+        self.weights.weight(classifier)
+    }
+
+    /// Whether every query has length ≤ 2 (the PTIME special case of §4).
+    pub fn is_short(&self) -> bool {
+        self.max_len <= 2
+    }
+
+    /// A sub-instance restricted to the queries at `indices`
+    /// (used by the paper's varying-cardinality experiments, §6.1).
+    pub fn restrict_to(&self, indices: &[usize]) -> Result<Instance> {
+        let queries: Vec<Query> = indices.iter().map(|&i| self.queries[i].clone()).collect();
+        Instance::from_propsets(queries, self.weights.clone())
+    }
+
+    /// A sub-instance containing only queries satisfying `pred`.
+    pub fn filter_queries(&self, pred: impl Fn(&Query) -> bool) -> Result<Instance> {
+        let queries: Vec<Query> = self.queries.iter().filter(|q| pred(q)).cloned().collect();
+        Instance::from_propsets(queries, self.weights.clone())
+    }
+
+    /// Histogram of query lengths: `hist[l]` = number of queries of length
+    /// `l` (index 0 unused).
+    pub fn length_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_len + 1];
+        for q in &self.queries {
+            hist[q.len()] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(ids: &[u32]) -> Vec<u32> {
+        ids.to_vec()
+    }
+
+    #[test]
+    fn dedup_and_canonicalize() {
+        let inst = Instance::new(
+            vec![q(&[2, 1]), q(&[1, 2]), q(&[3])],
+            Weights::uniform(1u64),
+        )
+        .unwrap();
+        assert_eq!(inst.num_queries(), 2);
+        assert_eq!(inst.max_query_len(), 2);
+        assert_eq!(inst.num_properties(), 3);
+    }
+
+    #[test]
+    fn rejects_empty_query() {
+        let err = Instance::new(vec![q(&[1]), q(&[])], Weights::uniform(1u64)).unwrap_err();
+        assert_eq!(err, Mc3Error::EmptyQuery { index: 1 });
+    }
+
+    #[test]
+    fn rejects_too_long_query() {
+        let long: Vec<u32> = (0..40).collect();
+        let err = Instance::new(vec![long], Weights::uniform(1u64)).unwrap_err();
+        assert!(matches!(err, Mc3Error::QueryTooLong { index: 0, len: 40 }));
+    }
+
+    #[test]
+    fn restrict_to_subset() {
+        let inst = Instance::new(
+            vec![q(&[1]), q(&[2, 3]), q(&[4, 5, 6])],
+            Weights::uniform(1u64),
+        )
+        .unwrap();
+        let sub = inst.restrict_to(&[0, 2]).unwrap();
+        assert_eq!(sub.num_queries(), 2);
+        assert_eq!(sub.max_query_len(), 3);
+    }
+
+    #[test]
+    fn filter_short_queries() {
+        let inst = Instance::new(
+            vec![q(&[1]), q(&[2, 3]), q(&[4, 5, 6])],
+            Weights::uniform(1u64),
+        )
+        .unwrap();
+        let short = inst.filter_queries(|x| x.len() <= 2).unwrap();
+        assert!(short.is_short());
+        assert_eq!(short.num_queries(), 2);
+    }
+
+    #[test]
+    fn length_histogram_counts() {
+        let inst = Instance::new(
+            vec![q(&[1]), q(&[2, 3]), q(&[4, 5]), q(&[4, 5, 6])],
+            Weights::uniform(1u64),
+        )
+        .unwrap();
+        assert_eq!(inst.length_histogram(), vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn empty_instance_is_fine() {
+        let inst = Instance::new(Vec::<Vec<u32>>::new(), Weights::uniform(1u64)).unwrap();
+        assert_eq!(inst.num_queries(), 0);
+        assert_eq!(inst.max_query_len(), 0);
+        assert!(inst.is_short());
+    }
+}

@@ -1,0 +1,225 @@
+//! Multi-valued classifiers (§5.3).
+//!
+//! Properties often encode `attribute = value` pairs (e.g. `color = red`,
+//! `color = blue`). A *multi-valued* classifier decides the value of an
+//! attribute and therefore acts as a binary classifier for every property of
+//! that attribute.
+//!
+//! Two modes are supported, mirroring the paper:
+//!
+//! 1. **Only multi-valued classifiers**: merging every property into its
+//!    attribute yields a *new MC³ instance over attributes* obeying exactly
+//!    the same model — [`merge_to_attributes`].
+//! 2. **Mixed binary + multi-valued**: multi-valued classifiers are added as
+//!    extra sets in the Weighted Set Cover reduction, covering all elements
+//!    whose property belongs to the attribute. The [`MultiValuedClassifier`]
+//!    descriptor defined here is consumed by `mc3-solver`'s extended
+//!    reduction.
+
+use crate::error::Result;
+use crate::fxhash::FxHashMap;
+use crate::instance::Instance;
+use crate::prop::PropId;
+use crate::propset::{PropSet, Query};
+use crate::weight::Weight;
+use crate::weights::Weights;
+use std::fmt;
+
+/// Dense id of an attribute (e.g. "color", "team", "brand").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttributeId(pub u32);
+
+impl AttributeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttributeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Maps properties to the attribute whose value they test.
+///
+/// The attributes induce an equivalence relation over the properties (§5.3).
+/// Properties without an assignment are treated as their own singleton
+/// attribute by [`AttributeSchema::attribute_of`].
+#[derive(Debug, Clone, Default)]
+pub struct AttributeSchema {
+    map: FxHashMap<PropId, AttributeId>,
+    names: Vec<String>,
+    name_ids: FxHashMap<String, AttributeId>,
+}
+
+impl AttributeSchema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an attribute name.
+    pub fn attribute(&mut self, name: impl AsRef<str>) -> AttributeId {
+        let name = name.as_ref();
+        if let Some(&id) = self.name_ids.get(name) {
+            return id;
+        }
+        let id = AttributeId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.name_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Assigns `prop` to `attr`.
+    pub fn assign(&mut self, prop: PropId, attr: AttributeId) -> &mut Self {
+        self.map.insert(prop, attr);
+        self
+    }
+
+    /// The attribute of `prop`, if assigned.
+    pub fn attribute_of(&self, prop: PropId) -> Option<AttributeId> {
+        self.map.get(&prop).copied()
+    }
+
+    /// Attribute name lookup.
+    pub fn name(&self, attr: AttributeId) -> Option<&str> {
+        self.names.get(attr.index()).map(String::as_str)
+    }
+
+    /// Number of interned attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The properties assigned to `attr`.
+    pub fn properties_of(&self, attr: AttributeId) -> Vec<PropId> {
+        let mut v: Vec<PropId> = self
+            .map
+            .iter()
+            .filter(|&(_, &a)| a == attr)
+            .map(|(&p, _)| p)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A multi-valued classifier for the *mixed* setting: it decides attribute
+/// `attribute` and thereby covers every property of that attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiValuedClassifier {
+    /// The attribute this classifier decides.
+    pub attribute: AttributeId,
+    /// Its construction cost.
+    pub cost: Weight,
+}
+
+/// Transforms an instance into the attribute-level instance of the
+/// "only multi-valued classifiers" setting (§5.3): every property is
+/// replaced by its attribute (unassigned properties become fresh singleton
+/// attributes), queries are re-canonicalized and deduplicated, and the
+/// caller-supplied `weights` (external cost estimations for the multi-valued
+/// classifiers) take over.
+///
+/// Returns the transformed instance together with the property → attribute
+/// property-id mapping used (attribute ids become the new property ids).
+pub fn merge_to_attributes(
+    instance: &Instance,
+    schema: &AttributeSchema,
+    weights: Weights,
+) -> Result<(Instance, FxHashMap<PropId, PropId>)> {
+    let mut mapping: FxHashMap<PropId, PropId> = FxHashMap::default();
+    let mut next_fresh = schema.num_attributes() as u32;
+    let mut queries: Vec<Query> = Vec::with_capacity(instance.num_queries());
+    for q in instance.queries() {
+        let mut ids: Vec<PropId> = Vec::with_capacity(q.len());
+        for p in q.iter() {
+            let mapped = *mapping
+                .entry(p)
+                .or_insert_with(|| match schema.attribute_of(p) {
+                    Some(a) => PropId(a.0),
+                    None => {
+                        let id = PropId(next_fresh);
+                        next_fresh += 1;
+                        id
+                    }
+                });
+            ids.push(mapped);
+        }
+        queries.push(PropSet::from_ids(ids));
+    }
+    let transformed = Instance::from_propsets(queries, weights)?;
+    Ok((transformed, mapping))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::WeightsBuilder;
+
+    #[test]
+    fn schema_assignment_roundtrip() {
+        let mut s = AttributeSchema::new();
+        let color = s.attribute("color");
+        assert_eq!(s.attribute("color"), color);
+        s.assign(PropId(3), color).assign(PropId(7), color);
+        assert_eq!(s.attribute_of(PropId(3)), Some(color));
+        assert_eq!(s.attribute_of(PropId(9)), None);
+        assert_eq!(s.properties_of(color), vec![PropId(3), PropId(7)]);
+        assert_eq!(s.name(color), Some("color"));
+        assert_eq!(s.num_attributes(), 1);
+    }
+
+    #[test]
+    fn soccer_shirt_merge_matches_paper() {
+        // §5.3: q1 = {juventus, white, adidas}, q2 = {chelsea, adidas};
+        // attributes team/color/brand collapse q1 → tcb, q2 → tb.
+        let (j, w, a, c) = (PropId(0), PropId(1), PropId(2), PropId(3));
+        let instance = Instance::new(
+            vec![vec![j.0, w.0, a.0], vec![c.0, a.0]],
+            Weights::uniform(1u64),
+        )
+        .unwrap();
+        let mut schema = AttributeSchema::new();
+        let team = schema.attribute("team");
+        let color = schema.attribute("color");
+        let brand = schema.attribute("brand");
+        schema.assign(j, team).assign(c, team);
+        schema.assign(w, color);
+        schema.assign(a, brand);
+        let weights = WeightsBuilder::new().default_weight(Weight::new(1)).build();
+        let (merged, mapping) = merge_to_attributes(&instance, &schema, weights).unwrap();
+        assert_eq!(merged.num_queries(), 2);
+        assert_eq!(merged.num_properties(), 3); // team, color, brand
+        assert_eq!(merged.max_query_len(), 3); // tcb
+        assert_eq!(mapping[&j], mapping[&c]); // same team attribute
+        assert_ne!(mapping[&j], mapping[&w]);
+    }
+
+    #[test]
+    fn unassigned_properties_become_fresh_attributes() {
+        let instance = Instance::new(vec![vec![0u32, 1]], Weights::uniform(1u64)).unwrap();
+        let mut schema = AttributeSchema::new();
+        let attr = schema.attribute("only");
+        schema.assign(PropId(0), attr);
+        let (merged, mapping) =
+            merge_to_attributes(&instance, &schema, Weights::uniform(1u64)).unwrap();
+        assert_eq!(merged.num_properties(), 2);
+        assert_ne!(mapping[&PropId(0)], mapping[&PropId(1)]);
+    }
+
+    #[test]
+    fn merging_can_collapse_queries() {
+        // Two queries over different values of the same attribute collapse.
+        let mut schema = AttributeSchema::new();
+        let color = schema.attribute("color");
+        schema.assign(PropId(0), color).assign(PropId(1), color);
+        let instance = Instance::new(vec![vec![0u32], vec![1u32]], Weights::uniform(1u64)).unwrap();
+        let (merged, _) = merge_to_attributes(&instance, &schema, Weights::uniform(1u64)).unwrap();
+        assert_eq!(merged.num_queries(), 1);
+        assert_eq!(merged.max_query_len(), 1);
+    }
+}

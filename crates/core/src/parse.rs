@@ -1,0 +1,175 @@
+//! Parsing textual conjunctive queries into instances.
+//!
+//! The paper's pipeline translates free-text searches into SQL-like
+//! conjunctions (`team = 'Juventus' AND color = 'White'`, §1). This module
+//! provides the equivalent entry point for building instances from
+//! human-readable query lists: one query per line, properties separated by
+//! `AND` (case-insensitive) or `&`, with `#` comments and blank lines
+//! ignored. Property names are interned verbatim (whitespace-trimmed), so
+//! `brand=Adidas` and `brand = Adidas` can be normalized by the caller if
+//! needed.
+//!
+//! ```
+//! use mc3_core::parse::parse_queries;
+//!
+//! let text = "team=Juventus AND color=White AND brand=Adidas\n\
+//!             team=Chelsea AND brand=Adidas   # a comment\n\
+//!             brand=Adidas";
+//! let (queries, interner) = parse_queries(text).unwrap();
+//! assert_eq!(queries.len(), 3);
+//! assert_eq!(interner.len(), 4);
+//! ```
+
+use crate::error::{Mc3Error, Result};
+use crate::prop::{PropId, PropertyInterner};
+use crate::propset::{PropSet, Query};
+
+/// Splits one query line into property names.
+fn split_properties(line: &str) -> Vec<&str> {
+    // accept "AND" (any case, token-delimited) and "&" as separators
+    let mut parts: Vec<&str> = Vec::new();
+    for chunk in line.split('&') {
+        let mut rest = chunk;
+        loop {
+            let lower = rest.to_ascii_lowercase();
+            if let Some(pos) = find_and_token(&lower) {
+                parts.push(rest[..pos].trim());
+                rest = &rest[pos + 3..];
+            } else {
+                parts.push(rest.trim());
+                break;
+            }
+        }
+    }
+    parts.into_iter().filter(|p| !p.is_empty()).collect()
+}
+
+/// Finds a token-delimited `and` in a lower-cased string.
+fn find_and_token(lower: &str) -> Option<usize> {
+    let bytes = lower.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = lower[start..].find("and") {
+        let i = start + pos;
+        let before_ok = i == 0 || bytes[i - 1].is_ascii_whitespace();
+        let after = i + 3;
+        let after_ok = after >= bytes.len() || bytes[after].is_ascii_whitespace();
+        if before_ok && after_ok {
+            return Some(i);
+        }
+        start = i + 3;
+    }
+    None
+}
+
+/// Parses a multi-line query-load description. Returns canonical queries
+/// (duplicates retained — deduplication happens in
+/// [`crate::instance::Instance`]) and the interner mapping names to ids.
+pub fn parse_queries(text: &str) -> Result<(Vec<Query>, PropertyInterner)> {
+    let mut interner = PropertyInterner::new();
+    let mut queries = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let names = split_properties(line);
+        if names.is_empty() {
+            return Err(Mc3Error::EmptyQuery { index: lineno });
+        }
+        let ids: Vec<PropId> = names.into_iter().map(|n| interner.intern(n)).collect();
+        let query = PropSet::from_ids(ids.iter().map(|p| p.0));
+        if query.len() > crate::MAX_QUERY_LEN {
+            return Err(Mc3Error::QueryTooLong {
+                index: lineno,
+                len: query.len(),
+            });
+        }
+        queries.push(query);
+    }
+    Ok((queries, interner))
+}
+
+/// Renders a query back to text using `interner` (properties joined with
+/// `" AND "`); unknown ids render as `p<id>`.
+pub fn render_query(query: &Query, interner: &PropertyInterner) -> String {
+    query
+        .iter()
+        .map(|p| {
+            interner
+                .name(p)
+                .map(str::to_owned)
+                .unwrap_or_else(|| p.to_string())
+        })
+        .collect::<Vec<_>>()
+        .join(" AND ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_queries() {
+        let (queries, it) = parse_queries(
+            "team=Juventus AND color=White AND brand=Adidas\nteam=Chelsea AND brand=Adidas",
+        )
+        .unwrap();
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[0].len(), 3);
+        assert_eq!(queries[1].len(), 2);
+        assert_eq!(it.len(), 4);
+        // shared property gets one id
+        let adidas = it.get("brand=Adidas").unwrap();
+        assert!(queries[0].contains(adidas));
+        assert!(queries[1].contains(adidas));
+    }
+
+    #[test]
+    fn separators_and_case() {
+        let (queries, _) = parse_queries("a AND b\nc and d\ne & f\ng AnD h").unwrap();
+        assert!(queries.iter().all(|q| q.len() == 2));
+    }
+
+    #[test]
+    fn and_inside_words_is_not_a_separator() {
+        let (queries, it) = parse_queries("brand=android AND color=sand").unwrap();
+        assert_eq!(queries[0].len(), 2);
+        assert!(it.get("brand=android").is_some());
+        assert!(it.get("color=sand").is_some());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let (queries, _) =
+            parse_queries("# header\n\na AND b # trailing comment\n\n   \nc").unwrap();
+        assert_eq!(queries.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_properties_in_one_query_collapse() {
+        let (queries, _) = parse_queries("x AND x AND y").unwrap();
+        assert_eq!(queries[0].len(), 2);
+    }
+
+    #[test]
+    fn comment_only_payload_line_errors() {
+        // the line has content that reduces to nothing after the comment
+        let err = parse_queries("and").unwrap_err();
+        assert!(matches!(err, Mc3Error::EmptyQuery { index: 0 }));
+    }
+
+    #[test]
+    fn roundtrip_rendering() {
+        let (queries, it) = parse_queries("team=Juventus AND brand=Adidas").unwrap();
+        let rendered = render_query(&queries[0], &it);
+        // canonical order is by id (intern order)
+        assert_eq!(rendered, "team=Juventus AND brand=Adidas");
+    }
+
+    #[test]
+    fn whitespace_is_trimmed() {
+        let (_, it) = parse_queries("  spaced name   AND  other  ").unwrap();
+        assert!(it.get("spaced name").is_some());
+        assert!(it.get("other").is_some());
+    }
+}

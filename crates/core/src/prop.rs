@@ -1,0 +1,156 @@
+//! Interned properties.
+//!
+//! The paper's property universe `P` contains opaque atomic properties such
+//! as `team = Juventus` or `color = White`. We intern property names to dense
+//! `u32` ids so that queries and classifiers are small integer sets.
+
+use crate::fxhash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, interned property identifier.
+///
+/// Ids are assigned consecutively from 0 by [`PropertyInterner::intern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct PropId(pub u32);
+
+impl PropId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PropId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for PropId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        PropId(v)
+    }
+}
+
+/// Bidirectional map between human-readable property names and [`PropId`]s.
+///
+/// # Example
+///
+/// ```
+/// use mc3_core::PropertyInterner;
+///
+/// let mut interner = PropertyInterner::new();
+/// let red = interner.intern("color=Red");
+/// assert_eq!(interner.intern("color=Red"), red); // idempotent
+/// assert_eq!(interner.name(red), Some("color=Red"));
+/// assert_eq!(interner.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PropertyInterner {
+    names: Vec<String>,
+    ids: FxHashMap<String, PropId>,
+}
+
+impl PropertyInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its existing id if already present.
+    pub fn intern(&mut self, name: impl AsRef<str>) -> PropId {
+        let name = name.as_ref();
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = PropId(u32::try_from(self.names.len()).expect("more than u32::MAX properties"));
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned name.
+    pub fn get(&self, name: impl AsRef<str>) -> Option<PropId> {
+        self.ids.get(name.as_ref()).copied()
+    }
+
+    /// The name of `id`, if `id` was produced by this interner.
+    pub fn name(&self, id: PropId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of interned properties.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no property has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PropId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (PropId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids() {
+        let mut it = PropertyInterner::new();
+        assert_eq!(it.intern("a"), PropId(0));
+        assert_eq!(it.intern("b"), PropId(1));
+        assert_eq!(it.intern("a"), PropId(0));
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        let mut it = PropertyInterner::new();
+        let id = it.intern("brand=Adidas");
+        assert_eq!(it.name(id), Some("brand=Adidas"));
+        assert_eq!(it.get("brand=Adidas"), Some(id));
+        assert_eq!(it.get("missing"), None);
+        assert_eq!(it.name(PropId(99)), None);
+    }
+
+    #[test]
+    fn iter_is_in_id_order() {
+        let mut it = PropertyInterner::new();
+        it.intern("x");
+        it.intern("y");
+        it.intern("z");
+        let collected: Vec<_> = it.iter().map(|(id, n)| (id.0, n.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![
+                (0, "x".to_owned()),
+                (1, "y".to_owned()),
+                (2, "z".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_interner() {
+        let it = PropertyInterner::new();
+        assert!(it.is_empty());
+        assert_eq!(it.len(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(PropId(7).to_string(), "p7");
+    }
+}

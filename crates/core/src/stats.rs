@@ -1,0 +1,184 @@
+//! Instance statistics and the paper's granular parameters (`n`, `k`, `I`,
+//! `n̂`, `m̂`, `f`, `Δ`) plus the Theorem 5.3 approximation guarantee.
+
+use crate::instance::Instance;
+use crate::universe::ClassifierUniverse;
+use std::fmt;
+
+/// Summary parameters of an MC³ instance (cf. §2.1 and §5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Number of distinct queries `n`.
+    pub num_queries: usize,
+    /// Number of distinct properties `|P|`.
+    pub num_properties: usize,
+    /// Maximal query length `k`.
+    pub max_query_len: usize,
+    /// Size of the classifier universe `m̂ = |C_Q|` (bounded by `n·2^(k−1)`).
+    pub num_classifiers: usize,
+    /// Instance incidence `I = max_S I(S)`.
+    pub max_incidence: u32,
+    /// Sum of query lengths `n̂ = Σ_q |q|` — the number of WSC elements.
+    pub sum_query_lens: usize,
+    /// `hist[l]` = number of queries of length `l`.
+    pub length_histogram: Vec<usize>,
+    /// Classifier-length bound `k'` the universe was built with.
+    pub max_classifier_len: usize,
+}
+
+impl InstanceStats {
+    /// Gathers statistics for `instance`, enumerating its full universe.
+    pub fn gather(instance: &Instance) -> InstanceStats {
+        let universe = ClassifierUniverse::build(instance);
+        Self::gather_with_universe(instance, &universe)
+    }
+
+    /// Gathers statistics against an already-built universe.
+    pub fn gather_with_universe(
+        instance: &Instance,
+        universe: &ClassifierUniverse,
+    ) -> InstanceStats {
+        InstanceStats {
+            num_queries: instance.num_queries(),
+            num_properties: instance.num_properties(),
+            max_query_len: instance.max_query_len(),
+            num_classifiers: universe.len(),
+            max_incidence: universe.max_incidence(),
+            sum_query_lens: instance.queries().iter().map(|q| q.len()).sum(),
+            length_histogram: instance.length_histogram(),
+            max_classifier_len: universe.max_classifier_len(),
+        }
+    }
+
+    /// Fraction of queries of length ≤ 2 (the paper reports 95 % for
+    /// BestBuy and 96 % for the fashion category).
+    pub fn short_query_fraction(&self) -> f64 {
+        if self.num_queries == 0 {
+            return 1.0;
+        }
+        let short: usize = self.length_histogram.iter().take(3).sum();
+        short as f64 / self.num_queries as f64
+    }
+
+    /// The WSC frequency bound after the §5.2 reduction:
+    /// `f ≤ Σ_{i=0}^{k'−1} C(k−1, i)`, which is `2^(k−1)` for `k' = k` and
+    /// `k` for `k' = 2` (§5.3, "Bounded classifiers").
+    pub fn wsc_frequency_bound(&self) -> u64 {
+        let k = self.max_query_len as u64;
+        let kp = self.max_classifier_len as u64;
+        if k == 0 {
+            return 0;
+        }
+        (0..kp.min(k)).map(|i| binomial(k - 1, i)).sum()
+    }
+
+    /// The WSC degree bound `Δ ≤ (k'−1)·I` — with the convention that for
+    /// `k' = 1` (singletons only) each set covers `I(S)` elements, i.e. the
+    /// bound is `I`.
+    pub fn wsc_degree_bound(&self) -> u64 {
+        let kp = self.max_classifier_len.max(1) as u64;
+        kp.max(2).saturating_sub(1) * self.max_incidence as u64
+    }
+
+    /// Theorem 5.3 guarantee for Algorithm 3:
+    /// `min{ln I + ln(k−1) + 1, 2^(k−1)}` (adapted to the bounded-universe
+    /// parameters when `k' < k`).
+    pub fn approximation_guarantee(&self) -> f64 {
+        let delta = self.wsc_degree_bound().max(1) as f64;
+        let greedy = delta.ln() + 1.0;
+        let f = self.wsc_frequency_bound().max(1) as f64;
+        greedy.min(f)
+    }
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1u128;
+    let mut den = 1u128;
+    for i in 0..k {
+        num *= (n - i) as u128;
+        den *= (i + 1) as u128;
+    }
+    (num / den) as u64
+}
+
+impl fmt::Display for InstanceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} |P|={} k={} m̂={} I={} n̂={} short={:.1}%",
+            self.num_queries,
+            self.num_properties,
+            self.max_query_len,
+            self.num_classifiers,
+            self.max_incidence,
+            self.sum_query_lens,
+            100.0 * self.short_query_fraction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::Weights;
+
+    #[test]
+    fn gather_counts_parameters() {
+        let instance = Instance::new(
+            vec![vec![0u32, 1], vec![1u32, 2], vec![0u32, 1, 2]],
+            Weights::uniform(1u64),
+        )
+        .unwrap();
+        let s = InstanceStats::gather(&instance);
+        assert_eq!(s.num_queries, 3);
+        assert_eq!(s.num_properties, 3);
+        assert_eq!(s.max_query_len, 3);
+        assert_eq!(s.sum_query_lens, 7);
+        // C_Q = all subsets of {0,1,2} (query 3 generates all 7) = 7
+        assert_eq!(s.num_classifiers, 7);
+        // property 1 appears in 3 queries → I = 3
+        assert_eq!(s.max_incidence, 3);
+        assert!((s.short_query_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_bound_matches_closed_forms() {
+        // k' = k: f = 2^(k-1)
+        let instance = Instance::new(vec![vec![0u32, 1, 2, 3]], Weights::uniform(1u64)).unwrap();
+        let s = InstanceStats::gather(&instance);
+        assert_eq!(s.wsc_frequency_bound(), 8); // 2^3
+                                                // k' = 2: f = k (C(k-1,0) + C(k-1,1) = 1 + (k-1))
+        let u = ClassifierUniverse::build_bounded(&instance, 2);
+        let s2 = InstanceStats::gather_with_universe(&instance, &u);
+        assert_eq!(s2.wsc_frequency_bound(), 4);
+    }
+
+    #[test]
+    fn guarantee_is_min_of_two_bounds() {
+        let instance = Instance::new(vec![vec![0u32, 1]], Weights::uniform(1u64)).unwrap();
+        let s = InstanceStats::gather(&instance);
+        // k=2: f = 2, Δ = 1·1 = 1 → greedy bound = ln 1 + 1 = 1
+        assert!((s.approximation_guarantee() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(3, 4), 0);
+    }
+
+    #[test]
+    fn empty_instance_stats() {
+        let instance = Instance::new(Vec::<Vec<u32>>::new(), Weights::uniform(1u64)).unwrap();
+        let s = InstanceStats::gather(&instance);
+        assert_eq!(s.num_queries, 0);
+        assert_eq!(s.short_query_fraction(), 1.0);
+        assert_eq!(s.wsc_frequency_bound(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Classifier construction costs.
+//!
+//! The paper's weight function maps classifiers to `[0, ∞)`, with `∞` used
+//! for classifiers that are pruned or infeasible (not enough training data,
+//! unknown cost, …). All published datasets use integer costs (1–63 and
+//! uniform `[1, 50]`), so [`Weight`] wraps a `u64` with an explicit infinity
+//! sentinel; fractional costs can be scaled to integers by the caller.
+//! Integer weights keep Max-Flow, the greedy ratio rule and all invariants
+//! exact — no floating point on any hot path.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// A non-negative classifier cost, or infinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Weight(u64);
+
+impl Weight {
+    /// Zero cost (e.g. a property already recorded in the database, §2.1).
+    pub const ZERO: Weight = Weight(0);
+    /// The `∞` sentinel: a classifier that must never be selected.
+    pub const INFINITE: Weight = Weight(u64::MAX);
+    /// Largest representable finite weight.
+    pub const MAX_FINITE: Weight = Weight(u64::MAX - 1);
+
+    /// A finite weight. Panics if `v == u64::MAX` (reserved for infinity).
+    #[inline]
+    pub fn new(v: u64) -> Weight {
+        assert_ne!(v, u64::MAX, "u64::MAX is reserved for Weight::INFINITE");
+        Weight(v)
+    }
+
+    /// Whether this is the infinity sentinel.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Whether this weight is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        !self.is_infinite()
+    }
+
+    /// Whether this weight is zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw finite value; `None` if infinite.
+    #[inline]
+    pub fn finite(self) -> Option<u64> {
+        if self.is_infinite() {
+            None
+        } else {
+            Some(self.0)
+        }
+    }
+
+    /// The raw value, treating infinity as `u64::MAX`.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition: `∞` absorbs, finite sums saturate at
+    /// [`Weight::MAX_FINITE`].
+    #[inline]
+    pub fn saturating_add(self, rhs: Weight) -> Weight {
+        if self.is_infinite() || rhs.is_infinite() {
+            Weight::INFINITE
+        } else {
+            Weight(self.0.saturating_add(rhs.0).min(u64::MAX - 1))
+        }
+    }
+
+    /// Checked finite addition; `None` on overflow or if either side is `∞`.
+    #[inline]
+    pub fn checked_add(self, rhs: Weight) -> Option<Weight> {
+        if self.is_infinite() || rhs.is_infinite() {
+            return None;
+        }
+        let sum = self.0.checked_add(rhs.0)?;
+        if sum == u64::MAX {
+            None
+        } else {
+            Some(Weight(sum))
+        }
+    }
+
+    /// `self` as `f64` (`∞` maps to `f64::INFINITY`); for LP interop only.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        if self.is_infinite() {
+            f64::INFINITY
+        } else {
+            self.0 as f64
+        }
+    }
+}
+
+impl Add for Weight {
+    type Output = Weight;
+
+    /// Saturating by design: summing solution costs must never wrap.
+    fn add(self, rhs: Weight) -> Weight {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Sum for Weight {
+    fn sum<I: Iterator<Item = Weight>>(iter: I) -> Weight {
+        iter.fold(Weight::ZERO, Weight::saturating_add)
+    }
+}
+
+impl From<u64> for Weight {
+    fn from(v: u64) -> Self {
+        Weight::new(v)
+    }
+}
+
+impl From<u32> for Weight {
+    fn from(v: u32) -> Self {
+        Weight(v as u64)
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinity_absorbs_addition() {
+        assert_eq!(Weight::INFINITE + Weight::new(5), Weight::INFINITE);
+        assert_eq!(Weight::new(5) + Weight::INFINITE, Weight::INFINITE);
+        assert!(Weight::INFINITE.is_infinite());
+    }
+
+    #[test]
+    fn finite_addition() {
+        assert_eq!(Weight::new(2) + Weight::new(3), Weight::new(5));
+        assert_eq!(
+            Weight::new(2).checked_add(Weight::new(3)),
+            Some(Weight::new(5))
+        );
+        assert_eq!(Weight::MAX_FINITE.checked_add(Weight::new(1)), None);
+        assert_eq!(Weight::INFINITE.checked_add(Weight::new(1)), None);
+    }
+
+    #[test]
+    fn saturating_add_stays_finite() {
+        let w = Weight::MAX_FINITE.saturating_add(Weight::MAX_FINITE);
+        assert!(w.is_finite());
+        assert_eq!(w, Weight::MAX_FINITE);
+    }
+
+    #[test]
+    fn sum_of_weights() {
+        let total: Weight = [1u64, 2, 3].into_iter().map(Weight::new).sum();
+        assert_eq!(total, Weight::new(6));
+        let total: Weight = [Weight::new(1), Weight::INFINITE].into_iter().sum();
+        assert!(total.is_infinite());
+    }
+
+    #[test]
+    fn ordering_puts_infinity_last() {
+        assert!(Weight::new(1_000_000) < Weight::INFINITE);
+        assert!(Weight::ZERO < Weight::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn new_rejects_sentinel() {
+        let _ = Weight::new(u64::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Weight::new(42).to_string(), "42");
+        assert_eq!(Weight::INFINITE.to_string(), "∞");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the core set algebra against a `BTreeSet` model,
+//! plus `Weight` arithmetic laws and cover-semantics invariants.
+
+use mc3_core::{covered, covering_subset, Instance, PropId, PropSet, Weight, Weights};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn model(s: &PropSet) -> BTreeSet<u32> {
+    s.iter().map(|p| p.0).collect()
+}
+
+fn arb_propset(max: u32) -> impl Strategy<Value = PropSet> {
+    prop::collection::vec(0..max, 0..12).prop_map(PropSet::from_ids)
+}
+
+proptest! {
+    #[test]
+    fn union_matches_model(a in arb_propset(30), b in arb_propset(30)) {
+        let expected: BTreeSet<u32> = model(&a).union(&model(&b)).copied().collect();
+        prop_assert_eq!(model(&a.union(&b)), expected);
+    }
+
+    #[test]
+    fn difference_matches_model(a in arb_propset(30), b in arb_propset(30)) {
+        let expected: BTreeSet<u32> = model(&a).difference(&model(&b)).copied().collect();
+        prop_assert_eq!(model(&a.difference(&b)), expected);
+    }
+
+    #[test]
+    fn intersection_matches_model(a in arb_propset(30), b in arb_propset(30)) {
+        let expected: BTreeSet<u32> = model(&a).intersection(&model(&b)).copied().collect();
+        prop_assert_eq!(a.intersects(&b), !expected.is_empty());
+        prop_assert_eq!(model(&a.intersection(&b)), expected);
+    }
+
+    #[test]
+    fn subset_matches_model(a in arb_propset(12), b in arb_propset(12)) {
+        prop_assert_eq!(a.is_subset_of(&b), model(&a).is_subset(&model(&b)));
+    }
+
+    #[test]
+    fn contains_matches_model(a in arb_propset(20), p in 0..20u32) {
+        prop_assert_eq!(a.contains(PropId(p)), model(&a).contains(&p));
+    }
+
+    #[test]
+    fn mask_roundtrip(a in prop::collection::vec(0..100u32, 1..10)) {
+        let q = PropSet::from_ids(a);
+        prop_assume!(q.len() <= 16);
+        let full = (1u32 << q.len()) - 1;
+        for mask in 0..=full {
+            let sub = q.subset_by_mask(mask);
+            prop_assert!(sub.is_subset_of(&q));
+            prop_assert_eq!(q.mask_of(&sub), Some(mask));
+        }
+    }
+
+    #[test]
+    fn union_laws(a in arb_propset(20), b in arb_propset(20), c in arb_propset(20)) {
+        // commutativity, associativity, idempotence
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+        // absorption with difference: (a \ b) ∪ (a ∩ b) = a
+        prop_assert_eq!(a.difference(&b).union(&a.intersection(&b)), a);
+    }
+
+    #[test]
+    fn weight_addition_laws(a in 0..u64::MAX / 4, b in 0..u64::MAX / 4, c in 0..u64::MAX / 8) {
+        let (wa, wb, wc) = (Weight::new(a), Weight::new(b), Weight::new(c));
+        prop_assert_eq!(wa + wb, wb + wa);
+        prop_assert_eq!((wa + wb) + wc, wa + (wb + wc));
+        prop_assert_eq!(wa + Weight::ZERO, wa);
+        prop_assert_eq!(wa + Weight::INFINITE, Weight::INFINITE);
+        // monotone
+        prop_assert!(wa + wb >= wa);
+    }
+
+    #[test]
+    fn cover_is_monotone(
+        query in prop::collection::vec(0..8u32, 1..6),
+        classifiers in prop::collection::vec(prop::collection::vec(0..8u32, 1..4), 0..6),
+        extra in prop::collection::vec(0..8u32, 1..4),
+    ) {
+        let q = PropSet::from_ids(query);
+        let mut cs: Vec<PropSet> = classifiers.into_iter().map(PropSet::from_ids).collect();
+        let before = covered(&q, &cs);
+        cs.push(PropSet::from_ids(extra));
+        // adding classifiers can only help
+        prop_assert!(!before || covered(&q, &cs));
+    }
+
+    #[test]
+    fn covering_subset_witness_is_sound(
+        query in prop::collection::vec(0..8u32, 1..6),
+        classifiers in prop::collection::vec(prop::collection::vec(0..8u32, 1..4), 0..8),
+    ) {
+        let q = PropSet::from_ids(query);
+        let cs: Vec<PropSet> = classifiers.into_iter().map(PropSet::from_ids).collect();
+        if let Some(witness) = covering_subset(&q, &cs) {
+            let mut union = PropSet::empty();
+            for &i in &witness {
+                prop_assert!(cs[i].is_subset_of(&q));
+                union = union.union(&cs[i]);
+            }
+            prop_assert_eq!(union, q);
+        }
+    }
+
+    #[test]
+    fn instance_canonicalization_is_stable(
+        queries in prop::collection::vec(prop::collection::vec(0..10u32, 1..5), 1..10)
+    ) {
+        let a = Instance::new(queries.clone(), Weights::uniform(1u64)).unwrap();
+        let mut shuffled = queries;
+        shuffled.reverse();
+        let b = Instance::new(shuffled, Weights::uniform(1u64)).unwrap();
+        prop_assert_eq!(a.queries(), b.queries());
+        prop_assert_eq!(a.num_properties(), b.num_properties());
+    }
+}

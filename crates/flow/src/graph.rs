@@ -1,0 +1,110 @@
+//! Residual flow network representation.
+//!
+//! Edges are stored in pairs: edge `2i` is the forward edge, `2i ^ 1` its
+//! residual twin, so residual updates are branch-free index arithmetic.
+//! Capacities are `u64`; callers model "infinite" capacities with a finite
+//! sentinel strictly larger than any possible cut (e.g. the sum of all
+//! finite node weights plus one), keeping all arithmetic exact.
+
+/// Node index within a [`FlowNetwork`].
+pub type NodeId = usize;
+
+/// Identifier of a forward edge, as returned by [`FlowNetwork::add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeId(pub(crate) u32);
+
+#[derive(Debug, Clone)]
+pub(crate) struct Edge {
+    pub(crate) to: u32,
+    /// Remaining residual capacity.
+    pub(crate) cap: u64,
+}
+
+/// A directed flow network with residual bookkeeping.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    pub(crate) edges: Vec<Edge>,
+    /// `adj[v]` holds indices into `edges` of all arcs out of `v`
+    /// (forward and residual).
+    pub(crate) adj: Vec<Vec<u32>>,
+}
+
+impl FlowNetwork {
+    /// A network with `num_nodes` nodes and no edges.
+    pub fn new(num_nodes: usize) -> FlowNetwork {
+        FlowNetwork {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); num_nodes],
+        }
+    }
+
+    /// A network preallocating adjacency for `num_edges` edges.
+    pub fn with_capacity(num_nodes: usize, num_edges: usize) -> FlowNetwork {
+        let mut n = FlowNetwork::new(num_nodes);
+        n.edges.reserve(2 * num_edges);
+        n
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of forward edges added.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Adds a directed edge `from → to` with capacity `cap`; the residual
+    /// twin starts at capacity 0.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: u64) -> EdgeId {
+        debug_assert!(from < self.num_nodes() && to < self.num_nodes());
+        let id = self.edges.len() as u32;
+        self.edges.push(Edge { to: to as u32, cap });
+        self.edges.push(Edge {
+            to: from as u32,
+            cap: 0,
+        });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        EdgeId(id)
+    }
+
+    /// The flow currently routed through a forward edge (its residual twin's
+    /// accumulated capacity).
+    pub fn flow(&self, e: EdgeId) -> u64 {
+        self.edges[(e.0 ^ 1) as usize].cap
+    }
+
+    /// Remaining capacity of a forward edge.
+    pub fn residual(&self, e: EdgeId) -> u64 {
+        self.edges[e.0 as usize].cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_creates_residual_twin() {
+        let mut g = FlowNetwork::new(2);
+        let e = g.add_edge(0, 1, 10);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.residual(e), 10);
+        assert_eq!(g.flow(e), 0);
+    }
+
+    #[test]
+    fn adjacency_includes_residual_arcs() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        assert_eq!(g.adj[0].len(), 1);
+        assert_eq!(g.adj[1].len(), 2); // residual of 0→1 plus forward 1→2
+        assert_eq!(g.adj[2].len(), 1);
+    }
+}

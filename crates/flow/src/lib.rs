@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Flow and matching substrate for the MC³ solvers.
+//!
+//! Algorithm 2 of the paper solves `k ≤ 2` instances exactly by reducing to
+//! Weighted Vertex Cover over a bipartite graph, which reduces in linear time
+//! to Max-Flow (Theorem 2.3, \[2\]). The paper's experiments selected Dinic's
+//! algorithm \[10\] as the best-performing flow solver on the resulting
+//! sparse bipartite networks; this crate provides it, together with:
+//!
+//! * residual min-cut extraction ([`mincut`]);
+//! * the bipartite WVC ⇄ Max-Flow reduction ([`wvc`]);
+//! * Hopcroft–Karp maximum matching and König minimum vertex cover
+//!   ([`matching`]) — the machinery behind the **Mixed** baseline of the
+//!   predecessor paper \[13\], which is optimal for uniform costs.
+
+pub mod dinic;
+pub mod graph;
+pub mod matching;
+pub mod mincut;
+pub mod push_relabel;
+pub mod wvc;
+
+pub use dinic::Dinic;
+pub use graph::{EdgeId, FlowNetwork, NodeId};
+pub use matching::{hopcroft_karp, koenig_vertex_cover, BipartiteGraph, Matching};
+pub use mincut::source_side_of_min_cut;
+pub use push_relabel::PushRelabel;
+pub use wvc::{
+    solve_bipartite_wvc, solve_bipartite_wvc_with, BipartiteWvc, FlowAlgorithm, WvcSolution,
+};

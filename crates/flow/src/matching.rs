@@ -1,0 +1,294 @@
+//! Hopcroft–Karp maximum bipartite matching and König minimum vertex cover.
+//!
+//! This powers the **Mixed** baseline of the predecessor paper \[13\]: with
+//! uniform classifier costs and `k ≤ 2`, minimum-weight vertex cover
+//! degenerates to minimum-cardinality vertex cover, which by König's theorem
+//! equals maximum matching on bipartite graphs.
+
+/// Adjacency-list bipartite graph (`left → right` edges only).
+#[derive(Debug, Clone)]
+pub struct BipartiteGraph {
+    /// `adj[u]` lists the right-side neighbours of left vertex `u`.
+    pub adj: Vec<Vec<u32>>,
+    /// Number of right-side vertices.
+    pub num_right: usize,
+}
+
+impl BipartiteGraph {
+    /// A graph with `num_left` left and `num_right` right vertices.
+    pub fn new(num_left: usize, num_right: usize) -> BipartiteGraph {
+        BipartiteGraph {
+            adj: vec![Vec::new(); num_left],
+            num_right,
+        }
+    }
+
+    /// Adds an edge `left u` — `right v`.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        debug_assert!(v < self.num_right);
+        self.adj[u].push(v as u32);
+    }
+
+    /// Number of left vertices.
+    pub fn num_left(&self) -> usize {
+        self.adj.len()
+    }
+}
+
+/// A maximum matching: `pair_left[u]`/`pair_right[v]` hold the matched
+/// partner or `u32::MAX` if exposed.
+#[derive(Debug, Clone)]
+pub struct Matching {
+    /// Matched right partner of each left vertex (`u32::MAX` if unmatched).
+    pub pair_left: Vec<u32>,
+    /// Matched left partner of each right vertex (`u32::MAX` if unmatched).
+    pub pair_right: Vec<u32>,
+    /// Matching cardinality.
+    pub size: usize,
+}
+
+const UNMATCHED: u32 = u32::MAX;
+const INF: u32 = u32::MAX;
+
+/// Computes a maximum matching in `O(E √V)`.
+pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
+    let nl = g.num_left();
+    let nr = g.num_right;
+    let mut pair_left = vec![UNMATCHED; nl];
+    let mut pair_right = vec![UNMATCHED; nr];
+    let mut dist = vec![INF; nl];
+    let mut queue: Vec<u32> = Vec::with_capacity(nl);
+    let mut size = 0usize;
+
+    loop {
+        // BFS from exposed left vertices, layering by alternating paths.
+        queue.clear();
+        for u in 0..nl {
+            if pair_left[u] == UNMATCHED {
+                dist[u] = 0;
+                queue.push(u as u32);
+            } else {
+                dist[u] = INF;
+            }
+        }
+        let mut found = false;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
+            for &v in &g.adj[u] {
+                let w = pair_right[v as usize];
+                if w == UNMATCHED {
+                    found = true;
+                } else if dist[w as usize] == INF {
+                    dist[w as usize] = dist[u] + 1;
+                    queue.push(w);
+                }
+            }
+        }
+        if !found {
+            break;
+        }
+        // DFS augmentation along the layered graph.
+        for u in 0..nl {
+            if pair_left[u] == UNMATCHED
+                && try_augment(g, u, &mut pair_left, &mut pair_right, &mut dist)
+            {
+                size += 1;
+            }
+        }
+    }
+
+    Matching {
+        pair_left,
+        pair_right,
+        size,
+    }
+}
+
+fn try_augment(
+    g: &BipartiteGraph,
+    u: usize,
+    pair_left: &mut [u32],
+    pair_right: &mut [u32],
+    dist: &mut [u32],
+) -> bool {
+    for &v in &g.adj[u] {
+        let w = pair_right[v as usize];
+        let ok = if w == UNMATCHED {
+            true
+        } else if dist[w as usize] == dist[u] + 1 {
+            try_augment(g, w as usize, pair_left, pair_right, dist)
+        } else {
+            false
+        };
+        if ok {
+            pair_left[u] = v;
+            pair_right[v as usize] = u as u32;
+            return true;
+        }
+    }
+    dist[u] = INF;
+    false
+}
+
+/// Extracts a minimum vertex cover from a maximum matching via König's
+/// theorem: with `Z` the set of vertices reachable from exposed left
+/// vertices by alternating paths, the cover is `(L \ Z) ∪ (R ∩ Z)`.
+///
+/// Returns `(in_cover_left, in_cover_right)`; the cover's cardinality equals
+/// `matching.size`.
+pub fn koenig_vertex_cover(g: &BipartiteGraph, matching: &Matching) -> (Vec<bool>, Vec<bool>) {
+    let nl = g.num_left();
+    let nr = g.num_right;
+    let mut z_left = vec![false; nl];
+    let mut z_right = vec![false; nr];
+    let mut stack: Vec<u32> = Vec::new();
+    for (u, z) in z_left.iter_mut().enumerate() {
+        if matching.pair_left[u] == UNMATCHED {
+            *z = true;
+            stack.push(u as u32);
+        }
+    }
+    while let Some(u) = stack.pop() {
+        for &v in &g.adj[u as usize] {
+            // travel unmatched edge L→R
+            if matching.pair_left[u as usize] == v {
+                continue;
+            }
+            if !z_right[v as usize] {
+                z_right[v as usize] = true;
+                // travel matched edge R→L
+                let w = matching.pair_right[v as usize];
+                if w != UNMATCHED && !z_left[w as usize] {
+                    z_left[w as usize] = true;
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    let in_cover_left: Vec<bool> = z_left.iter().map(|&z| !z).collect();
+    (in_cover_left, z_right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(nl: usize, nr: usize, edges: &[(usize, usize)]) -> BipartiteGraph {
+        let mut g = BipartiteGraph::new(nl, nr);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn perfect_matching() {
+        let g = graph(3, 3, &[(0, 0), (0, 1), (1, 0), (2, 2)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 3);
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // Greedy could match 0-0 and strand 1; HK must find the alternating path.
+        let g = graph(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 2);
+    }
+
+    #[test]
+    fn star_graph_matches_once() {
+        let g = graph(1, 5, &[(0, 0), (0, 1), (0, 2), (0, 3), (0, 4)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph(3, 3, &[]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 0);
+        let (cl, cr) = koenig_vertex_cover(&g, &m);
+        assert!(cl.iter().all(|&c| !c));
+        assert!(cr.iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn koenig_cover_size_equals_matching_and_covers_all_edges() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let nl = rng.gen_range(1..=7usize);
+            let nr = rng.gen_range(1..=7usize);
+            let mut edges = Vec::new();
+            for u in 0..nl {
+                for v in 0..nr {
+                    if rng.gen_bool(0.35) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = graph(nl, nr, &edges);
+            let m = hopcroft_karp(&g);
+            let (cl, cr) = koenig_vertex_cover(&g, &m);
+            let cover_size = cl.iter().filter(|&&c| c).count() + cr.iter().filter(|&&c| c).count();
+            assert_eq!(cover_size, m.size, "König size mismatch");
+            for &(u, v) in &edges {
+                assert!(cl[u] || cr[v], "edge ({u},{v}) uncovered");
+            }
+            // matching is a valid matching
+            for u in 0..nl {
+                let v = m.pair_left[u];
+                if v != u32::MAX {
+                    assert_eq!(m.pair_right[v as usize], u as u32);
+                    assert!(edges.contains(&(u, v as usize)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matching_is_maximum_against_brute_force() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let nl = rng.gen_range(1..=5usize);
+            let nr = rng.gen_range(1..=5usize);
+            let mut edges = Vec::new();
+            for u in 0..nl {
+                for v in 0..nr {
+                    if rng.gen_bool(0.4) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = graph(nl, nr, &edges);
+            let m = hopcroft_karp(&g);
+            // brute force maximum matching over edge subsets
+            let mut best = 0usize;
+            for mask in 0u32..(1 << edges.len().min(20)) {
+                let mut used_l = 0u32;
+                let mut used_r = 0u32;
+                let mut ok = true;
+                let mut cnt = 0usize;
+                for (i, &(u, v)) in edges.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        if used_l & (1 << u) != 0 || used_r & (1 << v) != 0 {
+                            ok = false;
+                            break;
+                        }
+                        used_l |= 1 << u;
+                        used_r |= 1 << v;
+                        cnt += 1;
+                    }
+                }
+                if ok {
+                    best = best.max(cnt);
+                }
+            }
+            assert_eq!(m.size, best);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Minimum-cut extraction from a residual network.
+
+use crate::graph::{FlowNetwork, NodeId};
+
+/// After a max-flow computation, returns the characteristic vector of the
+/// source side `Z` of a minimum `s–t` cut: `Z` is the set of nodes reachable
+/// from `s` in the residual graph. By max-flow/min-cut, the edges from `Z`
+/// to its complement form a minimum cut.
+pub fn source_side_of_min_cut(g: &FlowNetwork, s: NodeId) -> Vec<bool> {
+    let mut reach = vec![false; g.num_nodes()];
+    let mut queue = Vec::with_capacity(g.num_nodes());
+    reach[s] = true;
+    queue.push(s as u32);
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head] as usize;
+        head += 1;
+        for &ei in &g.adj[v] {
+            let e = &g.edges[ei as usize];
+            if e.cap > 0 && !reach[e.to as usize] {
+                reach[e.to as usize] = true;
+                queue.push(e.to);
+            }
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic::Dinic;
+
+    #[test]
+    fn cut_separates_source_and_sink() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 100);
+        g.add_edge(2, 3, 1);
+        let f = Dinic::new(&mut g).max_flow(0, 3);
+        assert_eq!(f, 1);
+        let z = source_side_of_min_cut(&g, 0);
+        assert!(z[0]);
+        assert!(!z[3]);
+    }
+
+    #[test]
+    fn cut_capacity_equals_flow() {
+        let mut g = FlowNetwork::new(5);
+        let edges = [
+            (0usize, 1usize, 3u64),
+            (0, 2, 5),
+            (1, 3, 2),
+            (2, 3, 2),
+            (1, 4, 1),
+            (3, 4, 10),
+        ];
+        let ids: Vec<_> = edges
+            .iter()
+            .map(|&(u, v, c)| (g.add_edge(u, v, c), u, v, c))
+            .collect();
+        let f = Dinic::new(&mut g).max_flow(0, 4);
+        let z = source_side_of_min_cut(&g, 0);
+        let cut: u64 = ids
+            .iter()
+            .filter(|&&(_, u, v, _)| z[u] && !z[v])
+            .map(|&(_, _, _, c)| c)
+            .sum();
+        assert_eq!(cut, f);
+    }
+
+    #[test]
+    fn zero_flow_reaches_everything_with_capacity() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 4);
+        // no path 0→2
+        let f = Dinic::new(&mut g).max_flow(0, 2);
+        assert_eq!(f, 0);
+        let z = source_side_of_min_cut(&g, 0);
+        assert_eq!(z, vec![true, true, false]);
+    }
+}

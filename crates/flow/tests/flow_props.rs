@@ -1,0 +1,130 @@
+//! Property-based tests of the flow substrate: Dinic ≡ push-relabel,
+//! max-flow = min-cut, WVC optimality against brute force, and
+//! matching/König duality.
+
+use mc3_core::Weight;
+use mc3_flow::{
+    hopcroft_karp, koenig_vertex_cover, solve_bipartite_wvc, solve_bipartite_wvc_with,
+    BipartiteGraph, BipartiteWvc, Dinic, FlowAlgorithm, FlowNetwork, PushRelabel,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomNet {
+    n: usize,
+    edges: Vec<(usize, usize, u64)>,
+}
+
+fn arb_net() -> impl Strategy<Value = RandomNet> {
+    (2..10usize)
+        .prop_flat_map(|n| {
+            let edge = (0..n, 0..n, 0..25u64);
+            (Just(n), prop::collection::vec(edge, 0..25))
+        })
+        .prop_map(|(n, edges)| RandomNet {
+            n,
+            edges: edges.into_iter().filter(|&(u, v, _)| u != v).collect(),
+        })
+}
+
+fn build(net: &RandomNet) -> FlowNetwork {
+    let mut g = FlowNetwork::new(net.n);
+    for &(u, v, c) in &net.edges {
+        g.add_edge(u, v, c);
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn dinic_equals_push_relabel(net in arb_net()) {
+        let mut g1 = build(&net);
+        let mut g2 = build(&net);
+        let f1 = Dinic::new(&mut g1).max_flow(0, net.n - 1);
+        let f2 = PushRelabel::new(&mut g2).max_flow(0, net.n - 1);
+        prop_assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn max_flow_equals_min_cut(net in arb_net()) {
+        let mut g = build(&net);
+        let f = Dinic::new(&mut g).max_flow(0, net.n - 1);
+        let z = mc3_flow::source_side_of_min_cut(&g, 0);
+        prop_assert!(z[0]);
+        prop_assert!(!z[net.n - 1], "sink must be unreachable after max flow");
+        let cut: u64 = net
+            .edges
+            .iter()
+            .filter(|&&(u, v, _)| z[u] && !z[v])
+            .map(|&(_, _, c)| c)
+            .sum();
+        prop_assert_eq!(cut, f);
+    }
+
+    #[test]
+    fn wvc_solvers_agree_and_cover(
+        nl in 1..6usize,
+        nr in 1..6usize,
+        edge_bits in prop::collection::vec(any::<bool>(), 36),
+        weights in prop::collection::vec(0..20u64, 12),
+    ) {
+        let mut edges = Vec::new();
+        for u in 0..nl {
+            for v in 0..nr {
+                if edge_bits[u * 6 + v] {
+                    edges.push((u as u32, v as u32));
+                }
+            }
+        }
+        let inst = BipartiteWvc {
+            left_weights: (0..nl).map(|i| Weight::new(weights[i])).collect(),
+            right_weights: (0..nr).map(|j| Weight::new(weights[6 + j])).collect(),
+            edges,
+        };
+        let a = solve_bipartite_wvc_with(&inst, FlowAlgorithm::Dinic).unwrap();
+        let b = solve_bipartite_wvc_with(&inst, FlowAlgorithm::PushRelabel).unwrap();
+        prop_assert!(a.is_valid_cover(&inst));
+        prop_assert!(b.is_valid_cover(&inst));
+        prop_assert_eq!(a.weight, b.weight);
+    }
+
+    #[test]
+    fn koenig_duality(
+        nl in 1..7usize,
+        nr in 1..7usize,
+        edge_bits in prop::collection::vec(any::<bool>(), 49),
+    ) {
+        let mut g = BipartiteGraph::new(nl, nr);
+        let mut edges = Vec::new();
+        for u in 0..nl {
+            for v in 0..nr {
+                if edge_bits[u * 7 + v] {
+                    g.add_edge(u, v);
+                    edges.push((u, v));
+                }
+            }
+        }
+        let m = hopcroft_karp(&g);
+        let (cl, cr) = koenig_vertex_cover(&g, &m);
+        let cover_size = cl.iter().filter(|&&c| c).count() + cr.iter().filter(|&&c| c).count();
+        // König: min VC = max matching; cover covers all edges
+        prop_assert_eq!(cover_size, m.size);
+        for (u, v) in edges {
+            prop_assert!(cl[u] || cr[v]);
+        }
+    }
+
+    #[test]
+    fn wvc_weight_never_exceeds_total(nl in 1..5usize, nr in 1..5usize, seedw in 1..30u64) {
+        // selecting everything is always a cover, so the optimum is bounded
+        let inst = BipartiteWvc {
+            left_weights: vec![Weight::new(seedw); nl],
+            right_weights: vec![Weight::new(seedw); nr],
+            edges: (0..nl.min(nr)).map(|i| (i as u32, i as u32)).collect(),
+        };
+        let sol = solve_bipartite_wvc(&inst).unwrap();
+        prop_assert!(sol.weight <= Weight::new(seedw * (nl + nr) as u64));
+        // one endpoint per disjoint edge suffices
+        prop_assert_eq!(sol.weight, Weight::new(seedw * nl.min(nr) as u64));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! A dense, two-phase primal simplex LP solver.
+//!
+//! The paper's Algorithm 3 runs "the LP-based algorithm for WSC \[50\]"
+//! (Vazirani): solve the LP relaxation of Weighted Set Cover and round every
+//! variable with `x_s ≥ 1/f`. This crate provides the LP solver that step
+//! needs, as a self-contained substrate with no external dependencies.
+//!
+//! Scope: covering LPs arising from MC³ reductions are small-to-medium and
+//! dense tableau simplex is simple, exact enough (`f64` with an explicit
+//! tolerance) and easily verified; for large instances `mc3-setcover`
+//! switches to the combinatorial primal–dual algorithm with the same
+//! `f`-approximation guarantee, so the simplex never needs to scale past a
+//! few thousand rows/columns.
+//!
+//! # Example
+//!
+//! ```
+//! use mc3_lp::{ConstraintOp, LpProblem, LpStatus};
+//!
+//! // min x0 + 2 x1  s.t.  x0 + x1 ≥ 1, x1 ≥ 0.25, x ≥ 0
+//! let mut p = LpProblem::minimize(vec![1.0, 2.0]);
+//! p.constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 1.0);
+//! p.constraint(vec![(1, 1.0)], ConstraintOp::Ge, 0.25);
+//! let sol = p.solve();
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert!((sol.objective_value - 1.25).abs() < 1e-7);
+//! assert!((sol.values[0] - 0.75).abs() < 1e-7);
+//! ```
+
+pub mod simplex;
+pub mod types;
+
+pub use simplex::solve;
+pub use types::{ConstraintOp, LpConstraint, LpProblem, LpSolution, LpStatus};

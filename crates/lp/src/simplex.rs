@@ -1,0 +1,400 @@
+//! Two-phase dense tableau simplex with Bland's anti-cycling rule.
+//!
+//! The problem is brought to standard form `min c·x, Ax = b, x ≥ 0, b ≥ 0`
+//! by adding slack variables (for `≤`), surplus variables (for `≥`) and
+//! artificial variables (for `≥` and `=` rows, and any row whose natural
+//! slack cannot start in the basis). Phase 1 minimizes the sum of
+//! artificials; if it ends positive the program is infeasible. Phase 2
+//! optimizes the real objective over the feasible basis. Bland's rule
+//! (smallest-index entering/leaving variable) guarantees termination.
+
+use crate::types::{ConstraintOp, LpProblem, LpSolution, LpStatus};
+
+const EPS: f64 = 1e-9;
+
+struct Tableau {
+    /// `rows × (total_cols + 1)`; last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), length `total_cols + 1`.
+    obj: Vec<f64>,
+    /// Basis variable of each row.
+    basis: Vec<usize>,
+    cols: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for v in self.a[row].iter_mut() {
+            *v *= inv;
+        }
+        let pivot_row = self.a[row].clone();
+        for (r, arow) in self.a.iter_mut().enumerate() {
+            if r == row {
+                continue;
+            }
+            let factor = arow[col];
+            if factor.abs() > EPS {
+                for (v, &p) in arow.iter_mut().zip(pivot_row.iter()) {
+                    *v -= factor * p;
+                }
+            }
+        }
+        let factor = self.obj[col];
+        if factor.abs() > EPS {
+            for (v, &p) in self.obj.iter_mut().zip(pivot_row.iter()) {
+                *v -= factor * p;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations until optimal or unbounded. `allowed_cols`
+    /// bounds the columns eligible to enter (used to bar artificials in
+    /// phase 2).
+    fn optimize(&mut self, allowed_cols: usize) -> LpStatus {
+        loop {
+            // Bland: smallest-index column with negative reduced cost.
+            let mut entering = None;
+            for c in 0..allowed_cols {
+                if self.obj[c] < -EPS {
+                    entering = Some(c);
+                    break;
+                }
+            }
+            let Some(col) = entering else {
+                return LpStatus::Optimal;
+            };
+            // Ratio test; ties broken by smallest basis index (Bland).
+            let mut leaving: Option<(usize, f64)> = None;
+            for r in 0..self.a.len() {
+                let coeff = self.a[r][col];
+                if coeff > EPS {
+                    let ratio = self.a[r][self.cols] / coeff;
+                    match leaving {
+                        None => leaving = Some((r, ratio)),
+                        Some((br, bratio)) => {
+                            if ratio < bratio - EPS
+                                || (ratio < bratio + EPS && self.basis[r] < self.basis[br])
+                            {
+                                leaving = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = leaving else {
+                return LpStatus::Unbounded;
+            };
+            self.pivot(row, col);
+        }
+    }
+}
+
+/// Solves `problem` with the two-phase simplex method.
+pub fn solve(problem: &LpProblem) -> LpSolution {
+    let n = problem.num_vars();
+    let m = problem.constraints.len();
+
+    // Column layout: [0, n) decision vars, [n, n + m) slack/surplus (one per
+    // row, possibly unused), [n + m, n + m + m) artificials (one per row,
+    // possibly unused).
+    let slack0 = n;
+    let art0 = n + m;
+    let cols = n + 2 * m;
+
+    let mut a = vec![vec![0.0; cols + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut any_artificial = false;
+
+    for (r, con) in problem.constraints.iter().enumerate() {
+        let mut rhs = con.rhs;
+        let mut sign = 1.0;
+        let mut op = con.op;
+        if rhs < 0.0 {
+            // Normalize to b ≥ 0, flipping the inequality.
+            rhs = -rhs;
+            sign = -1.0;
+            op = match op {
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+        }
+        for &(i, coef) in &con.coeffs {
+            a[r][i] += sign * coef;
+        }
+        a[r][cols] = rhs;
+        match op {
+            ConstraintOp::Le => {
+                a[r][slack0 + r] = 1.0;
+                basis[r] = slack0 + r; // slack starts basic
+            }
+            ConstraintOp::Ge => {
+                a[r][slack0 + r] = -1.0; // surplus
+                a[r][art0 + r] = 1.0;
+                basis[r] = art0 + r;
+                any_artificial = true;
+            }
+            ConstraintOp::Eq => {
+                a[r][art0 + r] = 1.0;
+                basis[r] = art0 + r;
+                any_artificial = true;
+            }
+        }
+    }
+
+    let mut t = Tableau {
+        a,
+        obj: vec![0.0; cols + 1],
+        basis,
+        cols,
+    };
+
+    if any_artificial {
+        // Phase 1: minimize the sum of artificial variables. Reduced costs:
+        // obj = Σ(artificial columns) expressed in terms of non-basic vars.
+        for c in art0..art0 + m {
+            t.obj[c] = 1.0;
+        }
+        // Make reduced costs consistent with the starting basis (price out
+        // basic artificials).
+        for r in 0..m {
+            if t.basis[r] >= art0 {
+                let row = t.a[r].clone();
+                for (v, &p) in t.obj.iter_mut().zip(row.iter()) {
+                    *v -= p;
+                }
+            }
+        }
+        let status = t.optimize(cols);
+        debug_assert_ne!(status, LpStatus::Unbounded, "phase 1 is bounded below by 0");
+        let phase1_value = -t.obj[cols];
+        if phase1_value > 1e-7 {
+            return LpSolution {
+                status: LpStatus::Infeasible,
+                objective_value: f64::NAN,
+                values: vec![],
+            };
+        }
+        // Drive any remaining basic artificials out of the basis (degenerate
+        // at zero) or drop their rows if all-zero.
+        for r in 0..m {
+            if t.basis[r] >= art0 {
+                let mut pivot_col = None;
+                for c in 0..art0 {
+                    if t.a[r][c].abs() > EPS {
+                        pivot_col = Some(c);
+                        break;
+                    }
+                }
+                if let Some(c) = pivot_col {
+                    t.pivot(r, c);
+                }
+                // else: redundant row; harmless to leave the zero artificial.
+            }
+        }
+    }
+
+    // Phase 2 objective: price out the real objective over the current basis.
+    t.obj.iter_mut().for_each(|v| *v = 0.0);
+    for (i, &c) in problem.objective.iter().enumerate() {
+        t.obj[i] = c;
+    }
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < cols {
+            let cost = if b < n { problem.objective[b] } else { 0.0 };
+            if cost.abs() > EPS {
+                let row = t.a[r].clone();
+                for (v, &p) in t.obj.iter_mut().zip(row.iter()) {
+                    *v -= cost * p;
+                }
+            }
+        }
+    }
+
+    // Artificials may not re-enter.
+    let status = t.optimize(art0);
+    if status == LpStatus::Unbounded {
+        return LpSolution {
+            status,
+            objective_value: f64::NEG_INFINITY,
+            values: vec![],
+        };
+    }
+
+    let mut values = vec![0.0; n];
+    for r in 0..m {
+        let b = t.basis[r];
+        if b < n {
+            values[b] = t.a[r][cols].max(0.0);
+        }
+    }
+    let objective_value = values
+        .iter()
+        .zip(problem.objective.iter())
+        .map(|(x, c)| x * c)
+        .sum();
+    LpSolution {
+        status: LpStatus::Optimal,
+        objective_value,
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::types::*;
+
+    fn ge(coeffs: Vec<(usize, f64)>, rhs: f64) -> LpConstraint {
+        LpConstraint {
+            coeffs,
+            op: ConstraintOp::Ge,
+            rhs,
+        }
+    }
+
+    #[test]
+    fn trivial_single_variable() {
+        let mut p = LpProblem::minimize(vec![3.0]);
+        p.constraint(vec![(0, 1.0)], ConstraintOp::Ge, 2.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.values[0] - 2.0).abs() < 1e-7);
+        assert!((s.objective_value - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn unconstrained_minimum_is_zero() {
+        let p = LpProblem::minimize(vec![1.0, 5.0]);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!(s.objective_value.abs() < 1e-9);
+    }
+
+    #[test]
+    fn covering_lp_fractional_optimum() {
+        // Vertex cover LP of a triangle: min x0+x1+x2, xi+xj ≥ 1 → ½ each.
+        let mut p = LpProblem::minimize(vec![1.0, 1.0, 1.0]);
+        p.constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 1.0);
+        p.constraint(vec![(1, 1.0), (2, 1.0)], ConstraintOp::Ge, 1.0);
+        p.constraint(vec![(0, 1.0), (2, 1.0)], ConstraintOp::Ge, 1.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective_value - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = LpProblem::minimize(vec![1.0]);
+        p.constraint(vec![(0, 1.0)], ConstraintOp::Le, 1.0);
+        p.constraint(vec![(0, 1.0)], ConstraintOp::Ge, 2.0);
+        assert_eq!(p.solve().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x0 with x0 only bounded below → unbounded.
+        let mut p = LpProblem::minimize(vec![-1.0]);
+        p.constraint(vec![(0, 1.0)], ConstraintOp::Ge, 1.0);
+        assert_eq!(p.solve().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x0 + x1  s.t. x0 + x1 = 3, x0 - x1 = 1 → (2, 1)
+        let mut p = LpProblem::minimize(vec![1.0, 1.0]);
+        p.constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Eq, 3.0);
+        p.constraint(vec![(0, 1.0), (1, -1.0)], ConstraintOp::Eq, 1.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.values[0] - 2.0).abs() < 1e-7);
+        assert!((s.values[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // x0 ≤ 5 written as -x0 ≥ -5
+        let mut p = LpProblem::minimize(vec![-1.0]);
+        p.constraints.push(ge(vec![(0, -1.0)], -5.0));
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.values[0] - 5.0).abs() < 1e-7, "{:?}", s.values);
+    }
+
+    #[test]
+    fn mixed_constraints() {
+        // min 2x0 + x1, x0 + x1 ≥ 4, x0 ≤ 1 → x0=1, x1=3, obj=5
+        let mut p = LpProblem::minimize(vec![2.0, 1.0]);
+        p.constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 4.0);
+        p.constraint(vec![(0, 1.0)], ConstraintOp::Le, 1.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective_value - 4.0).abs() < 1e-7); // actually x0=0, x1=4 is cheaper (obj 4)
+        assert!((s.values[1] - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn set_cover_lp_integral_when_disjoint() {
+        // Two disjoint elements, two sets covering one each, one set
+        // covering both at cost 1.5: LP picks the combined set.
+        let mut p = LpProblem::minimize(vec![1.0, 1.0, 1.5]);
+        p.constraint(vec![(0, 1.0), (2, 1.0)], ConstraintOp::Ge, 1.0);
+        p.constraint(vec![(1, 1.0), (2, 1.0)], ConstraintOp::Ge, 1.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective_value - 1.5).abs() < 1e-7);
+        assert!((s.values[2] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_pivots_terminate() {
+        // A classic degenerate configuration; Bland's rule must terminate.
+        let mut p = LpProblem::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
+        p.constraint(
+            vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        p.constraint(
+            vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        p.constraint(vec![(2, 1.0)], ConstraintOp::Le, 1.0);
+        let s = p.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective_value - (-0.05)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn random_covering_lps_satisfy_constraints() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..50 {
+            let nv = rng.gen_range(2..8usize);
+            let nc = rng.gen_range(1..8usize);
+            let mut p = LpProblem::minimize((0..nv).map(|_| rng.gen_range(1.0..10.0)).collect());
+            for _ in 0..nc {
+                let coeffs: Vec<(usize, f64)> = (0..nv)
+                    .filter(|_| rng.gen_bool(0.5))
+                    .map(|i| (i, 1.0))
+                    .collect();
+                if coeffs.is_empty() {
+                    continue;
+                }
+                p.constraint(coeffs, ConstraintOp::Ge, 1.0);
+            }
+            let s = p.solve();
+            assert_eq!(s.status, LpStatus::Optimal);
+            for con in &p.constraints {
+                let lhs: f64 = con.coeffs.iter().map(|&(i, c)| c * s.values[i]).sum();
+                assert!(lhs >= con.rhs - 1e-6, "violated: {lhs} < {}", con.rhs);
+            }
+            assert!(s.values.iter().all(|&v| v >= -1e-9));
+        }
+    }
+}

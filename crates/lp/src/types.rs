@@ -1,0 +1,101 @@
+//! Problem and solution types for the simplex solver.
+
+/// Direction of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// One linear constraint in sparse form.
+#[derive(Debug, Clone)]
+pub struct LpConstraint {
+    /// `(variable index, coefficient)` pairs.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Constraint direction.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A minimization LP over non-negative variables.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Objective coefficients (`minimize c·x`); its length fixes the number
+    /// of variables.
+    pub objective: Vec<f64>,
+    /// The constraints.
+    pub constraints: Vec<LpConstraint>,
+}
+
+impl LpProblem {
+    /// A minimization problem with the given objective and no constraints.
+    pub fn minimize(objective: Vec<f64>) -> LpProblem {
+        LpProblem {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Adds a constraint; coefficients for out-of-range variables panic in
+    /// debug builds.
+    pub fn constraint(
+        &mut self,
+        coeffs: Vec<(usize, f64)>,
+        op: ConstraintOp,
+        rhs: f64,
+    ) -> &mut Self {
+        debug_assert!(coeffs.iter().all(|&(i, _)| i < self.num_vars()));
+        self.constraints.push(LpConstraint { coeffs, op, rhs });
+        self
+    }
+
+    /// Solves with the two-phase simplex.
+    pub fn solve(&self) -> LpSolution {
+        crate::simplex::solve(self)
+    }
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+/// An LP solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Whether the solve succeeded.
+    pub status: LpStatus,
+    /// `c·x` at the solution (meaningful only when `Optimal`).
+    pub objective_value: f64,
+    /// The variable assignment (meaningful only when `Optimal`).
+    pub values: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_variables() {
+        let mut p = LpProblem::minimize(vec![1.0, 1.0, 1.0]);
+        assert_eq!(p.num_vars(), 3);
+        p.constraint(vec![(0, 1.0)], ConstraintOp::Ge, 1.0);
+        assert_eq!(p.constraints.len(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the simplex solver: feasibility of returned
+//! points, agreement with a dense grid search on small covering LPs, and
+//! weak-duality-style sanity bounds.
+
+use mc3_lp::{ConstraintOp, LpProblem, LpStatus};
+use proptest::prelude::*;
+
+/// Random covering LP: min c·x s.t. for each row, a 0/1 subset of the
+/// variables sums to ≥ 1.
+fn arb_covering_lp() -> impl Strategy<Value = LpProblem> {
+    (1..6usize)
+        .prop_flat_map(|nv| {
+            let costs = prop::collection::vec(1.0..10.0f64, nv);
+            let row = prop::collection::vec(any::<bool>(), nv);
+            let rows = prop::collection::vec(row, 1..6);
+            (Just(nv), costs, rows)
+        })
+        .prop_map(|(nv, costs, rows)| {
+            let mut p = LpProblem::minimize(costs);
+            for row in rows {
+                let coeffs: Vec<(usize, f64)> =
+                    (0..nv).filter(|&i| row[i]).map(|i| (i, 1.0)).collect();
+                if !coeffs.is_empty() {
+                    p.constraint(coeffs, ConstraintOp::Ge, 1.0);
+                }
+            }
+            p
+        })
+}
+
+fn feasible(p: &LpProblem, x: &[f64], tol: f64) -> bool {
+    x.iter().all(|&v| v >= -tol)
+        && p.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().map(|&(i, a)| a * x[i]).sum();
+            match c.op {
+                ConstraintOp::Ge => lhs >= c.rhs - tol,
+                ConstraintOp::Le => lhs <= c.rhs + tol,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= tol,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn covering_lp_solutions_are_feasible_and_optimalish(p in arb_covering_lp()) {
+        let sol = p.solve();
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        prop_assert!(feasible(&p, &sol.values, 1e-6), "infeasible point {:?}", sol.values);
+
+        // covering LPs with 0/1 rows have an optimal solution in [0, 1]^n;
+        // compare against a coarse grid search over {0, 0.25, ..., 1}^n
+        let nv = p.num_vars();
+        if nv <= 4 {
+            let steps = 5u32;
+            let mut best = f64::INFINITY;
+            let total = steps.pow(nv as u32);
+            for code in 0..total {
+                let mut x = vec![0.0; nv];
+                let mut c = code;
+                for v in x.iter_mut() {
+                    *v = (c % steps) as f64 / (steps - 1) as f64;
+                    c /= steps;
+                }
+                if feasible(&p, &x, 1e-9) {
+                    let obj: f64 = x.iter().zip(&p.objective).map(|(a, b)| a * b).sum();
+                    best = best.min(obj);
+                }
+            }
+            // the LP optimum is at most the best grid point
+            prop_assert!(sol.objective_value <= best + 1e-6,
+                "simplex {} worse than grid {best}", sol.objective_value);
+        }
+    }
+
+    #[test]
+    fn objective_value_matches_values(p in arb_covering_lp()) {
+        let sol = p.solve();
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        let recomputed: f64 = sol.values.iter().zip(&p.objective).map(|(a, b)| a * b).sum();
+        prop_assert!((recomputed - sol.objective_value).abs() < 1e-7);
+    }
+
+    #[test]
+    fn scaling_costs_scales_the_optimum(p in arb_covering_lp(), factor in 1..5u32) {
+        let base = p.solve();
+        let mut scaled = p.clone();
+        for c in scaled.objective.iter_mut() {
+            *c *= factor as f64;
+        }
+        let s = scaled.solve();
+        prop_assert_eq!(base.status, LpStatus::Optimal);
+        prop_assert_eq!(s.status, LpStatus::Optimal);
+        prop_assert!((s.objective_value - factor as f64 * base.objective_value).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adding_constraints_never_improves(p in arb_covering_lp()) {
+        let base = p.solve();
+        let mut tighter = p.clone();
+        // add "sum of all variables ≥ 1.5"
+        let all: Vec<(usize, f64)> = (0..p.num_vars()).map(|i| (i, 1.0)).collect();
+        tighter.constraint(all, ConstraintOp::Ge, 1.5);
+        let t = tighter.solve();
+        prop_assert_eq!(t.status, LpStatus::Optimal);
+        prop_assert!(t.objective_value >= base.objective_value - 1e-7);
+    }
+}

@@ -1,0 +1,194 @@
+//! Connected-component decomposition of WSC instances.
+//!
+//! Two elements interact only if some set contains both (transitively), so
+//! an instance splits into independent sub-instances solvable separately —
+//! the WSC-level counterpart of the paper's Observation 3.2. Used by the
+//! exact reference solver to stay within its per-instance element cap on
+//! much larger inputs.
+
+use crate::instance::{SetCoverInstance, SetCoverSolution};
+use mc3_core::Result;
+
+/// A sub-instance plus the mappings back to the parent.
+#[derive(Debug)]
+pub struct WscComponent {
+    /// The sub-instance (elements and sets re-indexed densely).
+    pub instance: SetCoverInstance,
+    /// `set_map[local_set] = parent set id`.
+    pub set_map: Vec<usize>,
+    /// `element_map[local_element] = parent element id`.
+    pub element_map: Vec<u32>,
+}
+
+/// Splits `instance` into its connected components (ordered by smallest
+/// parent element). Empty sets are dropped; uncoverable elements (in no
+/// set) each form a component with no sets, so coverability checks still
+/// surface them.
+pub fn split_components(instance: &SetCoverInstance) -> Vec<WscComponent> {
+    let n = instance.num_elements();
+    // union-find over elements
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for s in 0..instance.num_sets() {
+        let els = instance.set(s);
+        for w in els.windows(2) {
+            let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            if a != b {
+                parent[a as usize] = b;
+            }
+        }
+    }
+
+    // group elements by root
+    let mut groups: mc3_core::FxHashMap<u32, Vec<u32>> = mc3_core::FxHashMap::default();
+    for e in 0..n as u32 {
+        groups.entry(find(&mut parent, e)).or_default().push(e);
+    }
+    let mut ordered: Vec<Vec<u32>> = groups.into_values().collect();
+    for g in &mut ordered {
+        g.sort_unstable();
+    }
+    ordered.sort_by_key(|g| g[0]);
+
+    ordered
+        .into_iter()
+        .map(|elements| {
+            let mut local_of: mc3_core::FxHashMap<u32, u32> = mc3_core::FxHashMap::default();
+            for (i, &e) in elements.iter().enumerate() {
+                local_of.insert(e, i as u32);
+            }
+            // sets touching this component (every element of such a set is
+            // inside it, by construction of the union-find)
+            let mut set_map = Vec::new();
+            let mut sets = Vec::new();
+            let mut seen: mc3_core::FxHashSet<u32> = mc3_core::FxHashSet::default();
+            for &e in &elements {
+                for &s in instance.containing(e) {
+                    if seen.insert(s) {
+                        let locals: Vec<u32> = instance
+                            .set(s as usize)
+                            .iter()
+                            .map(|&x| local_of[&x])
+                            .collect();
+                        sets.push((locals, instance.cost(s as usize)));
+                        set_map.push(s as usize);
+                    }
+                }
+            }
+            WscComponent {
+                instance: SetCoverInstance::new(elements.len(), sets),
+                set_map,
+                element_map: elements,
+            }
+        })
+        .collect()
+}
+
+/// Solves exactly by component decomposition: each component goes through
+/// the branch-and-bound solver (so only the *largest component* must fit
+/// the element cap, not the whole instance).
+pub fn solve_exact_by_components(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
+    instance.ensure_coverable()?;
+    let mut selected = Vec::new();
+    for comp in split_components(instance) {
+        let sol = crate::exact::solve_exact(&comp.instance)?;
+        selected.extend(sol.selected.into_iter().map(|s| comp.set_map[s]));
+    }
+    Ok(SetCoverSolution::new(instance, selected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc3_core::Weight;
+
+    fn w(v: u64) -> Weight {
+        Weight::new(v)
+    }
+
+    #[test]
+    fn disjoint_sets_split() {
+        let inst = SetCoverInstance::new(
+            4,
+            vec![(vec![0, 1], w(1)), (vec![2, 3], w(2)), (vec![3], w(3))],
+        );
+        let comps = split_components(&inst);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].element_map, vec![0, 1]);
+        assert_eq!(comps[1].element_map, vec![2, 3]);
+        assert_eq!(comps[0].instance.num_sets(), 1);
+        assert_eq!(comps[1].instance.num_sets(), 2);
+    }
+
+    #[test]
+    fn chained_sets_merge() {
+        let inst = SetCoverInstance::new(3, vec![(vec![0, 1], w(1)), (vec![1, 2], w(1))]);
+        let comps = split_components(&inst);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].instance.num_elements(), 3);
+    }
+
+    #[test]
+    fn isolated_uncovered_element_forms_empty_component() {
+        let inst = SetCoverInstance::new(2, vec![(vec![0], w(1))]);
+        let comps = split_components(&inst);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[1].instance.num_sets(), 0);
+        assert!(solve_exact_by_components(&inst).is_err());
+    }
+
+    #[test]
+    fn component_exact_matches_monolithic_exact() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(88);
+        for _ in 0..40 {
+            // build 2–3 disjoint blocks of elements
+            let blocks = rng.gen_range(1..=3usize);
+            let per = rng.gen_range(1..=4usize);
+            let n = blocks * per;
+            let mut sets = Vec::new();
+            for b in 0..blocks {
+                let base = (b * per) as u32;
+                for e in 0..per as u32 {
+                    sets.push((vec![base + e], w(rng.gen_range(1..12))));
+                }
+                for _ in 0..rng.gen_range(0..=3usize) {
+                    let els: Vec<u32> = (0..per as u32)
+                        .filter(|_| rng.gen_bool(0.5))
+                        .map(|e| base + e)
+                        .collect();
+                    if !els.is_empty() {
+                        sets.push((els, w(rng.gen_range(1..12))));
+                    }
+                }
+            }
+            let inst = SetCoverInstance::new(n, sets);
+            let mono = crate::exact::solve_exact(&inst).unwrap();
+            let split = solve_exact_by_components(&inst).unwrap();
+            assert!(split.is_cover(&inst));
+            assert_eq!(mono.cost, split.cost);
+        }
+    }
+
+    #[test]
+    fn handles_more_than_128_elements_when_components_are_small() {
+        // 200 elements in 100 disjoint pairs — monolithic exact would
+        // panic at the 128-element cap; component splitting sails through
+        let mut sets = Vec::new();
+        for i in 0..100u32 {
+            sets.push((vec![2 * i, 2 * i + 1], w(2)));
+            sets.push((vec![2 * i], w(3)));
+            sets.push((vec![2 * i + 1], w(3)));
+        }
+        let inst = SetCoverInstance::new(200, sets);
+        let sol = solve_exact_by_components(&inst).unwrap();
+        assert!(sol.is_cover(&inst));
+        assert_eq!(sol.cost, w(200)); // pair set (2) per component
+    }
+}

@@ -1,0 +1,243 @@
+//! Exact WSC via branch-and-bound — the reference optimum for tests,
+//! approximation-ratio checks, and tiny sub-instances.
+//!
+//! Branches on the uncovered element contained in the fewest sets, trying
+//! its candidate sets in ascending cost order; prunes with the best
+//! incumbent and an admissible lower bound (the most expensive
+//! "cheapest-set-for-an-uncovered-element"). Instances are limited to 128
+//! elements (covered state is a `u128` bitmask) — WSC is NP-hard, this is a
+//! verifier, not a scalable solver.
+
+use crate::instance::{SetCoverInstance, SetCoverSolution};
+use mc3_core::{Mc3Error, Result};
+
+/// Maximum element count accepted by [`solve_exact`].
+pub const MAX_EXACT_ELEMENTS: usize = 128;
+
+/// Solves WSC exactly. Errors on uncoverable instances; panics if the
+/// instance exceeds [`MAX_EXACT_ELEMENTS`].
+pub fn solve_exact(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
+    assert!(
+        instance.num_elements() <= MAX_EXACT_ELEMENTS,
+        "exact solver limited to {MAX_EXACT_ELEMENTS} elements"
+    );
+    instance.ensure_coverable()?;
+
+    let n = instance.num_elements();
+    let m = instance.num_sets();
+    let full: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
+
+    let set_masks: Vec<u128> = (0..m)
+        .map(|s| {
+            instance
+                .set(s)
+                .iter()
+                .fold(0u128, |acc, &e| acc | (1u128 << e))
+        })
+        .collect();
+    // candidates per element, sorted by ascending cost (ties: id)
+    let mut candidates: Vec<Vec<u32>> = (0..n)
+        .map(|e| instance.containing(e as u32).to_vec())
+        .collect();
+    for c in &mut candidates {
+        c.sort_by_key(|&s| (instance.cost(s as usize).raw(), s));
+    }
+    let min_cost_for: Vec<u64> = (0..n)
+        .map(|e| instance.cost(candidates[e][0] as usize).raw())
+        .collect();
+
+    struct Ctx<'a> {
+        instance: &'a SetCoverInstance,
+        set_masks: Vec<u128>,
+        candidates: Vec<Vec<u32>>,
+        min_cost_for: Vec<u64>,
+        full: u128,
+        best_cost: u64,
+        best: Vec<usize>,
+        stack: Vec<usize>,
+    }
+
+    fn lower_bound(ctx: &Ctx<'_>, covered: u128) -> u64 {
+        let mut rem = !covered & ctx.full;
+        let mut lb = 0u64;
+        while rem != 0 {
+            let e = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            lb = lb.max(ctx.min_cost_for[e]);
+        }
+        lb
+    }
+
+    fn search(ctx: &mut Ctx<'_>, covered: u128, cost: u64) {
+        if covered == ctx.full {
+            if cost < ctx.best_cost {
+                ctx.best_cost = cost;
+                ctx.best = ctx.stack.clone();
+            }
+            return;
+        }
+        if cost.saturating_add(lower_bound(ctx, covered)) >= ctx.best_cost {
+            return;
+        }
+        // branch on the uncovered element with the fewest candidates
+        let mut rem = !covered & ctx.full;
+        let mut pick = usize::MAX;
+        let mut pick_deg = usize::MAX;
+        while rem != 0 {
+            let e = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            let deg = ctx.candidates[e].len();
+            if deg < pick_deg {
+                pick_deg = deg;
+                pick = e;
+            }
+        }
+        let cands = ctx.candidates[pick].clone();
+        for s in cands {
+            let s = s as usize;
+            let add = ctx.instance.cost(s).raw();
+            if cost.saturating_add(add) >= ctx.best_cost {
+                // candidates are cost-sorted, but a later set could still
+                // tie at equal cost; only strictly-greater lets us break.
+                if cost.saturating_add(add) > ctx.best_cost {
+                    break;
+                }
+                continue;
+            }
+            ctx.stack.push(s);
+            search(ctx, covered | ctx.set_masks[s], cost + add);
+            ctx.stack.pop();
+        }
+    }
+
+    let mut ctx = Ctx {
+        instance,
+        set_masks,
+        candidates,
+        min_cost_for,
+        full,
+        best_cost: u64::MAX,
+        best: Vec::new(),
+        stack: Vec::new(),
+    };
+    search(&mut ctx, 0, 0);
+    if ctx.best_cost == u64::MAX {
+        return Err(Mc3Error::Internal(
+            "exact search found no cover for a coverable instance".to_owned(),
+        ));
+    }
+    Ok(SetCoverSolution::new(instance, ctx.best))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc3_core::Weight;
+
+    fn w(v: u64) -> Weight {
+        Weight::new(v)
+    }
+
+    /// Exhaustive optimum over all set subsets (for cross-checking B&B).
+    fn brute(instance: &SetCoverInstance) -> Option<u64> {
+        let m = instance.num_sets();
+        assert!(m <= 16);
+        let mut best = None;
+        for mask in 0u32..(1 << m) {
+            let mut covered = vec![false; instance.num_elements()];
+            let mut cost = 0u64;
+            for s in 0..m {
+                if mask & (1 << s) != 0 {
+                    cost += instance.cost(s).raw();
+                    for &e in instance.set(s) {
+                        covered[e as usize] = true;
+                    }
+                }
+            }
+            if covered.iter().all(|&c| c) && best.is_none_or(|b| cost < b) {
+                best = Some(cost);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn simple_optimum() {
+        let inst = SetCoverInstance::new(
+            3,
+            vec![
+                (vec![0, 1, 2], w(5)),
+                (vec![0, 1], w(2)),
+                (vec![2], w(2)),
+                (vec![0], w(1)),
+            ],
+        );
+        let sol = solve_exact(&inst).unwrap();
+        assert!(sol.is_cover(&inst));
+        assert_eq!(sol.cost, w(4)); // {0,1} + {2}
+    }
+
+    #[test]
+    fn greedy_trap_solved_optimally() {
+        // Greedy prefers ratio; exact must find the cheaper overall answer.
+        let inst = SetCoverInstance::new(
+            4,
+            vec![
+                (vec![0, 1, 2], w(3)), // ratio 1
+                (vec![0, 1], w(1)),
+                (vec![2, 3], w(1)),
+            ],
+        );
+        let sol = solve_exact(&inst).unwrap();
+        assert_eq!(sol.cost, w(2));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let n = rng.gen_range(1..=7usize);
+            let m = rng.gen_range(1..=8usize);
+            let mut sets = Vec::new();
+            for e in 0..n as u32 {
+                sets.push((vec![e], w(rng.gen_range(1..20))));
+            }
+            for _ in 0..m {
+                let els: Vec<u32> = (0..n as u32).filter(|_| rng.gen_bool(0.45)).collect();
+                if !els.is_empty() {
+                    sets.push((els, w(rng.gen_range(1..20))));
+                }
+            }
+            let inst = SetCoverInstance::new(n, sets);
+            let sol = solve_exact(&inst).unwrap();
+            assert!(sol.is_cover(&inst));
+            assert_eq!(Some(sol.cost.raw()), brute(&inst));
+        }
+    }
+
+    #[test]
+    fn zero_cost_sets_handled() {
+        let inst = SetCoverInstance::new(2, vec![(vec![0, 1], Weight::ZERO)]);
+        let sol = solve_exact(&inst).unwrap();
+        assert_eq!(sol.cost, Weight::ZERO);
+    }
+
+    #[test]
+    fn uncoverable_errors() {
+        let inst = SetCoverInstance::new(3, vec![(vec![0, 1], w(1))]);
+        assert!(solve_exact(&inst).is_err());
+    }
+
+    #[test]
+    fn duplicate_sets_pick_one() {
+        let inst = SetCoverInstance::new(1, vec![(vec![0], w(3)), (vec![0], w(3))]);
+        let sol = solve_exact(&inst).unwrap();
+        assert_eq!(sol.selected.len(), 1);
+        assert_eq!(sol.cost, w(3));
+    }
+}

@@ -1,0 +1,240 @@
+//! Chvátal's greedy WSC algorithm with lazy-deletion heaps.
+//!
+//! At every step, select the set maximizing `newly covered / cost`
+//! (zero-cost sets compare as infinitely good). Approximation factor
+//! `H(Δ) ≤ ln Δ + 1` \[6\]. The naive implementation is `O(nm)`; following
+//! \[9\] we keep a max-heap whose entries may be stale: on pop, the entry's
+//! coverage count is recomputed and the entry reinserted if it decreased —
+//! each set is reinserted at most `|s|` times, giving
+//! `O(log m · Σ_s |s|)`.
+//!
+//! Ratio comparisons use `u128` cross-multiplication: `cov_a / cost_a >
+//! cov_b / cost_b ⇔ cov_a · cost_b > cov_b · cost_a` — no floats, no ties
+//! broken by rounding. Final ties fall back to the smaller set id, keeping
+//! the algorithm fully deterministic.
+
+use crate::instance::{SetCoverInstance, SetCoverSolution};
+use mc3_core::{Mc3Error, Result};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    /// Number of still-uncovered elements this set covered when pushed.
+    cov: u32,
+    /// The set's cost.
+    cost: u64,
+    /// The set id (ties → smaller id wins).
+    id: u32,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Higher cov/cost first. cost 0 ⇒ infinite ratio; among zero-cost
+        // sets, higher coverage first.
+        let lhs = self.cov as u128 * other.cost as u128;
+        let rhs = other.cov as u128 * self.cost as u128;
+        lhs.cmp(&rhs)
+            .then_with(|| {
+                // zero-cost × zero-cost → both products 0: compare coverage
+                if self.cost == 0 && other.cost == 0 {
+                    self.cov.cmp(&other.cov)
+                } else {
+                    Ordering::Equal
+                }
+            })
+            .then_with(|| other.id.cmp(&self.id)) // smaller id = greater
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs lazy-heap greedy; errors with [`Mc3Error::Uncoverable`] (carrying
+/// the element index) if some element is in no set.
+pub fn solve_greedy(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
+    instance.ensure_coverable()?;
+    let m = instance.num_sets();
+    let mut covered = vec![false; instance.num_elements()];
+    let mut uncovered_left = instance.num_elements();
+    // current number of uncovered elements per set
+    let mut live: Vec<u32> = (0..m).map(|s| instance.set(s).len() as u32).collect();
+
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(m);
+    for (s, &cov) in live.iter().enumerate() {
+        if cov > 0 {
+            heap.push(Entry {
+                cov,
+                cost: instance.cost(s).raw(),
+                id: s as u32,
+            });
+        }
+    }
+
+    let mut selected = Vec::new();
+    while uncovered_left > 0 {
+        let Some(top) = heap.pop() else {
+            return Err(Mc3Error::Internal(
+                "greedy heap exhausted with uncovered elements".to_owned(),
+            ));
+        };
+        let s = top.id as usize;
+        let current = live[s];
+        if current == 0 {
+            continue; // fully stale
+        }
+        if current < top.cov {
+            // stale: reinsert with the fresh count
+            heap.push(Entry {
+                cov: current,
+                cost: top.cost,
+                id: top.id,
+            });
+            continue;
+        }
+        // fresh maximum: select it
+        selected.push(s);
+        for &e in instance.set(s) {
+            if !covered[e as usize] {
+                covered[e as usize] = true;
+                uncovered_left -= 1;
+                for &other in instance.containing(e) {
+                    live[other as usize] -= 1;
+                }
+            }
+        }
+    }
+    Ok(SetCoverSolution::new(instance, selected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc3_core::Weight;
+
+    fn w(v: u64) -> Weight {
+        Weight::new(v)
+    }
+
+    #[test]
+    fn picks_best_ratio_first() {
+        // Set 0 covers 3 elements at cost 3 (ratio 1), set 1 covers 1 at
+        // cost 1 (ratio 1), set 2 covers 2 at cost 1 (ratio 2 → first).
+        let inst = SetCoverInstance::new(
+            3,
+            vec![(vec![0, 1, 2], w(3)), (vec![2], w(1)), (vec![0, 1], w(1))],
+        );
+        let sol = solve_greedy(&inst).unwrap();
+        assert!(sol.is_cover(&inst));
+        assert_eq!(sol.selected, vec![1, 2]);
+        assert_eq!(sol.cost, w(2));
+    }
+
+    #[test]
+    fn zero_cost_sets_selected_eagerly() {
+        let inst = SetCoverInstance::new(
+            2,
+            vec![
+                (vec![0], Weight::ZERO),
+                (vec![0, 1], w(10)),
+                (vec![1], w(1)),
+            ],
+        );
+        let sol = solve_greedy(&inst).unwrap();
+        assert!(sol.is_cover(&inst));
+        assert_eq!(sol.cost, w(1)); // free set + {1}
+        assert!(sol.selected.contains(&0));
+    }
+
+    #[test]
+    fn classic_log_n_worst_case_still_covers() {
+        // Elements 0..6; "column" sets of growing size vs two "half" sets.
+        let inst = SetCoverInstance::new(
+            6,
+            vec![
+                (vec![0, 1, 2], w(1)),
+                (vec![3, 4, 5], w(1)),
+                (vec![0, 3], w(1)),
+                (vec![1, 4], w(1)),
+                (vec![2, 5], w(1)),
+            ],
+        );
+        let sol = solve_greedy(&inst).unwrap();
+        assert!(sol.is_cover(&inst));
+        // greedy picks the two triples (ratio 3) = optimal here
+        assert_eq!(sol.cost, w(2));
+    }
+
+    #[test]
+    fn stale_entries_are_refreshed() {
+        // After selecting the big set, the overlapping set's count drops.
+        let inst = SetCoverInstance::new(
+            4,
+            vec![
+                (vec![0, 1, 2], w(1)),
+                (vec![2, 3], w(1)), // becomes 1-coverage after set 0
+                (vec![3], w(10)),
+            ],
+        );
+        let sol = solve_greedy(&inst).unwrap();
+        assert!(sol.is_cover(&inst));
+        assert_eq!(sol.selected, vec![0, 1]);
+    }
+
+    #[test]
+    fn uncoverable_reports_element() {
+        let inst = SetCoverInstance::new(2, vec![(vec![0], w(1))]);
+        let err = solve_greedy(&inst).unwrap_err();
+        assert_eq!(err, Mc3Error::Uncoverable { query_index: 1 });
+    }
+
+    #[test]
+    fn empty_instance_yields_empty_solution() {
+        let inst = SetCoverInstance::new(0, vec![]);
+        let sol = solve_greedy(&inst).unwrap();
+        assert!(sol.selected.is_empty());
+        assert_eq!(sol.cost, Weight::ZERO);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let inst = SetCoverInstance::new(2, vec![(vec![0, 1], w(2)), (vec![0, 1], w(2))]);
+        let sol = solve_greedy(&inst).unwrap();
+        assert_eq!(sol.selected, vec![0]);
+    }
+
+    #[test]
+    fn respects_harmonic_bound_on_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..=8usize);
+            let m = rng.gen_range(1..=8usize);
+            let mut sets = Vec::new();
+            // guarantee coverability with singletons
+            for e in 0..n as u32 {
+                sets.push((vec![e], w(rng.gen_range(1..10))));
+            }
+            for _ in 0..m {
+                let els: Vec<u32> = (0..n as u32).filter(|_| rng.gen_bool(0.5)).collect();
+                if !els.is_empty() {
+                    sets.push((els, w(rng.gen_range(1..10))));
+                }
+            }
+            let inst = SetCoverInstance::new(n, sets);
+            let greedy = solve_greedy(&inst).unwrap();
+            assert!(greedy.is_cover(&inst));
+            let opt = crate::exact::solve_exact(&inst).unwrap();
+            let h: f64 = (1..=inst.degree()).map(|i| 1.0 / i as f64).sum();
+            let bound = (opt.cost.raw() as f64) * h + 1e-9;
+            assert!(
+                greedy.cost.raw() as f64 <= bound,
+                "greedy {} exceeds H(Δ)·OPT = {bound}",
+                greedy.cost
+            );
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Dense Weighted Set Cover instances (Definition 2.4 of the paper).
+
+use mc3_core::{Mc3Error, Result, Weight};
+
+/// Index of a set within a [`SetCoverInstance`].
+pub type SetId = usize;
+
+/// A WSC instance: `m` sets with finite costs over `n` elements
+/// (`0..num_elements`).
+///
+/// Costs must be finite: in the MC³ reduction, infinite-weight classifiers
+/// are never materialized as sets (the paper treats them as omitted from the
+/// input).
+#[derive(Debug, Clone)]
+pub struct SetCoverInstance {
+    num_elements: usize,
+    elements: Vec<Vec<u32>>,
+    costs: Vec<Weight>,
+    /// `containing[e]` lists the sets that contain element `e`.
+    containing: Vec<Vec<u32>>,
+}
+
+impl SetCoverInstance {
+    /// Builds an instance; each set is `(sorted-or-not element list, cost)`.
+    ///
+    /// Element lists are deduplicated and sorted. Panics if a cost is
+    /// infinite or an element id is out of range.
+    pub fn new(num_elements: usize, sets: Vec<(Vec<u32>, Weight)>) -> SetCoverInstance {
+        let mut elements = Vec::with_capacity(sets.len());
+        let mut costs = Vec::with_capacity(sets.len());
+        let mut containing: Vec<Vec<u32>> = vec![Vec::new(); num_elements];
+        for (si, (mut els, cost)) in sets.into_iter().enumerate() {
+            assert!(cost.is_finite(), "set {si} has infinite cost");
+            els.sort_unstable();
+            els.dedup();
+            for &e in &els {
+                assert!((e as usize) < num_elements, "element {e} out of range");
+                containing[e as usize].push(si as u32);
+            }
+            elements.push(els);
+            costs.push(cost);
+        }
+        SetCoverInstance {
+            num_elements,
+            elements,
+            costs,
+            containing,
+        }
+    }
+
+    /// Number of elements `n`.
+    #[inline]
+    pub fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    /// Number of sets `m`.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// The (sorted) element list of set `s`.
+    #[inline]
+    pub fn set(&self, s: SetId) -> &[u32] {
+        &self.elements[s]
+    }
+
+    /// The cost of set `s`.
+    #[inline]
+    pub fn cost(&self, s: SetId) -> Weight {
+        self.costs[s]
+    }
+
+    /// The sets containing element `e`.
+    #[inline]
+    pub fn containing(&self, e: u32) -> &[u32] {
+        &self.containing[e as usize]
+    }
+
+    /// The instance *frequency* `f`: the maximal number of sets any element
+    /// belongs to.
+    pub fn frequency(&self) -> usize {
+        self.containing.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The instance *degree* `Δ`: the cardinality of the largest set.
+    pub fn degree(&self) -> usize {
+        self.elements.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Sum of set sizes `Σ|s|` (drives greedy's complexity).
+    pub fn total_size(&self) -> usize {
+        self.elements.iter().map(Vec::len).sum()
+    }
+
+    /// The first element contained in no set, if any (the instance is then
+    /// uncoverable).
+    pub fn first_uncoverable_element(&self) -> Option<u32> {
+        self.containing
+            .iter()
+            .position(Vec::is_empty)
+            .map(|e| e as u32)
+    }
+
+    /// Errors if some element cannot be covered.
+    pub fn ensure_coverable(&self) -> Result<()> {
+        match self.first_uncoverable_element() {
+            Some(e) => Err(Mc3Error::Uncoverable {
+                query_index: e as usize,
+            }),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A WSC solution: the chosen sets and their total cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetCoverSolution {
+    /// Selected set ids, ascending.
+    pub selected: Vec<SetId>,
+    /// Sum of selected set costs.
+    pub cost: Weight,
+}
+
+impl SetCoverSolution {
+    /// Builds a solution from selected ids, computing the cost.
+    pub fn new(instance: &SetCoverInstance, mut selected: Vec<SetId>) -> SetCoverSolution {
+        selected.sort_unstable();
+        selected.dedup();
+        let cost = selected.iter().map(|&s| instance.cost(s)).sum();
+        SetCoverSolution { selected, cost }
+    }
+
+    /// Whether every element of `instance` is covered.
+    pub fn is_cover(&self, instance: &SetCoverInstance) -> bool {
+        let mut covered = vec![false; instance.num_elements()];
+        for &s in &self.selected {
+            for &e in instance.set(s) {
+                covered[e as usize] = true;
+            }
+        }
+        covered.into_iter().all(|c| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: u64) -> Weight {
+        Weight::new(v)
+    }
+
+    #[test]
+    fn parameters_match_definitions() {
+        let inst = SetCoverInstance::new(
+            4,
+            vec![(vec![0, 1, 2], w(3)), (vec![2, 3], w(1)), (vec![3], w(1))],
+        );
+        assert_eq!(inst.num_elements(), 4);
+        assert_eq!(inst.num_sets(), 3);
+        assert_eq!(inst.degree(), 3);
+        assert_eq!(inst.frequency(), 2); // elements 2 and 3 are in two sets
+        assert_eq!(inst.total_size(), 6);
+        assert_eq!(inst.containing(2), &[0, 1]);
+        inst.ensure_coverable().unwrap();
+    }
+
+    #[test]
+    fn dedups_set_elements() {
+        let inst = SetCoverInstance::new(2, vec![(vec![1, 0, 1], w(1))]);
+        assert_eq!(inst.set(0), &[0, 1]);
+    }
+
+    #[test]
+    fn detects_uncoverable_element() {
+        let inst = SetCoverInstance::new(3, vec![(vec![0, 1], w(1))]);
+        assert_eq!(inst.first_uncoverable_element(), Some(2));
+        assert!(inst.ensure_coverable().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "infinite cost")]
+    fn rejects_infinite_cost() {
+        let _ = SetCoverInstance::new(1, vec![(vec![0], Weight::INFINITE)]);
+    }
+
+    #[test]
+    fn solution_cost_and_cover_check() {
+        let inst = SetCoverInstance::new(3, vec![(vec![0, 1], w(2)), (vec![2], w(5))]);
+        let sol = SetCoverSolution::new(&inst, vec![1, 0, 0]);
+        assert_eq!(sol.selected, vec![0, 1]);
+        assert_eq!(sol.cost, w(7));
+        assert!(sol.is_cover(&inst));
+        let partial = SetCoverSolution::new(&inst, vec![0]);
+        assert!(!partial.is_cover(&inst));
+    }
+}

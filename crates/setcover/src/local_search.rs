@@ -1,0 +1,191 @@
+//! Swap-based local search on WSC solutions.
+//!
+//! A second guarantee-preserving refinement (after
+//! [`crate::prune::prune_redundant`]): for every selected set, the elements
+//! it *uniquely* covers must stay covered — if some single cheaper set
+//! covers all of them, swapping is a strict improvement. Iterated to a
+//! fixpoint (with a pass cap), interleaved with redundancy drops. Cost can
+//! only decrease, so every approximation guarantee carried by the input
+//! solution is preserved.
+
+use crate::instance::{SetCoverInstance, SetCoverSolution};
+
+/// Maximum improvement passes before giving up on convergence.
+const MAX_PASSES: usize = 8;
+
+/// Improves `solution` by 1-for-1 swaps and redundancy drops until no move
+/// helps (or the pass cap is hit). The result covers the same instance at
+/// equal or lower cost.
+pub fn local_search(instance: &SetCoverInstance, solution: &SetCoverSolution) -> SetCoverSolution {
+    // No up-front redundancy prune: dropping a shadowed cheap set first can
+    // block a profitable swap of the expensive set shadowing it. Each pass
+    // below drops redundant sets in the same cost order as the swaps.
+    let mut current = solution.clone();
+    for _ in 0..MAX_PASSES {
+        let mut improved = false;
+
+        // coverage multiplicity under the current selection
+        let mut mult = vec![0u32; instance.num_elements()];
+        let mut selected_mark = vec![false; instance.num_sets()];
+        for &s in &current.selected {
+            selected_mark[s] = true;
+            for &e in instance.set(s) {
+                mult[e as usize] += 1;
+            }
+        }
+
+        let mut selected = current.selected.clone();
+        // try to replace expensive sets first
+        selected.sort_by_key(|&s| std::cmp::Reverse(instance.cost(s)));
+        let mut result: Vec<usize> = Vec::with_capacity(selected.len());
+
+        for &s in &selected {
+            // elements only this set covers
+            let unique: Vec<u32> = instance
+                .set(s)
+                .iter()
+                .copied()
+                .filter(|&e| mult[e as usize] == 1)
+                .collect();
+            if unique.is_empty() {
+                // redundant — drop
+                for &e in instance.set(s) {
+                    mult[e as usize] -= 1;
+                }
+                selected_mark[s] = false;
+                improved = true;
+                continue;
+            }
+            // candidate replacements: cheaper sets covering all unique
+            // elements; they all contain unique[0]
+            let mut best: Option<usize> = None;
+            for &cand in instance.containing(unique[0]) {
+                let cand = cand as usize;
+                if cand == s || selected_mark[cand] || instance.cost(cand) >= instance.cost(s) {
+                    continue;
+                }
+                if unique
+                    .iter()
+                    .all(|&e| instance.set(cand).binary_search(&e).is_ok())
+                    && best.is_none_or(|b| instance.cost(cand) < instance.cost(b))
+                {
+                    best = Some(cand);
+                }
+            }
+            match best {
+                Some(replacement) => {
+                    for &e in instance.set(s) {
+                        mult[e as usize] -= 1;
+                    }
+                    for &e in instance.set(replacement) {
+                        mult[e as usize] += 1;
+                    }
+                    selected_mark[s] = false;
+                    selected_mark[replacement] = true;
+                    result.push(replacement);
+                    improved = true;
+                }
+                None => result.push(s),
+            }
+        }
+
+        let next = SetCoverSolution::new(instance, result);
+        debug_assert!(next.is_cover(instance), "local search broke feasibility");
+        debug_assert!(next.cost <= current.cost, "local search raised the cost");
+        current = next;
+        if !improved {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::solve_greedy;
+    use mc3_core::Weight;
+
+    fn w(v: u64) -> Weight {
+        Weight::new(v)
+    }
+
+    #[test]
+    fn swaps_expensive_set_for_cheaper_equivalent() {
+        let inst = SetCoverInstance::new(2, vec![(vec![0, 1], w(9)), (vec![0, 1], w(3))]);
+        let start = SetCoverSolution::new(&inst, vec![0]);
+        let improved = local_search(&inst, &start);
+        assert_eq!(improved.selected, vec![1]);
+        assert_eq!(improved.cost, w(3));
+    }
+
+    #[test]
+    fn swap_respects_unique_coverage_only() {
+        // set 0 covers {0,1}; element 1 is also covered by set 2, so set 0's
+        // unique element is 0 — replaceable by the cheaper {0}-set
+        let inst = SetCoverInstance::new(
+            2,
+            vec![(vec![0, 1], w(5)), (vec![0], w(1)), (vec![1], w(1))],
+        );
+        let start = SetCoverSolution::new(&inst, vec![0, 2]);
+        let improved = local_search(&inst, &start);
+        assert!(improved.is_cover(&inst));
+        assert_eq!(improved.cost, w(2)); // {0} + {1}
+    }
+
+    #[test]
+    fn fixpoint_on_optimal_solutions() {
+        let inst = SetCoverInstance::new(
+            3,
+            vec![(vec![0, 1], w(2)), (vec![2], w(1)), (vec![0, 1, 2], w(9))],
+        );
+        let opt = SetCoverSolution::new(&inst, vec![0, 1]);
+        let out = local_search(&inst, &opt);
+        assert_eq!(out, opt);
+    }
+
+    #[test]
+    fn chains_of_swaps_converge() {
+        // replacing A by B uncovers nothing; then B's redundancy appears
+        let inst = SetCoverInstance::new(
+            3,
+            vec![
+                (vec![0, 1, 2], w(10)),
+                (vec![0, 1, 2], w(6)),
+                (vec![0, 1], w(1)),
+                (vec![2], w(1)),
+            ],
+        );
+        let start = SetCoverSolution::new(&inst, vec![0, 2, 3]);
+        let out = local_search(&inst, &start);
+        assert!(out.is_cover(&inst));
+        assert_eq!(out.cost, w(2)); // {0,1} + {2}
+    }
+
+    #[test]
+    fn never_hurts_greedy_on_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(1414);
+        for _ in 0..60 {
+            let n = rng.gen_range(1..=10usize);
+            let mut sets = Vec::new();
+            for e in 0..n as u32 {
+                sets.push((vec![e], w(rng.gen_range(1..15))));
+            }
+            for _ in 0..rng.gen_range(0..=10usize) {
+                let els: Vec<u32> = (0..n as u32).filter(|_| rng.gen_bool(0.5)).collect();
+                if !els.is_empty() {
+                    sets.push((els, w(rng.gen_range(1..15))));
+                }
+            }
+            let inst = SetCoverInstance::new(n, sets);
+            let g = solve_greedy(&inst).unwrap();
+            let ls = local_search(&inst, &g);
+            assert!(ls.is_cover(&inst));
+            assert!(ls.cost <= g.cost);
+            // idempotent at the fixpoint
+            let again = local_search(&inst, &ls);
+            assert_eq!(again.cost, ls.cost);
+        }
+    }
+}

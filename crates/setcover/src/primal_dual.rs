@@ -1,0 +1,126 @@
+//! The Bar-Yehuda–Even primal–dual `f`-approximation for WSC.
+//!
+//! For each uncovered element `e` (in index order), raise its dual variable
+//! until some set containing `e` becomes *tight* (its residual cost hits
+//! zero); select all sets that became tight. Every selected set is tight,
+//! and every element's dual is paid by at most `f` selected sets, giving the
+//! classic `f`-approximation — the same guarantee as LP rounding
+//! (Theorem 2.6) without solving an LP, in `O(Σ_e Σ_{s∋e} 1)` time.
+//!
+//! This is the scalable path of Algorithm 3's "LP-based" branch; the literal
+//! LP-rounding implementation lives in [`crate::lp_round`].
+
+use crate::instance::{SetCoverInstance, SetCoverSolution};
+use mc3_core::Result;
+
+/// Runs the primal–dual algorithm.
+pub fn solve_primal_dual(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
+    instance.ensure_coverable()?;
+    let m = instance.num_sets();
+    let mut residual: Vec<u64> = (0..m).map(|s| instance.cost(s).raw()).collect();
+    let mut selected_mark = vec![false; m];
+    let mut covered = vec![false; instance.num_elements()];
+    let mut selected = Vec::new();
+
+    for e in 0..instance.num_elements() as u32 {
+        if covered[e as usize] {
+            continue;
+        }
+        // raise α_e to the minimum residual among sets containing e
+        let delta = instance
+            .containing(e)
+            .iter()
+            .map(|&s| residual[s as usize])
+            .min()
+            .expect("coverability checked above");
+        for &s in instance.containing(e) {
+            let r = &mut residual[s as usize];
+            *r -= delta;
+            if *r == 0 && !selected_mark[s as usize] {
+                selected_mark[s as usize] = true;
+                selected.push(s as usize);
+                for &e2 in instance.set(s as usize) {
+                    covered[e2 as usize] = true;
+                }
+            }
+        }
+        debug_assert!(
+            covered[e as usize],
+            "element must be covered after tightening"
+        );
+    }
+    Ok(SetCoverSolution::new(instance, selected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc3_core::Weight;
+
+    fn w(v: u64) -> Weight {
+        Weight::new(v)
+    }
+
+    #[test]
+    fn covers_and_is_tight() {
+        let inst = SetCoverInstance::new(
+            3,
+            vec![(vec![0, 1], w(3)), (vec![1, 2], w(2)), (vec![2], w(1))],
+        );
+        let sol = solve_primal_dual(&inst).unwrap();
+        assert!(sol.is_cover(&inst));
+    }
+
+    #[test]
+    fn zero_cost_sets_are_immediately_tight() {
+        let inst = SetCoverInstance::new(2, vec![(vec![0, 1], Weight::ZERO), (vec![0], w(5))]);
+        let sol = solve_primal_dual(&inst).unwrap();
+        assert_eq!(sol.cost, Weight::ZERO);
+        assert_eq!(sol.selected, vec![0]);
+    }
+
+    #[test]
+    fn respects_frequency_bound_on_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5150);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..=8usize);
+            let mut sets = Vec::new();
+            for e in 0..n as u32 {
+                sets.push((vec![e], w(rng.gen_range(1..12))));
+            }
+            for _ in 0..rng.gen_range(0..=8usize) {
+                let els: Vec<u32> = (0..n as u32).filter(|_| rng.gen_bool(0.4)).collect();
+                if !els.is_empty() {
+                    sets.push((els, w(rng.gen_range(1..12))));
+                }
+            }
+            let inst = SetCoverInstance::new(n, sets);
+            let pd = solve_primal_dual(&inst).unwrap();
+            assert!(pd.is_cover(&inst));
+            let opt = crate::exact::solve_exact(&inst).unwrap();
+            let f = inst.frequency() as u64;
+            assert!(
+                pd.cost.raw() <= f * opt.cost.raw(),
+                "primal-dual {} exceeds f·OPT = {}·{}",
+                pd.cost,
+                f,
+                opt.cost
+            );
+        }
+    }
+
+    #[test]
+    fn single_element_picks_cheapest_containing_set() {
+        let inst = SetCoverInstance::new(1, vec![(vec![0], w(7)), (vec![0], w(3))]);
+        let sol = solve_primal_dual(&inst).unwrap();
+        assert_eq!(sol.selected, vec![1]);
+        assert_eq!(sol.cost, w(3));
+    }
+
+    #[test]
+    fn uncoverable_detected() {
+        let inst = SetCoverInstance::new(2, vec![(vec![0], w(1))]);
+        assert!(solve_primal_dual(&inst).is_err());
+    }
+}

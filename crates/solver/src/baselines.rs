@@ -1,0 +1,319 @@
+//! The baseline algorithms of the paper's experimental study (§6.1):
+//! Property-Oriented, Query-Oriented, Mixed (\[13\]) and Local-Greedy.
+
+use crate::cover_dp::min_cover;
+use crate::work::WorkState;
+use mc3_core::{
+    ClassifierUniverse, FxHashMap, Instance, Mc3Error, PropId, PropSet, Result, Solution, Weight,
+    Weights,
+};
+use mc3_flow::{hopcroft_karp, koenig_vertex_cover, BipartiteGraph};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// **Property-Oriented**: select every singleton classifier appearing in any
+/// query (and nothing else).
+pub fn property_oriented(instance: &Instance) -> Result<Solution> {
+    let mut props: Vec<PropId> = instance.queries().iter().flat_map(|q| q.iter()).collect();
+    props.sort_unstable();
+    props.dedup();
+    let classifiers: Vec<PropSet> = props.into_iter().map(PropSet::singleton).collect();
+    for c in &classifiers {
+        if instance.weight(c).is_infinite() {
+            return Err(Mc3Error::Uncoverable { query_index: 0 });
+        }
+    }
+    Solution::new(instance, classifiers)
+}
+
+/// **Query-Oriented**: select one full-query classifier per (distinct)
+/// query.
+pub fn query_oriented(instance: &Instance) -> Result<Solution> {
+    for (qi, q) in instance.queries().iter().enumerate() {
+        if instance.weight(q).is_infinite() {
+            return Err(Mc3Error::Uncoverable { query_index: qi });
+        }
+    }
+    Solution::new(instance, instance.queries().to_vec())
+}
+
+/// **Mixed** — the algorithm of the predecessor paper \[13\]: uniform
+/// classifier costs, `k ≤ 2`. Minimum-cardinality vertex cover on the
+/// query graph via Hopcroft–Karp + König (optimal under uniform costs).
+///
+/// Errors unless the instance has uniform weights and `k ≤ 2`.
+pub fn mixed(instance: &Instance) -> Result<Solution> {
+    let Weights::Uniform(_) = instance.weights() else {
+        return Err(Mc3Error::Internal(
+            "the Mixed baseline [13] requires uniform classifier costs".to_owned(),
+        ));
+    };
+    if instance.max_query_len() > 2 {
+        return Err(Mc3Error::Internal(
+            "the Mixed baseline [13] requires queries of length at most 2".to_owned(),
+        ));
+    }
+
+    let mut classifiers: Vec<PropSet> = Vec::new();
+    // singleton queries force their classifier; the properties they test
+    // are then covered for free in pair queries too
+    let mut forced: mc3_core::FxHashSet<u32> = mc3_core::FxHashSet::default();
+    for q in instance.queries() {
+        if q.len() == 1 {
+            forced.insert(q.ids()[0].0);
+            classifiers.push(q.clone());
+        }
+    }
+    // bipartite graph over the residual: L = still-needed singletons of
+    // pair queries, R = pair queries; minimum-cardinality VC = optimal
+    // residual cover under uniform costs
+    let mut left_slot: FxHashMap<u32, usize> = FxHashMap::default();
+    let mut left_props: Vec<PropId> = Vec::new();
+    let mut pairs: Vec<&PropSet> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for q in instance.queries() {
+        if q.len() != 2 {
+            continue;
+        }
+        if q.iter().all(|p| forced.contains(&p.0)) {
+            continue; // already covered by forced singletons
+        }
+        let r = pairs.len();
+        pairs.push(q);
+        for p in q.iter() {
+            if forced.contains(&p.0) {
+                continue;
+            }
+            let l = *left_slot.entry(p.0).or_insert_with(|| {
+                left_props.push(p);
+                left_props.len() - 1
+            });
+            edges.push((l, r));
+        }
+    }
+    let mut g = BipartiteGraph::new(left_props.len(), pairs.len());
+    for (l, r) in edges {
+        g.add_edge(l, r);
+    }
+    let m = hopcroft_karp(&g);
+    let (in_l, in_r) = koenig_vertex_cover(&g, &m);
+    for (i, &inc) in in_l.iter().enumerate() {
+        if inc {
+            classifiers.push(PropSet::singleton(left_props[i]));
+        }
+    }
+    for (j, &inc) in in_r.iter().enumerate() {
+        if inc {
+            classifiers.push(pairs[j].clone());
+        }
+    }
+    Solution::new(instance, classifiers)
+}
+
+/// **Local-Greedy**: repeatedly find, over all uncovered queries, the query
+/// whose cheapest residual cover (under current weights — previously
+/// selected classifiers are free) is globally minimal, and select that
+/// cover. Covers at least one query per iteration.
+pub fn local_greedy(instance: &Instance) -> Result<Solution> {
+    let universe = ClassifierUniverse::build(instance);
+    let mut ws = WorkState::new(instance, universe);
+    let nq = instance.num_queries();
+
+    // current best-cover cost per query; heap of (Reverse(cost), query)
+    let mut current: Vec<Weight> = Vec::with_capacity(nq);
+    let mut heap: BinaryHeap<(Reverse<Weight>, usize)> = BinaryHeap::new();
+    for q in 0..nq {
+        match min_cover(&ws, q) {
+            Some((cost, _)) => {
+                current.push(cost);
+                heap.push((Reverse(cost), q));
+            }
+            None => return Err(Mc3Error::Uncoverable { query_index: q }),
+        }
+    }
+
+    while let Some((Reverse(cost), q)) = heap.pop() {
+        if !ws.alive[q] {
+            continue;
+        }
+        if cost != current[q] {
+            continue; // stale entry; a fresher one exists
+        }
+        let Some((cost_now, ids)) = min_cover(&ws, q) else {
+            return Err(Mc3Error::Uncoverable { query_index: q });
+        };
+        debug_assert_eq!(cost_now, cost);
+        // select the cover; weights drop to zero → affected queries improve
+        let mut affected: Vec<u32> = Vec::new();
+        for id in ids {
+            affected.extend(ws.occurrences(id).map(|(qq, _)| qq));
+            ws.select(id);
+        }
+        debug_assert!(!ws.alive[q], "selected cover must fully cover the query");
+        affected.sort_unstable();
+        affected.dedup();
+        for &aq in &affected {
+            let aq = aq as usize;
+            if !ws.alive[aq] {
+                continue;
+            }
+            let Some((c, _)) = min_cover(&ws, aq) else {
+                return Err(Mc3Error::Uncoverable { query_index: aq });
+            };
+            if c < current[aq] {
+                current[aq] = c;
+                heap.push((Reverse(c), aq));
+            }
+        }
+    }
+
+    debug_assert_eq!(ws.alive_queries(), 0);
+    Ok(Solution::from_ids(
+        &ws.universe,
+        ws.selected_ids().iter().copied(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc3_core::{Weight, WeightsBuilder};
+
+    fn uniform_instance(queries: Vec<Vec<u32>>, w: u64) -> Instance {
+        Instance::new(queries, Weights::uniform(w)).unwrap()
+    }
+
+    #[test]
+    fn property_oriented_selects_each_property_once() {
+        let instance = uniform_instance(vec![vec![0, 1], vec![1, 2]], 2);
+        let sol = property_oriented(&instance).unwrap();
+        sol.verify(&instance).unwrap();
+        assert_eq!(sol.len(), 3);
+        assert_eq!(sol.cost(), Weight::new(6));
+    }
+
+    #[test]
+    fn query_oriented_selects_each_query_once() {
+        let instance = uniform_instance(vec![vec![0, 1], vec![1, 2], vec![0, 1]], 2);
+        let sol = query_oriented(&instance).unwrap();
+        sol.verify(&instance).unwrap();
+        assert_eq!(sol.len(), 2); // duplicates collapse
+        assert_eq!(sol.cost(), Weight::new(4));
+    }
+
+    #[test]
+    fn mixed_is_optimal_on_uniform_k2() {
+        // star: queries {x,a},{x,b},{x,c} — cover {X} + nothing? X covers
+        // one property of each query; must still cover a, b, c. VC of the
+        // star picks X plus... edges are (X,XA),(A,XA),(X,XB),... per-query
+        // pairs: optimal uniform cover = the 3 pair classifiers (cost 3)
+        // vs X+A+B+C (cost 4).
+        let instance = uniform_instance(vec![vec![0, 1], vec![0, 2], vec![0, 3]], 1);
+        let sol = mixed(&instance).unwrap();
+        sol.verify(&instance).unwrap();
+        let exact = crate::exact::solve_exact(&instance).unwrap();
+        assert_eq!(sol.cost(), exact.cost());
+    }
+
+    #[test]
+    fn mixed_matches_exact_on_random_uniform_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..=6usize);
+            let mut queries = Vec::new();
+            for _ in 0..n {
+                let len = rng.gen_range(1..=2usize);
+                let props: Vec<u32> = (0..len).map(|_| rng.gen_range(0..6u32)).collect();
+                queries.push(props);
+            }
+            let instance = uniform_instance(queries.clone(), 1);
+            let sol = mixed(&instance).unwrap();
+            sol.verify(&instance).unwrap();
+            let exact = crate::exact::solve_exact(&instance).unwrap();
+            assert_eq!(sol.cost(), exact.cost(), "queries {queries:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_rejects_varying_costs() {
+        let w = WeightsBuilder::new().classifier([0u32], 1u64).build();
+        let instance = Instance::new(vec![vec![0u32]], w).unwrap();
+        assert!(mixed(&instance).is_err());
+    }
+
+    #[test]
+    fn mixed_rejects_long_queries() {
+        let instance = uniform_instance(vec![vec![0, 1, 2]], 1);
+        assert!(mixed(&instance).is_err());
+    }
+
+    #[test]
+    fn local_greedy_covers_and_shares() {
+        let w = WeightsBuilder::new()
+            .classifier([0u32], 1u64)
+            .classifier([1u32], 1u64)
+            .classifier([2u32], 1u64)
+            .classifier([0u32, 1], 5u64)
+            .classifier([1u32, 2], 5u64)
+            .build();
+        let instance = Instance::new(vec![vec![0u32, 1], vec![1u32, 2]], w).unwrap();
+        let sol = local_greedy(&instance).unwrap();
+        sol.verify(&instance).unwrap();
+        assert_eq!(sol.cost(), Weight::new(3)); // X, Y, Z with Y shared
+    }
+
+    #[test]
+    fn local_greedy_benefits_from_free_reuse() {
+        // After covering {x,y} with XY... Local-Greedy picks the cheapest
+        // query first and reuses zeroed weights.
+        let w = WeightsBuilder::new()
+            .classifier([0u32], 10u64)
+            .classifier([1u32], 10u64)
+            .classifier([2u32], 1u64)
+            .classifier([0u32, 1], 2u64)
+            .classifier([1u32, 2], 10u64)
+            .classifier([0u32, 2], 10u64)
+            .classifier([0u32, 1, 2], 10u64)
+            .build();
+        let instance = Instance::new(vec![vec![0u32, 1], vec![0u32, 1, 2]], w).unwrap();
+        let sol = local_greedy(&instance).unwrap();
+        sol.verify(&instance).unwrap();
+        // XY (2) covers query 0; query 1 then needs only z → Z (1). Total 3.
+        assert_eq!(sol.cost(), Weight::new(3));
+    }
+
+    #[test]
+    fn local_greedy_handles_singletons_and_uncoverable() {
+        let instance = uniform_instance(vec![vec![5]], 3);
+        let sol = local_greedy(&instance).unwrap();
+        assert_eq!(sol.cost(), Weight::new(3));
+
+        let w = WeightsBuilder::new().classifier([0u32], 1u64).build();
+        let bad = Instance::new(vec![vec![0u32, 1]], w).unwrap();
+        assert!(local_greedy(&bad).is_err());
+    }
+
+    #[test]
+    fn baselines_always_cover_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(2718);
+        for round in 0..25 {
+            let n = rng.gen_range(1..=8usize);
+            let mut queries = Vec::new();
+            for _ in 0..n {
+                let len = rng.gen_range(1..=4usize);
+                let props: Vec<u32> = (0..len).map(|_| rng.gen_range(0..10u32)).collect();
+                queries.push(props);
+            }
+            let instance = Instance::new(queries, Weights::seeded(round, 1, 30)).unwrap();
+            for sol in [
+                property_oriented(&instance).unwrap(),
+                query_oriented(&instance).unwrap(),
+                local_greedy(&instance).unwrap(),
+            ] {
+                sol.verify(&instance).unwrap();
+            }
+        }
+    }
+}

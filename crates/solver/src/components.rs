@@ -1,0 +1,150 @@
+//! Step 2 of Algorithm 1 (Observation 3.2): decomposition into
+//! property-disjoint sub-problems.
+//!
+//! Two queries interact only if they (transitively) share properties, so the
+//! optimal solution of the whole instance is the union of the optimal
+//! solutions of the property-connected components. The paper builds a graph
+//! over properties with a path through each query and BFSes; a union–find
+//! over property ids is equivalent and allocation-friendlier.
+
+use mc3_core::fxhash::FxHashMap;
+
+/// Union–find with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns the new representative.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        big
+    }
+}
+
+/// Partitions the queries at `query_indices` (indices into `queries`) into
+/// property-connected components. Returns the groups, each a sorted list of
+/// the original indices; groups are ordered by their smallest member.
+pub fn connected_components(
+    queries: &[mc3_core::Query],
+    query_indices: &[usize],
+) -> Vec<Vec<usize>> {
+    // Dense-relabel the properties that actually occur.
+    let mut prop_slot: FxHashMap<u32, u32> = FxHashMap::default();
+    for &qi in query_indices {
+        for p in queries[qi].iter() {
+            let next = prop_slot.len() as u32;
+            prop_slot.entry(p.0).or_insert(next);
+        }
+    }
+    let mut uf = UnionFind::new(prop_slot.len());
+    for &qi in query_indices {
+        let ids = queries[qi].ids();
+        for w in ids.windows(2) {
+            uf.union(prop_slot[&w[0].0], prop_slot[&w[1].0]);
+        }
+    }
+    let mut groups: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+    for &qi in query_indices {
+        let root = uf.find(prop_slot[&queries[qi].ids()[0].0]);
+        groups.entry(root).or_default().push(qi);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    for g in &mut out {
+        g.sort_unstable();
+    }
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc3_core::PropSet;
+
+    fn q(ids: &[u32]) -> PropSet {
+        PropSet::from_ids(ids.iter().copied())
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert_ne!(uf.find(0), uf.find(1));
+        uf.union(0, 1);
+        assert_eq!(uf.find(0), uf.find(1));
+        uf.union(2, 3);
+        uf.union(1, 2);
+        assert_eq!(uf.find(0), uf.find(3));
+    }
+
+    #[test]
+    fn disjoint_queries_split() {
+        let queries = vec![q(&[0, 1]), q(&[2, 3]), q(&[4])];
+        let comps = connected_components(&queries, &[0, 1, 2]);
+        assert_eq!(comps, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn shared_property_merges() {
+        let queries = vec![q(&[0, 1]), q(&[1, 2]), q(&[3, 4]), q(&[4, 5])];
+        let comps = connected_components(&queries, &[0, 1, 2, 3]);
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn transitive_chain_is_one_component() {
+        let queries = vec![q(&[0, 1]), q(&[1, 2]), q(&[2, 3])];
+        let comps = connected_components(&queries, &[0, 1, 2]);
+        assert_eq!(comps, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn respects_the_index_subset() {
+        let queries = vec![q(&[0, 1]), q(&[1, 2]), q(&[5])];
+        // query 1 excluded: 0 and 2 end up separate
+        let comps = connected_components(&queries, &[0, 2]);
+        assert_eq!(comps, vec![vec![0], vec![2]]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let queries: Vec<PropSet> = vec![];
+        assert!(connected_components(&queries, &[]).is_empty());
+    }
+
+    #[test]
+    fn long_query_connects_all_its_properties() {
+        let queries = vec![q(&[0, 5, 9]), q(&[9, 12]), q(&[5, 20])];
+        let comps = connected_components(&queries, &[0, 1, 2]);
+        assert_eq!(comps.len(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-query minimum-cost cover via dynamic programming over local bitmasks.
+//!
+//! For one query, the cheapest set of usable classifiers whose union
+//! contains a needed mask is an exact set-cover DP: `f(u) = min over usable
+//! classifiers c containing the lowest bit of u of  w(c) + f(u \ c)`.
+//! With query length `ℓ ≤ 16` this is `O(2^ℓ · m_q)` — the "O(1) cover
+//! options for constant k" the paper's Local-Greedy baseline inspects per
+//! query (§6.1).
+
+use crate::work::WorkState;
+use mc3_core::{ClassifierId, Weight};
+
+/// The cheapest cover of query `q`'s still-needed properties, using current
+/// weights (selected classifiers cost 0). Returns `(cost, classifiers)`;
+/// `None` if no finite cover exists. A fully covered query yields
+/// `(0, [])`.
+pub fn min_cover(ws: &WorkState<'_>, q: usize) -> Option<(Weight, Vec<ClassifierId>)> {
+    let need = ws.need(q);
+    if need == 0 {
+        return Some((Weight::ZERO, Vec::new()));
+    }
+    let local = ws.universe.query_local(q);
+    let len = local.len;
+    let size = 1usize << len;
+
+    // usable classifier masks grouped by their lowest *needed* relevance:
+    // we branch on the lowest set bit of the residual, so group by bit.
+    let mut by_bit: Vec<Vec<u32>> = vec![Vec::new(); len];
+    for mask in 1..size as u32 {
+        let id = local.table[mask as usize];
+        if id.is_none() || !ws.is_usable(id) {
+            continue;
+        }
+        let mut bits = mask & need;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            by_bit[b].push(mask);
+        }
+    }
+
+    // dp over residual-need masks, ascending (u \ c < u numerically)
+    let mut dp = vec![Weight::INFINITE; size];
+    let mut choice = vec![0u32; size];
+    dp[0] = Weight::ZERO;
+    for u in 1..size as u32 {
+        if u & need != u {
+            continue; // only residuals of the needed mask arise
+        }
+        let b = u.trailing_zeros() as usize;
+        let mut best = Weight::INFINITE;
+        let mut best_mask = 0u32;
+        for &m in &by_bit[b] {
+            let rest = u & !m;
+            let sub = dp[rest as usize];
+            if sub.is_infinite() {
+                continue;
+            }
+            let id = local.table[m as usize];
+            let total = ws.weight[id.index()].saturating_add(sub);
+            if total < best {
+                best = total;
+                best_mask = m;
+            }
+        }
+        dp[u as usize] = best;
+        choice[u as usize] = best_mask;
+    }
+
+    let full = need;
+    if dp[full as usize].is_infinite() {
+        return None;
+    }
+    let mut ids = Vec::new();
+    let mut u = full;
+    while u != 0 {
+        let m = choice[u as usize];
+        debug_assert_ne!(m, 0);
+        ids.push(local.table[m as usize]);
+        u &= !m;
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    Some((dp[full as usize], ids))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::WorkState;
+    use mc3_core::{ClassifierUniverse, Instance, PropSet, Weights, WeightsBuilder};
+
+    fn ws_for(instance: &Instance) -> WorkState<'_> {
+        let u = ClassifierUniverse::build(instance);
+        WorkState::new(instance, u)
+    }
+
+    #[test]
+    fn picks_cheapest_partition() {
+        let w = WeightsBuilder::new()
+            .classifier([0u32], 2u64)
+            .classifier([1u32], 2u64)
+            .classifier([2u32], 2u64)
+            .classifier([0u32, 1], 3u64)
+            .classifier([0u32, 2], 9u64)
+            .classifier([1u32, 2], 9u64)
+            .classifier([0u32, 1, 2], 9u64)
+            .build();
+        let instance = Instance::new(vec![vec![0u32, 1, 2]], w).unwrap();
+        let ws = ws_for(&instance);
+        let (cost, ids) = min_cover(&ws, 0).unwrap();
+        assert_eq!(cost, mc3_core::Weight::new(5)); // XY + Z
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_covers_allowed() {
+        // {x,y,z}: XY(1) + YZ(1) = 2 beats XYZ(3) and singletons (9 each)
+        let w = WeightsBuilder::new()
+            .classifier([0u32], 9u64)
+            .classifier([1u32], 9u64)
+            .classifier([2u32], 9u64)
+            .classifier([0u32, 1], 1u64)
+            .classifier([1u32, 2], 1u64)
+            .classifier([0u32, 2], 9u64)
+            .classifier([0u32, 1, 2], 3u64)
+            .build();
+        let instance = Instance::new(vec![vec![0u32, 1, 2]], w).unwrap();
+        let ws = ws_for(&instance);
+        let (cost, ids) = min_cover(&ws, 0).unwrap();
+        assert_eq!(cost, mc3_core::Weight::new(2));
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn respects_partial_coverage_and_free_selected() {
+        let instance = Instance::new(vec![vec![0u32, 1]], Weights::uniform(5u64)).unwrap();
+        let mut ws = ws_for(&instance);
+        let x = ws.universe.id_of(&PropSet::from_ids([0u32])).unwrap();
+        ws.select(x);
+        let (cost, ids) = min_cover(&ws, 0).unwrap();
+        // need = {y}; XY and Y both cost 5 — either is fine
+        assert_eq!(cost, mc3_core::Weight::new(5));
+        assert_eq!(ids.len(), 1);
+    }
+
+    #[test]
+    fn fully_covered_query_is_free() {
+        let instance = Instance::new(vec![vec![0u32, 1]], Weights::uniform(5u64)).unwrap();
+        let mut ws = ws_for(&instance);
+        let xy = ws.universe.id_of(&PropSet::from_ids([0u32, 1])).unwrap();
+        ws.select(xy);
+        assert_eq!(min_cover(&ws, 0), Some((mc3_core::Weight::ZERO, vec![])));
+    }
+
+    #[test]
+    fn uncoverable_returns_none() {
+        let w = WeightsBuilder::new().classifier([0u32], 1u64).build();
+        let instance = Instance::new(vec![vec![0u32, 1]], w).unwrap();
+        let ws = ws_for(&instance);
+        assert_eq!(min_cover(&ws, 0), None);
+    }
+
+    #[test]
+    fn matches_exact_on_random_queries() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(808);
+        for round in 0..40 {
+            let len = rng.gen_range(1..=5usize);
+            let props: Vec<u32> = (0..len as u32).collect();
+            let instance = Instance::new(vec![props], Weights::seeded(round, 1, 9)).unwrap();
+            let ws = ws_for(&instance);
+            let (cost, ids) = min_cover(&ws, 0).unwrap();
+            // cross-check with the exact solver on this single query
+            let exact = crate::exact::solve_exact_with(
+                &instance,
+                &crate::preprocess::PreprocessOptions::disabled(),
+            )
+            .unwrap();
+            assert_eq!(cost, exact.cost(), "round {round}");
+            // and the reported classifiers actually cover
+            let sol = mc3_core::Solution::from_ids(&ws.universe, ids);
+            sol.verify(&instance).unwrap();
+        }
+    }
+}

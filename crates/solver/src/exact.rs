@@ -1,0 +1,120 @@
+//! Exact MC³ solver (exponential time) — the reference optimum used to
+//! validate Algorithm 2's optimality and Algorithm 3's approximation ratios
+//! on small instances.
+//!
+//! Pipeline: (optional) preprocessing — which preserves at least one optimal
+//! solution (§3) — then the WSC reduction per property-connected component,
+//! each solved by `mc3-setcover`'s branch-and-bound.
+
+use crate::components::connected_components;
+use crate::preprocess::{preprocess, PreprocessOptions};
+use crate::reduction::reduce_to_wsc;
+use crate::work::WorkState;
+use mc3_core::{ClassifierUniverse, Instance, Mc3Error, Result, Solution};
+use mc3_setcover::solve_exact_by_components as wsc_exact;
+
+/// Element-count cap per component (inherited from the WSC exact solver).
+pub const MAX_EXACT_ELEMENTS: usize = mc3_setcover::exact::MAX_EXACT_ELEMENTS;
+
+/// Solves the instance to optimality (with preprocessing enabled — the
+/// default, since Algorithm 1 preserves an optimal solution).
+pub fn solve_exact(instance: &Instance) -> Result<Solution> {
+    solve_exact_with(instance, &PreprocessOptions::default())
+}
+
+/// Solves to optimality with explicit preprocessing options
+/// (`PreprocessOptions::disabled()` gives a fully independent reference,
+/// used in tests to validate that preprocessing preserves the optimum).
+pub fn solve_exact_with(instance: &Instance, opts: &PreprocessOptions) -> Result<Solution> {
+    let universe = ClassifierUniverse::build(instance);
+    let mut ws = WorkState::new(instance, universe);
+    preprocess(&mut ws, opts)?;
+
+    let alive = ws.alive_query_indices();
+    let mut picked: Vec<mc3_core::ClassifierId> = ws.selected_ids().to_vec();
+    for comp in connected_components(instance.queries(), &alive) {
+        let red = reduce_to_wsc(&ws, &comp);
+        if red.instance.num_elements() == 0 {
+            continue;
+        }
+        let sol = wsc_exact(&red.instance).map_err(|e| match e {
+            Mc3Error::Uncoverable { query_index } => Mc3Error::Uncoverable {
+                query_index: red.element_origin[query_index].0 as usize,
+            },
+            other => other,
+        })?;
+        picked.extend(sol.selected.iter().map(|&s| red.set_to_classifier[s]));
+    }
+    Ok(Solution::from_ids(&ws.universe, picked))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc3_core::{Weight, Weights, WeightsBuilder};
+
+    #[test]
+    fn paper_example_optimum_is_seven() {
+        let w = WeightsBuilder::new()
+            .classifier([3u32], 5u64)
+            .classifier([2u32], 5u64)
+            .classifier([0u32], 5u64)
+            .classifier([1u32], 1u64)
+            .classifier([2u32, 3], 3u64)
+            .classifier([1u32, 2], 5u64)
+            .classifier([0u32, 2], 3u64)
+            .classifier([0u32, 1], 4u64)
+            .classifier([0u32, 1, 2], 5u64)
+            .build();
+        let instance = Instance::new(vec![vec![0u32, 1, 2], vec![2u32, 3]], w).unwrap();
+        let sol = solve_exact(&instance).unwrap();
+        sol.verify(&instance).unwrap();
+        assert_eq!(sol.cost(), Weight::new(7));
+    }
+
+    #[test]
+    fn preprocessing_on_and_off_agree() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(4242);
+        for round in 0..40 {
+            let n = rng.gen_range(1..=5usize);
+            let mut queries = Vec::new();
+            for _ in 0..n {
+                let len = rng.gen_range(1..=3usize);
+                let props: Vec<u32> = (0..len).map(|_| rng.gen_range(0..6u32)).collect();
+                queries.push(props);
+            }
+            let instance = Instance::new(queries.clone(), Weights::seeded(round, 1, 15)).unwrap();
+            let with = solve_exact_with(&instance, &PreprocessOptions::default()).unwrap();
+            let without = solve_exact_with(&instance, &PreprocessOptions::disabled()).unwrap();
+            with.verify(&instance).unwrap();
+            without.verify(&instance).unwrap();
+            assert_eq!(
+                with.cost(),
+                without.cost(),
+                "preprocessing changed the optimum on {queries:?} (round {round})"
+            );
+        }
+    }
+
+    #[test]
+    fn disjoint_components_solved_independently() {
+        let instance = Instance::new(
+            vec![vec![0u32, 1], vec![2u32, 3], vec![4u32]],
+            Weights::uniform(2u64),
+        )
+        .unwrap();
+        let sol = solve_exact(&instance).unwrap();
+        sol.verify(&instance).unwrap();
+        // each 2-query costs one pair classifier (2), singleton costs 2
+        assert_eq!(sol.cost(), Weight::new(6));
+    }
+
+    #[test]
+    fn uniform_weights_prefer_pairs() {
+        let instance = Instance::new(vec![vec![0u32, 1]], Weights::uniform(1u64)).unwrap();
+        let sol = solve_exact(&instance).unwrap();
+        assert_eq!(sol.cost(), Weight::new(1));
+        assert_eq!(sol.len(), 1);
+    }
+}

@@ -1,0 +1,313 @@
+//! The approximation-hardness reductions of §5.1, implemented as
+//! instance constructors.
+//!
+//! * [`reduce_set_cover_theorem_5_1`] — the approximation-preserving
+//!   reduction from (unweighted) Set Cover to MC³ behind Theorem 5.1:
+//!   every SC set becomes a *set-property*, every element becomes a query
+//!   containing its sets' properties plus one shared special property `e`;
+//!   classifiers of length 2 over two set-properties cost 0, classifiers
+//!   pairing `e` with a set-property cost 1, everything else is omitted
+//!   (infinite). Solutions correspond one-to-one, preserving cost.
+//! * [`reduce_set_cover_theorem_5_2`] — the reduction behind Theorem 5.2
+//!   (NP-hardness in `k` even for `n = 1`): a single query with one property
+//!   per SC element, and one unit-cost classifier per SC set.
+//!
+//! Besides documenting the theory, these give the test-suite *structured*
+//! hard instances on which solver behaviour is checked against the known
+//! SC optimum.
+
+use mc3_core::{Instance, PropId, PropSet, Result, Solution, Weight, WeightsBuilder};
+
+/// An unweighted Set Cover instance: `sets[i]` lists the elements
+/// (0-based, `< num_elements`) of set `i`.
+#[derive(Debug, Clone)]
+pub struct SetCoverInput {
+    /// Universe size.
+    pub num_elements: usize,
+    /// The sets.
+    pub sets: Vec<Vec<u32>>,
+}
+
+impl SetCoverInput {
+    /// Whether `selected` (set indices) covers the universe.
+    pub fn is_cover(&self, selected: &[usize]) -> bool {
+        let mut covered = vec![false; self.num_elements];
+        for &s in selected {
+            for &e in &self.sets[s] {
+                covered[e as usize] = true;
+            }
+        }
+        covered.into_iter().all(|c| c)
+    }
+
+    /// Brute-force SC optimum (for small inputs).
+    pub fn brute_force_optimum(&self) -> Option<usize> {
+        let m = self.sets.len();
+        assert!(m <= 20, "brute force limited to 20 sets");
+        let mut best: Option<usize> = None;
+        for mask in 0u32..(1 << m) {
+            let selected: Vec<usize> = (0..m).filter(|&s| mask & (1 << s) != 0).collect();
+            if self.is_cover(&selected) {
+                let size = selected.len();
+                if best.is_none_or(|b| size < b) {
+                    best = Some(size);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Output of the Theorem 5.1 reduction.
+#[derive(Debug)]
+pub struct Theorem51Reduction {
+    /// The constructed MC³ instance.
+    pub instance: Instance,
+    /// Property id of each SC set (`set-properties`).
+    pub set_props: Vec<PropId>,
+    /// The shared special property `e`.
+    pub e_prop: PropId,
+}
+
+/// Builds the Theorem 5.1 instance from a Set Cover input where every
+/// element belongs to at least one set. Parameters transfer as
+/// `k = f + 1` and `I = Δ` (with `f`/`Δ` the SC frequency/degree).
+///
+/// ```
+/// use mc3_solver::hardness::{reduce_set_cover_theorem_5_1, SetCoverInput};
+/// use mc3_solver::{Algorithm, Mc3Solver};
+///
+/// // a triangle: SC optimum is 2 sets
+/// let sc = SetCoverInput {
+///     num_elements: 3,
+///     sets: vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+/// };
+/// let red = reduce_set_cover_theorem_5_1(&sc).unwrap();
+/// let sol = Mc3Solver::new().algorithm(Algorithm::Exact).solve(&red.instance).unwrap();
+/// assert_eq!(sol.cost().raw(), 2);
+/// assert!(sc.is_cover(&red.extract_set_cover(&sol)));
+/// ```
+pub fn reduce_set_cover_theorem_5_1(sc: &SetCoverInput) -> Result<Theorem51Reduction> {
+    let num_sets = sc.sets.len() as u32;
+    let e_prop = PropId(num_sets); // set-properties are 0..num_sets
+    let set_props: Vec<PropId> = (0..num_sets).map(PropId).collect();
+
+    // element → the sets containing it
+    let mut member_sets: Vec<Vec<u32>> = vec![Vec::new(); sc.num_elements];
+    for (s, els) in sc.sets.iter().enumerate() {
+        for &e in els {
+            member_sets[e as usize].push(s as u32);
+        }
+    }
+
+    let mut weights = WeightsBuilder::new(); // absent ⇒ infinite
+    let mut queries: Vec<PropSet> = Vec::with_capacity(sc.num_elements);
+    for sets in &member_sets {
+        debug_assert!(!sets.is_empty(), "SC element in no set");
+        let mut props: Vec<PropId> = sets.iter().map(|&s| PropId(s)).collect();
+        props.push(e_prop);
+        queries.push(PropSet::from_ids(props.iter().map(|p| p.0)));
+        // weight-0 pairs of set-properties within this query
+        for (i, &a) in sets.iter().enumerate() {
+            for &b in &sets[i + 1..] {
+                weights.insert(PropSet::from_ids([a, b]), Weight::ZERO);
+            }
+        }
+        // weight-1 pairs (e, set-property)
+        for &s in sets {
+            weights.insert(PropSet::from_ids([s, e_prop.0]), Weight::new(1));
+        }
+    }
+    // Degenerate case: an element in exactly one set yields a query
+    // {s, e} whose only-0-cost option does not exist; the (e, s) pair of
+    // weight 1 covers it together with... nothing else — the pair IS the
+    // full query, which is fine.
+    let instance = Instance::from_propsets(queries, weights.build())?;
+    Ok(Theorem51Reduction {
+        instance,
+        set_props,
+        e_prop,
+    })
+}
+
+impl Theorem51Reduction {
+    /// Translates an MC³ solution back to a Set Cover solution (the sets
+    /// whose `(e, set-property)` classifier was selected); both have the
+    /// same cost.
+    pub fn extract_set_cover(&self, solution: &Solution) -> Vec<usize> {
+        let mut picked = Vec::new();
+        for c in solution.classifiers() {
+            if c.len() == 2 && c.contains(self.e_prop) {
+                let other = c.iter().find(|&p| p != self.e_prop).unwrap();
+                picked.push(other.0 as usize);
+            }
+        }
+        picked.sort_unstable();
+        picked.dedup();
+        picked
+    }
+}
+
+/// Builds the Theorem 5.2 instance: one query of length `num_elements`, one
+/// unit-cost classifier per SC set (all other classifiers omitted). The MC³
+/// optimum equals the SC optimum.
+pub fn reduce_set_cover_theorem_5_2(sc: &SetCoverInput) -> Result<Instance> {
+    let query: Vec<u32> = (0..sc.num_elements as u32).collect();
+    let mut weights = WeightsBuilder::new();
+    for els in &sc.sets {
+        weights.insert(PropSet::from_ids(els.iter().copied()), Weight::new(1));
+    }
+    Instance::new(vec![query], weights.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{Algorithm, Mc3Solver};
+
+    fn triangle_sc() -> SetCoverInput {
+        // elements 0,1,2; sets {0,1}, {1,2}, {0,2} — optimum 2
+        SetCoverInput {
+            num_elements: 3,
+            sets: vec![vec![0, 1], vec![1, 2], vec![0, 2]],
+        }
+    }
+
+    #[test]
+    fn theorem_5_1_reduction_shape() {
+        let sc = triangle_sc();
+        let red = reduce_set_cover_theorem_5_1(&sc).unwrap();
+        // one query per element, each of length f(e) + 1 = 3
+        assert_eq!(red.instance.num_queries(), 3);
+        assert!(red.instance.queries().iter().all(|q| q.len() == 3));
+        // every query contains e
+        assert!(red
+            .instance
+            .queries()
+            .iter()
+            .all(|q| q.contains(red.e_prop)));
+    }
+
+    #[test]
+    fn theorem_5_1_preserves_the_optimum() {
+        let sc = triangle_sc();
+        let red = reduce_set_cover_theorem_5_1(&sc).unwrap();
+        let exact = Mc3Solver::new()
+            .algorithm(Algorithm::Exact)
+            .solve(&red.instance)
+            .unwrap();
+        exact.verify(&red.instance).unwrap();
+        let sc_opt = sc.brute_force_optimum().unwrap() as u64;
+        assert_eq!(exact.cost().raw(), sc_opt);
+        // and the extracted cover is a genuine SC cover of the same size
+        let cover = red.extract_set_cover(&exact);
+        assert!(sc.is_cover(&cover));
+        assert_eq!(cover.len() as u64, exact.cost().raw());
+    }
+
+    #[test]
+    fn theorem_5_1_on_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(51);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..=5usize);
+            let m = rng.gen_range(2..=5usize);
+            let mut sets: Vec<Vec<u32>> = (0..m)
+                .map(|_| (0..n as u32).filter(|_| rng.gen_bool(0.5)).collect())
+                .collect();
+            // ensure every element is covered somewhere
+            for e in 0..n as u32 {
+                if !sets.iter().any(|s| s.contains(&e)) {
+                    sets[0].push(e);
+                }
+            }
+            for s in &mut sets {
+                s.sort_unstable();
+                s.dedup();
+            }
+            let sets: Vec<Vec<u32>> = sets.into_iter().filter(|s| !s.is_empty()).collect();
+            let sc = SetCoverInput {
+                num_elements: n,
+                sets,
+            };
+            let red = reduce_set_cover_theorem_5_1(&sc).unwrap();
+            let exact = Mc3Solver::new()
+                .algorithm(Algorithm::Exact)
+                .solve(&red.instance)
+                .unwrap();
+            assert_eq!(
+                exact.cost().raw(),
+                sc.brute_force_optimum().unwrap() as u64,
+                "SC ↔ MC3 optimum mismatch for {sc:?}"
+            );
+            let cover = red.extract_set_cover(&exact);
+            assert!(sc.is_cover(&cover));
+        }
+    }
+
+    #[test]
+    fn theorem_5_1_general_solver_stays_within_guarantee() {
+        let sc = triangle_sc();
+        let red = reduce_set_cover_theorem_5_1(&sc).unwrap();
+        let report = Mc3Solver::new()
+            .algorithm(Algorithm::General)
+            .solve_report(&red.instance)
+            .unwrap();
+        report.solution.verify(&red.instance).unwrap();
+        let opt = sc.brute_force_optimum().unwrap() as f64;
+        assert!(
+            report.solution.cost().raw() as f64
+                <= report.instance_stats.approximation_guarantee() * opt + 1e-9
+        );
+    }
+
+    #[test]
+    fn theorem_5_2_single_query_matches_sc_optimum() {
+        let sc = triangle_sc();
+        let instance = reduce_set_cover_theorem_5_2(&sc).unwrap();
+        assert_eq!(instance.num_queries(), 1);
+        assert_eq!(instance.max_query_len(), 3);
+        let exact = Mc3Solver::new()
+            .algorithm(Algorithm::Exact)
+            .solve(&instance)
+            .unwrap();
+        assert_eq!(exact.cost().raw(), 2);
+    }
+
+    #[test]
+    fn theorem_5_2_on_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(52);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..=6usize);
+            let m = rng.gen_range(2..=6usize);
+            let mut sets: Vec<Vec<u32>> = (0..m)
+                .map(|_| (0..n as u32).filter(|_| rng.gen_bool(0.6)).collect())
+                .collect();
+            for e in 0..n as u32 {
+                if !sets.iter().any(|s| s.contains(&e)) {
+                    sets[0].push(e);
+                }
+            }
+            let sets: Vec<Vec<u32>> = sets
+                .into_iter()
+                .map(|mut s| {
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                })
+                .filter(|s| !s.is_empty())
+                .collect();
+            let sc = SetCoverInput {
+                num_elements: n,
+                sets,
+            };
+            let instance = reduce_set_cover_theorem_5_2(&sc).unwrap();
+            let exact = Mc3Solver::new()
+                .algorithm(Algorithm::Exact)
+                .solve(&instance)
+                .unwrap();
+            assert_eq!(exact.cost().raw(), sc.brute_force_optimum().unwrap() as u64);
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! The budgeted *partial cover* variant (§5.3 / §8 — flagged by the paper
+//! as future work): queries carry importance weights, the classifier budget
+//! is bounded, and the goal is to maximize the total importance of **fully**
+//! covered queries.
+//!
+//! The paper notes its WSC reduction breaks here — covering some elements of
+//! a query is worthless (partially conforming results can be worse than none
+//! \[23\]) — and that the problem is much harder to approximate. We provide
+//! the natural greedy prototype: repeatedly commit the cheapest residual
+//! cover of the query with the best importance/marginal-cost ratio that
+//! still fits the budget. No approximation guarantee is claimed.
+
+use crate::cover_dp::min_cover;
+use crate::work::WorkState;
+use mc3_core::{ClassifierUniverse, Instance, Result, Solution, Weight};
+
+/// Strategy for the budgeted partial-cover variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartialStrategy {
+    /// Query-level greedy: repeatedly commit the best value/marginal-cost
+    /// residual cover that fits (the natural baseline heuristic).
+    #[default]
+    QueryGreedy,
+    /// Component knapsack: price each property-connected component's *full*
+    /// cover (components are independent, Observation 3.2), then select a
+    /// component subset by 0/1 knapsack — exact budget DP when the budget
+    /// is small enough, density greedy otherwise. All-or-nothing per
+    /// component, so within-component partial progress is not exploited.
+    ComponentKnapsack,
+    /// Run both and keep the higher-value outcome (ties: cheaper).
+    Best,
+}
+
+/// Outcome of a budgeted partial-cover run.
+#[derive(Debug, Clone)]
+pub struct PartialCoverOutcome {
+    /// The classifiers selected (cost ≤ budget).
+    pub solution: Solution,
+    /// Indices of fully covered queries, ascending.
+    pub covered_queries: Vec<usize>,
+    /// Total importance of covered queries.
+    pub covered_value: u64,
+    /// Remaining budget.
+    pub budget_left: Weight,
+}
+
+/// Budgeted partial cover with the default ([`PartialStrategy::Best`])
+/// strategy. `query_values[i]` is the importance of query `i` (must match
+/// `instance.num_queries()`).
+pub fn solve_partial_cover(
+    instance: &Instance,
+    query_values: &[u64],
+    budget: Weight,
+) -> Result<PartialCoverOutcome> {
+    solve_partial_cover_with(instance, query_values, budget, PartialStrategy::Best)
+}
+
+/// Budgeted partial cover with an explicit strategy.
+pub fn solve_partial_cover_with(
+    instance: &Instance,
+    query_values: &[u64],
+    budget: Weight,
+    strategy: PartialStrategy,
+) -> Result<PartialCoverOutcome> {
+    assert_eq!(
+        query_values.len(),
+        instance.num_queries(),
+        "one value per (deduplicated, canonical-order) query required"
+    );
+    match strategy {
+        PartialStrategy::QueryGreedy => query_greedy(instance, query_values, budget),
+        PartialStrategy::ComponentKnapsack => component_knapsack(instance, query_values, budget),
+        PartialStrategy::Best => {
+            let a = query_greedy(instance, query_values, budget)?;
+            let b = component_knapsack(instance, query_values, budget)?;
+            Ok(
+                if (b.covered_value, std::cmp::Reverse(b.solution.cost()))
+                    > (a.covered_value, std::cmp::Reverse(a.solution.cost()))
+                {
+                    b
+                } else {
+                    a
+                },
+            )
+        }
+    }
+}
+
+/// The query-level greedy strategy.
+fn query_greedy(
+    instance: &Instance,
+    query_values: &[u64],
+    budget: Weight,
+) -> Result<PartialCoverOutcome> {
+    let universe = ClassifierUniverse::build(instance);
+    let mut ws = WorkState::new(instance, universe);
+    let mut budget_left = budget;
+    let mut covered_queries = Vec::new();
+    let mut covered_value = 0u64;
+
+    loop {
+        // pick the best value/marginal-cost query that fits
+        let mut best: Option<(usize, Weight)> = None;
+        for q in 0..instance.num_queries() {
+            if !ws.alive[q] {
+                continue;
+            }
+            let Some((cost, _)) = min_cover(&ws, q) else {
+                continue; // uncoverable under finite weights: skip
+            };
+            if cost > budget_left {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bq, bcost)) => {
+                    // compare value/cost ratios by cross multiplication;
+                    // zero-cost covers are infinitely good
+                    let (v, bv) = (query_values[q] as u128, query_values[bq] as u128);
+                    let (c, bc) = (cost.raw() as u128, bcost.raw() as u128);
+                    v * bc > bv * c || (v * bc == bv * c && cost < bcost)
+                }
+            };
+            if better {
+                best = Some((q, cost));
+            }
+        }
+        let Some((q, cost)) = best else { break };
+        let (_, ids) = min_cover(&ws, q).expect("re-evaluating the chosen query");
+        for id in ids {
+            ws.select(id);
+        }
+        budget_left = Weight::new(budget_left.raw() - cost.raw());
+        // selections may have covered other queries for free
+        for (qi, &value) in query_values.iter().enumerate() {
+            if !ws.alive[qi] && !covered_queries.contains(&qi) {
+                covered_queries.push(qi);
+                covered_value += value;
+            }
+        }
+    }
+
+    covered_queries.sort_unstable();
+    let solution = Solution::from_ids(&ws.universe, ws.selected_ids().iter().copied());
+    Ok(PartialCoverOutcome {
+        solution,
+        covered_queries,
+        covered_value,
+        budget_left,
+    })
+}
+
+/// Budget cap below which the knapsack uses the exact DP over budget units.
+const KNAPSACK_DP_BUDGET_CAP: u64 = 200_000;
+
+/// The component-knapsack strategy.
+fn component_knapsack(
+    instance: &Instance,
+    query_values: &[u64],
+    budget: Weight,
+) -> Result<PartialCoverOutcome> {
+    use crate::components::connected_components;
+
+    let all: Vec<usize> = (0..instance.num_queries()).collect();
+    let comps = connected_components(instance.queries(), &all);
+
+    // price every component's full cover with the guarantee-carrying solver
+    struct Item {
+        queries: Vec<usize>,
+        cost: u64,
+        value: u64,
+        solution: Solution,
+    }
+    let mut items: Vec<Item> = Vec::with_capacity(comps.len());
+    for comp in comps {
+        let sub = instance.restrict_to(&comp)?;
+        let Ok(solution) = crate::solver::Mc3Solver::new().solve(&sub) else {
+            continue; // uncoverable component cannot be bought
+        };
+        let value = comp.iter().map(|&q| query_values[q]).sum();
+        items.push(Item {
+            queries: comp,
+            cost: solution.cost().raw(),
+            value,
+            solution,
+        });
+    }
+
+    // 0/1 knapsack over the components
+    let budget_raw = budget.raw();
+    let chosen: Vec<usize> = if budget_raw <= KNAPSACK_DP_BUDGET_CAP {
+        // exact DP over budget units
+        let b = budget_raw as usize;
+        let mut best = vec![0u64; b + 1];
+        let mut take = vec![vec![false; b + 1]; items.len()];
+        for (i, item) in items.iter().enumerate() {
+            let c = item.cost as usize;
+            if c > b {
+                continue;
+            }
+            for cap in (c..=b).rev() {
+                let with = best[cap - c] + item.value;
+                if with > best[cap] {
+                    best[cap] = with;
+                    take[i][cap] = true;
+                }
+            }
+        }
+        let mut cap = b;
+        let mut chosen = Vec::new();
+        for i in (0..items.len()).rev() {
+            if take[i][cap] {
+                chosen.push(i);
+                cap -= items[i].cost as usize;
+            }
+        }
+        chosen
+    } else {
+        // density greedy fallback for astronomically large budgets
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da = items[a].value as u128 * items[b].cost.max(1) as u128;
+            let db = items[b].value as u128 * items[a].cost.max(1) as u128;
+            db.cmp(&da).then(items[a].cost.cmp(&items[b].cost))
+        });
+        let mut left = budget_raw;
+        let mut chosen = Vec::new();
+        for i in order {
+            if items[i].cost <= left {
+                left -= items[i].cost;
+                chosen.push(i);
+            }
+        }
+        chosen
+    };
+
+    let mut covered_queries = Vec::new();
+    let mut covered_value = 0u64;
+    let mut classifiers = Vec::new();
+    let mut spent = 0u64;
+    for &i in &chosen {
+        covered_queries.extend(items[i].queries.iter().copied());
+        covered_value += items[i].value;
+        spent += items[i].cost;
+        classifiers.extend(items[i].solution.classifiers().iter().cloned());
+    }
+    covered_queries.sort_unstable();
+    let solution = Solution::with_cost(classifiers, Weight::new(spent));
+    Ok(PartialCoverOutcome {
+        solution,
+        covered_queries,
+        covered_value,
+        budget_left: Weight::new(budget_raw - spent),
+    })
+}
+
+/// Brute-force reference: maximizes covered value over all query subsets
+/// (each priced by the exact solver). Exponential — tests only.
+pub fn solve_partial_exact(
+    instance: &Instance,
+    query_values: &[u64],
+    budget: Weight,
+) -> Result<(u64, Weight)> {
+    let n = instance.num_queries();
+    assert!(n <= 12, "brute-force partial cover limited to 12 queries");
+    let mut best_value = 0u64;
+    let mut best_cost = Weight::ZERO;
+    for mask in 0u32..(1 << n) {
+        let subset: Vec<usize> = (0..n).filter(|&q| mask & (1 << q) != 0).collect();
+        if subset.is_empty() {
+            continue;
+        }
+        let sub = instance.restrict_to(&subset)?;
+        let Ok(sol) = crate::exact::solve_exact(&sub) else {
+            continue;
+        };
+        if sol.cost() > budget {
+            continue;
+        }
+        let value: u64 = subset.iter().map(|&q| query_values[q]).sum();
+        if value > best_value || (value == best_value && sol.cost() < best_cost) {
+            best_value = value;
+            best_cost = sol.cost();
+        }
+    }
+    Ok((best_value, best_cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc3_core::{Weights, WeightsBuilder};
+
+    #[test]
+    fn zero_budget_covers_nothing_costly() {
+        let instance = Instance::new(vec![vec![0u32, 1]], Weights::uniform(3u64)).unwrap();
+        let out = solve_partial_cover(&instance, &[10], Weight::ZERO).unwrap();
+        assert!(out.covered_queries.is_empty());
+        assert_eq!(out.covered_value, 0);
+        assert_eq!(out.solution.cost(), Weight::ZERO);
+    }
+
+    #[test]
+    fn prefers_high_value_per_cost() {
+        // Two disjoint queries; budget only fits one. Query 1 has double
+        // value at the same cost → covered first.
+        let instance =
+            Instance::new(vec![vec![0u32, 1], vec![2u32, 3]], Weights::uniform(5u64)).unwrap();
+        let out = solve_partial_cover(&instance, &[10, 20], Weight::new(5)).unwrap();
+        assert_eq!(out.covered_queries, vec![1]);
+        assert_eq!(out.covered_value, 20);
+        assert_eq!(out.budget_left, Weight::ZERO);
+    }
+
+    #[test]
+    fn full_budget_covers_everything() {
+        let instance =
+            Instance::new(vec![vec![0u32, 1], vec![1u32, 2]], Weights::uniform(1u64)).unwrap();
+        let out = solve_partial_cover(&instance, &[1, 1], Weight::new(100)).unwrap();
+        assert_eq!(out.covered_queries, vec![0, 1]);
+        assert_eq!(out.covered_value, 2);
+        out.solution.verify(&instance).unwrap();
+    }
+
+    #[test]
+    fn shared_classifiers_cascade_coverage() {
+        // Covering the long query covers the short one for free.
+        let w = WeightsBuilder::new()
+            .classifier([0u32, 1], 2u64)
+            .classifier([2u32], 1u64)
+            .default_weight(Weight::new(50))
+            .build();
+        let instance = Instance::new(vec![vec![0u32, 1], vec![0u32, 1, 2]], w).unwrap();
+        let out = solve_partial_cover(&instance, &[5, 5], Weight::new(3)).unwrap();
+        assert_eq!(out.covered_queries, vec![0, 1]);
+        assert_eq!(out.covered_value, 10);
+    }
+
+    #[test]
+    fn knapsack_beats_greedy_on_adversarial_values() {
+        // Greedy density favors query 0 (value 13 / cost 5 = 2.6/unit) but
+        // after buying it only 3 budget remains; the optimal bundle is
+        // queries 1+2 (values 10+10 at costs 4+4 = 8).
+        let w = WeightsBuilder::new()
+            .default_weight(Weight::new(50))
+            .classifier([0u32, 1], 5u64)
+            .classifier([2u32, 3], 4u64)
+            .classifier([4u32, 5], 4u64)
+            .build();
+        let instance = Instance::new(vec![vec![0u32, 1], vec![2u32, 3], vec![4u32, 5]], w).unwrap();
+        let values = [13u64, 10, 10];
+        let budget = Weight::new(8);
+        let greedy =
+            solve_partial_cover_with(&instance, &values, budget, PartialStrategy::QueryGreedy)
+                .unwrap();
+        let knap = solve_partial_cover_with(
+            &instance,
+            &values,
+            budget,
+            PartialStrategy::ComponentKnapsack,
+        )
+        .unwrap();
+        assert_eq!(knap.covered_value, 20);
+        assert!(greedy.covered_value <= knap.covered_value);
+        let best =
+            solve_partial_cover_with(&instance, &values, budget, PartialStrategy::Best).unwrap();
+        assert_eq!(best.covered_value, 20);
+    }
+
+    #[test]
+    fn strategies_never_exceed_the_exact_optimum() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for round in 0..15 {
+            let n = rng.gen_range(1..=5usize);
+            let mut queries = Vec::new();
+            for _ in 0..n {
+                let len = rng.gen_range(1..=3usize);
+                queries.push((0..len).map(|_| rng.gen_range(0..8u32)).collect::<Vec<_>>());
+            }
+            let instance = Instance::new(queries, Weights::seeded(round, 1, 9)).unwrap();
+            let values: Vec<u64> = (0..instance.num_queries())
+                .map(|_| rng.gen_range(1..20u64))
+                .collect();
+            let budget = Weight::new(rng.gen_range(0..30u64));
+            let (opt_value, _) = solve_partial_exact(&instance, &values, budget).unwrap();
+            for strategy in [
+                PartialStrategy::QueryGreedy,
+                PartialStrategy::ComponentKnapsack,
+                PartialStrategy::Best,
+            ] {
+                let out = solve_partial_cover_with(&instance, &values, budget, strategy).unwrap();
+                assert!(
+                    out.covered_value <= opt_value,
+                    "{strategy:?} claims {} > optimum {opt_value}",
+                    out.covered_value
+                );
+                assert!(out.solution.cost() <= budget);
+            }
+        }
+    }
+
+    #[test]
+    fn knapsack_exactness_on_disjoint_components() {
+        // disjoint components + small budget: knapsack DP is exact
+        let instance = Instance::new(
+            vec![vec![0u32, 1], vec![2u32, 3], vec![4u32, 5], vec![6u32]],
+            Weights::uniform(3u64),
+        )
+        .unwrap();
+        let values = [7u64, 6, 5, 4];
+        for budget in [0u64, 3, 6, 9, 12] {
+            let (opt, _) = solve_partial_exact(&instance, &values, Weight::new(budget)).unwrap();
+            let knap = solve_partial_cover_with(
+                &instance,
+                &values,
+                Weight::new(budget),
+                PartialStrategy::ComponentKnapsack,
+            )
+            .unwrap();
+            assert_eq!(knap.covered_value, opt, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn partial_progress_is_not_counted() {
+        // Budget covers half the query's properties — value must stay 0.
+        let w = WeightsBuilder::new()
+            .classifier([0u32], 1u64)
+            .classifier([1u32], 10u64)
+            .classifier([0u32, 1], 10u64)
+            .build();
+        let instance = Instance::new(vec![vec![0u32, 1]], w).unwrap();
+        let out = solve_partial_cover(&instance, &[7], Weight::new(5)).unwrap();
+        assert_eq!(out.covered_value, 0);
+        assert!(out.covered_queries.is_empty());
+        // and nothing was wastefully selected
+        assert_eq!(out.solution.cost(), Weight::ZERO);
+    }
+}

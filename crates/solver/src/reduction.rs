@@ -1,0 +1,182 @@
+//! The MC³ → Weighted Set Cover reduction (§5.2, Figure 2).
+//!
+//! For every query `q` and property `p ∈ q` still in need of coverage, an
+//! element `p_q` is created (a distinct element per occurrence of the same
+//! property in different queries). Every *usable* classifier `S` becomes a
+//! set containing exactly the elements `{ p_q : p ∈ S, S ⊆ q }`; its cost is
+//! the classifier's current weight. Solutions map back one-to-one,
+//! preserving cost.
+//!
+//! The reduction operates on the residual problem of a [`WorkState`]:
+//! properties already covered by selected classifiers produce no elements,
+//! and pruned classifiers produce no sets.
+
+use crate::work::WorkState;
+use mc3_core::{ClassifierId, FxHashMap};
+use mc3_setcover::SetCoverInstance;
+
+/// A WSC instance plus the mapping back to classifiers.
+#[derive(Debug)]
+pub struct WscReduction {
+    /// The reduced instance.
+    pub instance: SetCoverInstance,
+    /// `set_to_classifier[set_id]` is the classifier the set encodes.
+    pub set_to_classifier: Vec<ClassifierId>,
+    /// `(query index, local property bit)` of every element, in element order.
+    pub element_origin: Vec<(u32, u8)>,
+}
+
+/// Builds the residual WSC instance over the (alive) queries listed in
+/// `queries`.
+pub fn reduce_to_wsc(ws: &WorkState<'_>, queries: &[usize]) -> WscReduction {
+    // 1. number the elements: one per (query, needed property bit)
+    let mut element_origin: Vec<(u32, u8)> = Vec::new();
+    // element_base[i] = first element id of queries[i]
+    let mut element_base: Vec<u32> = Vec::with_capacity(queries.len());
+    for &q in queries {
+        element_base.push(element_origin.len() as u32);
+        let mut need = ws.need(q);
+        while need != 0 {
+            let b = need.trailing_zeros() as u8;
+            need &= need - 1;
+            element_origin.push((q as u32, b));
+        }
+    }
+    let num_elements = element_origin.len();
+
+    // 2. build the sets, grouped by classifier id
+    let mut slot_of: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut set_to_classifier: Vec<ClassifierId> = Vec::new();
+    let mut set_elements: Vec<Vec<u32>> = Vec::new();
+
+    for (i, &q) in queries.iter().enumerate() {
+        let need = ws.need(q);
+        if need == 0 {
+            continue;
+        }
+        let local = ws.universe.query_local(q);
+        // element id of bit b within this query
+        let base = element_base[i];
+        let mut bit_elem = [0u32; mc3_core::MAX_QUERY_LEN];
+        {
+            let mut n = need;
+            let mut next = base;
+            while n != 0 {
+                let b = n.trailing_zeros() as usize;
+                n &= n - 1;
+                bit_elem[b] = next;
+                next += 1;
+            }
+        }
+        for mask in 1..local.table.len() as u32 {
+            let id = local.table[mask as usize];
+            if id.is_none() || !ws.is_usable(id) {
+                continue;
+            }
+            let covers = mask & need;
+            if covers == 0 {
+                continue;
+            }
+            let slot = *slot_of.entry(id.0).or_insert_with(|| {
+                let s = set_to_classifier.len() as u32;
+                set_to_classifier.push(id);
+                set_elements.push(Vec::new());
+                s
+            });
+            let list = &mut set_elements[slot as usize];
+            let mut bits = covers;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                list.push(bit_elem[b]);
+            }
+        }
+    }
+
+    let sets = set_elements
+        .into_iter()
+        .zip(set_to_classifier.iter())
+        .map(|(els, &cid)| (els, ws.weight[cid.index()]))
+        .collect();
+
+    WscReduction {
+        instance: SetCoverInstance::new(num_elements, sets),
+        set_to_classifier,
+        element_origin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc3_core::{ClassifierUniverse, Instance, PropSet, Weight, Weights};
+
+    fn ws_for(instance: &Instance) -> WorkState<'_> {
+        let u = ClassifierUniverse::build(instance);
+        WorkState::new(instance, u)
+    }
+
+    #[test]
+    fn figure2_example_shape() {
+        // P = {x,y,z,v}, Q = {xyz, yzv}, all weights 1 (Figure 2)
+        let instance = Instance::new(
+            vec![vec![0u32, 1, 2], vec![1u32, 2, 3]],
+            Weights::uniform(1u64),
+        )
+        .unwrap();
+        let ws = ws_for(&instance);
+        let red = reduce_to_wsc(&ws, &[0, 1]);
+        // n̂ = 3 + 3 elements
+        assert_eq!(red.instance.num_elements(), 6);
+        // C_Q: subsets of xyz (7) + subsets of yzv (7) − shared {y},{z},{yz} (3) = 11
+        assert_eq!(red.instance.num_sets(), 11);
+        // the YZ set covers elements in both queries → size 4
+        let yz = ws.universe.id_of(&PropSet::from_ids([1u32, 2])).unwrap();
+        let slot = red.set_to_classifier.iter().position(|&c| c == yz).unwrap();
+        assert_eq!(red.instance.set(slot).len(), 4);
+        // frequency for k=3 full universe: 2^(k-1) = 4
+        assert_eq!(red.instance.frequency(), 4);
+    }
+
+    #[test]
+    fn covered_properties_produce_no_elements() {
+        let instance = Instance::new(vec![vec![0u32, 1]], Weights::uniform(1u64)).unwrap();
+        let mut ws = ws_for(&instance);
+        let x = ws.universe.id_of(&PropSet::from_ids([0u32])).unwrap();
+        ws.select(x);
+        let alive = ws.alive_query_indices();
+        let red = reduce_to_wsc(&ws, &alive);
+        assert_eq!(red.instance.num_elements(), 1); // only y remains
+                                                    // X covers nothing now → not a set; Y and XY remain
+        assert_eq!(red.instance.num_sets(), 2);
+    }
+
+    #[test]
+    fn removed_classifiers_produce_no_sets() {
+        let instance = Instance::new(vec![vec![0u32, 1]], Weights::uniform(3u64)).unwrap();
+        let mut ws = ws_for(&instance);
+        let xy = ws.universe.id_of(&PropSet::from_ids([0u32, 1])).unwrap();
+        ws.remove(xy, Weight::new(2));
+        let red = reduce_to_wsc(&ws, &[0]);
+        assert_eq!(red.instance.num_sets(), 2); // X and Y only
+        assert!(!red.set_to_classifier.contains(&xy));
+    }
+
+    #[test]
+    fn element_origins_track_queries() {
+        let instance =
+            Instance::new(vec![vec![0u32, 1], vec![2u32]], Weights::uniform(1u64)).unwrap();
+        let ws = ws_for(&instance);
+        let red = reduce_to_wsc(&ws, &[0, 1]);
+        assert_eq!(red.element_origin, vec![(0, 0), (0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn empty_query_list() {
+        let instance = Instance::new(vec![vec![0u32, 1]], Weights::uniform(1u64)).unwrap();
+        let ws = ws_for(&instance);
+        let red = reduce_to_wsc(&ws, &[]);
+        assert_eq!(red.instance.num_elements(), 0);
+        assert_eq!(red.instance.num_sets(), 0);
+    }
+}

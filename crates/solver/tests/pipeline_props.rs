@@ -1,0 +1,97 @@
+//! Pipeline-level properties on medium random instances (no exact
+//! reference needed): refinement monotonicity, bounded-universe validity,
+//! Short-First consistency, and prebuilt-inventory accounting.
+
+use mc3_core::{is_cover, Instance, Weights};
+use mc3_solver::{Algorithm, Mc3Solver};
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    let query = prop::collection::vec(0..30u32, 1..5);
+    (prop::collection::vec(query, 1..40), any::<u64>()).prop_map(|(queries, seed)| {
+        Instance::new(queries, Weights::seeded(seed, 1, 40)).expect("valid instance")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn refinement_never_raises_the_cost(instance in arb_instance()) {
+        let raw = Mc3Solver::new()
+            .algorithm(Algorithm::General)
+            .without_refinement()
+            .solve(&instance)
+            .unwrap();
+        let refined = Mc3Solver::new()
+            .algorithm(Algorithm::General)
+            .solve(&instance)
+            .unwrap();
+        raw.verify(&instance).unwrap();
+        refined.verify(&instance).unwrap();
+        prop_assert!(refined.cost() <= raw.cost());
+    }
+
+    #[test]
+    fn short_first_and_general_both_cover(instance in arb_instance()) {
+        for alg in [Algorithm::General, Algorithm::ShortFirst, Algorithm::Auto] {
+            let sol = Mc3Solver::new().algorithm(alg).solve(&instance).unwrap();
+            sol.verify(&instance).unwrap();
+        }
+    }
+
+    #[test]
+    fn prebuilt_marginal_cost_is_bounded_by_fresh_cost(instance in arb_instance()) {
+        // building on top of any inventory can never cost more than
+        // starting from scratch
+        let fresh = Mc3Solver::new().solve(&instance).unwrap();
+        // reuse half of the fresh solution as the inventory
+        let inventory: Vec<_> = fresh
+            .classifiers()
+            .iter()
+            .step_by(2)
+            .cloned()
+            .collect();
+        let report = Mc3Solver::new()
+            .prebuilt(inventory.clone())
+            .solve_report(&instance)
+            .unwrap();
+        prop_assert!(is_cover(&instance, &report.full_cover()));
+        prop_assert!(
+            report.solution.cost() <= fresh.cost(),
+            "marginal {} > fresh {}",
+            report.solution.cost(),
+            fresh.cost()
+        );
+        // everything reported as used inventory really is inventory
+        for c in &report.prebuilt_used {
+            prop_assert!(inventory.contains(c));
+        }
+    }
+
+    #[test]
+    fn bounded_universe_solutions_respect_the_bound(instance in arb_instance(), kp in 1..4usize) {
+        let sol = Mc3Solver::new()
+            .algorithm(Algorithm::General)
+            .max_classifier_len(kp)
+            .solve(&instance)
+            .unwrap();
+        sol.verify(&instance).unwrap();
+        prop_assert!(sol.classifiers().iter().all(|c| c.len() <= kp));
+    }
+
+    #[test]
+    fn reports_are_self_consistent(instance in arb_instance()) {
+        let report = Mc3Solver::new().solve_report(&instance).unwrap();
+        prop_assert_eq!(report.instance_stats.num_queries, instance.num_queries());
+        prop_assert!(report.timings.total >= report.timings.preprocess);
+        // recorded solution cost equals the weight-function sum
+        let recomputed: mc3_core::Weight = report
+            .solution
+            .classifiers()
+            .iter()
+            .map(|c| instance.weight(c))
+            .sum();
+        prop_assert_eq!(recomputed, report.solution.cost());
+    }
+}

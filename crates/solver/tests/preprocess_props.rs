@@ -1,0 +1,121 @@
+//! Property-based tests of Algorithm 1's internal invariants on random
+//! instances: optimality preservation, state consistency, and monotone
+//! effects of the individual steps.
+
+use mc3_core::{ClassifierUniverse, Instance, Weights};
+use mc3_solver::preprocess::{preprocess, PreprocessOptions};
+use mc3_solver::work::WorkState;
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    let query = prop::collection::vec(0..8u32, 1..4);
+    (prop::collection::vec(query, 1..8), any::<u64>()).prop_map(|(queries, seed)| {
+        Instance::new(queries, Weights::seeded(seed, 1, 25)).expect("valid instance")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn state_invariants_after_preprocessing(instance in arb_instance()) {
+        let universe = ClassifierUniverse::build(&instance);
+        let mut ws = WorkState::new(&instance, universe);
+        preprocess(&mut ws, &PreprocessOptions::default()).unwrap();
+
+        // selected classifiers are never removed, always zero current weight
+        for (i, &sel) in ws.selected.iter().enumerate() {
+            if sel {
+                prop_assert!(!ws.removed[i], "classifier {i} selected AND removed");
+                prop_assert!(ws.weight[i].is_zero());
+                prop_assert!(ws.eff[i].is_zero());
+            }
+        }
+        // dead queries are exactly the fully covered ones
+        for q in 0..instance.num_queries() {
+            prop_assert_eq!(ws.alive[q], ws.need(q) != 0, "query {} liveness", q);
+        }
+        // coverage masks only contain bits of selected classifiers
+        for q in 0..instance.num_queries() {
+            let local = ws.universe.query_local(q);
+            let mut expected = 0u32;
+            for mask in 1..local.table.len() as u32 {
+                let id = local.table[mask as usize];
+                if !id.is_none() && ws.selected[id.index()] {
+                    expected |= mask;
+                }
+            }
+            prop_assert_eq!(ws.covered[q], expected, "query {} covered mask", q);
+        }
+        // base cost equals the original weights of the selected classifiers
+        let recomputed: u64 = ws
+            .selected
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s)
+            .map(|(i, _)| ws.universe.weight(mc3_core::ClassifierId(i as u32)).raw())
+            .sum();
+        prop_assert_eq!(ws.base_cost.raw(), recomputed);
+    }
+
+    #[test]
+    fn removals_never_break_coverability(instance in arb_instance()) {
+        // after preprocessing, every alive query still has a finite cover
+        // among the available classifiers
+        let universe = ClassifierUniverse::build(&instance);
+        let mut ws = WorkState::new(&instance, universe);
+        preprocess(&mut ws, &PreprocessOptions::default()).unwrap();
+        for q in ws.alive_query_indices() {
+            let cover = mc3_solver::cover_dp::min_cover(&ws, q);
+            prop_assert!(cover.is_some(), "query {q} lost its finite cover");
+        }
+    }
+
+    #[test]
+    fn each_step_subset_preserves_the_optimum(instance in arb_instance()) {
+        let reference = mc3_solver::exact::solve_exact_with(
+            &instance,
+            &PreprocessOptions::disabled(),
+        )
+        .unwrap();
+        for opts in [
+            PreprocessOptions {
+                singletons_and_zero: true,
+                decomposition: false,
+                k2_singleton_pruning: false,
+                max_passes: 0,
+            },
+            PreprocessOptions {
+                singletons_and_zero: true,
+                decomposition: true,
+                k2_singleton_pruning: false,
+                max_passes: 6,
+            },
+            PreprocessOptions::default(),
+        ] {
+            let sol = mc3_solver::exact::solve_exact_with(&instance, &opts).unwrap();
+            sol.verify(&instance).unwrap();
+            prop_assert_eq!(
+                sol.cost(),
+                reference.cost(),
+                "options {:?} changed the optimum",
+                opts
+            );
+        }
+    }
+
+    #[test]
+    fn preprocessing_is_idempotent(instance in arb_instance()) {
+        let universe = ClassifierUniverse::build(&instance);
+        let mut ws = WorkState::new(&instance, universe);
+        let opts = PreprocessOptions::default();
+        preprocess(&mut ws, &opts).unwrap();
+        let selected_before: Vec<bool> = ws.selected.clone();
+        let removed_before: Vec<bool> = ws.removed.clone();
+        let cost_before = ws.base_cost;
+        preprocess(&mut ws, &opts).unwrap();
+        prop_assert_eq!(ws.selected, selected_before);
+        prop_assert_eq!(ws.removed, removed_before);
+        prop_assert_eq!(ws.base_cost, cost_before);
+    }
+}

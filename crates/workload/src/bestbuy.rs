@@ -1,0 +1,127 @@
+//! BestBuy-alike dataset generator.
+//!
+//! The paper's BestBuy dataset (used by the predecessor work \[13\]) has
+//! ~1000 electronics queries with **uniform** classifier costs, maximum
+//! query length 4, and 95 % of queries of length ≤ 2 (Table 1, §6.1).
+//! Figure 3a additionally implies that on this data the Query-Oriented
+//! baseline beats Property-Oriented — i.e. distinct properties outnumber
+//! distinct queries — so the property pool is sized for modest reuse.
+
+use crate::Dataset;
+use mc3_core::{Instance, Weights};
+use rand::prelude::*;
+
+/// Configuration of the BestBuy-alike generator.
+#[derive(Debug, Clone)]
+pub struct BestBuyConfig {
+    /// Number of distinct queries (paper: ~1000).
+    pub num_queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// The uniform classifier cost (paper: 1).
+    pub uniform_cost: u64,
+    /// Property-pool size; defaults to `2 × num_queries` so that distinct
+    /// properties outnumber queries (the Fig. 3a PO > QO ordering).
+    pub pool_size: Option<usize>,
+}
+
+impl Default for BestBuyConfig {
+    fn default() -> Self {
+        BestBuyConfig {
+            num_queries: 1000,
+            seed: 0xBB,
+            uniform_cost: 1,
+            pool_size: None,
+        }
+    }
+}
+
+impl BestBuyConfig {
+    /// Paper defaults with `n` queries.
+    pub fn with_queries(num_queries: usize) -> BestBuyConfig {
+        BestBuyConfig {
+            num_queries,
+            ..Default::default()
+        }
+    }
+
+    /// Length distribution: 35 % singletons, 60 % pairs, 4 % triples, 1 %
+    /// quadruples — 95 % of queries of length ≤ 2, max length 4.
+    fn sample_len(rng: &mut impl Rng) -> usize {
+        match rng.gen_range(0..100u32) {
+            0..=34 => 1,
+            35..=94 => 2,
+            95..=98 => 3,
+            _ => 4,
+        }
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let pool = self.pool_size.unwrap_or(self.num_queries * 2) as u32;
+        let mut seen = mc3_core::FxHashSet::default();
+        let mut queries: Vec<Vec<u32>> = Vec::with_capacity(self.num_queries);
+        let max_attempts = self.num_queries.saturating_mul(50) + 1000;
+        let mut attempts = 0;
+        while queries.len() < self.num_queries && attempts < max_attempts {
+            attempts += 1;
+            let len = Self::sample_len(&mut rng);
+            let mut props: Vec<u32> = Vec::with_capacity(len);
+            while props.len() < len {
+                let p = rng.gen_range(0..pool);
+                if !props.contains(&p) {
+                    props.push(p);
+                }
+            }
+            props.sort_unstable();
+            if seen.insert(props.clone()) {
+                queries.push(props);
+            }
+        }
+        let instance = Instance::new(queries, Weights::uniform(self.uniform_cost))
+            .expect("generator produces valid queries");
+        Dataset::new("BB", instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table1_marginals() {
+        let ds = BestBuyConfig::default().generate();
+        assert_eq!(ds.instance.num_queries(), 1000);
+        assert!(ds.instance.max_query_len() <= 4);
+        let hist = ds.instance.length_histogram();
+        let short = (hist[1] + hist[2]) as f64 / 1000.0;
+        assert!(short >= 0.92, "short fraction {short}");
+    }
+
+    #[test]
+    fn uniform_costs() {
+        let ds = BestBuyConfig::default().generate();
+        let q = &ds.instance.queries()[0];
+        assert_eq!(ds.instance.weight(q).finite(), Some(1));
+    }
+
+    #[test]
+    fn properties_outnumber_queries() {
+        // the Fig. 3a precondition: PO costs more than QO
+        let ds = BestBuyConfig::default().generate();
+        assert!(
+            ds.instance.num_properties() > ds.instance.num_queries(),
+            "{} properties vs {} queries",
+            ds.instance.num_properties(),
+            ds.instance.num_queries()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = BestBuyConfig::default().generate();
+        let b = BestBuyConfig::default().generate();
+        assert_eq!(a.instance.queries(), b.instance.queries());
+    }
+}

@@ -1,0 +1,203 @@
+//! JSON (de)serialization of datasets.
+//!
+//! The on-disk format stores queries as property-id lists and the weight
+//! function symbolically (uniform / seeded) or as explicit entries, so a
+//! 100 000-query synthetic dataset serializes in kilobytes rather than by
+//! materializing ~2 million classifier weights.
+
+use crate::Dataset;
+use mc3_core::{FxHashMap, Instance, PropSet, Weight, Weights};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Serializable weight-function description.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum WeightSpec {
+    /// Every classifier costs `cost`.
+    Uniform {
+        /// The common cost.
+        cost: u64,
+    },
+    /// Deterministic pseudo-random costs in `[lo, hi]`.
+    Seeded {
+        /// Hash seed.
+        seed: u64,
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// Explicit `(classifier, cost)` entries; `cost = null` means
+    /// infeasible (infinite). Absent classifiers get `default`
+    /// (`null` = infinite).
+    Explicit {
+        /// The entries.
+        entries: Vec<(Vec<u32>, Option<u64>)>,
+        /// Default for absent classifiers.
+        default: Option<u64>,
+    },
+}
+
+/// The serializable dataset file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetFile {
+    /// Dataset name.
+    pub name: String,
+    /// Queries as sorted property-id lists.
+    pub queries: Vec<Vec<u32>>,
+    /// The weight function.
+    pub weights: WeightSpec,
+}
+
+fn weight_to_opt(w: Weight) -> Option<u64> {
+    w.finite()
+}
+
+fn opt_to_weight(o: Option<u64>) -> Weight {
+    match o {
+        Some(v) => Weight::new(v),
+        None => Weight::INFINITE,
+    }
+}
+
+impl DatasetFile {
+    /// Captures a dataset into its serializable form.
+    pub fn from_dataset(ds: &Dataset) -> DatasetFile {
+        let queries = ds
+            .instance
+            .queries()
+            .iter()
+            .map(|q| q.iter().map(|p| p.0).collect())
+            .collect();
+        let weights = match ds.instance.weights() {
+            Weights::Uniform(w) => WeightSpec::Uniform {
+                cost: w.finite().expect("uniform weights are finite"),
+            },
+            Weights::Seeded { seed, lo, hi } => WeightSpec::Seeded {
+                seed: *seed,
+                lo: *lo,
+                hi: *hi,
+            },
+            Weights::Custom(_) => panic!(
+                "custom cost functions cannot be serialized; materialize them \
+                 into an explicit map first"
+            ),
+            Weights::Map { map, default } => {
+                let mut entries: Vec<(Vec<u32>, Option<u64>)> = map
+                    .iter()
+                    .map(|(c, &w)| (c.iter().map(|p| p.0).collect(), weight_to_opt(w)))
+                    .collect();
+                entries.sort();
+                WeightSpec::Explicit {
+                    entries,
+                    default: weight_to_opt(*default),
+                }
+            }
+        };
+        DatasetFile {
+            name: ds.name.clone(),
+            queries,
+            weights,
+        }
+    }
+
+    /// Reconstructs the dataset.
+    pub fn into_dataset(self) -> mc3_core::Result<Dataset> {
+        let weights = match self.weights {
+            WeightSpec::Uniform { cost } => Weights::uniform(cost),
+            WeightSpec::Seeded { seed, lo, hi } => Weights::seeded(seed, lo, hi),
+            WeightSpec::Explicit { entries, default } => {
+                let mut map: FxHashMap<PropSet, Weight> = FxHashMap::default();
+                for (ids, cost) in entries {
+                    map.insert(PropSet::from_ids(ids), opt_to_weight(cost));
+                }
+                Weights::Map {
+                    map,
+                    default: opt_to_weight(default),
+                }
+            }
+        };
+        let instance = Instance::new(self.queries, weights)?;
+        Ok(Dataset::new(self.name, instance))
+    }
+}
+
+/// Writes a dataset as pretty JSON.
+pub fn write_dataset_json(ds: &Dataset, mut w: impl Write) -> std::io::Result<()> {
+    let file = DatasetFile::from_dataset(ds);
+    let json = serde_json::to_string_pretty(&file).expect("dataset serializes");
+    w.write_all(json.as_bytes())
+}
+
+/// Reads a dataset from JSON.
+pub fn read_dataset_json(mut r: impl Read) -> std::io::Result<Dataset> {
+    let mut buf = String::new();
+    r.read_to_string(&mut buf)?;
+    let file: DatasetFile = serde_json::from_str(&buf)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    file.into_dataset()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BestBuyConfig, SyntheticConfig};
+    use mc3_core::WeightsBuilder;
+
+    #[test]
+    fn uniform_roundtrip() {
+        let ds = BestBuyConfig::with_queries(50).generate();
+        let mut buf = Vec::new();
+        write_dataset_json(&ds, &mut buf).unwrap();
+        let back = read_dataset_json(buf.as_slice()).unwrap();
+        assert_eq!(back.name, ds.name);
+        assert_eq!(back.instance.queries(), ds.instance.queries());
+        let q = &ds.instance.queries()[0];
+        assert_eq!(back.instance.weight(q), ds.instance.weight(q));
+    }
+
+    #[test]
+    fn seeded_roundtrip_preserves_costs() {
+        let ds = SyntheticConfig::with_queries(100).generate();
+        let mut buf = Vec::new();
+        write_dataset_json(&ds, &mut buf).unwrap();
+        let back = read_dataset_json(buf.as_slice()).unwrap();
+        for q in ds.instance.queries().iter().take(20) {
+            assert_eq!(back.instance.weight(q), ds.instance.weight(q));
+        }
+    }
+
+    #[test]
+    fn explicit_roundtrip_with_infinite() {
+        let w = WeightsBuilder::new()
+            .classifier([0u32], 3u64)
+            .infinite([1u32])
+            .build();
+        let instance = Instance::new(vec![vec![0u32, 1]], w).unwrap();
+        let ds = Dataset::new("tiny", instance);
+        let mut buf = Vec::new();
+        write_dataset_json(&ds, &mut buf).unwrap();
+        let back = read_dataset_json(buf.as_slice()).unwrap();
+        let x = PropSet::from_ids([0u32]);
+        let y = PropSet::from_ids([1u32]);
+        assert_eq!(back.instance.weight(&x), Weight::new(3));
+        assert!(back.instance.weight(&y).is_infinite());
+        assert!(back
+            .instance
+            .weight(&PropSet::from_ids([0u32, 1]))
+            .is_infinite());
+    }
+
+    #[test]
+    fn invalid_json_is_rejected() {
+        assert!(read_dataset_json("not json".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let json = r#"{"name":"bad","queries":[[]],"weights":{"kind":"uniform","cost":1}}"#;
+        assert!(read_dataset_json(json.as_bytes()).is_err());
+    }
+}

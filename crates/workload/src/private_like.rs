@@ -1,0 +1,209 @@
+//! Private-dataset-alike generator.
+//!
+//! The paper's private dataset holds 10 000 popular e-commerce queries of
+//! lengths 1–6 with classifier costs 1–63 (normalized expert-labeling
+//! estimates), and is "a union of several sub-datasets pertaining to
+//! different categories of products (Electronics, Fashion, Home & Garden)";
+//! the Fashion slice has ~1000 queries, 96 % of which have length ≤ 2
+//! (§6.1). Each category draws from its own property pool (catalog
+//! attributes rarely cross categories), which also gives the component
+//! structure Step 2 exploits.
+
+use crate::Dataset;
+use mc3_core::{Instance, Weights};
+use rand::prelude::*;
+
+/// A product category of the private-alike dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrivateCategory {
+    /// ~5000 queries, mixed lengths 1–6.
+    Electronics,
+    /// ~1000 queries, 96 % of length ≤ 2 (max 5).
+    Fashion,
+    /// ~4000 queries, mixed lengths 1–6.
+    HomeAndGarden,
+}
+
+impl PrivateCategory {
+    fn query_share(self, total: usize) -> usize {
+        match self {
+            PrivateCategory::Electronics => total / 2,
+            PrivateCategory::Fashion => total / 10,
+            PrivateCategory::HomeAndGarden => total - total / 2 - total / 10,
+        }
+    }
+
+    /// Property ids are namespaced per category so pools never overlap.
+    fn prop_base(self) -> u32 {
+        match self {
+            PrivateCategory::Electronics => 0,
+            PrivateCategory::Fashion => 10_000_000,
+            PrivateCategory::HomeAndGarden => 20_000_000,
+        }
+    }
+
+    fn sample_len(self, rng: &mut impl Rng) -> usize {
+        match self {
+            // Fashion: 96 % short, max 5
+            PrivateCategory::Fashion => match rng.gen_range(0..100u32) {
+                0..=40 => 1,
+                41..=95 => 2,
+                96..=97 => 3,
+                98 => 4,
+                _ => 5,
+            },
+            // Others: inverse length/frequency correlation over 1..6
+            _ => match rng.gen_range(0..100u32) {
+                0..=29 => 1,
+                30..=64 => 2,
+                65..=82 => 3,
+                83..=92 => 4,
+                93..=97 => 5,
+                _ => 6,
+            },
+        }
+    }
+}
+
+/// Configuration of the private-alike generator.
+#[derive(Debug, Clone)]
+pub struct PrivateConfig {
+    /// Total queries across all categories (paper: 10 000).
+    pub num_queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cost range (paper: `[1, 63]`).
+    pub cost_range: (u64, u64),
+    /// Per-category pool divisor: pool = category queries / divisor
+    /// (smaller divisor → more distinct properties).
+    pub pool_divisor: usize,
+}
+
+impl Default for PrivateConfig {
+    fn default() -> Self {
+        PrivateConfig {
+            num_queries: 10_000,
+            seed: 0x50, // 'P'
+            cost_range: (1, 63),
+            pool_divisor: 2,
+        }
+    }
+}
+
+impl PrivateConfig {
+    /// Paper defaults with `n` total queries.
+    pub fn with_queries(num_queries: usize) -> PrivateConfig {
+        PrivateConfig {
+            num_queries,
+            ..Default::default()
+        }
+    }
+
+    /// Generates the full three-category dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut queries = Vec::with_capacity(self.num_queries);
+        for cat in [
+            PrivateCategory::Electronics,
+            PrivateCategory::Fashion,
+            PrivateCategory::HomeAndGarden,
+        ] {
+            queries.extend(self.generate_category_queries(cat, cat.query_share(self.num_queries)));
+        }
+        let weights = Weights::seeded(self.seed ^ 0xAB, self.cost_range.0, self.cost_range.1);
+        let instance = Instance::new(queries, weights).expect("valid queries");
+        Dataset::new("P", instance)
+    }
+
+    /// Generates only the Fashion category (~`num_queries / 10` queries;
+    /// the 1000-query subset of Fig. 3d where Short-First wins).
+    pub fn generate_fashion(&self) -> Dataset {
+        let n = PrivateCategory::Fashion.query_share(self.num_queries);
+        let queries = self.generate_category_queries(PrivateCategory::Fashion, n);
+        let weights = Weights::seeded(self.seed ^ 0xAB, self.cost_range.0, self.cost_range.1);
+        let instance = Instance::new(queries, weights).expect("valid queries");
+        Dataset::new("P-fashion", instance)
+    }
+
+    fn generate_category_queries(&self, cat: PrivateCategory, n: usize) -> Vec<Vec<u32>> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ cat.prop_base() as u64);
+        let pool = (n / self.pool_divisor).max(8) as u32;
+        let base = cat.prop_base();
+        let mut seen = mc3_core::FxHashSet::default();
+        let mut queries = Vec::with_capacity(n);
+        let max_attempts = n.saturating_mul(80) + 1000;
+        let mut attempts = 0;
+        while queries.len() < n && attempts < max_attempts {
+            attempts += 1;
+            let len = cat.sample_len(&mut rng);
+            let mut props: Vec<u32> = Vec::with_capacity(len);
+            while props.len() < len {
+                let p = base + rng.gen_range(0..pool);
+                if !props.contains(&p) {
+                    props.push(p);
+                }
+            }
+            props.sort_unstable();
+            if seen.insert(props.clone()) {
+                queries.push(props);
+            }
+        }
+        queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table1_marginals() {
+        let ds = PrivateConfig::default().generate();
+        assert_eq!(ds.instance.num_queries(), 10_000);
+        assert!(ds.instance.max_query_len() <= 6);
+        // costs within [1, 63]
+        for q in ds.instance.queries().iter().take(20) {
+            let w = ds.instance.weight(q).finite().unwrap();
+            assert!((1..=63).contains(&w));
+        }
+    }
+
+    #[test]
+    fn fashion_slice_is_mostly_short() {
+        let ds = PrivateConfig::default().generate_fashion();
+        assert_eq!(ds.instance.num_queries(), 1000);
+        let hist = ds.instance.length_histogram();
+        let short =
+            (hist[1] + hist.get(2).copied().unwrap_or(0)) as f64 / ds.instance.num_queries() as f64;
+        assert!(short >= 0.93, "short fraction {short}");
+    }
+
+    #[test]
+    fn categories_are_property_disjoint() {
+        let ds = PrivateConfig::default().generate();
+        // every query lives in exactly one category namespace
+        for q in ds.instance.queries() {
+            let cat = q.ids()[0].0 / 10_000_000;
+            assert!(q.iter().all(|p| p.0 / 10_000_000 == cat));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = PrivateConfig::default().generate();
+        let b = PrivateConfig::default().generate();
+        assert_eq!(a.instance.queries(), b.instance.queries());
+    }
+
+    #[test]
+    fn varying_costs_not_uniform() {
+        let ds = PrivateConfig::default().generate();
+        let costs: mc3_core::FxHashSet<u64> = ds
+            .instance
+            .queries()
+            .iter()
+            .take(100)
+            .map(|q| ds.instance.weight(q).finite().unwrap())
+            .collect();
+        assert!(costs.len() > 10, "costs look uniform: {costs:?}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Random query-subset sampling — the paper's varying-cardinality protocol.
+//!
+//! "For each inspected dataset, along with running the experiments on its
+//! entire query load, we also randomly select subsets of this query set of
+//! different cardinalities and run the algorithms over these corresponding
+//! sub-instances" (§6.1).
+
+use mc3_core::{Instance, Result};
+use rand::prelude::*;
+
+/// A sub-instance of `size` queries sampled uniformly without replacement
+/// (clamped to the instance size).
+pub fn random_subset(instance: &Instance, size: usize, seed: u64) -> Result<Instance> {
+    let n = instance.num_queries();
+    let size = size.min(n);
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    indices.truncate(size);
+    indices.sort_unstable();
+    instance.restrict_to(&indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc3_core::Weights;
+
+    fn instance(n: usize) -> Instance {
+        let queries: Vec<Vec<u32>> = (0..n as u32).map(|i| vec![2 * i, 2 * i + 1]).collect();
+        Instance::new(queries, Weights::uniform(1u64)).unwrap()
+    }
+
+    #[test]
+    fn subset_has_requested_size() {
+        let inst = instance(100);
+        let sub = random_subset(&inst, 30, 1).unwrap();
+        assert_eq!(sub.num_queries(), 30);
+    }
+
+    #[test]
+    fn oversized_request_clamps() {
+        let inst = instance(10);
+        let sub = random_subset(&inst, 99, 1).unwrap();
+        assert_eq!(sub.num_queries(), 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let inst = instance(50);
+        let a = random_subset(&inst, 20, 7).unwrap();
+        let b = random_subset(&inst, 20, 7).unwrap();
+        assert_eq!(a.queries(), b.queries());
+        let c = random_subset(&inst, 20, 8).unwrap();
+        assert_ne!(a.queries(), c.queries());
+    }
+
+    #[test]
+    fn subset_queries_come_from_parent() {
+        let inst = instance(40);
+        let sub = random_subset(&inst, 15, 3).unwrap();
+        for q in sub.queries() {
+            assert!(inst.queries().contains(q));
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The paper's synthetic workload generator (§6.1).
+//!
+//! * `n` distinct queries (default 100 000);
+//! * query length `l ≥ 2` with probability `1/2^(l−1)` — half the queries
+//!   have length 2, a quarter length 3, and so on (the real-life inverse
+//!   correlation between length and frequency), truncated at
+//!   `max_len = 10` (longer queries "are rare in practice \[21\]");
+//! * properties drawn uniformly from a pool of `n/t` properties, with `t`
+//!   drawn uniformly from `[2, √n]` once per dataset;
+//! * classifier costs uniform in `[1, 50]`, realized as deterministic
+//!   seeded weights so that nothing needs materializing.
+
+use crate::Dataset;
+use mc3_core::{Instance, Weights};
+use rand::prelude::*;
+
+/// How property popularity is distributed when sampling query properties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PropertyPopularity {
+    /// Every pool property is equally likely (the paper's recipe).
+    Uniform,
+    /// Zipf-distributed popularity with the given exponent (`s > 0`):
+    /// property ranked `r` is drawn with probability ∝ `1/r^s`. Real query
+    /// logs are heavy-tailed — a few properties ("brand=Apple") dominate
+    /// while most appear rarely; this knob reproduces that skew.
+    Zipf(f64),
+}
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of distinct queries to produce.
+    pub num_queries: usize,
+    /// RNG seed (drives the query sample and the cost function).
+    pub seed: u64,
+    /// Maximum query length (paper: 10).
+    pub max_len: usize,
+    /// Minimum query length (paper: 2; set equal to `max_len` = 2 for the
+    /// short-query experiments of Fig. 3c).
+    pub min_len: usize,
+    /// Cost range (paper: `[1, 50]`).
+    pub cost_range: (u64, u64),
+    /// Explicit property-pool size; `None` draws `t ~ U[2, √n]` and uses
+    /// `n/t` per the paper.
+    pub pool_size: Option<usize>,
+    /// Property-popularity model (paper: uniform).
+    pub popularity: PropertyPopularity,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            num_queries: 100_000,
+            seed: 0xC0FFEE,
+            max_len: 10,
+            min_len: 2,
+            cost_range: (1, 50),
+            pool_size: None,
+            popularity: PropertyPopularity::Uniform,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// Paper defaults with `n` queries.
+    pub fn with_queries(num_queries: usize) -> SyntheticConfig {
+        SyntheticConfig {
+            num_queries,
+            ..Default::default()
+        }
+    }
+
+    /// The short-query variant: every query has length exactly 2
+    /// (used by the `k = 2` scalability experiment, Fig. 3c).
+    pub fn short(num_queries: usize) -> SyntheticConfig {
+        SyntheticConfig {
+            num_queries,
+            min_len: 2,
+            max_len: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Reseeds (the paper regenerates the dataset per experiment).
+    pub fn seed(mut self, seed: u64) -> SyntheticConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Switches to Zipf-distributed property popularity.
+    pub fn zipf(mut self, exponent: f64) -> SyntheticConfig {
+        assert!(exponent > 0.0, "Zipf exponent must be positive");
+        self.popularity = PropertyPopularity::Zipf(exponent);
+        self
+    }
+
+    /// Samples a query length: `P(l) = 1/2^(l−1)`, truncated to
+    /// `[min_len, max_len]` by resampling (paper: "queries generated with
+    /// length exceeding 10 are omitted").
+    fn sample_len(&self, rng: &mut impl Rng) -> usize {
+        debug_assert!(self.min_len >= 1 && self.min_len <= self.max_len);
+        if self.min_len == self.max_len {
+            return self.min_len;
+        }
+        // geometric walk: start at min_len, extend with probability 1/2 —
+        // P(l) = 1/2^(l−min_len+1); the cap at max_len realizes the paper's
+        // "queries generated with length exceeding 10 are omitted"
+        let mut l = self.min_len;
+        while l < self.max_len && rng.gen_bool(0.5) {
+            l += 1;
+        }
+        l
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.num_queries;
+        let pool = self.pool_size.unwrap_or_else(|| {
+            let sqrt_n = (n as f64).sqrt().max(2.0) as u64;
+            let t = rng.gen_range(2..=sqrt_n.max(2));
+            (n as u64 / t).max(self.max_len as u64) as usize
+        });
+
+        // Zipf sampling via inverse CDF over cumulative rank weights;
+        // ranks are shuffled onto property ids so popularity is not
+        // correlated with id order.
+        let zipf_cdf: Option<(Vec<f64>, Vec<u32>)> = match self.popularity {
+            PropertyPopularity::Uniform => None,
+            PropertyPopularity::Zipf(s) => {
+                let mut acc = 0.0;
+                let cdf: Vec<f64> = (1..=pool)
+                    .map(|r| {
+                        acc += 1.0 / (r as f64).powf(s);
+                        acc
+                    })
+                    .collect();
+                let mut ids: Vec<u32> = (0..pool as u32).collect();
+                ids.shuffle(&mut rng);
+                Some((cdf, ids))
+            }
+        };
+        let sample_prop = |rng: &mut StdRng| -> u32 {
+            match &zipf_cdf {
+                None => rng.gen_range(0..pool as u32),
+                Some((cdf, ids)) => {
+                    let total = *cdf.last().expect("non-empty pool");
+                    let x = rng.gen_range(0.0..total);
+                    let rank = cdf.partition_point(|&c| c < x);
+                    ids[rank.min(ids.len() - 1)]
+                }
+            }
+        };
+
+        let mut seen = mc3_core::FxHashSet::default();
+        let mut queries: Vec<Vec<u32>> = Vec::with_capacity(n);
+        let mut attempts = 0usize;
+        let max_attempts = n.saturating_mul(50) + 1000;
+        while queries.len() < n && attempts < max_attempts {
+            attempts += 1;
+            let len = self.sample_len(&mut rng);
+            let mut props: Vec<u32> = Vec::with_capacity(len);
+            let mut prop_attempts = 0;
+            while props.len() < len && prop_attempts < 200 {
+                prop_attempts += 1;
+                let p = sample_prop(&mut rng);
+                if !props.contains(&p) {
+                    props.push(p);
+                }
+            }
+            if props.len() < len {
+                continue; // extremely skewed Zipf draw; resample the query
+            }
+            props.sort_unstable();
+            if seen.insert(props.clone()) {
+                queries.push(props);
+            }
+        }
+
+        let weights = Weights::seeded(self.seed ^ 0x5EED, self.cost_range.0, self.cost_range.1);
+        let instance = Instance::new(queries, weights).expect("generator produces valid queries");
+        Dataset::new("S", instance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_count_and_bounds() {
+        let ds = SyntheticConfig::with_queries(2000).generate();
+        assert_eq!(ds.instance.num_queries(), 2000);
+        assert!(ds.instance.max_query_len() <= 10);
+        assert!(ds
+            .instance
+            .queries()
+            .iter()
+            .all(|q| (2..=10).contains(&q.len())));
+    }
+
+    #[test]
+    fn length_distribution_is_geometric() {
+        // a huge pool avoids dedup-induced skew so the raw sampling
+        // distribution is observable
+        let mut cfg = SyntheticConfig::with_queries(20_000);
+        cfg.pool_size = Some(1_000_000);
+        let ds = cfg.generate();
+        let hist = ds.instance.length_histogram();
+        let n = ds.instance.num_queries() as f64;
+        // P(2) ≈ 1/2, P(3) ≈ 1/4 (tolerate sampling + dedup noise)
+        assert!((hist[2] as f64 / n - 0.5).abs() < 0.05, "hist {hist:?}");
+        assert!((hist[3] as f64 / n - 0.25).abs() < 0.04);
+        assert!(hist[2] > hist[3] && hist[3] > hist[4]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticConfig::with_queries(500).seed(7).generate();
+        let b = SyntheticConfig::with_queries(500).seed(7).generate();
+        assert_eq!(a.instance.queries(), b.instance.queries());
+        let c = SyntheticConfig::with_queries(500).seed(8).generate();
+        assert_ne!(a.instance.queries(), c.instance.queries());
+    }
+
+    #[test]
+    fn costs_stay_in_range() {
+        let ds = SyntheticConfig::with_queries(200).generate();
+        for q in ds.instance.queries().iter().take(50) {
+            let w = ds.instance.weight(q).finite().unwrap();
+            assert!((1..=50).contains(&w));
+        }
+    }
+
+    #[test]
+    fn short_variant_is_all_pairs() {
+        let ds = SyntheticConfig::short(1000).generate();
+        assert!(ds.instance.is_short());
+        assert!(ds.instance.queries().iter().all(|q| q.len() == 2));
+        assert_eq!(ds.instance.num_queries(), 1000);
+    }
+
+    #[test]
+    fn zipf_popularity_is_heavy_tailed() {
+        let mut uni = SyntheticConfig::with_queries(4000);
+        uni.pool_size = Some(2000);
+        let zipf = {
+            let mut c = SyntheticConfig::with_queries(4000).zipf(1.1);
+            c.pool_size = Some(2000);
+            c
+        };
+        let count_max_occurrence = |ds: &crate::Dataset| {
+            let mut counts = mc3_core::FxHashMap::default();
+            for q in ds.instance.queries() {
+                for p in q.iter() {
+                    *counts.entry(p.0).or_insert(0usize) += 1;
+                }
+            }
+            *counts.values().max().unwrap()
+        };
+        let u = count_max_occurrence(&uni.generate());
+        let z = count_max_occurrence(&zipf.generate());
+        assert!(
+            z > 3 * u,
+            "Zipf max occurrence {z} should dwarf uniform {u}"
+        );
+    }
+
+    #[test]
+    fn zipf_generation_is_deterministic_and_valid() {
+        let cfg = SyntheticConfig::with_queries(500).zipf(1.0).seed(3);
+        let a = cfg.clone().generate();
+        let b = cfg.generate();
+        assert_eq!(a.instance.queries(), b.instance.queries());
+        assert_eq!(a.instance.num_queries(), 500);
+        assert!(a.instance.queries().iter().all(|q| q.len() >= 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zipf_rejects_nonpositive_exponent() {
+        let _ = SyntheticConfig::with_queries(10).zipf(0.0);
+    }
+
+    #[test]
+    fn explicit_pool_size_is_respected() {
+        let mut cfg = SyntheticConfig::with_queries(300);
+        cfg.pool_size = Some(40);
+        let ds = cfg.generate();
+        assert!(ds.instance.num_properties() <= 40);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the workload generators: every generated dataset
+//! is a valid, solvable instance whose marginals stay within the published
+//! bounds, and serialization round-trips.
+
+use mc3_workload::{
+    random_subset, read_dataset_json, write_dataset_json, BestBuyConfig, PrivateConfig,
+    SyntheticConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn synthetic_instances_are_valid(n in 1..300usize, seed in any::<u64>()) {
+        let ds = SyntheticConfig::with_queries(n).seed(seed).generate();
+        prop_assert_eq!(ds.instance.num_queries(), n);
+        prop_assert!(ds.instance.max_query_len() <= 10);
+        for q in ds.instance.queries() {
+            prop_assert!(q.len() >= 2);
+            let w = ds.instance.weight(q);
+            prop_assert!((1..=50).contains(&w.finite().unwrap()));
+        }
+    }
+
+    #[test]
+    fn bestbuy_instances_are_valid(n in 1..300usize, seed in 1..u64::MAX) {
+        let mut cfg = BestBuyConfig::with_queries(n);
+        cfg.seed = seed;
+        let ds = cfg.generate();
+        prop_assert_eq!(ds.instance.num_queries(), n);
+        prop_assert!(ds.instance.max_query_len() <= 4);
+        for q in ds.instance.queries().iter().take(10) {
+            prop_assert_eq!(ds.instance.weight(q).finite(), Some(1));
+        }
+    }
+
+    #[test]
+    fn private_instances_are_valid(n in 10..300usize, seed in 1..u64::MAX) {
+        let mut cfg = PrivateConfig::with_queries(n);
+        cfg.seed = seed;
+        let ds = cfg.generate();
+        prop_assert!(ds.instance.num_queries() <= n);
+        prop_assert!(ds.instance.num_queries() >= n - n / 10 - 2); // share rounding
+        prop_assert!(ds.instance.max_query_len() <= 6);
+        for q in ds.instance.queries().iter().take(10) {
+            let w = ds.instance.weight(q).finite().unwrap();
+            prop_assert!((1..=63).contains(&w));
+        }
+    }
+
+    #[test]
+    fn zipf_instances_are_valid(n in 1..200usize, s in 2..25u32) {
+        let ds = SyntheticConfig::with_queries(n)
+            .zipf(s as f64 / 10.0)
+            .generate();
+        prop_assert_eq!(ds.instance.num_queries(), n);
+        prop_assert!(ds.instance.queries().iter().all(|q| q.len() >= 2));
+    }
+
+    #[test]
+    fn roundtrip_any_generated_dataset(n in 1..120usize, seed in any::<u64>()) {
+        let ds = SyntheticConfig::with_queries(n).seed(seed).generate();
+        let mut buf = Vec::new();
+        write_dataset_json(&ds, &mut buf).unwrap();
+        let back = read_dataset_json(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.instance.queries(), ds.instance.queries());
+        for q in ds.instance.queries().iter().take(10) {
+            prop_assert_eq!(back.instance.weight(q), ds.instance.weight(q));
+        }
+    }
+
+    #[test]
+    fn subsets_compose(n in 10..200usize, a in 1..100usize, seed in any::<u64>()) {
+        let ds = SyntheticConfig::with_queries(n).seed(seed).generate();
+        let sub = random_subset(&ds.instance, a, seed ^ 1).unwrap();
+        let subsub = random_subset(&sub, a / 2, seed ^ 2).unwrap();
+        prop_assert!(subsub.num_queries() <= sub.num_queries());
+        for q in subsub.queries() {
+            prop_assert!(ds.instance.queries().contains(q));
+        }
+    }
+}

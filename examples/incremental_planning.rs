@@ -1,0 +1,59 @@
+//! Incremental classifier planning across budget cycles.
+//!
+//! The paper's §6.1 motivates varying query-load cardinalities by "practical
+//! settings where the size of the query load varies according to different
+//! budget quotas". This example plays that out: a company covers a first
+//! query batch, ships those classifiers, and next quarter covers a larger
+//! batch — paying only the *marginal* cost, because the already-built
+//! classifiers participate in new covers for free
+//! (`Mc3Solver::prebuilt`).
+//!
+//! ```sh
+//! cargo run --release --example incremental_planning
+//! ```
+
+use mc3::prelude::*;
+use mc3::workload::random_subset;
+
+fn main() {
+    // the quarter-over-quarter query load (private-alike, 2000 queries)
+    let full = PrivateConfig::with_queries(2_000).generate().instance;
+
+    let mut built: Vec<Classifier> = Vec::new();
+    let mut cumulative = Weight::ZERO;
+
+    for (quarter, share) in [(1, 500), (2, 1000), (3, 2000)] {
+        let batch = random_subset(&full, share, quarter as u64).unwrap();
+        let report = Mc3Solver::new()
+            .prebuilt(built.clone())
+            .solve_report(&batch)
+            .expect("coverable");
+
+        // the marginal solution + existing inventory covers the batch
+        assert!(mc3::core::is_cover(&batch, &report.full_cover()));
+
+        cumulative = cumulative + report.solution.cost();
+        println!(
+            "Q{quarter}: {} queries — build {} new classifiers for {} (reusing {} built earlier); cumulative spend {}",
+            batch.num_queries(),
+            report.solution.len(),
+            report.solution.cost(),
+            report.prebuilt_used.len(),
+            cumulative,
+        );
+
+        built.extend(report.solution.classifiers().iter().cloned());
+        built.sort_unstable();
+        built.dedup();
+    }
+
+    // Compare with planning everything at once.
+    let oneshot = Mc3Solver::new()
+        .solve(&random_subset(&full, 2000, 3).unwrap())
+        .unwrap();
+    println!(
+        "\nplanning Q3's full load from scratch would cost {} — incremental spending totalled {} (the price of committing early)",
+        oneshot.cost(),
+        cumulative
+    );
+}

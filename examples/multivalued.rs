@@ -1,0 +1,128 @@
+//! Model extensions from §5.3 of the paper:
+//!
+//! 1. multi-valued classifiers — a single "team" classifier decides every
+//!    `team=*` property at once, and can be cheaper than the binary
+//!    classifiers it replaces;
+//! 2. attribute merging — the "only multi-valued classifiers" setting is
+//!    itself an MC³ instance over attributes;
+//! 3. the budgeted partial-cover variant (future work in the paper):
+//!    maximize the importance of fully covered queries under a budget.
+//!
+//! ```sh
+//! cargo run --release --example multivalued
+//! ```
+
+use mc3::core::{merge_to_attributes, MultiValuedClassifier};
+use mc3::prelude::*;
+use mc3::solver::{solve_partial_cover, solve_with_multivalued, MixedPick};
+
+fn main() {
+    let mut props = PropertyInterner::new();
+    let juventus = props.intern("team=Juventus");
+    let chelsea = props.intern("team=Chelsea");
+    let cska = props.intern("team=CSKA");
+    let adidas = props.intern("brand=Adidas");
+    let umbro = props.intern("brand=Umbro");
+
+    // Five shirt-search queries over team/brand properties.
+    let queries = [
+        vec![juventus, adidas],
+        vec![chelsea, adidas],
+        vec![cska, umbro],
+        vec![juventus],
+        vec![chelsea, umbro],
+    ];
+    let weights = WeightsBuilder::new()
+        .default_weight(Weight::new(8)) // every binary conjunction: 8
+        .classifier([juventus], 6u64)
+        .classifier([chelsea], 6u64)
+        .classifier([cska], 6u64)
+        .classifier([adidas], 7u64)
+        .classifier([umbro], 7u64)
+        .build();
+    let instance = Instance::new(
+        queries
+            .iter()
+            .map(|q| q.iter().map(|p| p.0).collect::<Vec<_>>()),
+        weights,
+    )
+    .unwrap();
+
+    // --- attribute schema: team and brand -------------------------------
+    let mut schema = AttributeSchema::new();
+    let team = schema.attribute("team");
+    let brand = schema.attribute("brand");
+    for p in [juventus, chelsea, cska] {
+        schema.assign(p, team);
+    }
+    for p in [adidas, umbro] {
+        schema.assign(p, brand);
+    }
+
+    // --- 1. mixed binary + multi-valued ---------------------------------
+    let multi = vec![
+        MultiValuedClassifier {
+            attribute: team,
+            cost: Weight::new(9),
+        },
+        MultiValuedClassifier {
+            attribute: brand,
+            cost: Weight::new(20),
+        },
+    ];
+    let mixed = solve_with_multivalued(&instance, &schema, &multi).unwrap();
+    assert!(mixed.covers(&instance, &schema, &multi));
+    println!("mixed binary + multi-valued solution, cost {}:", mixed.cost);
+    for pick in &mixed.picks {
+        match pick {
+            MixedPick::Binary(c) => {
+                let names: Vec<&str> = c.iter().map(|p| props.name(p).unwrap()).collect();
+                println!("  binary classifier [{}]", names.join(" AND "));
+            }
+            MixedPick::MultiValued(i) => {
+                println!(
+                    "  multi-valued classifier for attribute '{}' (covers all its values)",
+                    schema.name(multi[*i].attribute).unwrap()
+                );
+            }
+        }
+    }
+    println!();
+
+    // --- 2. attributes-only transformation ------------------------------
+    let (merged, _mapping) = merge_to_attributes(
+        &instance,
+        &schema,
+        Weights::uniform(10u64), // external cost estimates per attribute set
+    )
+    .unwrap();
+    println!(
+        "attributes-only instance: {} queries over {} attributes (was {} over {} properties)",
+        merged.num_queries(),
+        merged.num_properties(),
+        instance.num_queries(),
+        instance.num_properties()
+    );
+    let merged_solution = Mc3Solver::new().solve(&merged).unwrap();
+    println!(
+        "  solved as a regular MC3 instance: cost {}",
+        merged_solution.cost()
+    );
+    println!();
+
+    // --- 3. budgeted partial cover ---------------------------------------
+    // Query importances (e.g. observed frequencies); a budget too small to
+    // cover everything forces prioritization.
+    let values = [50u64, 30, 10, 40, 20];
+    for budget in [10u64, 20, 60] {
+        let outcome = solve_partial_cover(&instance, &values, Weight::new(budget)).unwrap();
+        println!(
+            "budget {:>3}: covered {:?} (importance {}), spent {}, left {}",
+            budget,
+            outcome.covered_queries,
+            outcome.covered_value,
+            outcome.solution.cost(),
+            outcome.budget_left
+        );
+    }
+}

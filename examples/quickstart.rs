@@ -1,0 +1,71 @@
+//! Quickstart: define queries and classifier costs, solve, inspect.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mc3::prelude::*;
+
+fn main() {
+    // A tiny catalog-search workload over four properties.
+    // Queries: {0,1}, {1,2}, {0,1,2,3}
+    let queries = vec![vec![0u32, 1], vec![1u32, 2], vec![0u32, 1, 2, 3]];
+
+    // Explicit classifier costs; anything not listed is infeasible except
+    // that we give a default so every conjunction is trainable at cost 6.
+    let weights = WeightsBuilder::new()
+        .default_weight(Weight::new(6))
+        .classifier([0u32], 4u64)
+        .classifier([1u32], 2u64)
+        .classifier([2u32], 4u64)
+        .classifier([0u32, 1], 5u64)
+        .classifier([1u32, 2], 5u64)
+        .classifier([3u32], 1u64)
+        .build();
+
+    let instance = Instance::new(queries, weights).expect("valid queries");
+    println!("instance: {}", InstanceStats::gather(&instance));
+
+    // The default solver picks the right algorithm for the instance
+    // (exact for k ≤ 2, the Algorithm-3 approximation otherwise).
+    let report = Mc3Solver::new()
+        .solve_report(&instance)
+        .expect("coverable instance");
+    let solution = &report.solution;
+    solution
+        .verify(&instance)
+        .expect("solver output must cover");
+
+    println!(
+        "selected {} classifiers, total cost {}",
+        solution.len(),
+        solution.cost()
+    );
+    for c in solution.classifiers() {
+        println!("  train classifier for {c} (cost {})", instance.weight(c));
+    }
+    println!(
+        "preprocessing: {} selected, {} pruned, {} queries closed",
+        report.preprocess_stats.selected,
+        report.preprocess_stats.removed_by_decomposition
+            + report.preprocess_stats.removed_by_singleton_pruning,
+        report.preprocess_stats.covered_queries,
+    );
+    println!(
+        "worst-case approximation guarantee for this instance: {:.2}×",
+        report.instance_stats.approximation_guarantee()
+    );
+
+    // Compare against the exact optimum (viable for small instances).
+    let exact = Mc3Solver::new()
+        .algorithm(Algorithm::Exact)
+        .solve(&instance)
+        .unwrap();
+    println!(
+        "exact optimum: {} (solver found {})",
+        exact.cost(),
+        solution.cost()
+    );
+}
+
+use mc3::solver::Algorithm;

@@ -1,0 +1,122 @@
+//! Property-based tests of the paper's theoretical claims:
+//!
+//! * Algorithm 2 is exact for `k ≤ 2` (Theorem 4.1);
+//! * Algorithm 1 preserves at least one optimal solution (§3);
+//! * Algorithm 3 stays within the Theorem 5.3 guarantee;
+//! * determinism and parallel/sequential agreement.
+
+use mc3::prelude::*;
+use mc3::solver::{Algorithm, PreprocessOptions};
+use proptest::prelude::*;
+
+/// Strategy: a random small instance (queries + seeded weights).
+fn arb_instance(
+    max_props: u32,
+    max_len: usize,
+    max_queries: usize,
+) -> impl Strategy<Value = Instance> {
+    let query = prop::collection::vec(0..max_props, 1..=max_len);
+    (prop::collection::vec(query, 1..=max_queries), any::<u64>()).prop_map(
+        move |(queries, seed)| {
+            Instance::new(queries, Weights::seeded(seed, 1, 30)).expect("valid random instance")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn k2_solver_matches_exact_optimum(instance in arb_instance(8, 2, 8)) {
+        let k2 = Mc3Solver::new().algorithm(Algorithm::K2Exact).solve(&instance).unwrap();
+        k2.verify(&instance).unwrap();
+        let exact = Mc3Solver::new().algorithm(Algorithm::Exact).solve(&instance).unwrap();
+        prop_assert_eq!(k2.cost(), exact.cost());
+    }
+
+    #[test]
+    fn preprocessing_preserves_the_optimum(instance in arb_instance(7, 3, 6)) {
+        let with = mc3::solver::exact::solve_exact_with(&instance, &PreprocessOptions::default()).unwrap();
+        let without = mc3::solver::exact::solve_exact_with(&instance, &PreprocessOptions::disabled()).unwrap();
+        with.verify(&instance).unwrap();
+        without.verify(&instance).unwrap();
+        prop_assert_eq!(with.cost(), without.cost());
+    }
+
+    #[test]
+    fn general_respects_theorem_5_3(instance in arb_instance(9, 4, 6)) {
+        let report = Mc3Solver::new()
+            .algorithm(Algorithm::General)
+            .solve_report(&instance)
+            .unwrap();
+        report.solution.verify(&instance).unwrap();
+        let exact = Mc3Solver::new().algorithm(Algorithm::Exact).solve(&instance).unwrap();
+        let guarantee = report.instance_stats.approximation_guarantee();
+        prop_assert!(
+            report.solution.cost().raw() as f64 <= guarantee * exact.cost().raw() as f64 + 1e-9,
+            "cost {} exceeds {:.2} × OPT ({})",
+            report.solution.cost(), guarantee, exact.cost()
+        );
+        // and it can never beat the optimum
+        prop_assert!(report.solution.cost() >= exact.cost());
+    }
+
+    #[test]
+    fn short_first_covers_and_never_beats_exact(instance in arb_instance(9, 4, 6)) {
+        let sf = Mc3Solver::new().algorithm(Algorithm::ShortFirst).solve(&instance).unwrap();
+        sf.verify(&instance).unwrap();
+        let exact = Mc3Solver::new().algorithm(Algorithm::Exact).solve(&instance).unwrap();
+        prop_assert!(sf.cost() >= exact.cost());
+    }
+
+    #[test]
+    fn all_baselines_cover(instance in arb_instance(10, 4, 8)) {
+        for alg in [Algorithm::LocalGreedy, Algorithm::QueryOriented, Algorithm::PropertyOriented] {
+            let sol = Mc3Solver::new().algorithm(alg).solve(&instance).unwrap();
+            sol.verify(&instance).unwrap();
+        }
+    }
+
+    #[test]
+    fn solving_is_deterministic(instance in arb_instance(9, 4, 8)) {
+        let a = Mc3Solver::new().solve(&instance).unwrap();
+        let b = Mc3Solver::new().solve(&instance).unwrap();
+        prop_assert_eq!(a.classifiers(), b.classifiers());
+        prop_assert_eq!(a.cost(), b.cost());
+    }
+
+    #[test]
+    fn parallel_matches_sequential(instance in arb_instance(20, 3, 10)) {
+        let seq = Mc3Solver::new().solve(&instance).unwrap();
+        let par = Mc3Solver::new().parallel(true).solve(&instance).unwrap();
+        prop_assert_eq!(seq.cost(), par.cost());
+        prop_assert_eq!(seq.classifiers(), par.classifiers());
+    }
+
+    #[test]
+    fn bounded_universe_never_beats_the_full_one(instance in arb_instance(8, 4, 6)) {
+        let full = Mc3Solver::new().algorithm(Algorithm::General).solve(&instance).unwrap();
+        let bounded = Mc3Solver::new()
+            .algorithm(Algorithm::General)
+            .max_classifier_len(2)
+            .solve(&instance);
+        // the bounded universe always contains all singletons, so the
+        // instance stays coverable under seeded (finite) weights
+        let bounded = bounded.unwrap();
+        bounded.verify(&instance).unwrap();
+        prop_assert!(bounded.classifiers().iter().all(|c| c.len() <= 2));
+        // sanity only: both cover; costs may go either way because both are
+        // heuristics over different universes, but the bounded optimum is a
+        // subset space — compare against exact to keep the claim sound
+        let exact_full = Mc3Solver::new().algorithm(Algorithm::Exact).solve(&instance).unwrap();
+        prop_assert!(full.cost() >= exact_full.cost());
+    }
+
+    #[test]
+    fn uniform_k2_mixed_equals_k2(instance in prop::collection::vec(prop::collection::vec(0..8u32, 1..=2), 1..=8)) {
+        let instance = Instance::new(instance, Weights::uniform(1u64)).unwrap();
+        let mixed = Mc3Solver::new().algorithm(Algorithm::Mixed).solve(&instance).unwrap();
+        let k2 = Mc3Solver::new().algorithm(Algorithm::K2Exact).solve(&instance).unwrap();
+        prop_assert_eq!(mixed.cost(), k2.cost());
+    }
+}

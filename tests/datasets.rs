@@ -1,0 +1,81 @@
+//! Dataset-level integration: generator marginals (Table 1), JSON
+//! round-trips, subset sampling, and statistics consistency.
+
+use mc3::core::InstanceStats;
+use mc3::workload::{
+    random_subset, read_dataset_json, write_dataset_json, BestBuyConfig, PrivateConfig,
+    SyntheticConfig,
+};
+
+#[test]
+fn table1_marginals_reproduce() {
+    let bb = BestBuyConfig::default().generate();
+    let bb_stats = InstanceStats::gather(&bb.instance);
+    assert_eq!(bb_stats.num_queries, 1000);
+    assert!(bb_stats.max_query_len <= 4);
+    assert!(bb_stats.short_query_fraction() >= 0.9);
+
+    let p = PrivateConfig::with_queries(10_000).generate();
+    let p_stats = InstanceStats::gather(&p.instance);
+    assert_eq!(p_stats.num_queries, 10_000);
+    assert!(p_stats.max_query_len <= 6);
+
+    let s = SyntheticConfig::with_queries(5_000).generate();
+    let s_stats = InstanceStats::gather(&s.instance);
+    assert_eq!(s_stats.num_queries, 5_000);
+    assert!(s_stats.max_query_len <= 10);
+}
+
+#[test]
+fn dataset_json_roundtrip_through_files() {
+    let dir = std::env::temp_dir().join("mc3_dataset_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bb.json");
+
+    let ds = BestBuyConfig::with_queries(100).generate();
+    write_dataset_json(&ds, std::fs::File::create(&path).unwrap()).unwrap();
+    let back = read_dataset_json(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(back.instance.queries(), ds.instance.queries());
+    assert_eq!(back.name, "BB");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn subsets_preserve_weights_and_shrink() {
+    let ds = PrivateConfig::with_queries(2_000).generate();
+    let sub = random_subset(&ds.instance, 500, 99).unwrap();
+    assert_eq!(sub.num_queries(), 500);
+    for q in sub.queries().iter().take(50) {
+        assert_eq!(sub.weight(q), ds.instance.weight(q));
+    }
+}
+
+#[test]
+fn stats_parameters_are_internally_consistent() {
+    let ds = SyntheticConfig::with_queries(400).generate();
+    let stats = InstanceStats::gather(&ds.instance);
+    // n̂ = Σ|q| equals the histogram-weighted sum
+    let hist_sum: usize = stats
+        .length_histogram
+        .iter()
+        .enumerate()
+        .map(|(l, &c)| l * c)
+        .sum();
+    assert_eq!(stats.sum_query_lens, hist_sum);
+    // m̂ ≤ n·2^(k−1) (§5.2 parameter analysis)
+    let bound = stats.num_queries as u64 * (1u64 << (stats.max_query_len - 1));
+    assert!((stats.num_classifiers as u64) <= bound);
+    // incidence is at most n
+    assert!((stats.max_incidence as usize) <= stats.num_queries);
+}
+
+#[test]
+fn fashion_subset_matches_its_parent_category() {
+    let cfg = PrivateConfig::with_queries(10_000);
+    let full = cfg.generate();
+    let fashion = cfg.generate_fashion();
+    // every fashion query also exists in the full dataset
+    for q in fashion.instance.queries().iter().take(100) {
+        assert!(full.instance.queries().contains(q));
+    }
+}

@@ -1,0 +1,147 @@
+//! End-to-end pipeline tests: generators → solvers → verified solutions,
+//! cross-checking every algorithm against the exact reference on small
+//! instances and against each other on generated datasets.
+
+use mc3::prelude::*;
+use mc3::solver::Algorithm;
+use mc3::workload::{BestBuyConfig, PrivateConfig, SyntheticConfig};
+
+#[test]
+fn every_algorithm_covers_the_bestbuy_dataset() {
+    let ds = BestBuyConfig::with_queries(300).generate();
+    for alg in [
+        Algorithm::Auto,
+        Algorithm::General,
+        Algorithm::ShortFirst,
+        Algorithm::LocalGreedy,
+        Algorithm::QueryOriented,
+        Algorithm::PropertyOriented,
+    ] {
+        let sol = Mc3Solver::new().algorithm(alg).solve(&ds.instance).unwrap();
+        sol.verify(&ds.instance)
+            .unwrap_or_else(|e| panic!("{alg:?} produced a non-cover: {e}"));
+    }
+}
+
+#[test]
+fn every_algorithm_covers_the_private_dataset() {
+    let ds = PrivateConfig::with_queries(1_000).generate();
+    for alg in [
+        Algorithm::Auto,
+        Algorithm::General,
+        Algorithm::ShortFirst,
+        Algorithm::LocalGreedy,
+        Algorithm::QueryOriented,
+        Algorithm::PropertyOriented,
+    ] {
+        let sol = Mc3Solver::new().algorithm(alg).solve(&ds.instance).unwrap();
+        sol.verify(&ds.instance)
+            .unwrap_or_else(|e| panic!("{alg:?} produced a non-cover: {e}"));
+    }
+}
+
+#[test]
+fn synthetic_dataset_solves_with_and_without_preprocessing() {
+    let ds = SyntheticConfig::with_queries(2_000).generate();
+    let with = Mc3Solver::new().solve_report(&ds.instance).unwrap();
+    let without = Mc3Solver::new()
+        .without_preprocessing()
+        .solve_report(&ds.instance)
+        .unwrap();
+    with.solution.verify(&ds.instance).unwrap();
+    without.solution.verify(&ds.instance).unwrap();
+    assert!(
+        with.preprocess_stats.removed_by_decomposition > 0,
+        "preprocessing should prune something on a 2000-query workload"
+    );
+}
+
+#[test]
+fn k2_pipeline_is_optimal_on_short_bestbuy() {
+    // BB restricted to short queries: MC3[S] must match the exact optimum
+    // and beat-or-match every baseline.
+    let ds = BestBuyConfig::with_queries(120).generate();
+    let short = ds.instance.filter_queries(|q| q.len() <= 2).unwrap();
+    let k2 = Mc3Solver::new()
+        .algorithm(Algorithm::K2Exact)
+        .solve(&short)
+        .unwrap();
+    let mixed = Mc3Solver::new()
+        .algorithm(Algorithm::Mixed)
+        .solve(&short)
+        .unwrap();
+    let qo = Mc3Solver::new()
+        .algorithm(Algorithm::QueryOriented)
+        .solve(&short)
+        .unwrap();
+    let po = Mc3Solver::new()
+        .algorithm(Algorithm::PropertyOriented)
+        .solve(&short)
+        .unwrap();
+    assert_eq!(k2.cost(), mixed.cost(), "two exact algorithms must agree");
+    assert!(k2.cost() <= qo.cost());
+    assert!(k2.cost() <= po.cost());
+}
+
+#[test]
+fn general_beats_or_matches_trivial_baselines_after_refinement() {
+    // Not guaranteed in theory (greedy is an approximation), but with
+    // reverse-delete on the paper's datasets MC3[G] should never lose to
+    // Query-Oriented (which is itself in the search space).
+    let ds = PrivateConfig::with_queries(2_000).generate();
+    let g = Mc3Solver::new()
+        .algorithm(Algorithm::General)
+        .solve(&ds.instance)
+        .unwrap();
+    let qo = Mc3Solver::new()
+        .algorithm(Algorithm::QueryOriented)
+        .solve(&ds.instance)
+        .unwrap();
+    assert!(
+        g.cost() <= qo.cost(),
+        "MC3[G] {} vs QO {}",
+        g.cost(),
+        qo.cost()
+    );
+}
+
+#[test]
+fn report_exposes_consistent_statistics() {
+    let ds = SyntheticConfig::with_queries(500).generate();
+    let report = Mc3Solver::new().solve_report(&ds.instance).unwrap();
+    assert_eq!(report.instance_stats.num_queries, 500);
+    assert!(report.instance_stats.max_query_len <= 10);
+    assert!(report.timings.total >= report.timings.solve);
+    let g = report.instance_stats.approximation_guarantee();
+    assert!(g >= 1.0);
+}
+
+#[test]
+fn uncoverable_instances_error_cleanly_everywhere() {
+    // property 1 has no finite-weight classifier at all
+    let w = WeightsBuilder::new().classifier([0u32], 1u64).build();
+    let instance = Instance::new(vec![vec![0u32, 1]], w).unwrap();
+    for alg in [
+        Algorithm::Auto,
+        Algorithm::General,
+        Algorithm::ShortFirst,
+        Algorithm::LocalGreedy,
+        Algorithm::Exact,
+    ] {
+        let err = Mc3Solver::new().algorithm(alg).solve(&instance);
+        assert!(err.is_err(), "{alg:?} must report uncoverable");
+    }
+}
+
+#[test]
+fn solution_classifiers_are_always_relevant() {
+    // no selected classifier may lie outside every query (C_Q membership)
+    let ds = SyntheticConfig::with_queries(800).generate();
+    let sol = Mc3Solver::new().solve(&ds.instance).unwrap();
+    for c in sol.classifiers() {
+        assert!(
+            ds.instance.queries().iter().any(|q| c.is_subset_of(q)),
+            "classifier {c} is not relevant to any query"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Integration tests of the §5.3 model extensions: multi-valued
+//! classifiers (merged and mixed), bounded classifier length, and the
+//! budgeted partial-cover variant.
+
+use mc3::core::{merge_to_attributes, AttributeSchema, MultiValuedClassifier, PropId};
+use mc3::prelude::*;
+use mc3::solver::{solve_partial_cover, solve_with_multivalued, Algorithm, MixedPick};
+
+fn color_world() -> (Instance, AttributeSchema) {
+    // properties 0..4 = five colors, 5 = brand; queries mix them
+    let instance = Instance::new(
+        vec![
+            vec![0u32, 5],
+            vec![1u32, 5],
+            vec![2u32, 5],
+            vec![3u32],
+            vec![4u32, 5],
+        ],
+        Weights::uniform(10u64),
+    )
+    .unwrap();
+    let mut schema = AttributeSchema::new();
+    let color = schema.attribute("color");
+    for p in 0..5u32 {
+        schema.assign(PropId(p), color);
+    }
+    (instance, schema)
+}
+
+#[test]
+fn multivalued_color_classifier_dominates_when_cheap() {
+    let (instance, schema) = color_world();
+    let color = schema.attribute_of(PropId(0)).unwrap();
+    let mv = vec![MultiValuedClassifier {
+        attribute: color,
+        cost: Weight::new(12),
+    }];
+    let sol = solve_with_multivalued(&instance, &schema, &mv).unwrap();
+    assert!(sol.covers(&instance, &schema, &mv));
+    // COLOR (12) + BRAND (10) = 22 beats any binary cover (≥ 50 for five
+    // color props, or pairs at 10 each)
+    assert!(sol.picks.contains(&MixedPick::MultiValued(0)));
+    assert!(sol.cost <= Weight::new(22));
+}
+
+#[test]
+fn attribute_merge_shrinks_the_instance() {
+    let (instance, schema) = color_world();
+    let (merged, mapping) =
+        merge_to_attributes(&instance, &schema, Weights::uniform(7u64)).unwrap();
+    // five color properties collapse into one attribute
+    assert!(merged.num_properties() < instance.num_properties());
+    assert_eq!(mapping[&PropId(0)], mapping[&PropId(4)]);
+    // the merged instance is a plain MC3 instance
+    let sol = Mc3Solver::new().solve(&merged).unwrap();
+    sol.verify(&merged).unwrap();
+}
+
+#[test]
+fn bounded_classifiers_still_cover() {
+    let ds = mc3::workload::SyntheticConfig::with_queries(500).generate();
+    for kp in [1usize, 2, 3] {
+        let sol = Mc3Solver::new()
+            .algorithm(Algorithm::General)
+            .max_classifier_len(kp)
+            .solve(&ds.instance)
+            .unwrap();
+        sol.verify(&ds.instance).unwrap();
+        assert!(sol.classifiers().iter().all(|c| c.len() <= kp));
+    }
+}
+
+#[test]
+fn singleton_only_universe_equals_property_oriented() {
+    let ds = mc3::workload::SyntheticConfig::with_queries(300).generate();
+    let k1 = Mc3Solver::new()
+        .algorithm(Algorithm::General)
+        .max_classifier_len(1)
+        .solve(&ds.instance)
+        .unwrap();
+    let po = Mc3Solver::new()
+        .algorithm(Algorithm::PropertyOriented)
+        .solve(&ds.instance)
+        .unwrap();
+    // with only singletons available, the unique minimal cover is PO's
+    assert_eq!(k1.cost(), po.cost());
+}
+
+#[test]
+fn partial_cover_monotone_in_budget() {
+    let ds = mc3::workload::SyntheticConfig::with_queries(100).generate();
+    let values: Vec<u64> = (0..ds.instance.num_queries() as u64)
+        .map(|i| 1 + i % 7)
+        .collect();
+    let mut last_value = 0;
+    for budget in [0u64, 20, 100, 100_000] {
+        let out = solve_partial_cover(&ds.instance, &values, Weight::new(budget)).unwrap();
+        assert!(
+            out.covered_value >= last_value,
+            "value dropped as budget grew"
+        );
+        assert!(out.solution.cost() <= Weight::new(budget));
+        last_value = out.covered_value;
+    }
+    // an effectively unlimited budget covers everything
+    let out = solve_partial_cover(&ds.instance, &values, Weight::new(u32::MAX as u64)).unwrap();
+    assert_eq!(out.covered_queries.len(), ds.instance.num_queries());
+    out.solution.verify(&ds.instance).unwrap();
+}
+
+#[test]
+fn partial_cover_respects_importance_ordering() {
+    // two disjoint equally-priced queries; only budget for one — the more
+    // important must win regardless of input order
+    let instance =
+        Instance::new(vec![vec![0u32, 1], vec![2u32, 3]], Weights::uniform(4u64)).unwrap();
+    let a = solve_partial_cover(&instance, &[1, 9], Weight::new(4)).unwrap();
+    assert_eq!(a.covered_value, 9);
+    let b = solve_partial_cover(&instance, &[9, 1], Weight::new(4)).unwrap();
+    assert_eq!(b.covered_value, 9);
+}
