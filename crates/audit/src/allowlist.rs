@@ -1,0 +1,199 @@
+//! The lint allowlist: per-(rule, path) violation budgets.
+//!
+//! Inline `// audit:allow(rule)` waivers handle individually reviewed
+//! sites. For legacy debt that is tracked wholesale — e.g. the remaining
+//! `unwrap()` sites a burn-down hasn't reached yet — the allowlist file
+//! (`lint.allow` at the repo root) grants a *budget* per rule and file:
+//!
+//! ```text
+//! # rule                      path (repo-relative)              budget
+//! no-unwrap-in-lib            crates/solver/src/preprocess.rs   12
+//! no-default-hasher           crates/core/src/fxhash.rs         2
+//! ```
+//!
+//! Budgets are ceilings: the driver fails if a file *exceeds* its budget,
+//! so the debt count can shrink but never grow. Violations in files with
+//! no matching entry fail outright. When several entries match a file the
+//! longest (most specific) path wins.
+
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+
+/// One parsed budget line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule name the budget applies to.
+    pub rule: String,
+    /// Repo-relative path prefix (a full file path in practice).
+    pub path: String,
+    /// Maximum tolerated violations.
+    pub budget: usize,
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// All entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+/// A budget overrun or unbudgeted violation, for reporting.
+#[derive(Debug)]
+pub enum Finding {
+    /// Violations in a file with no allowlist entry for the rule.
+    Unbudgeted(Violation),
+    /// More violations than the entry allows.
+    OverBudget {
+        /// The exceeded entry.
+        entry: Entry,
+        /// Observed count.
+        count: usize,
+        /// The offending sites.
+        sites: Vec<Violation>,
+    },
+}
+
+impl Allowlist {
+    /// Parses the allowlist text. Returns an error message on malformed
+    /// lines (never panics — the allowlist is user input).
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (rule, path, budget) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(p), Some(b)) => (r, p, b),
+                _ => {
+                    return Err(format!(
+                        "lint.allow:{}: expected `<rule> <path> <budget>`, got `{line}`",
+                        ln + 1
+                    ))
+                }
+            };
+            if parts.next().is_some() {
+                return Err(format!(
+                    "lint.allow:{}: trailing fields after budget in `{line}`",
+                    ln + 1
+                ));
+            }
+            let budget: usize = budget
+                .parse()
+                .map_err(|_| format!("lint.allow:{}: budget `{budget}` is not a number", ln + 1))?;
+            entries.push(Entry {
+                rule: rule.to_owned(),
+                path: path.to_owned(),
+                budget,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// The most specific entry covering `(rule, file)`, if any.
+    fn lookup(&self, rule: &str, file: &str) -> Option<&Entry> {
+        self.entries
+            .iter()
+            .filter(|e| e.rule == rule && file.starts_with(e.path.as_str()))
+            .max_by_key(|e| e.path.len())
+    }
+
+    /// Applies budgets to raw violations; whatever comes back fails the
+    /// lint run.
+    pub fn apply(&self, violations: Vec<Violation>) -> Vec<Finding> {
+        // Group by (rule, matched entry or file).
+        let mut unbudgeted = Vec::new();
+        let mut grouped: BTreeMap<(String, String), (Entry, Vec<Violation>)> = BTreeMap::new();
+        for v in violations {
+            match self.lookup(v.rule, &v.file) {
+                None => unbudgeted.push(v),
+                Some(e) => {
+                    grouped
+                        .entry((e.rule.clone(), e.path.clone()))
+                        .or_insert_with(|| (e.clone(), Vec::new()))
+                        .1
+                        .push(v);
+                }
+            }
+        }
+        let mut findings: Vec<Finding> = unbudgeted.into_iter().map(Finding::Unbudgeted).collect();
+        for (_, (entry, sites)) in grouped {
+            if sites.len() > entry.budget {
+                findings.push(Finding::OverBudget {
+                    count: sites.len(),
+                    entry,
+                    sites,
+                });
+            }
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn viol(rule: &'static str, file: &str, line: u32) -> Violation {
+        Violation {
+            rule,
+            file: file.to_owned(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_entries() {
+        let a = Allowlist::parse("# header\n\nno-unwrap-in-lib crates/x/src/a.rs 3\n").unwrap();
+        assert_eq!(a.entries.len(), 1);
+        assert_eq!(a.entries[0].budget, 3);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Allowlist::parse("just-two fields").is_err());
+        assert!(Allowlist::parse("r p notanumber").is_err());
+        assert!(Allowlist::parse("r p 1 extra").is_err());
+    }
+
+    #[test]
+    fn within_budget_passes_over_budget_fails() {
+        let a = Allowlist::parse("no-unwrap-in-lib crates/x/src/a.rs 2").unwrap();
+        let ok = a.apply(vec![
+            viol("no-unwrap-in-lib", "crates/x/src/a.rs", 1),
+            viol("no-unwrap-in-lib", "crates/x/src/a.rs", 2),
+        ]);
+        assert!(ok.is_empty());
+        let bad = a.apply(vec![
+            viol("no-unwrap-in-lib", "crates/x/src/a.rs", 1),
+            viol("no-unwrap-in-lib", "crates/x/src/a.rs", 2),
+            viol("no-unwrap-in-lib", "crates/x/src/a.rs", 3),
+        ]);
+        assert_eq!(bad.len(), 1);
+        assert!(matches!(&bad[0], Finding::OverBudget { count: 3, .. }));
+    }
+
+    #[test]
+    fn unbudgeted_violations_fail() {
+        let a = Allowlist::parse("no-float-eq crates/x/src/a.rs 1").unwrap();
+        let out = a.apply(vec![viol("no-unwrap-in-lib", "crates/x/src/a.rs", 1)]);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(&out[0], Finding::Unbudgeted(_)));
+    }
+
+    #[test]
+    fn longest_path_wins() {
+        let a =
+            Allowlist::parse("no-unwrap-in-lib crates/x 0\nno-unwrap-in-lib crates/x/src/a.rs 1\n")
+                .unwrap();
+        // One violation in a.rs: covered by the specific entry (budget 1).
+        assert!(a
+            .apply(vec![viol("no-unwrap-in-lib", "crates/x/src/a.rs", 1)])
+            .is_empty());
+        // One violation elsewhere under crates/x: the directory budget 0.
+        let out = a.apply(vec![viol("no-unwrap-in-lib", "crates/x/src/b.rs", 1)]);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,443 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The workspace builds offline, so the lint driver cannot use `syn` or
+//! `proc-macro2`; instead this module tokenizes Rust source directly. It
+//! understands exactly as much of the language as the lint rules need:
+//!
+//! * identifiers and keywords (one token kind; rules match on text);
+//! * integer and float literals (distinguished, so `no-float-eq` can fire);
+//! * string / raw-string / byte-string / char literals (skipped as opaque
+//!   tokens so their contents can never fake a violation);
+//! * line and block comments (dropped, except `// audit:allow(...)` waivers
+//!   which are reported to the driver with their line number);
+//! * lifetimes (so `'a` is not misread as an unterminated char literal);
+//! * all remaining punctuation as single-character tokens.
+//!
+//! Every token carries its 1-based line number for reporting.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal.
+    Int,
+    /// Float literal.
+    Float,
+    /// String, raw-string, byte-string or char literal.
+    StrLit,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text (for [`TokenKind::Punct`] a single character; literals
+    /// keep their full text).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this is punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this is the identifier/keyword `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// A lint waiver comment: `// audit:allow(rule-a, rule-b) optional reason`.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule names listed in the waiver.
+    pub rules: Vec<String>,
+    /// 1-based line the comment sits on (waives that line and the next).
+    pub line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// All `audit:allow` waiver comments found.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Tokenizes `source`. Never fails: unrecognized bytes become punctuation,
+/// and an unterminated literal simply ends at EOF — lint rules are a
+/// best-effort net, not a compiler front-end.
+pub fn lex(source: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b = source.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            line += b[$range].iter().filter(|&&c| c == b'\n').count() as u32
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                parse_waiver(&source[start..i], line, &mut out.waivers);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                let mut depth = 1u32;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                bump_lines!(start..i);
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'ident` with no closing quote
+                // within a couple of chars is a lifetime.
+                let start = i;
+                let start_line = line;
+                if is_lifetime(b, i) {
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: source[start..i].to_owned(),
+                        line: start_line,
+                    });
+                } else {
+                    i += 1;
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2;
+                        // Skip escape payload up to the closing quote.
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1;
+                        }
+                    } else {
+                        // One scalar (may be multi-byte UTF-8).
+                        i += 1;
+                        while i < b.len() && (b[i] & 0xC0) == 0x80 {
+                            i += 1;
+                        }
+                    }
+                    if i < b.len() && b[i] == b'\'' {
+                        i += 1;
+                    }
+                    bump_lines!(start..i);
+                    out.tokens.push(Token {
+                        kind: TokenKind::StrLit,
+                        text: source[start..i].to_owned(),
+                        line: start_line,
+                    });
+                }
+            }
+            b'"' => {
+                let start = i;
+                let start_line = line;
+                i = skip_string(b, i);
+                bump_lines!(start..i);
+                out.tokens.push(Token {
+                    kind: TokenKind::StrLit,
+                    text: source[start..i].to_owned(),
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let start = i;
+                let start_line = line;
+                i = skip_raw_or_byte_string(b, i);
+                bump_lines!(start..i);
+                out.tokens.push(Token {
+                    kind: TokenKind::StrLit,
+                    text: source[start..i].to_owned(),
+                    line: start_line,
+                });
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[start..i].to_owned(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut kind = TokenKind::Int;
+                if c == b'0' && matches!(b.get(i + 1), Some(b'x' | b'o' | b'b')) {
+                    i += 2;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                } else {
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_digit()) {
+                        i += 1;
+                    }
+                    // A dot makes it a float unless it starts `..` or a
+                    // method/field access (`1.max(2)`, tuple fields).
+                    if i < b.len()
+                        && b[i] == b'.'
+                        && b.get(i + 1) != Some(&b'.')
+                        && !matches!(b.get(i + 1), Some(n) if n.is_ascii_alphabetic() || *n == b'_')
+                    {
+                        kind = TokenKind::Float;
+                        i += 1;
+                        while i < b.len() && (b[i] == b'_' || b[i].is_ascii_digit()) {
+                            i += 1;
+                        }
+                    }
+                    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                        let mut j = i + 1;
+                        if matches!(b.get(j), Some(b'+' | b'-')) {
+                            j += 1;
+                        }
+                        if matches!(b.get(j), Some(d) if d.is_ascii_digit()) {
+                            kind = TokenKind::Float;
+                            i = j;
+                            while i < b.len() && (b[i] == b'_' || b[i].is_ascii_digit()) {
+                                i += 1;
+                            }
+                        }
+                    }
+                    // Type suffix (`1u32`, `1.5f64`).
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        if b[i] == b'f'
+                            && matches!(&source[i..], s if s.starts_with("f32") || s.starts_with("f64"))
+                        {
+                            kind = TokenKind::Float;
+                        }
+                        i += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind,
+                    text: source[start..i].to_owned(),
+                    line,
+                });
+            }
+            _ => {
+                // One punctuation character (multi-byte UTF-8 kept whole).
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i] & 0xC0) == 0x80 {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: source[start..i].to_owned(),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Whether the `'` at `i` begins a lifetime rather than a char literal.
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(c) if c.is_ascii_alphabetic() || *c == b'_' => {
+            // `'a'` is a char literal; `'a` (no closing quote) a lifetime.
+            // Scan the identifier; a lifetime is followed by a non-quote.
+            let mut j = i + 1;
+            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            b.get(j) != Some(&b'\'')
+        }
+        _ => false,
+    }
+}
+
+/// Skips a `"..."` literal starting at `i`; returns the index past it.
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether `r"`, `r#"`, `br"`, `b"`, `br#"` starts at `i`.
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    let after_b = if rest.starts_with(b"b") { 1 } else { 0 };
+    let rest = &rest[after_b..];
+    if rest.starts_with(b"\"") {
+        return after_b == 1;
+    }
+    if let Some(stripped) = rest.strip_prefix(b"r") {
+        let hashes = stripped.iter().take_while(|&&c| c == b'#').count();
+        return stripped.get(hashes) == Some(&b'"');
+    }
+    false
+}
+
+/// Skips a raw/byte string starting at `i`; returns the index past it.
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'"' {
+        return skip_string(b, i);
+    }
+    // r#*"
+    i += 1; // past 'r'
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'"' {
+        i += 1;
+        while i < b.len() {
+            if b[i] == b'"' {
+                let mut j = i + 1;
+                let mut h = 0usize;
+                while j < b.len() && b[j] == b'#' && h < hashes {
+                    h += 1;
+                    j += 1;
+                }
+                if h == hashes {
+                    return j;
+                }
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Records an `audit:allow` waiver if `comment` is one.
+fn parse_waiver(comment: &str, line: u32, waivers: &mut Vec<Waiver>) {
+    let Some(pos) = comment.find("audit:allow(") else {
+        return;
+    };
+    let rest = &comment[pos + "audit:allow(".len()..];
+    let Some(end) = rest.find(')') else { return };
+    let rules: Vec<String> = rest[..end]
+        .split(',')
+        .map(|r| r.trim().to_owned())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if !rules.is_empty() {
+        waivers.push(Waiver { rules, line });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        assert_eq!(
+            texts("let x = a.unwrap();"),
+            vec!["let", "x", "=", "a", ".", "unwrap", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let toks = lex("for i in 0..10 {}").tokens;
+        assert!(toks.iter().all(|t| t.kind != TokenKind::Float));
+    }
+
+    #[test]
+    fn float_forms() {
+        for src in ["1.5", "1.", "2e3", "2.5e-1", "1f64", "3.0f32"] {
+            let toks = lex(src).tokens;
+            assert_eq!(toks[0].kind, TokenKind::Float, "{src} → {toks:?}");
+        }
+        for src in ["1", "0x1f", "1u32", "1_000", "1.max(2)"] {
+            let toks = lex(src).tokens;
+            assert_eq!(toks[0].kind, TokenKind::Int, "{src} → {toks:?}");
+        }
+    }
+
+    #[test]
+    fn strings_and_chars_are_opaque() {
+        let src = "let s = \"x.unwrap() == 1.0\"; let c = '['; let r = r##\"raw \"str\" ]\"##;";
+        let toks = lex(src).tokens;
+        let strs = toks.iter().filter(|t| t.kind == TokenKind::StrLit).count();
+        assert_eq!(strs, 3, "{toks:?}");
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!toks.iter().any(|t| t.is_punct('[')));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }").tokens;
+        let lifetimes = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn comments_are_dropped_but_waivers_survive() {
+        let lexed = lex("// audit:allow(no-float-eq) reviewed\nlet x = 1; /* audit:allow(not-parsed because block */\n// audit:allow(a, b)\n");
+        assert_eq!(lexed.waivers.len(), 2);
+        assert_eq!(lexed.waivers[0].rules, vec!["no-float-eq"]);
+        assert_eq!(lexed.waivers[0].line, 1);
+        assert_eq!(lexed.waivers[1].rules, vec!["a", "b"]);
+        assert_eq!(lexed.waivers[1].line, 3);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let lexed = lex("let a = \"two\nlines\";\nlet b = 1;");
+        let b_tok = lexed.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("let")));
+        assert_eq!(lexed.tokens.len(), 5);
+    }
+}

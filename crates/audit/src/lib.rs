@@ -1,0 +1,164 @@
+#![warn(missing_docs)]
+
+//! `mc3-audit` — repo-specific static analysis for the MC³ workspace.
+//!
+//! The MC³ pipeline's correctness story rests on paper-level invariants
+//! (cover feasibility, WVC/max-flow duality, the Theorem 5.3 greedy
+//! guarantee). This crate supplies the *source-level* half of the
+//! enforcement: a dependency-free lint driver built on a hand-rolled Rust
+//! lexer ([`lexer`]), a rule set tuned to this repo ([`rules`]), and a
+//! waiver/budget system ([`allowlist`]) so legacy debt is pinned in place
+//! and can only shrink. The runtime half (certificates, flow conservation,
+//! ratio bounds) lives in `mc3-core::certificate` and the solver crates'
+//! `verify` features.
+//!
+//! Run it as a workspace check:
+//!
+//! ```text
+//! cargo run -p mc3-audit -- lint
+//! ```
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+use allowlist::{Allowlist, Finding};
+use rules::Violation;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a lint run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Files inspected.
+    pub files_checked: usize,
+    /// Raw violations before budget application (post-waiver).
+    pub violations: Vec<Violation>,
+    /// Findings that fail the run after budgets.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Whether the run passes.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable report text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for f in &self.findings {
+            match f {
+                Finding::Unbudgeted(v) => {
+                    let _ = writeln!(
+                        out,
+                        "error[{}]: {}:{}: {}",
+                        v.rule, v.file, v.line, v.message
+                    );
+                }
+                Finding::OverBudget {
+                    entry,
+                    count,
+                    sites,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "error[{}]: {} has {count} violations, budget is {} — \
+                         the debt count must not grow",
+                        entry.rule, entry.path, entry.budget
+                    );
+                    for v in sites {
+                        let _ = writeln!(out, "  {}:{}: {}", v.file, v.line, v.message);
+                    }
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} files checked, {} violations ({} budgeted/waived), {} failures",
+            self.files_checked,
+            self.violations.len(),
+            self.violations.len()
+                - self
+                    .findings
+                    .iter()
+                    .map(|f| match f {
+                        Finding::Unbudgeted(_) => 1,
+                        Finding::OverBudget { count, .. } => *count,
+                    })
+                    .sum::<usize>(),
+            self.findings.len()
+        );
+        out
+    }
+}
+
+/// Collects the `.rs` files the lint covers: everything under each crate's
+/// `src/`, skipping `tests/`, `benches/`, fixtures and build output.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut stack = vec![crates_dir];
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if matches!(
+                    name.as_ref(),
+                    "target" | "tests" | "benches" | "fixtures" | ".git"
+                ) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") && path_within_src(&path) {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Whether `path` has a `src` component (lint scope is library/bin source).
+fn path_within_src(path: &Path) -> bool {
+    path.components()
+        .any(|c| c.as_os_str().to_string_lossy() == "src")
+}
+
+/// Lints the workspace at `root` against `allowlist`.
+pub fn lint(root: &Path, allowlist: &Allowlist) -> std::io::Result<LintReport> {
+    let files = collect_files(root)?;
+    let mut violations = Vec::new();
+    for path in &files {
+        let source = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        violations.extend(rules::check_file(&rel, &source));
+    }
+    let findings = allowlist.apply(violations.clone());
+    Ok(LintReport {
+        files_checked: files.len(),
+        violations,
+        findings,
+    })
+}
+
+/// Loads `lint.allow` from `root` (missing file ⇒ empty allowlist).
+pub fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
+    let path = root.join("lint.allow");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}

@@ -1,0 +1,111 @@
+//! The `mc3-audit` binary: `cargo run -p mc3-audit -- lint [ROOT]`.
+//!
+//! Exit codes: `0` clean, `1` lint failures, `2` usage or IO error.
+
+use std::path::PathBuf;
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("lint") => {}
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            return if args.is_empty() { 2 } else { 0 };
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n{USAGE}");
+            return 2;
+        }
+    }
+
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut list_violations = false;
+    while let Some(arg) = it.next() {
+        match arg {
+            "--allowlist" => match it.next() {
+                Some(p) => allowlist_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--allowlist requires a path");
+                    return 2;
+                }
+            },
+            "--list" => list_violations = true,
+            p if root.is_none() => root = Some(PathBuf::from(p)),
+            other => {
+                eprintln!("unexpected argument '{other}'\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    // Default root: the workspace the binary was built from, so
+    // `cargo run -p mc3-audit -- lint` works from any cwd inside it.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .map(std::path::Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let allowlist = match allowlist_path {
+        Some(p) => match std::fs::read_to_string(&p) {
+            Ok(text) => match mc3_audit::allowlist::Allowlist::parse(&text) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", p.display());
+                return 2;
+            }
+        },
+        None => match mc3_audit::load_allowlist(&root) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+    };
+
+    match mc3_audit::lint(&root, &allowlist) {
+        Ok(report) => {
+            if list_violations {
+                for v in &report.violations {
+                    println!("{}[{}]: {}:{}", v.rule, v.message, v.file, v.line);
+                }
+            }
+            print!("{}", report.render());
+            if report.is_clean() {
+                0
+            } else {
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("lint failed: {e}");
+            2
+        }
+    }
+}
+
+const USAGE: &str = "\
+mc3-audit — repo-specific static analysis for the MC3 workspace
+
+USAGE:
+  mc3-audit lint [ROOT] [--allowlist FILE] [--list]
+
+Checks every crates/*/src/**/*.rs against the lint rules
+(no-unwrap-in-lib, no-default-hasher, no-unchecked-index-in-hot-loops,
+no-float-eq). Sites reviewed by a human carry `// audit:allow(rule)`
+waivers; wholesale legacy debt is budgeted in lint.allow (see
+docs/audit.md). Exit code 0 = clean, 1 = failures, 2 = usage/IO error.
+";

@@ -1,0 +1,375 @@
+//! The lint rules.
+//!
+//! Each rule walks the token stream from [`crate::lexer::lex`] annotated
+//! with structural context (test regions, loop depth) and emits
+//! [`Violation`]s. Rules are deliberately syntactic: with no type
+//! information available offline, they over-approximate and rely on the
+//! explicit waiver syntax (`// audit:allow(rule)`) plus the allowlist
+//! budgets for the sites a human has reviewed.
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// Names of all rules, in reporting order.
+pub const ALL_RULES: [&str; 4] = [
+    "no-unwrap-in-lib",
+    "no-default-hasher",
+    "no-unchecked-index-in-hot-loops",
+    "no-float-eq",
+];
+
+/// File-name stems whose inner loops are hot paths for the indexing rule
+/// (`dinic.rs`, `push_relabel.rs`, `greedy.rs` per the MC³ hot-path set).
+pub const HOT_LOOP_FILES: [&str; 3] = ["dinic.rs", "push_relabel.rs", "greedy.rs"];
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule name (one of [`ALL_RULES`]).
+    pub rule: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the site.
+    pub message: String,
+}
+
+/// Per-token structural context derived in one pass over the stream.
+struct Context {
+    /// Whether the token sits inside a `#[cfg(test)]`-gated item.
+    in_test: Vec<bool>,
+    /// Number of enclosing `for`/`while`/`loop` bodies.
+    loop_depth: Vec<u32>,
+}
+
+/// Builds [`Context`] by tracking brace nesting, pending `#[cfg(test)]`
+/// attributes and pending loop headers.
+fn analyze(tokens: &[Token]) -> Context {
+    #[derive(Clone, Copy)]
+    struct Brace {
+        is_test_root: bool,
+        is_loop: bool,
+    }
+    let mut stack: Vec<Brace> = Vec::new();
+    let mut in_test = Vec::with_capacity(tokens.len());
+    let mut loop_depth = Vec::with_capacity(tokens.len());
+    let mut test_level = 0u32;
+    let mut loops = 0u32;
+    // Set once a `#[cfg(test)]` attribute is seen; the next `{` opens the
+    // gated item's body. A `;` first means the attribute gated a
+    // braceless item (e.g. `#[cfg(test)] use x;`) — the flag is dropped.
+    let mut pending_test = false;
+    let mut pending_loop = false;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        in_test.push(test_level > 0);
+        // A pending loop header (`while cond`, `for x in iter`) counts as
+        // in-loop already: its tokens re-evaluate every iteration.
+        loop_depth.push(loops + u32::from(pending_loop));
+
+        if t.is_punct('#') && tokens.get(i + 1).map(|n| n.is_punct('[')) == Some(true) {
+            // Scan the attribute for `cfg` ... `test` within its brackets.
+            let mut depth = 0i32;
+            let mut saw_cfg = false;
+            let mut saw_test = false;
+            let mut j = i + 1;
+            while j < tokens.len() {
+                let a = &tokens[j];
+                if a.is_punct('[') {
+                    depth += 1;
+                } else if a.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if a.is_ident("cfg") {
+                    saw_cfg = true;
+                } else if a.is_ident("test") {
+                    saw_test = true;
+                }
+                j += 1;
+            }
+            if saw_cfg && saw_test {
+                pending_test = true;
+            }
+            // The attribute's own tokens inherit the current context.
+            for _ in i + 1..=j.min(tokens.len() - 1) {
+                in_test.push(test_level > 0);
+                loop_depth.push(loops + u32::from(pending_loop));
+            }
+            i = j + 1;
+            continue;
+        }
+
+        if t.is_ident("loop") || t.is_ident("while") {
+            pending_loop = true;
+        } else if t.is_ident("for") && for_is_a_loop(tokens, i) {
+            pending_loop = true;
+        } else if t.is_punct(';') {
+            // A braceless gated item (`#[cfg(test)] use x;`, outline
+            // `mod tests;`) ends the pending attribute's scope.
+            pending_test = false;
+        } else if t.is_punct('{') {
+            let b = Brace {
+                is_test_root: pending_test,
+                is_loop: pending_loop,
+            };
+            pending_test = false;
+            pending_loop = false;
+            if b.is_test_root {
+                test_level += 1;
+            }
+            if b.is_loop {
+                loops += 1;
+            }
+            stack.push(b);
+        } else if t.is_punct('}') {
+            if let Some(b) = stack.pop() {
+                if b.is_test_root {
+                    test_level = test_level.saturating_sub(1);
+                }
+                if b.is_loop {
+                    loops = loops.saturating_sub(1);
+                }
+            }
+        }
+        i += 1;
+    }
+    Context {
+        in_test,
+        loop_depth,
+    }
+}
+
+/// Whether the `for` at `i` heads a `for … in … {` loop (as opposed to
+/// `impl Trait for Type` or `for<'a>` binders): an `in` keyword appears
+/// before the next `{` or `;`.
+fn for_is_a_loop(tokens: &[Token], i: usize) -> bool {
+    for t in tokens.iter().skip(i + 1).take(64) {
+        if t.is_ident("in") {
+            return true;
+        }
+        if t.is_punct('{') || t.is_punct(';') {
+            return false;
+        }
+    }
+    false
+}
+
+/// Runs every rule over one file's source text.
+///
+/// `file` is the repo-relative path used both for reporting and for
+/// file-scoped rules (the hot-loop indexing rule). Waivers are applied
+/// here: a violation on line `L` is dropped if an `audit:allow` comment
+/// naming its rule sits on line `L` or `L − 1`.
+pub fn check_file(file: &str, source: &str) -> Vec<Violation> {
+    let lexed = lex(source);
+    let ctx = analyze(&lexed.tokens);
+    let mut violations = Vec::new();
+
+    rule_no_unwrap(file, &lexed, &ctx, &mut violations);
+    rule_no_default_hasher(file, &lexed, &ctx, &mut violations);
+    rule_no_unchecked_index(file, &lexed, &ctx, &mut violations);
+    rule_no_float_eq(file, &lexed, &ctx, &mut violations);
+
+    violations.retain(|v| {
+        !lexed.waivers.iter().any(|w| {
+            (w.line == v.line || w.line + 1 == v.line) && w.rules.iter().any(|r| r == v.rule)
+        })
+    });
+    violations.sort_by_key(|v| (v.line, v.rule));
+    violations
+}
+
+fn rule_no_unwrap(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Violation>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is = |c: char| toks.get(i + 1).map(|n| n.is_punct(c)) == Some(true);
+        let prev_is_dot = i > 0 && toks[i - 1].is_punct('.');
+        let site = match t.text.as_str() {
+            "unwrap" | "expect" if prev_is_dot && next_is('(') => format!(".{}()", t.text),
+            "panic" | "todo" | "unimplemented" if next_is('!') => format!("{}!", t.text),
+            _ => continue,
+        };
+        out.push(Violation {
+            rule: "no-unwrap-in-lib",
+            file: file.to_owned(),
+            line: t.line,
+            message: format!("{site} in library code; return mc3_core::error types instead"),
+        });
+    }
+}
+
+fn rule_no_default_hasher(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Violation>) {
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            out.push(Violation {
+                rule: "no-default-hasher",
+                file: file.to_owned(),
+                line: t.line,
+                message: format!(
+                    "std {} uses SipHash; hot paths must use mc3_core::fxhash::Fx{}",
+                    t.text, t.text
+                ),
+            });
+        }
+    }
+}
+
+fn rule_no_unchecked_index(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Violation>) {
+    let name = file.rsplit('/').next().unwrap_or(file);
+    if !HOT_LOOP_FILES.contains(&name) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] || ctx.loop_depth[i] == 0 || !t.is_punct('[') {
+            continue;
+        }
+        // Indexing follows a value: identifier, `]`, or `)`. Array
+        // literals, types and attributes follow operators or `#`.
+        let indexes_a_value = i > 0
+            && (toks[i - 1].kind == TokenKind::Ident
+                || toks[i - 1].is_punct(']')
+                || toks[i - 1].is_punct(')'));
+        if indexes_a_value {
+            out.push(Violation {
+                rule: "no-unchecked-index-in-hot-loops",
+                file: file.to_owned(),
+                line: t.line,
+                message: "unchecked `[]` indexing in a hot inner loop; bounds-panic here \
+                          aborts the solve — use get()/iterators or waive after review"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+fn rule_no_float_eq(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Violation>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len().saturating_sub(1) {
+        if ctx.in_test[i] {
+            continue;
+        }
+        let op = (toks[i].is_punct('=') || toks[i].is_punct('!')) && toks[i + 1].is_punct('=');
+        if !op {
+            continue;
+        }
+        // `a == b`: lhs ends at i-1, rhs starts at i+2. `<=`/`>=`/`+=` etc.
+        // have a non-`=`/`!` operator char at i, so they never match here;
+        // `===` cannot occur in valid Rust.
+        let lhs_float = i > 0 && toks[i - 1].kind == TokenKind::Float;
+        let rhs_float = toks.get(i + 2).map(|t| t.kind) == Some(TokenKind::Float);
+        if lhs_float || rhs_float {
+            out.push(Violation {
+                rule: "no-float-eq",
+                file: file.to_owned(),
+                line: toks[i].line,
+                message: "exact float comparison; compare via an epsilon helper instead".to_owned(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(file: &str, src: &str) -> Vec<&'static str> {
+        check_file(file, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn g() { y.unwrap(); } }";
+        let v = check_file("crates/x/src/lib.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn expect_panic_todo_flagged() {
+        assert_eq!(
+            rules_hit("a.rs", "fn f() { a.expect(\"m\"); panic!(\"x\"); todo!() }"),
+            vec!["no-unwrap-in-lib"; 3]
+        );
+        // `unimplemented!` counts too; bare `expect` without a dot does not.
+        assert_eq!(
+            rules_hit("a.rs", "fn f() { unimplemented!() } fn expect() {}"),
+            vec!["no-unwrap-in-lib"]
+        );
+    }
+
+    #[test]
+    fn default_hasher_flagged() {
+        assert_eq!(
+            rules_hit("a.rs", "use std::collections::HashMap;"),
+            vec!["no-default-hasher"]
+        );
+        assert!(rules_hit("a.rs", "use mc3_core::FxHashMap;").is_empty());
+    }
+
+    #[test]
+    fn hot_loop_indexing_only_in_hot_files_and_loops() {
+        let src = "fn f(v: &[u32]) { let a = v[0]; for i in 0..9 { let b = v[i]; } }";
+        // Only the in-loop site in a hot file fires.
+        let v = check_file("crates/flow/src/dinic.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unchecked-index-in-hot-loops");
+        // Same code in a cold file: nothing.
+        assert!(check_file("crates/flow/src/graph.rs", src).is_empty());
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let src = "impl Foo for Bar { fn f(&self, v: &[u32]) -> u32 { v[0] } }";
+        assert!(check_file("crates/flow/src/dinic.rs", src).is_empty());
+        let looped = "fn f(v: &[u32]) { while v[0] > 0 { g(v[1]); } }";
+        assert_eq!(check_file("crates/flow/src/dinic.rs", looped).len(), 2);
+    }
+
+    #[test]
+    fn float_eq_flagged() {
+        assert_eq!(
+            rules_hit("a.rs", "fn f(x: f64) -> bool { x == 0.5 }"),
+            vec!["no-float-eq"]
+        );
+        assert_eq!(
+            rules_hit("a.rs", "fn f(x: f64) -> bool { 1.0 != x }"),
+            vec!["no-float-eq"]
+        );
+        assert!(rules_hit("a.rs", "fn f(x: f64) -> bool { x <= 0.5 }").is_empty());
+        assert!(rules_hit("a.rs", "fn f(x: u64) -> bool { x == 5 }").is_empty());
+    }
+
+    #[test]
+    fn waiver_suppresses_same_and_next_line() {
+        let src = "// audit:allow(no-unwrap-in-lib) reviewed: init-time\nfn f() { x.unwrap(); }";
+        assert!(check_file("a.rs", src).is_empty());
+        let src = "fn f() { x.unwrap(); } // audit:allow(no-unwrap-in-lib)";
+        assert!(check_file("a.rs", src).is_empty());
+        // A waiver for a different rule does not help.
+        let src = "// audit:allow(no-float-eq)\nfn f() { x.unwrap(); }";
+        assert_eq!(check_file("a.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn strings_cannot_fake_violations() {
+        let src = "fn f() { let s = \"x.unwrap() panic!\"; }";
+        assert!(check_file("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_any_test_gates_too() {
+        let src = "#[cfg(any(test, feature = \"x\"))]\nmod helpers { fn f() { x.unwrap(); } }";
+        assert!(check_file("a.rs", src).is_empty());
+    }
+}

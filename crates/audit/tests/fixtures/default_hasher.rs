@@ -1,0 +1,12 @@
+//! Seeded violation: `no-default-hasher` (std `HashMap` and `HashSet`
+//! in library code — two sites, plus the two in the `use`).
+
+use std::collections::{HashMap, HashSet};
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+pub fn dedup(v: &[u32]) -> usize {
+    v.iter().copied().collect::<HashSet<u32>>().len()
+}

@@ -1,0 +1,12 @@
+//! Seeded violation: `no-unchecked-index-in-hot-loops`. The file is named
+//! `dinic.rs` so the file-scoped hot-loop rule applies; the `v[i]` inside
+//! the loop must be flagged, the `v[0]` outside must not.
+
+pub fn sum(v: &[u64]) -> u64 {
+    let head = v[0]; // outside a loop: not a violation
+    let mut total = head;
+    for i in 1..v.len() {
+        total += v[i];
+    }
+    total
+}

@@ -1,0 +1,14 @@
+//! Seeded violation: `no-float-eq` (`==` and `!=` against float literals;
+//! the `<=` comparison must not be flagged).
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn is_not_half(x: f64) -> bool {
+    0.5 != x
+}
+
+pub fn small(x: f64) -> bool {
+    x <= 1e-9 // inequality: fine
+}

@@ -1,0 +1,23 @@
+//! Seeded violation: `no-unwrap-in-lib` (one `.unwrap()`, one `.expect()`,
+//! one `panic!` — three sites).
+
+pub fn first(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn second(x: Option<u32>) -> u32 {
+    x.expect("seeded violation")
+}
+
+pub fn third() -> u32 {
+    panic!("seeded violation")
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap freely: this one must NOT be flagged.
+    #[test]
+    fn fine_here() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,152 @@
+//! Negative-fixture tests: every seeded violation under `tests/fixtures/`
+//! must be caught, and a lint run over a workspace containing them must
+//! exit non-zero. The fixtures live in a `fixtures/` directory precisely
+//! so the real workspace lint skips them (see `collect_files`).
+
+use mc3_audit::rules::check_file;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> (String, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {name}: {e}"));
+    (name.to_owned(), source)
+}
+
+fn rules_hit(name: &str) -> Vec<&'static str> {
+    let (file, source) = fixture(name);
+    let mut rules: Vec<&'static str> = check_file(&file, &source)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn unwrap_fixture_is_caught() {
+    let (file, source) = fixture("unwrap_in_lib.rs");
+    let violations = check_file(&file, &source);
+    assert_eq!(
+        violations.len(),
+        3,
+        "unwrap, expect and panic!: {violations:?}"
+    );
+    assert!(violations.iter().all(|v| v.rule == "no-unwrap-in-lib"));
+    // the unwrap inside #[cfg(test)] must not be among them
+    assert!(violations.iter().all(|v| v.line < 16), "{violations:?}");
+}
+
+#[test]
+fn default_hasher_fixture_is_caught() {
+    assert_eq!(rules_hit("default_hasher.rs"), vec!["no-default-hasher"]);
+}
+
+#[test]
+fn hot_loop_index_fixture_is_caught() {
+    let (file, source) = fixture("dinic.rs");
+    let violations = check_file(&file, &source);
+    assert_eq!(
+        violations.len(),
+        1,
+        "only the in-loop index is a violation: {violations:?}"
+    );
+    assert_eq!(violations[0].rule, "no-unchecked-index-in-hot-loops");
+}
+
+#[test]
+fn hot_loop_rule_is_file_scoped() {
+    // The same source under a non-hot file name is clean.
+    let (_, source) = fixture("dinic.rs");
+    assert!(check_file("cold.rs", &source).is_empty());
+}
+
+#[test]
+fn float_eq_fixture_is_caught() {
+    let (file, source) = fixture("float_eq.rs");
+    let violations = check_file(&file, &source);
+    assert_eq!(violations.len(), 2, "== and != only: {violations:?}");
+    assert!(violations.iter().all(|v| v.rule == "no-float-eq"));
+}
+
+#[test]
+fn a_waiver_suppresses_a_fixture_violation() {
+    let src = "// audit:allow(no-float-eq) reviewed: sentinel compare\n\
+               pub fn f(x: f64) -> bool { x == 0.0 }\n";
+    assert!(check_file("w.rs", src).is_empty());
+}
+
+/// Builds a throwaway workspace whose only crate contains every fixture,
+/// runs the real `mc3-audit` binary on it, and checks the exit code and
+/// report text.
+#[test]
+fn lint_run_over_fixtures_exits_nonzero() {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fixture-workspace");
+    let src_dir = root.join("crates/seeded/src");
+    std::fs::create_dir_all(&src_dir).expect("create fixture workspace");
+    for name in [
+        "unwrap_in_lib.rs",
+        "default_hasher.rs",
+        "dinic.rs",
+        "float_eq.rs",
+    ] {
+        let (_, source) = fixture(name);
+        std::fs::write(src_dir.join(name), source).expect("copy fixture");
+    }
+
+    let output = Command::new(env!("CARGO_BIN_EXE_mc3-audit"))
+        .args(["lint", root.to_str().expect("utf-8 tmpdir")])
+        .output()
+        .expect("run mc3-audit");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+
+    assert_eq!(
+        output.status.code(),
+        Some(1),
+        "seeded violations must fail the run; stdout:\n{stdout}"
+    );
+    for rule in [
+        "no-unwrap-in-lib",
+        "no-default-hasher",
+        "no-unchecked-index-in-hot-loops",
+        "no-float-eq",
+    ] {
+        assert!(
+            stdout.contains(&format!("error[{rule}]")),
+            "rule {rule} missing from the report:\n{stdout}"
+        );
+    }
+}
+
+/// The same run with a generous allowlist passes — budgets gate the exit
+/// code exactly as documented.
+#[test]
+fn budgets_turn_the_same_run_clean() {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("budgeted-workspace");
+    let src_dir = root.join("crates/seeded/src");
+    std::fs::create_dir_all(&src_dir).expect("create fixture workspace");
+    for name in ["unwrap_in_lib.rs", "float_eq.rs"] {
+        let (_, source) = fixture(name);
+        std::fs::write(src_dir.join(name), source).expect("copy fixture");
+    }
+    std::fs::write(
+        root.join("lint.allow"),
+        "no-unwrap-in-lib crates/seeded/src/unwrap_in_lib.rs 3\n\
+         no-float-eq     crates/seeded/src/float_eq.rs      2\n",
+    )
+    .expect("write allowlist");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_mc3-audit"))
+        .args(["lint", root.to_str().expect("utf-8 tmpdir")])
+        .output()
+        .expect("run mc3-audit");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "budgeted debt must pass; stdout:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+}

@@ -3,13 +3,13 @@
 //! networks; this bench also covers the matching-based path used by the
 //! Mixed baseline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc3_bench::timing::Group;
+use mc3_core::rng::prelude::*;
 use mc3_core::Weight;
 use mc3_flow::{
     hopcroft_karp, koenig_vertex_cover, solve_bipartite_wvc, BipartiteGraph, BipartiteWvc, Dinic,
     FlowNetwork,
 };
-use rand::prelude::*;
 use std::hint::black_box;
 
 /// A random bipartite WVC instance shaped like the Algorithm-2 reduction:
@@ -36,64 +36,60 @@ fn random_wvc(n: usize, seed: u64) -> BipartiteWvc {
     }
 }
 
-fn bench_dinic_raw(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dinic_unit_bipartite");
+fn bench_dinic_raw() {
+    let group = Group::new("dinic_unit_bipartite");
     for &n in &[1_000usize, 10_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut rng = StdRng::seed_from_u64(7);
-            let nl = n / 2;
-            let edges: Vec<(usize, usize)> = (0..2 * n)
-                .map(|_| (1 + rng.gen_range(0..nl), 1 + nl + rng.gen_range(0..n)))
-                .collect();
-            b.iter(|| {
-                let mut g = FlowNetwork::with_capacity(nl + n + 2, edges.len() + nl + n);
-                let (s, t) = (0usize, nl + n + 1);
-                for l in 0..nl {
-                    g.add_edge(s, 1 + l, 1);
-                }
-                for r in 0..n {
-                    g.add_edge(1 + nl + r, t, 1);
-                }
-                for &(u, v) in &edges {
-                    g.add_edge(u, v, 1);
-                }
-                black_box(Dinic::new(&mut g).max_flow(s, t))
-            });
+        let mut rng = StdRng::seed_from_u64(7);
+        let nl = n / 2;
+        let edges: Vec<(usize, usize)> = (0..2 * n)
+            .map(|_| (1 + rng.gen_range(0..nl), 1 + nl + rng.gen_range(0..n)))
+            .collect();
+        group.bench(n, || {
+            let mut g = FlowNetwork::with_capacity(nl + n + 2, edges.len() + nl + n);
+            let (s, t) = (0usize, nl + n + 1);
+            for l in 0..nl {
+                g.add_edge(s, 1 + l, 1);
+            }
+            for r in 0..n {
+                g.add_edge(1 + nl + r, t, 1);
+            }
+            for &(u, v) in &edges {
+                g.add_edge(u, v, 1);
+            }
+            black_box(Dinic::new(&mut g).max_flow(s, t))
         });
     }
-    group.finish();
 }
 
-fn bench_wvc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bipartite_wvc_via_maxflow");
+fn bench_wvc() {
+    let group = Group::new("bipartite_wvc_via_maxflow");
     for &n in &[1_000usize, 10_000, 50_000] {
         let inst = random_wvc(n, 42);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| black_box(solve_bipartite_wvc(inst).unwrap().weight));
+        group.bench(n, || {
+            black_box(solve_bipartite_wvc(&inst).expect("solvable").weight)
         });
     }
-    group.finish();
 }
 
-fn bench_matching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hopcroft_karp_koenig");
+fn bench_matching() {
+    let group = Group::new("hopcroft_karp_koenig");
     for &n in &[1_000usize, 10_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut rng = StdRng::seed_from_u64(13);
-            let mut g = BipartiteGraph::new(n / 2, n);
-            for r in 0..n {
-                g.add_edge(rng.gen_range(0..n / 2), r);
-                g.add_edge(rng.gen_range(0..n / 2), r);
-            }
-            b.iter(|| {
-                let m = hopcroft_karp(&g);
-                let (l, r) = koenig_vertex_cover(&g, &m);
-                black_box((m.size, l.len(), r.len()))
-            });
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut g = BipartiteGraph::new(n / 2, n);
+        for r in 0..n {
+            g.add_edge(rng.gen_range(0..n / 2), r);
+            g.add_edge(rng.gen_range(0..n / 2), r);
+        }
+        group.bench(n, || {
+            let m = hopcroft_karp(&g);
+            let (l, r) = koenig_vertex_cover(&g, &m);
+            black_box((m.size, l.len(), r.len()))
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_dinic_raw, bench_wvc, bench_matching);
-criterion_main!(benches);
+fn main() {
+    bench_dinic_raw();
+    bench_wvc();
+    bench_matching();
+}

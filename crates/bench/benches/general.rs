@@ -3,95 +3,77 @@
 //! preprocessing and across WSC strategies, plus Short-First and the
 //! Local-Greedy baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc3_bench::timing::Group;
 use mc3_solver::{Algorithm, Mc3Solver, WscStrategy};
 use mc3_workload::{PrivateConfig, SyntheticConfig};
 use std::hint::black_box;
 
-fn bench_general(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mc3g_algorithm3");
-    group.sample_size(10);
+fn bench_general() {
+    let group = Group::new("mc3g_algorithm3").samples(5);
     for &n in &[1_000usize, 10_000, 50_000] {
         let ds = SyntheticConfig::with_queries(n).generate();
-        group.bench_with_input(
-            BenchmarkId::new("with_preprocessing", n),
-            &ds.instance,
-            |b, inst| {
-                let solver = Mc3Solver::new().algorithm(Algorithm::General);
-                b.iter(|| black_box(solver.solve(inst).unwrap().cost()));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("without_preprocessing", n),
-            &ds.instance,
-            |b, inst| {
-                let solver = Mc3Solver::new()
-                    .algorithm(Algorithm::General)
-                    .without_preprocessing();
-                b.iter(|| black_box(solver.solve(inst).unwrap().cost()));
-            },
-        );
+        let with = Mc3Solver::new().algorithm(Algorithm::General);
+        group.bench(format!("with_preprocessing/{n}"), || {
+            black_box(with.solve(&ds.instance).expect("solvable").cost())
+        });
+        let without = Mc3Solver::new()
+            .algorithm(Algorithm::General)
+            .without_preprocessing();
+        group.bench(format!("without_preprocessing/{n}"), || {
+            black_box(without.solve(&ds.instance).expect("solvable").cost())
+        });
     }
-    group.finish();
 }
 
-fn bench_strategies(c: &mut Criterion) {
+fn bench_strategies() {
     let ds = SyntheticConfig::with_queries(10_000).generate();
-    let mut group = c.benchmark_group("mc3g_wsc_strategy");
-    group.sample_size(10);
+    let group = Group::new("mc3g_wsc_strategy").samples(5);
     for (name, strategy) in [
         ("greedy", WscStrategy::GreedyOnly),
         ("primal_dual", WscStrategy::PrimalDualOnly),
         ("combined", WscStrategy::Combined),
     ] {
-        group.bench_function(name, |b| {
-            let solver = Mc3Solver::new()
-                .algorithm(Algorithm::General)
-                .wsc_strategy(strategy);
-            b.iter(|| black_box(solver.solve(&ds.instance).unwrap().cost()));
+        let solver = Mc3Solver::new()
+            .algorithm(Algorithm::General)
+            .wsc_strategy(strategy);
+        group.bench(name, || {
+            black_box(solver.solve(&ds.instance).expect("solvable").cost())
         });
     }
-    group.finish();
 }
 
-fn bench_short_first_and_local_greedy(c: &mut Criterion) {
+fn bench_short_first_and_local_greedy() {
     let ds = PrivateConfig::with_queries(5_000).generate();
-    let mut group = c.benchmark_group("private_dataset_algorithms");
-    group.sample_size(10);
+    let group = Group::new("private_dataset_algorithms").samples(5);
     for (name, alg) in [
         ("mc3g", Algorithm::General),
         ("short_first", Algorithm::ShortFirst),
         ("local_greedy", Algorithm::LocalGreedy),
     ] {
-        group.bench_function(name, |b| {
-            let solver = Mc3Solver::new().algorithm(alg);
-            b.iter(|| black_box(solver.solve(&ds.instance).unwrap().cost()));
+        let solver = Mc3Solver::new().algorithm(alg);
+        group.bench(name, || {
+            black_box(solver.solve(&ds.instance).expect("solvable").cost())
         });
     }
-    group.finish();
 }
 
-fn bench_parallel_components(c: &mut Criterion) {
+fn bench_parallel_components() {
     // the private dataset has three property-disjoint categories
     let ds = PrivateConfig::with_queries(10_000).generate();
-    let mut group = c.benchmark_group("component_parallelism");
-    group.sample_size(10);
+    let group = Group::new("component_parallelism").samples(5);
     for (name, parallel) in [("sequential", false), ("parallel", true)] {
-        group.bench_function(name, |b| {
-            let solver = Mc3Solver::new()
-                .algorithm(Algorithm::General)
-                .parallel(parallel);
-            b.iter(|| black_box(solver.solve(&ds.instance).unwrap().cost()));
+        let solver = Mc3Solver::new()
+            .algorithm(Algorithm::General)
+            .parallel(parallel);
+        group.bench(name, || {
+            black_box(solver.solve(&ds.instance).expect("solvable").cost())
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_general,
-    bench_strategies,
-    bench_short_first_and_local_greedy,
-    bench_parallel_components
-);
-criterion_main!(benches);
+fn main() {
+    bench_general();
+    bench_strategies();
+    bench_short_first_and_local_greedy();
+    bench_parallel_components();
+}

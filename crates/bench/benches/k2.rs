@@ -1,51 +1,44 @@
 //! Benchmarks behind Fig. 3c: MC3[S] (Algorithm 2) on synthetic short-query
 //! workloads, with and without preprocessing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc3_bench::timing::Group;
 use mc3_solver::{Algorithm, Mc3Solver};
 use mc3_workload::SyntheticConfig;
 use std::hint::black_box;
 
-fn bench_k2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mc3s_algorithm2");
-    group.sample_size(10);
+fn bench_k2() {
+    let group = Group::new("mc3s_algorithm2").samples(5);
     for &n in &[1_000usize, 10_000, 100_000] {
         let ds = SyntheticConfig::short(n).generate();
-        group.bench_with_input(
-            BenchmarkId::new("with_preprocessing", n),
-            &ds.instance,
-            |b, inst| {
-                let solver = Mc3Solver::new().algorithm(Algorithm::K2Exact);
-                b.iter(|| black_box(solver.solve(inst).unwrap().cost()));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("without_preprocessing", n),
-            &ds.instance,
-            |b, inst| {
-                let solver = Mc3Solver::new()
-                    .algorithm(Algorithm::K2Exact)
-                    .without_preprocessing();
-                b.iter(|| black_box(solver.solve(inst).unwrap().cost()));
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_mixed_baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mixed_baseline_matching");
-    group.sample_size(10);
-    for &n in &[1_000usize, 10_000] {
-        let ds = mc3_workload::BestBuyConfig::with_queries(n).generate();
-        let short = ds.instance.filter_queries(|q| q.len() <= 2).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &short, |b, inst| {
-            let solver = Mc3Solver::new().algorithm(Algorithm::Mixed);
-            b.iter(|| black_box(solver.solve(inst).unwrap().cost()));
+        let with = Mc3Solver::new().algorithm(Algorithm::K2Exact);
+        group.bench(format!("with_preprocessing/{n}"), || {
+            black_box(with.solve(&ds.instance).expect("solvable").cost())
+        });
+        let without = Mc3Solver::new()
+            .algorithm(Algorithm::K2Exact)
+            .without_preprocessing();
+        group.bench(format!("without_preprocessing/{n}"), || {
+            black_box(without.solve(&ds.instance).expect("solvable").cost())
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_k2, bench_mixed_baseline);
-criterion_main!(benches);
+fn bench_mixed_baseline() {
+    let group = Group::new("mixed_baseline_matching").samples(5);
+    for &n in &[1_000usize, 10_000] {
+        let ds = mc3_workload::BestBuyConfig::with_queries(n).generate();
+        let short = ds
+            .instance
+            .filter_queries(|q| q.len() <= 2)
+            .expect("non-empty");
+        let solver = Mc3Solver::new().algorithm(Algorithm::Mixed);
+        group.bench(n, || {
+            black_box(solver.solve(&short).expect("solvable").cost())
+        });
+    }
+}
+
+fn main() {
+    bench_k2();
+    bench_mixed_baseline();
+}

@@ -1,34 +1,29 @@
 //! Micro-benchmarks of Algorithm 1 (§3) — the preprocessing pipeline on the
 //! paper's synthetic workloads, plus the ablation over enabled steps.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc3_bench::timing::Group;
 use mc3_core::ClassifierUniverse;
 use mc3_solver::preprocess::{preprocess, PreprocessOptions};
 use mc3_solver::work::WorkState;
 use mc3_workload::SyntheticConfig;
 use std::hint::black_box;
 
-fn bench_full_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("preprocess_algorithm1");
-    group.sample_size(10);
+fn bench_full_pipeline() {
+    let group = Group::new("preprocess_algorithm1").samples(5);
     for &n in &[1_000usize, 10_000, 50_000] {
         let ds = SyntheticConfig::with_queries(n).generate();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &ds.instance, |b, inst| {
-            b.iter(|| {
-                let universe = ClassifierUniverse::build(inst);
-                let mut ws = WorkState::new(inst, universe);
-                let stats = preprocess(&mut ws, &PreprocessOptions::default()).unwrap();
-                black_box((stats.selected, stats.removed_by_decomposition))
-            });
+        group.bench(n, || {
+            let universe = ClassifierUniverse::build(&ds.instance);
+            let mut ws = WorkState::new(&ds.instance, universe);
+            let stats = preprocess(&mut ws, &PreprocessOptions::default()).expect("preprocess");
+            black_box((stats.selected, stats.removed_by_decomposition))
         });
     }
-    group.finish();
 }
 
-fn bench_steps(c: &mut Criterion) {
+fn bench_steps() {
     let ds = SyntheticConfig::with_queries(10_000).generate();
-    let mut group = c.benchmark_group("preprocess_step_ablation");
-    group.sample_size(10);
+    let group = Group::new("preprocess_step_ablation").samples(5);
     let configs = [
         (
             "step1_only",
@@ -42,33 +37,26 @@ fn bench_steps(c: &mut Criterion) {
         ("steps_1_3", PreprocessOptions::default()),
     ];
     for (name, opts) in configs {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let universe = ClassifierUniverse::build(&ds.instance);
-                let mut ws = WorkState::new(&ds.instance, universe);
-                black_box(preprocess(&mut ws, &opts).unwrap().selected)
-            });
+        group.bench(name, || {
+            let universe = ClassifierUniverse::build(&ds.instance);
+            let mut ws = WorkState::new(&ds.instance, universe);
+            black_box(preprocess(&mut ws, &opts).expect("preprocess").selected)
         });
     }
-    group.finish();
 }
 
-fn bench_universe_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("classifier_universe_enumeration");
-    group.sample_size(10);
+fn bench_universe_build() {
+    let group = Group::new("classifier_universe_enumeration").samples(5);
     for &n in &[10_000usize, 50_000] {
         let ds = SyntheticConfig::with_queries(n).generate();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &ds.instance, |b, inst| {
-            b.iter(|| black_box(ClassifierUniverse::build(inst).len()));
+        group.bench(n, || {
+            black_box(ClassifierUniverse::build(&ds.instance).len())
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_full_pipeline,
-    bench_steps,
-    bench_universe_build
-);
-criterion_main!(benches);
+fn main() {
+    bench_full_pipeline();
+    bench_steps();
+    bench_universe_build();
+}

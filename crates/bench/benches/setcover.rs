@@ -2,12 +2,12 @@
 //! the primal–dual f-approximation, LP rounding [50] on small instances,
 //! and the reverse-delete refinement.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc3_bench::timing::Group;
+use mc3_core::rng::prelude::*;
 use mc3_core::Weight;
 use mc3_setcover::{
     prune_redundant, solve_greedy, solve_lp_rounding, solve_primal_dual, SetCoverInstance,
 };
-use rand::prelude::*;
 use std::hint::black_box;
 
 /// A random coverable WSC instance with `n` elements and ~`3n` sets.
@@ -25,61 +25,48 @@ fn random_wsc(n: usize, seed: u64) -> SetCoverInstance {
     SetCoverInstance::new(n, sets)
 }
 
-fn bench_greedy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wsc_greedy_lazy_heap");
+fn bench_greedy() {
+    let group = Group::new("wsc_greedy_lazy_heap");
     for &n in &[1_000usize, 10_000, 100_000] {
         let inst = random_wsc(n, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| black_box(solve_greedy(inst).unwrap().cost));
+        group.bench(n, || {
+            black_box(solve_greedy(&inst).expect("coverable").cost)
         });
     }
-    group.finish();
 }
 
-fn bench_primal_dual(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wsc_primal_dual");
+fn bench_primal_dual() {
+    let group = Group::new("wsc_primal_dual");
     for &n in &[1_000usize, 10_000, 100_000] {
         let inst = random_wsc(n, 2);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| black_box(solve_primal_dual(inst).unwrap().cost));
+        group.bench(n, || {
+            black_box(solve_primal_dual(&inst).expect("coverable").cost)
         });
     }
-    group.finish();
 }
 
-fn bench_lp_rounding(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wsc_lp_rounding_simplex");
-    group.sample_size(10);
+fn bench_lp_rounding() {
+    let group = Group::new("wsc_lp_rounding_simplex").samples(5);
     for &n in &[50usize, 150] {
         let inst = random_wsc(n, 3);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
-            b.iter(|| black_box(solve_lp_rounding(inst).unwrap().cost));
+        group.bench(n, || {
+            black_box(solve_lp_rounding(&inst).expect("coverable").cost)
         });
     }
-    group.finish();
 }
 
-fn bench_prune(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wsc_reverse_delete");
+fn bench_prune() {
+    let group = Group::new("wsc_reverse_delete");
     for &n in &[10_000usize, 100_000] {
         let inst = random_wsc(n, 4);
-        let sol = solve_greedy(&inst).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n),
-            &(&inst, &sol),
-            |b, (inst, sol)| {
-                b.iter(|| black_box(prune_redundant(inst, sol).cost));
-            },
-        );
+        let sol = solve_greedy(&inst).expect("coverable");
+        group.bench(n, || black_box(prune_redundant(&inst, &sol).cost));
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_greedy,
-    bench_primal_dual,
-    bench_lp_rounding,
-    bench_prune
-);
-criterion_main!(benches);
+fn main() {
+    bench_greedy();
+    bench_primal_dual();
+    bench_lp_rounding();
+    bench_prune();
+}

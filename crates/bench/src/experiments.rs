@@ -552,9 +552,9 @@ fn ablation_preprocess(scale: ExperimentScale) -> String {
 // --- Flow-algorithm ablation -----------------------------------------------
 
 fn ablation_flow(scale: ExperimentScale) -> String {
+    use mc3_core::rng::prelude::*;
     use mc3_core::Weight;
     use mc3_flow::{solve_bipartite_wvc_with, BipartiteWvc, FlowAlgorithm};
-    use rand::prelude::*;
 
     let sizes: &[usize] = match scale {
         ExperimentScale::Quick => &[10_000, 50_000],
@@ -612,7 +612,7 @@ fn ablation_flow(scale: ExperimentScale) -> String {
 // --- Empirical approximation ratios ----------------------------------------
 
 fn ablation_guarantee() -> String {
-    use rand::prelude::*;
+    use mc3_core::rng::prelude::*;
     let mut t = Table::new(
         "Empirical approximation ratio vs the Theorem 5.3 guarantee (small random instances)",
         &[
@@ -747,8 +747,8 @@ fn ablation_bounded(scale: ExperimentScale) -> String {
 // --- Budgeted partial cover (§5.3 / §8 future work) --------------------------
 
 fn ablation_partial(scale: ExperimentScale) -> String {
+    use mc3_core::rng::prelude::*;
     use mc3_solver::{solve_partial_cover_with, PartialStrategy};
-    use rand::prelude::*;
 
     let n = match scale {
         ExperimentScale::Quick => 1_000,

@@ -29,6 +29,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod timing;
 
 pub use experiments::{run_experiment, ExperimentScale, EXPERIMENT_IDS};
 pub use report::Table;

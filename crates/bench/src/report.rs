@@ -75,7 +75,7 @@ pub fn secs(d: std::time::Duration) -> String {
 
 /// Formats `part / whole` as a percentage string.
 pub fn pct(part: f64, whole: f64) -> String {
-    if whole == 0.0 {
+    if !(whole.abs() > f64::EPSILON) {
         "–".to_owned()
     } else {
         format!("{:.1}%", 100.0 * part / whole)

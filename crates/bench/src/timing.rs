@@ -1,0 +1,106 @@
+//! A minimal plain-timing micro-bench harness.
+//!
+//! The workspace builds offline, so the `[[bench]]` targets use this tiny
+//! warmup-then-sample loop instead of `criterion`. Each measurement runs
+//! the closure until a time floor is hit, reports median/mean per
+//! iteration, and is deterministic apart from machine noise. Re-exported
+//! for the `benches/*.rs` entry points (`cargo bench -p mc3-bench`).
+
+use std::time::{Duration, Instant};
+
+/// One benchmark group; prints a header line and owns the sample policy.
+pub struct Group {
+    name: String,
+    /// Samples collected per measurement.
+    pub samples: usize,
+    /// Minimum wall-clock time spent per sample (iterations adapt to it).
+    pub min_sample_time: Duration,
+}
+
+impl Group {
+    /// Starts a group: prints the header immediately.
+    pub fn new(name: &str) -> Group {
+        println!("\n== {name} ==");
+        Group {
+            name: name.to_owned(),
+            samples: 10,
+            min_sample_time: Duration::from_millis(50),
+        }
+    }
+
+    /// Overrides the number of samples (default 10).
+    pub fn samples(mut self, n: usize) -> Group {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Times `f`, printing one result line `group/id  median  mean`.
+    pub fn bench<R>(&self, id: impl std::fmt::Display, mut f: impl FnMut() -> R) {
+        // Warmup: one untimed call, then calibrate iterations per sample.
+        std::hint::black_box(f());
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed();
+        let iters = if once.is_zero() {
+            1000
+        } else {
+            (self.min_sample_time.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as usize
+        };
+
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        println!(
+            "{}/{id:<24} median {:>12}  mean {:>12}  ({} samples x {iters} iters)",
+            self.name,
+            fmt_duration(median),
+            fmt_duration(mean),
+            self.samples,
+        );
+    }
+}
+
+/// Renders a duration with an adaptive unit, `123.4 µs` style.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0u64;
+        Group::new("test").samples(2).bench("noop", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls > 2);
+    }
+}

@@ -83,6 +83,13 @@ pub enum Command {
         /// Solution JSON path.
         solution: String,
     },
+    /// `mc3 audit DATASET SOLUTION` — full certificate check + report.
+    Audit {
+        /// Dataset JSON path.
+        dataset: String,
+        /// Solution JSON path.
+        solution: String,
+    },
     /// `mc3 parse QUERIES.txt [--uniform-cost N | --cost-range LO..HI [--seed S]] --out FILE`
     Parse {
         /// Text file: one conjunctive query per line (`a AND b`).
@@ -118,6 +125,7 @@ USAGE:
             [--no-preprocess] [--no-refine] [--parallel]
             [--max-classifier-len <K>] [--out <FILE|->]
   mc3 verify <DATASET.json> <SOLUTION.json>
+  mc3 audit <DATASET.json> <SOLUTION.json>
   mc3 parse <QUERIES.txt> [--uniform-cost <N> | --cost-range <LO..HI> [--seed <S>]]
             --out <FILE|->
   mc3 compare <DATASET.json>
@@ -255,6 +263,11 @@ impl Cli {
                     .ok_or("verify requires a solution path")?
                     .to_owned();
                 Command::Verify { dataset, solution }
+            }
+            "audit" => {
+                let dataset = s.next().ok_or("audit requires a dataset path")?.to_owned();
+                let solution = s.next().ok_or("audit requires a solution path")?.to_owned();
+                Command::Audit { dataset, solution }
             }
             "parse" => {
                 let queries = s.next().ok_or("parse requires a queries path")?.to_owned();

@@ -41,6 +41,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             out.as_deref(),
         ),
         Command::Verify { dataset, solution } => verify(dataset, solution),
+        Command::Audit { dataset, solution } => audit(dataset, solution),
         Command::Parse {
             queries,
             uniform_cost,
@@ -89,7 +90,7 @@ fn generate(kind: GeneratorKind, queries: usize, seed: u64, out: &str) -> Result
     };
     let mut buf = Vec::new();
     write_dataset_json(&ds, &mut buf).map_err(|e| e.to_string())?;
-    let json = String::from_utf8(buf).expect("JSON is UTF-8");
+    let json = String::from_utf8(buf).map_err(|e| e.to_string())?;
     let mut report = write_out(out, &json)?;
     if out != "-" {
         let _ = writeln!(
@@ -177,8 +178,9 @@ fn solve(
         report.preprocess_stats.covered_queries
     );
     if let Some(path) = out {
-        let file = SolutionFile::from_solution(&report.solution);
-        let json = serde_json::to_string_pretty(&file).expect("solution serializes");
+        let json = SolutionFile::from_solution(&report.solution)
+            .to_json()
+            .to_string_pretty();
         text.push_str(&write_out(path, &json)?);
     }
     Ok(text)
@@ -191,8 +193,8 @@ fn verify(dataset: &str, solution: &str) -> Result<String, String> {
         .map_err(|e| format!("cannot open {solution}: {e}"))?
         .read_to_string(&mut json)
         .map_err(|e| e.to_string())?;
-    let file: SolutionFile =
-        serde_json::from_str(&json).map_err(|e| format!("cannot parse {solution}: {e}"))?;
+    let file =
+        SolutionFile::from_json_str(&json).map_err(|e| format!("cannot parse {solution}: {e}"))?;
     let sol = file
         .into_solution(&ds.instance)
         .map_err(|e| format!("invalid solution: {e}"))?;
@@ -204,6 +206,31 @@ fn verify(dataset: &str, solution: &str) -> Result<String, String> {
         ds.instance.num_queries(),
         sol.cost()
     ))
+}
+
+/// `mc3 audit`: verify a solution file against an instance end to end and
+/// print its cover certificate (per-query witnesses, cost, bound status).
+fn audit(dataset: &str, solution: &str) -> Result<String, String> {
+    let ds = load_dataset(dataset)?;
+    let mut json = String::new();
+    File::open(solution)
+        .map_err(|e| format!("cannot open {solution}: {e}"))?
+        .read_to_string(&mut json)
+        .map_err(|e| e.to_string())?;
+    let file =
+        SolutionFile::from_json_str(&json).map_err(|e| format!("cannot parse {solution}: {e}"))?;
+    let sol = file
+        .into_solution(&ds.instance)
+        .map_err(|e| format!("invalid solution: {e}"))?;
+    let cert = mc3_core::Certificate::for_solution(&ds.instance, &sol)
+        .map_err(|e| format!("certificate construction failed: {e}"))?;
+    cert.verify(&ds.instance, &sol)
+        .map_err(|e| format!("certificate verification failed: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "certificate for '{}' on '{}':", solution, ds.name);
+    out.push_str(&cert.render());
+    let _ = writeln!(out, "verdict: VALID");
+    Ok(out)
 }
 
 fn parse_cmd(
@@ -232,7 +259,7 @@ fn parse_cmd(
     let ds = Dataset::new(name, instance);
     let mut buf = Vec::new();
     write_dataset_json(&ds, &mut buf).map_err(|e| e.to_string())?;
-    let json = String::from_utf8(buf).expect("JSON is UTF-8");
+    let json = String::from_utf8(buf).map_err(|e| e.to_string())?;
     let mut report = write_out(out, &json)?;
     if out != "-" {
         let _ = writeln!(
@@ -372,11 +399,11 @@ mod tests {
         .unwrap();
         run(&Cli::parse(["solve", &data, "--out", &solution]).unwrap()).unwrap();
         // tamper: drop one classifier
-        let mut file: SolutionFile =
-            serde_json::from_str(&std::fs::read_to_string(&solution).unwrap()).unwrap();
+        let mut file =
+            SolutionFile::from_json_str(&std::fs::read_to_string(&solution).unwrap()).unwrap();
         let dropped = file.classifiers.pop().unwrap();
         file.cost -= 1; // uniform cost 1 per classifier in BB
-        std::fs::write(&solution, serde_json::to_string(&file).unwrap()).unwrap();
+        std::fs::write(&solution, file.to_json().to_string()).unwrap();
         let err = run(&Cli::parse(["verify", &data, &solution]).unwrap()).unwrap_err();
         assert!(
             err.contains("does NOT cover") || err.contains("invalid solution"),

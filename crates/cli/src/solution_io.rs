@@ -1,11 +1,11 @@
 //! JSON (de)serialization of solutions.
 
+use mc3_core::json::Json;
 use mc3_core::{Instance, PropSet, Result, Solution};
-use serde::{Deserialize, Serialize};
 
 /// The serializable solution format: selected classifiers as property-id
 /// lists plus the recorded total cost.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SolutionFile {
     /// Total construction cost.
     pub cost: u64,
@@ -14,6 +14,50 @@ pub struct SolutionFile {
 }
 
 impl SolutionFile {
+    /// Renders the file as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("cost", Json::Int(self.cost as i128)),
+            (
+                "classifiers",
+                Json::array(
+                    self.classifiers
+                        .iter()
+                        .map(|c| Json::array(c.iter().map(|&p| Json::Int(p as i128)))),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the file from a JSON document.
+    pub fn from_json(v: &Json) -> std::result::Result<SolutionFile, String> {
+        let cost = v
+            .get("cost")
+            .and_then(Json::as_u64)
+            .ok_or("solution: missing u64 field 'cost'")?;
+        let raw = v
+            .get("classifiers")
+            .and_then(Json::as_array)
+            .ok_or("solution: missing array field 'classifiers'")?;
+        let mut classifiers = Vec::with_capacity(raw.len());
+        for c in raw {
+            let ids = c
+                .as_array()
+                .ok_or("solution: each classifier must be an id array")?
+                .iter()
+                .map(|p| p.as_u32().ok_or("solution: property ids must be u32"))
+                .collect::<std::result::Result<Vec<u32>, _>>()?;
+            classifiers.push(ids);
+        }
+        Ok(SolutionFile { cost, classifiers })
+    }
+
+    /// Parses the file from JSON text.
+    pub fn from_json_str(text: &str) -> std::result::Result<SolutionFile, String> {
+        let doc = mc3_core::json::parse(text).map_err(|e| e.to_string())?;
+        SolutionFile::from_json(&doc)
+    }
+
     /// Captures a solution.
     pub fn from_solution(solution: &Solution) -> SolutionFile {
         SolutionFile {
@@ -56,10 +100,17 @@ mod tests {
         let instance = Instance::new(vec![vec![0u32, 1]], Weights::uniform(3u64)).unwrap();
         let solution = Solution::new(&instance, vec![PropSet::from_ids([0u32, 1])]).unwrap();
         let file = SolutionFile::from_solution(&solution);
-        let json = serde_json::to_string(&file).unwrap();
-        let back: SolutionFile = serde_json::from_str(&json).unwrap();
+        let json = file.to_json().to_string();
+        let back = SolutionFile::from_json_str(&json).unwrap();
         let rebuilt = back.into_solution(&instance).unwrap();
         assert_eq!(rebuilt, solution);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(SolutionFile::from_json_str("not json").is_err());
+        assert!(SolutionFile::from_json_str(r#"{"cost": 1}"#).is_err());
+        assert!(SolutionFile::from_json_str(r#"{"cost": -1, "classifiers": []}"#).is_err());
     }
 
     #[test]

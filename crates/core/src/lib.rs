@@ -55,20 +55,24 @@
 //! assert_eq!(instance.max_query_len(), 3);
 //! ```
 
+pub mod certificate;
 pub mod cover;
 pub mod error;
 pub mod fxhash;
 pub mod instance;
+pub mod json;
 pub mod multivalued;
 pub mod parse;
 pub mod prop;
 pub mod propset;
+pub mod rng;
 pub mod solution;
 pub mod stats;
 pub mod universe;
 pub mod weight;
 pub mod weights;
 
+pub use certificate::{Certificate, CoverWitness};
 pub use cover::{covered, covering_subset, is_cover};
 pub use error::{Mc3Error, Result};
 pub use fxhash::{FxHashMap, FxHashSet};

@@ -5,14 +5,12 @@
 //! `u32` ids so that queries and classifiers are small integer sets.
 
 use crate::fxhash::FxHashMap;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense, interned property identifier.
 ///
 /// Ids are assigned consecutively from 0 by [`PropertyInterner::intern`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PropId(pub u32);
 
 impl PropId {
@@ -67,6 +65,7 @@ impl PropertyInterner {
         if let Some(&id) = self.ids.get(name) {
             return id;
         }
+        // audit:allow(no-unwrap-in-lib) capacity invariant: ids are u32 by design
         let id = PropId(u32::try_from(self.names.len()).expect("more than u32::MAX properties"));
         self.names.push(name.to_owned());
         self.ids.insert(name.to_owned(), id);

@@ -7,7 +7,6 @@
 //! algorithm in the workspace deterministic.
 
 use crate::prop::PropId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A query `q ⊆ P`: the set of properties a conjunctive search query tests.
@@ -31,7 +30,7 @@ pub type Classifier = PropSet;
 /// assert_eq!(a.union(&b), a);
 /// assert!(a.contains(PropId(3)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PropSet(Box<[PropId]>);
 
 impl PropSet {

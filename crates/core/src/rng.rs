@@ -1,0 +1,333 @@
+//! Deterministic, dependency-free pseudo-random number generation.
+//!
+//! The workspace builds and tests fully offline, so instead of depending on
+//! the `rand` crate we ship a small xoshiro256++ generator (Blackman &
+//! Vigna) seeded through SplitMix64. The API mirrors the subset of `rand`
+//! the repo uses — [`StdRng::seed_from_u64`], [`StdRng::gen_range`],
+//! [`StdRng::gen_bool`], [`StdRng::gen`], and the [`SliceRandom`] helpers —
+//! so call sites read identically to their `rand` counterparts.
+//!
+//! The generator is *not* cryptographic. It is used only for workload
+//! synthesis and randomized testing, where determinism (same seed ⇒ same
+//! stream on every platform) is the property that matters.
+//!
+//! # Example
+//!
+//! ```
+//! use mc3_core::rng::prelude::*;
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let die = rng.gen_range(1..=6u32);
+//! assert!((1..=6).contains(&die));
+//! let coin = rng.gen_bool(0.5);
+//! let _ = coin;
+//! // Same seed, same stream:
+//! assert_eq!(
+//!     StdRng::seed_from_u64(7).gen_range(0..1000u64),
+//!     StdRng::seed_from_u64(7).gen_range(0..1000u64),
+//! );
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: the standard 64-bit finalizer used to expand a single
+/// seed word into a full generator state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ generator.
+///
+/// Named `StdRng` so the randomized tests and workload generators read the
+/// same as they would against the `rand` crate.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seeds the full 256-bit state from one `u64` via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ scrambler).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next value in `[0, bound)` without modulo bias (Lemire's
+    /// widening-multiply rejection method). `bound` must be non-zero.
+    #[inline]
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "bounded_u64 requires a non-zero bound");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform value from `range` (half-open or inclusive integer ranges).
+    ///
+    /// Panics on empty ranges, matching `rand`.
+    #[inline]
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool requires p in [0, 1]");
+        // 53 random mantissa bits, the full precision of an f64 in [0, 1).
+        self.gen_f64() < p
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniformly random value of `T` (`u64`, `u32`, `bool`, or `f64`).
+    #[inline]
+    pub fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+}
+
+/// Types [`StdRng::gen`] can produce.
+pub trait FromRng {
+    /// Draws a uniform value from `rng`.
+    fn from_rng(rng: &mut StdRng) -> Self;
+}
+
+impl FromRng for u64 {
+    #[inline]
+    fn from_rng(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    #[inline]
+    fn from_rng(rng: &mut StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRng for bool {
+    #[inline]
+    fn from_rng(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRng for f64 {
+    #[inline]
+    fn from_rng(rng: &mut StdRng) -> f64 {
+        rng.gen_f64()
+    }
+}
+
+/// Integer range types accepted by [`StdRng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded_u64(span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64 domain.
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.bounded_u64(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, u16, u8, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+/// Random helpers on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<'a>(&'a self, rng: &mut StdRng) -> Option<&'a Self::Item>;
+
+    /// Shuffles in place (Fisher–Yates).
+    fn shuffle(&mut self, rng: &mut StdRng);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<'a>(&'a self, rng: &mut StdRng) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = rng.bounded_u64(self.len() as u64) as usize;
+            self.get(i)
+        }
+    }
+
+    fn shuffle(&mut self, rng: &mut StdRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.bounded_u64(i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+/// One-stop import mirroring `rand::prelude::*`.
+pub mod prelude {
+    pub use super::{FromRng, SampleRange, SliceRandom, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(123);
+        let mut b = StdRng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(1..=6u32);
+            assert!((1..=6).contains(&y));
+            let z = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac = {frac}");
+        let mut rng = StdRng::seed_from_u64(12);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        let mut rng = StdRng::seed_from_u64(13);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle should move something");
+    }
+
+    #[test]
+    fn choose_is_uniformish_and_none_on_empty() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [1, 2, 3];
+        let mut counts = [0usize; 3];
+        for _ in 0..3_000 {
+            counts[(*items.choose(&mut rng).unwrap() - 1) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 800), "counts = {counts:?}");
+    }
+
+    #[test]
+    fn gen_produces_each_supported_type() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _: u64 = rng.gen();
+        let _: u32 = rng.gen();
+        let _: bool = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

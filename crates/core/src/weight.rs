@@ -8,14 +8,12 @@
 //! Integer weights keep Max-Flow, the greedy ratio rule and all invariants
 //! exact — no floating point on any hot path.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::Add;
 
 /// A non-negative classifier cost, or infinity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Weight(u64);
 
 impl Weight {

@@ -1,0 +1,116 @@
+//! Seeded property tests for the certificate layer: a genuine solution
+//! always certifies, and a corrupted one (a dropped classifier, a lost
+//! query, an understated cost) always fails re-verification.
+
+use mc3_core::rng::prelude::*;
+use mc3_core::{Certificate, Instance, PropSet, Solution, Weights};
+
+const CASES: u64 = 200;
+
+/// A random coverable instance plus a feasible solution built from a mix
+/// of whole-query classifiers and per-property singletons.
+fn rand_instance(rng: &mut StdRng) -> (Instance, Solution) {
+    let num_queries = rng.gen_range(1..=6usize);
+    let mut queries = Vec::with_capacity(num_queries);
+    for _ in 0..num_queries {
+        let len = rng.gen_range(1..=4usize);
+        let mut props: Vec<u32> = (0..len).map(|_| rng.gen_range(0..9u32)).collect();
+        props.sort_unstable();
+        props.dedup();
+        queries.push(props);
+    }
+    let instance =
+        Instance::new(queries.clone(), Weights::seeded(rng.gen(), 1, 12)).expect("valid instance");
+    let mut classifiers: Vec<PropSet> = Vec::new();
+    for q in &queries {
+        if rng.gen_bool(0.5) || q.len() == 1 {
+            classifiers.push(PropSet::from_ids(q.iter().copied()));
+        } else {
+            for &p in q {
+                classifiers.push(PropSet::from_ids([p]));
+            }
+        }
+    }
+    classifiers.sort_unstable();
+    classifiers.dedup();
+    let solution = Solution::new(&instance, classifiers).expect("feasible by construction");
+    (instance, solution)
+}
+
+#[test]
+fn genuine_solutions_always_certify() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (instance, solution) = rand_instance(&mut rng);
+        let cert = Certificate::for_solution(&instance, &solution)
+            .unwrap_or_else(|e| panic!("certificate construction failed: {e}, seed {seed}"));
+        assert!(
+            cert.verify(&instance, &solution).is_ok(),
+            "fresh certificate failed verification, seed {seed}"
+        );
+        assert_eq!(cert.witnesses.len(), instance.num_queries(), "seed {seed}");
+    }
+}
+
+#[test]
+fn dropped_classifier_fails_certificate_verification() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (instance, solution) = rand_instance(&mut rng);
+        let cert = Certificate::for_solution(&instance, &solution).expect("feasible");
+        let mut fewer = solution.classifiers().to_vec();
+        let victim = rng.gen_range(0..fewer.len());
+        fewer.remove(victim);
+        // Rebuilding may legitimately fail (no longer a cover) — what must
+        // NEVER happen is the old certificate accepting the smaller set.
+        let corrupted = Solution::with_cost(
+            fewer.clone(),
+            fewer.iter().map(|c| instance.weight(c)).sum(),
+        );
+        assert!(
+            cert.verify(&instance, &corrupted).is_err(),
+            "certificate accepted a solution missing classifier {victim}, seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn understated_cost_fails_certificate_verification() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (instance, solution) = rand_instance(&mut rng);
+        let mut cert = Certificate::for_solution(&instance, &solution).expect("feasible");
+        let claimed = cert.cost.raw();
+        if claimed == 0 {
+            continue;
+        }
+        cert.cost = mc3_core::Weight::new(claimed - 1);
+        assert!(
+            cert.verify(&instance, &solution).is_err(),
+            "certificate accepted an understated cost, seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn tampered_witness_fails_certificate_verification() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (instance, solution) = rand_instance(&mut rng);
+        let mut cert = Certificate::for_solution(&instance, &solution).expect("feasible");
+        let qi = rng.gen_range(0..cert.witnesses.len());
+        // Emptying a witness breaks the union condition for any non-empty
+        // query; pointing it past the classifier list breaks indexing.
+        if rng.gen_bool(0.5) {
+            cert.witnesses[qi].classifier_indices.clear();
+        } else {
+            cert.witnesses[qi]
+                .classifier_indices
+                .push(solution.classifiers().len());
+        }
+        assert!(
+            cert.verify(&instance, &solution).is_err(),
+            "certificate accepted a tampered witness for query {qi}, seed {seed}"
+        );
+    }
+}

@@ -1,121 +1,214 @@
 //! Property-based tests of the core set algebra against a `BTreeSet` model,
 //! plus `Weight` arithmetic laws and cover-semantics invariants.
+//!
+//! The workspace builds offline, so instead of `proptest` these are
+//! seeded-loop properties: each test draws a few hundred random cases from
+//! the deterministic [`mc3_core::rng::StdRng`] and asserts the invariant on
+//! every one. Failures print the seed so a case can be replayed.
 
+use mc3_core::rng::prelude::*;
 use mc3_core::{covered, covering_subset, Instance, PropId, PropSet, Weight, Weights};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
+
+const CASES: u64 = 300;
 
 fn model(s: &PropSet) -> BTreeSet<u32> {
     s.iter().map(|p| p.0).collect()
 }
 
-fn arb_propset(max: u32) -> impl Strategy<Value = PropSet> {
-    prop::collection::vec(0..max, 0..12).prop_map(PropSet::from_ids)
+fn rand_ids(rng: &mut StdRng, max: u32, len_max: usize) -> Vec<u32> {
+    let len = rng.gen_range(0..len_max);
+    (0..len).map(|_| rng.gen_range(0..max)).collect()
 }
 
-proptest! {
-    #[test]
-    fn union_matches_model(a in arb_propset(30), b in arb_propset(30)) {
-        let expected: BTreeSet<u32> = model(&a).union(&model(&b)).copied().collect();
-        prop_assert_eq!(model(&a.union(&b)), expected);
-    }
+fn rand_propset(rng: &mut StdRng, max: u32) -> PropSet {
+    PropSet::from_ids(rand_ids(rng, max, 12))
+}
 
-    #[test]
-    fn difference_matches_model(a in arb_propset(30), b in arb_propset(30)) {
-        let expected: BTreeSet<u32> = model(&a).difference(&model(&b)).copied().collect();
-        prop_assert_eq!(model(&a.difference(&b)), expected);
-    }
+#[test]
+fn union_difference_intersection_match_model() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_propset(&mut rng, 30);
+        let b = rand_propset(&mut rng, 30);
+        let (ma, mb) = (model(&a), model(&b));
 
-    #[test]
-    fn intersection_matches_model(a in arb_propset(30), b in arb_propset(30)) {
-        let expected: BTreeSet<u32> = model(&a).intersection(&model(&b)).copied().collect();
-        prop_assert_eq!(a.intersects(&b), !expected.is_empty());
-        prop_assert_eq!(model(&a.intersection(&b)), expected);
-    }
+        let union: BTreeSet<u32> = ma.union(&mb).copied().collect();
+        assert_eq!(model(&a.union(&b)), union, "union, seed {seed}");
 
-    #[test]
-    fn subset_matches_model(a in arb_propset(12), b in arb_propset(12)) {
-        prop_assert_eq!(a.is_subset_of(&b), model(&a).is_subset(&model(&b)));
-    }
+        let diff: BTreeSet<u32> = ma.difference(&mb).copied().collect();
+        assert_eq!(model(&a.difference(&b)), diff, "difference, seed {seed}");
 
-    #[test]
-    fn contains_matches_model(a in arb_propset(20), p in 0..20u32) {
-        prop_assert_eq!(a.contains(PropId(p)), model(&a).contains(&p));
+        let inter: BTreeSet<u32> = ma.intersection(&mb).copied().collect();
+        assert_eq!(
+            a.intersects(&b),
+            !inter.is_empty(),
+            "intersects, seed {seed}"
+        );
+        assert_eq!(
+            model(&a.intersection(&b)),
+            inter,
+            "intersection, seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn mask_roundtrip(a in prop::collection::vec(0..100u32, 1..10)) {
-        let q = PropSet::from_ids(a);
-        prop_assume!(q.len() <= 16);
+#[test]
+fn subset_and_contains_match_model() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_propset(&mut rng, 12);
+        let b = rand_propset(&mut rng, 12);
+        assert_eq!(
+            a.is_subset_of(&b),
+            model(&a).is_subset(&model(&b)),
+            "subset, seed {seed}"
+        );
+        let p = rng.gen_range(0..20u32);
+        let c = rand_propset(&mut rng, 20);
+        assert_eq!(
+            c.contains(PropId(p)),
+            model(&c).contains(&p),
+            "contains, seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn mask_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids = rand_ids(&mut rng, 100, 10);
+        ids.push(rng.gen_range(0..100)); // non-empty
+        let q = PropSet::from_ids(ids);
+        if q.len() > 16 {
+            continue;
+        }
         let full = (1u32 << q.len()) - 1;
         for mask in 0..=full {
             let sub = q.subset_by_mask(mask);
-            prop_assert!(sub.is_subset_of(&q));
-            prop_assert_eq!(q.mask_of(&sub), Some(mask));
+            assert!(sub.is_subset_of(&q), "mask subset, seed {seed}");
+            assert_eq!(q.mask_of(&sub), Some(mask), "mask roundtrip, seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn union_laws(a in arb_propset(20), b in arb_propset(20), c in arb_propset(20)) {
+#[test]
+fn union_laws() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rand_propset(&mut rng, 20);
+        let b = rand_propset(&mut rng, 20);
+        let c = rand_propset(&mut rng, 20);
         // commutativity, associativity, idempotence
-        prop_assert_eq!(a.union(&b), b.union(&a));
-        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
-        prop_assert_eq!(a.union(&a), a.clone());
+        assert_eq!(a.union(&b), b.union(&a), "commutativity, seed {seed}");
+        assert_eq!(
+            a.union(&b).union(&c),
+            a.union(&b.union(&c)),
+            "associativity, seed {seed}"
+        );
+        assert_eq!(a.union(&a), a.clone(), "idempotence, seed {seed}");
         // absorption with difference: (a \ b) ∪ (a ∩ b) = a
-        prop_assert_eq!(a.difference(&b).union(&a.intersection(&b)), a);
+        assert_eq!(
+            a.difference(&b).union(&a.intersection(&b)),
+            a,
+            "absorption, seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn weight_addition_laws(a in 0..u64::MAX / 4, b in 0..u64::MAX / 4, c in 0..u64::MAX / 8) {
+#[test]
+fn weight_addition_laws() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = rng.gen_range(0..u64::MAX / 4);
+        let b = rng.gen_range(0..u64::MAX / 4);
+        let c = rng.gen_range(0..u64::MAX / 8);
         let (wa, wb, wc) = (Weight::new(a), Weight::new(b), Weight::new(c));
-        prop_assert_eq!(wa + wb, wb + wa);
-        prop_assert_eq!((wa + wb) + wc, wa + (wb + wc));
-        prop_assert_eq!(wa + Weight::ZERO, wa);
-        prop_assert_eq!(wa + Weight::INFINITE, Weight::INFINITE);
+        assert_eq!(wa + wb, wb + wa, "commutativity, seed {seed}");
+        assert_eq!((wa + wb) + wc, wa + (wb + wc), "associativity, seed {seed}");
+        assert_eq!(wa + Weight::ZERO, wa, "identity, seed {seed}");
+        assert_eq!(
+            wa + Weight::INFINITE,
+            Weight::INFINITE,
+            "absorbing, seed {seed}"
+        );
         // monotone
-        prop_assert!(wa + wb >= wa);
+        assert!(wa + wb >= wa, "monotonicity, seed {seed}");
     }
+}
 
-    #[test]
-    fn cover_is_monotone(
-        query in prop::collection::vec(0..8u32, 1..6),
-        classifiers in prop::collection::vec(prop::collection::vec(0..8u32, 1..4), 0..6),
-        extra in prop::collection::vec(0..8u32, 1..4),
-    ) {
+#[test]
+fn cover_is_monotone() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut query = rand_ids(&mut rng, 8, 5);
+        query.push(rng.gen_range(0..8));
         let q = PropSet::from_ids(query);
-        let mut cs: Vec<PropSet> = classifiers.into_iter().map(PropSet::from_ids).collect();
+        let n = rng.gen_range(0..6);
+        let mut cs: Vec<PropSet> = (0..n)
+            .map(|_| {
+                let mut ids = rand_ids(&mut rng, 8, 3);
+                ids.push(rng.gen_range(0..8));
+                PropSet::from_ids(ids)
+            })
+            .collect();
         let before = covered(&q, &cs);
+        let mut extra = rand_ids(&mut rng, 8, 3);
+        extra.push(rng.gen_range(0..8));
         cs.push(PropSet::from_ids(extra));
         // adding classifiers can only help
-        prop_assert!(!before || covered(&q, &cs));
+        assert!(!before || covered(&q, &cs), "monotone cover, seed {seed}");
     }
+}
 
-    #[test]
-    fn covering_subset_witness_is_sound(
-        query in prop::collection::vec(0..8u32, 1..6),
-        classifiers in prop::collection::vec(prop::collection::vec(0..8u32, 1..4), 0..8),
-    ) {
+#[test]
+fn covering_subset_witness_is_sound() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut query = rand_ids(&mut rng, 8, 5);
+        query.push(rng.gen_range(0..8));
         let q = PropSet::from_ids(query);
-        let cs: Vec<PropSet> = classifiers.into_iter().map(PropSet::from_ids).collect();
+        let n = rng.gen_range(0..8);
+        let cs: Vec<PropSet> = (0..n)
+            .map(|_| {
+                let mut ids = rand_ids(&mut rng, 8, 3);
+                ids.push(rng.gen_range(0..8));
+                PropSet::from_ids(ids)
+            })
+            .collect();
         if let Some(witness) = covering_subset(&q, &cs) {
             let mut union = PropSet::empty();
             for &i in &witness {
-                prop_assert!(cs[i].is_subset_of(&q));
+                assert!(cs[i].is_subset_of(&q), "witness member ⊆ q, seed {seed}");
                 union = union.union(&cs[i]);
             }
-            prop_assert_eq!(union, q);
+            assert_eq!(union, q, "witness union = q, seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn instance_canonicalization_is_stable(
-        queries in prop::collection::vec(prop::collection::vec(0..10u32, 1..5), 1..10)
-    ) {
-        let a = Instance::new(queries.clone(), Weights::uniform(1u64)).unwrap();
+#[test]
+fn instance_canonicalization_is_stable() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..10);
+        let queries: Vec<Vec<u32>> = (0..n)
+            .map(|_| {
+                let mut ids = rand_ids(&mut rng, 10, 4);
+                ids.push(rng.gen_range(0..10));
+                ids
+            })
+            .collect();
+        let a = Instance::new(queries.clone(), Weights::uniform(1u64)).expect("valid");
         let mut shuffled = queries;
         shuffled.reverse();
-        let b = Instance::new(shuffled, Weights::uniform(1u64)).unwrap();
-        prop_assert_eq!(a.queries(), b.queries());
-        prop_assert_eq!(a.num_properties(), b.num_properties());
+        let b = Instance::new(shuffled, Weights::uniform(1u64)).expect("valid");
+        assert_eq!(a.queries(), b.queries(), "canonical queries, seed {seed}");
+        assert_eq!(
+            a.num_properties(),
+            b.num_properties(),
+            "property count, seed {seed}"
+        );
     }
 }

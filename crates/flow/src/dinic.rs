@@ -51,6 +51,8 @@ impl<'a> Dinic<'a> {
             self.iter.iter_mut().for_each(|i| *i = 0);
             flow += self.blocking_flow(s, t);
         }
+        #[cfg(feature = "verify")]
+        crate::verify::assert_max_flow(self.g, s, t, flow);
         flow
     }
 
@@ -69,6 +71,7 @@ impl<'a> Dinic<'a> {
                     .iter()
                     .map(|&ei| self.g.edges[ei].cap)
                     .min()
+                    // audit:allow(no-unwrap-in-lib) v == t and s != t, so the DFS path is non-empty
                     .expect("path to t is non-empty");
                 for &ei in &path {
                     self.g.edges[ei].cap -= delta;
@@ -78,6 +81,7 @@ impl<'a> Dinic<'a> {
                 let first_sat = path
                     .iter()
                     .position(|&ei| self.g.edges[ei].cap == 0)
+                    // audit:allow(no-unwrap-in-lib) delta is the path minimum, so some edge hit zero
                     .expect("the bottleneck edge is saturated");
                 v = if first_sat == 0 {
                     s
@@ -104,6 +108,7 @@ impl<'a> Dinic<'a> {
                 if v == s {
                     return total;
                 }
+                // audit:allow(no-unwrap-in-lib) v != s here, so the path stack is non-empty
                 let ei = path.pop().expect("non-source dead end has a parent edge");
                 let parent = self.g.edges[ei ^ 1].to as usize;
                 self.iter[parent] += 1;

@@ -19,6 +19,8 @@ pub mod graph;
 pub mod matching;
 pub mod mincut;
 pub mod push_relabel;
+#[cfg(feature = "verify")]
+pub mod verify;
 pub mod wvc;
 
 pub use dinic::Dinic;

@@ -217,7 +217,7 @@ mod tests {
 
     #[test]
     fn koenig_cover_size_equals_matching_and_covers_all_edges() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..200 {
             let nl = rng.gen_range(1..=7usize);
@@ -251,7 +251,7 @@ mod tests {
 
     #[test]
     fn matching_is_maximum_against_brute_force() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..100 {
             let nl = rng.gen_range(1..=5usize);

@@ -66,6 +66,8 @@ impl<'a> PushRelabel<'a> {
             self.in_queue[v] = false;
             self.discharge(v, s, t);
         }
+        #[cfg(feature = "verify")]
+        crate::verify::assert_max_flow(self.g, s, t, self.excess[t]);
         self.excess[t]
     }
 
@@ -139,7 +141,7 @@ impl<'a> PushRelabel<'a> {
 mod tests {
     use super::*;
     use crate::dinic::Dinic;
-    use rand::prelude::*;
+    use mc3_core::rng::prelude::*;
 
     #[test]
     fn classic_network_matches_dinic() {

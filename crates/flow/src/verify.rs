@@ -1,0 +1,114 @@
+//! Runtime certificate checks for the flow kernels (`verify` feature).
+//!
+//! After a max-flow run the residual network itself is a proof object:
+//! per-edge flows are the residual twins' accumulated capacity, so flow
+//! conservation, capacity bounds and the max-flow = min-cut equality can
+//! all be re-checked from scratch in `O(V + E)`. [`assert_max_flow`] does
+//! exactly that and panics (via `assert!`) on any violation — both Dinic
+//! and push-relabel call it on every solve when the `verify` feature is
+//! on, so a bug in either kernel trips immediately instead of surfacing
+//! as a silently suboptimal classifier set.
+
+use crate::graph::FlowNetwork;
+use crate::mincut::source_side_of_min_cut;
+
+/// Checks the three max-flow certificates on a post-run residual network:
+///
+/// 1. **Conservation** — at every node besides `s`/`t`, inflow = outflow.
+/// 2. **Value** — net outflow of `s` (= net inflow of `t`) is `claimed`.
+/// 3. **Optimality** — the cut induced by residual reachability from `s`
+///    has capacity exactly `claimed`, so by weak duality no larger flow
+///    exists.
+///
+/// Capacity constraints hold by construction (a forward edge's flow is its
+/// twin's capacity, and `flow + residual` is the original capacity, both
+/// unsigned), so they need no explicit check.
+pub fn assert_max_flow(g: &FlowNetwork, s: usize, t: usize, claimed: u64) {
+    let n = g.num_nodes();
+    // net[v] = outflow − inflow, in i128 to dodge intermediate overflow.
+    let mut net = vec![0i128; n];
+    let mut cut_capacity: u128 = 0;
+    let z = source_side_of_min_cut(g, s);
+
+    for i in (0..g.edges.len()).step_by(2) {
+        let to = g.edges[i].to as usize;
+        let from = g.edges[i ^ 1].to as usize;
+        // The twin accumulates exactly the routed flow (it starts at 0).
+        let flow = g.edges[i ^ 1].cap;
+        net[from] += flow as i128;
+        net[to] -= flow as i128;
+        if z[from] && !z[to] {
+            // Original capacity = remaining residual + routed flow.
+            cut_capacity += (g.edges[i].cap + flow) as u128;
+            // A cut edge must be saturated, or the cut side would grow.
+            assert_eq!(
+                g.edges[i].cap, 0,
+                "edge {from}->{to} crosses the min cut unsaturated"
+            );
+        }
+    }
+
+    for (v, &balance) in net.iter().enumerate() {
+        if v == s || v == t {
+            continue;
+        }
+        assert_eq!(balance, 0, "flow conservation violated at node {v}");
+    }
+    assert_eq!(
+        net[s], claimed as i128,
+        "source outflow != claimed max flow"
+    );
+    if s != t {
+        assert_eq!(-net[t], claimed as i128, "sink inflow != claimed max flow");
+    }
+    assert!(z[s], "source must be on the source side of the cut");
+    assert!(
+        !z[t],
+        "sink reachable in the residual network: flow not maximum"
+    );
+    assert_eq!(
+        cut_capacity, claimed as u128,
+        "cut capacity != flow value: optimality certificate failed"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dinic::Dinic;
+
+    #[test]
+    fn accepts_a_genuine_max_flow() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 3);
+        g.add_edge(0, 2, 2);
+        g.add_edge(1, 3, 2);
+        g.add_edge(2, 3, 3);
+        g.add_edge(1, 2, 1);
+        let f = Dinic::new(&mut g).max_flow(0, 3);
+        assert_eq!(f, 5);
+        assert_max_flow(&g, 0, 3, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed")]
+    fn rejects_an_overstated_flow_value() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 5);
+        let f = Dinic::new(&mut g).max_flow(0, 1);
+        assert_max_flow(&g, 0, 1, f + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "conservation")]
+    fn rejects_a_corrupted_residual_network() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 4);
+        g.add_edge(1, 2, 4);
+        let f = Dinic::new(&mut g).max_flow(0, 2);
+        // Tamper: pretend one mid-path edge carried less flow.
+        g.edges[1].cap -= 1;
+        g.edges[0].cap += 1;
+        assert_max_flow(&g, 0, 2, f);
+    }
+}

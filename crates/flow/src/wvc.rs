@@ -148,6 +148,25 @@ pub fn solve_bipartite_wvc_with(
         "cut weight must equal max flow"
     );
 
+    // Certificate (verify feature): the min cut must induce a genuine
+    // vertex cover, and its weight must equal the max-flow value. Any
+    // feasible flow lower-bounds every cover's weight (weak LP duality),
+    // so weight == flow proves the cover optimal.
+    #[cfg(feature = "verify")]
+    {
+        assert!(
+            inst.edges
+                .iter()
+                .all(|&(u, v)| in_cover_left[u as usize] || in_cover_right[v as usize]),
+            "min cut did not induce a vertex cover"
+        );
+        assert_eq!(
+            weight.finite(),
+            Some(flow),
+            "cover weight != max-flow value: WVC optimality certificate failed"
+        );
+    }
+
     Ok(WvcSolution {
         in_cover_left,
         in_cover_right,
@@ -273,7 +292,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_random_instances() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(0xc0ffee);
         for _ in 0..200 {
             let nl = rng.gen_range(1..=5usize);

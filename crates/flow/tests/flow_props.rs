@@ -1,13 +1,19 @@
 //! Property-based tests of the flow substrate: Dinic ≡ push-relabel,
 //! max-flow = min-cut, WVC optimality against brute force, and
 //! matching/König duality.
+//!
+//! Seeded-loop style (the workspace builds offline, without `proptest`):
+//! each test replays a few hundred deterministic random cases from
+//! [`mc3_core::rng::StdRng`], printing the seed on failure.
 
+use mc3_core::rng::prelude::*;
 use mc3_core::Weight;
 use mc3_flow::{
     hopcroft_karp, koenig_vertex_cover, solve_bipartite_wvc, solve_bipartite_wvc_with,
     BipartiteGraph, BipartiteWvc, Dinic, FlowAlgorithm, FlowNetwork, PushRelabel,
 };
-use proptest::prelude::*;
+
+const CASES: u64 = 250;
 
 #[derive(Debug, Clone)]
 struct RandomNet {
@@ -15,16 +21,20 @@ struct RandomNet {
     edges: Vec<(usize, usize, u64)>,
 }
 
-fn arb_net() -> impl Strategy<Value = RandomNet> {
-    (2..10usize)
-        .prop_flat_map(|n| {
-            let edge = (0..n, 0..n, 0..25u64);
-            (Just(n), prop::collection::vec(edge, 0..25))
+fn rand_net(rng: &mut StdRng) -> RandomNet {
+    let n = rng.gen_range(2..10usize);
+    let m = rng.gen_range(0..25usize);
+    let edges = (0..m)
+        .map(|_| {
+            (
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(0..25u64),
+            )
         })
-        .prop_map(|(n, edges)| RandomNet {
-            n,
-            edges: edges.into_iter().filter(|&(u, v, _)| u != v).collect(),
-        })
+        .filter(|&(u, v, _)| u != v)
+        .collect();
+    RandomNet { n, edges }
 }
 
 fn build(net: &RandomNet) -> FlowNetwork {
@@ -35,70 +45,87 @@ fn build(net: &RandomNet) -> FlowNetwork {
     g
 }
 
-proptest! {
-    #[test]
-    fn dinic_equals_push_relabel(net in arb_net()) {
+#[test]
+fn dinic_equals_push_relabel() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = rand_net(&mut rng);
         let mut g1 = build(&net);
         let mut g2 = build(&net);
         let f1 = Dinic::new(&mut g1).max_flow(0, net.n - 1);
         let f2 = PushRelabel::new(&mut g2).max_flow(0, net.n - 1);
-        prop_assert_eq!(f1, f2);
+        assert_eq!(f1, f2, "seed {seed}: {net:?}");
     }
+}
 
-    #[test]
-    fn max_flow_equals_min_cut(net in arb_net()) {
+#[test]
+fn max_flow_equals_min_cut() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = rand_net(&mut rng);
         let mut g = build(&net);
         let f = Dinic::new(&mut g).max_flow(0, net.n - 1);
         let z = mc3_flow::source_side_of_min_cut(&g, 0);
-        prop_assert!(z[0]);
-        prop_assert!(!z[net.n - 1], "sink must be unreachable after max flow");
+        assert!(z[0], "source on source side, seed {seed}");
+        assert!(
+            !z[net.n - 1],
+            "sink must be unreachable after max flow, seed {seed}"
+        );
         let cut: u64 = net
             .edges
             .iter()
             .filter(|&&(u, v, _)| z[u] && !z[v])
             .map(|&(_, _, c)| c)
             .sum();
-        prop_assert_eq!(cut, f);
+        assert_eq!(cut, f, "cut = flow, seed {seed}: {net:?}");
     }
+}
 
-    #[test]
-    fn wvc_solvers_agree_and_cover(
-        nl in 1..6usize,
-        nr in 1..6usize,
-        edge_bits in prop::collection::vec(any::<bool>(), 36),
-        weights in prop::collection::vec(0..20u64, 12),
-    ) {
+#[test]
+fn wvc_solvers_agree_and_cover() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nl = rng.gen_range(1..6usize);
+        let nr = rng.gen_range(1..6usize);
         let mut edges = Vec::new();
         for u in 0..nl {
             for v in 0..nr {
-                if edge_bits[u * 6 + v] {
+                if rng.gen_bool(0.5) {
                     edges.push((u as u32, v as u32));
                 }
             }
         }
         let inst = BipartiteWvc {
-            left_weights: (0..nl).map(|i| Weight::new(weights[i])).collect(),
-            right_weights: (0..nr).map(|j| Weight::new(weights[6 + j])).collect(),
+            left_weights: (0..nl)
+                .map(|_| Weight::new(rng.gen_range(0..20u64)))
+                .collect(),
+            right_weights: (0..nr)
+                .map(|_| Weight::new(rng.gen_range(0..20u64)))
+                .collect(),
             edges,
         };
-        let a = solve_bipartite_wvc_with(&inst, FlowAlgorithm::Dinic).unwrap();
-        let b = solve_bipartite_wvc_with(&inst, FlowAlgorithm::PushRelabel).unwrap();
-        prop_assert!(a.is_valid_cover(&inst));
-        prop_assert!(b.is_valid_cover(&inst));
-        prop_assert_eq!(a.weight, b.weight);
+        let a = solve_bipartite_wvc_with(&inst, FlowAlgorithm::Dinic).expect("solvable");
+        let b = solve_bipartite_wvc_with(&inst, FlowAlgorithm::PushRelabel).expect("solvable");
+        assert!(a.is_valid_cover(&inst), "dinic cover valid, seed {seed}");
+        assert!(
+            b.is_valid_cover(&inst),
+            "push-relabel cover valid, seed {seed}"
+        );
+        assert_eq!(a.weight, b.weight, "optima agree, seed {seed}");
     }
+}
 
-    #[test]
-    fn koenig_duality(
-        nl in 1..7usize,
-        nr in 1..7usize,
-        edge_bits in prop::collection::vec(any::<bool>(), 49),
-    ) {
+#[test]
+fn koenig_duality() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nl = rng.gen_range(1..7usize);
+        let nr = rng.gen_range(1..7usize);
         let mut g = BipartiteGraph::new(nl, nr);
         let mut edges = Vec::new();
         for u in 0..nl {
             for v in 0..nr {
-                if edge_bits[u * 7 + v] {
+                if rng.gen_bool(0.5) {
                     g.add_edge(u, v);
                     edges.push((u, v));
                 }
@@ -108,23 +135,36 @@ proptest! {
         let (cl, cr) = koenig_vertex_cover(&g, &m);
         let cover_size = cl.iter().filter(|&&c| c).count() + cr.iter().filter(|&&c| c).count();
         // König: min VC = max matching; cover covers all edges
-        prop_assert_eq!(cover_size, m.size);
+        assert_eq!(cover_size, m.size, "König equality, seed {seed}");
         for (u, v) in edges {
-            prop_assert!(cl[u] || cr[v]);
+            assert!(cl[u] || cr[v], "edge ({u},{v}) uncovered, seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn wvc_weight_never_exceeds_total(nl in 1..5usize, nr in 1..5usize, seedw in 1..30u64) {
+#[test]
+fn wvc_weight_never_exceeds_total() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nl = rng.gen_range(1..5usize);
+        let nr = rng.gen_range(1..5usize);
+        let w = rng.gen_range(1..30u64);
         // selecting everything is always a cover, so the optimum is bounded
         let inst = BipartiteWvc {
-            left_weights: vec![Weight::new(seedw); nl],
-            right_weights: vec![Weight::new(seedw); nr],
+            left_weights: vec![Weight::new(w); nl],
+            right_weights: vec![Weight::new(w); nr],
             edges: (0..nl.min(nr)).map(|i| (i as u32, i as u32)).collect(),
         };
-        let sol = solve_bipartite_wvc(&inst).unwrap();
-        prop_assert!(sol.weight <= Weight::new(seedw * (nl + nr) as u64));
+        let sol = solve_bipartite_wvc(&inst).expect("solvable");
+        assert!(
+            sol.weight <= Weight::new(w * (nl + nr) as u64),
+            "bounded, seed {seed}"
+        );
         // one endpoint per disjoint edge suffices
-        prop_assert_eq!(sol.weight, Weight::new(seedw * nl.min(nr) as u64));
+        assert_eq!(
+            sol.weight,
+            Weight::new(w * nl.min(nr) as u64),
+            "exact, seed {seed}"
+        );
     }
 }

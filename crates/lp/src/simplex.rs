@@ -372,7 +372,7 @@ mod tests {
 
     #[test]
     fn random_covering_lps_satisfy_constraints() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(123);
         for _ in 0..50 {
             let nv = rng.gen_range(2..8usize);

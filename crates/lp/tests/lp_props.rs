@@ -1,31 +1,33 @@
 //! Property-based tests of the simplex solver: feasibility of returned
 //! points, agreement with a dense grid search on small covering LPs, and
 //! weak-duality-style sanity bounds.
+//!
+//! Seeded-loop style (the workspace builds offline, without `proptest`):
+//! each test replays deterministic random cases from
+//! [`mc3_core::rng::StdRng`], printing the seed on failure.
 
+use mc3_core::rng::prelude::*;
 use mc3_lp::{ConstraintOp, LpProblem, LpStatus};
-use proptest::prelude::*;
+
+const CASES: u64 = 250;
 
 /// Random covering LP: min c·x s.t. for each row, a 0/1 subset of the
 /// variables sums to ≥ 1.
-fn arb_covering_lp() -> impl Strategy<Value = LpProblem> {
-    (1..6usize)
-        .prop_flat_map(|nv| {
-            let costs = prop::collection::vec(1.0..10.0f64, nv);
-            let row = prop::collection::vec(any::<bool>(), nv);
-            let rows = prop::collection::vec(row, 1..6);
-            (Just(nv), costs, rows)
-        })
-        .prop_map(|(nv, costs, rows)| {
-            let mut p = LpProblem::minimize(costs);
-            for row in rows {
-                let coeffs: Vec<(usize, f64)> =
-                    (0..nv).filter(|&i| row[i]).map(|i| (i, 1.0)).collect();
-                if !coeffs.is_empty() {
-                    p.constraint(coeffs, ConstraintOp::Ge, 1.0);
-                }
-            }
-            p
-        })
+fn rand_covering_lp(rng: &mut StdRng) -> LpProblem {
+    let nv = rng.gen_range(1..6usize);
+    let costs: Vec<f64> = (0..nv).map(|_| rng.gen_range(1.0..10.0)).collect();
+    let mut p = LpProblem::minimize(costs);
+    let nrows = rng.gen_range(1..6usize);
+    for _ in 0..nrows {
+        let coeffs: Vec<(usize, f64)> = (0..nv)
+            .filter(|_| rng.gen_bool(0.5))
+            .map(|i| (i, 1.0))
+            .collect();
+        if !coeffs.is_empty() {
+            p.constraint(coeffs, ConstraintOp::Ge, 1.0);
+        }
+    }
+    p
 }
 
 fn feasible(p: &LpProblem, x: &[f64], tol: f64) -> bool {
@@ -40,12 +42,18 @@ fn feasible(p: &LpProblem, x: &[f64], tol: f64) -> bool {
         })
 }
 
-proptest! {
-    #[test]
-    fn covering_lp_solutions_are_feasible_and_optimalish(p in arb_covering_lp()) {
+#[test]
+fn covering_lp_solutions_are_feasible_and_optimalish() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = rand_covering_lp(&mut rng);
         let sol = p.solve();
-        prop_assert_eq!(sol.status, LpStatus::Optimal);
-        prop_assert!(feasible(&p, &sol.values, 1e-6), "infeasible point {:?}", sol.values);
+        assert_eq!(sol.status, LpStatus::Optimal, "seed {seed}");
+        assert!(
+            feasible(&p, &sol.values, 1e-6),
+            "infeasible point {:?}, seed {seed}",
+            sol.values
+        );
 
         // covering LPs with 0/1 rows have an optimal solution in [0, 1]^n;
         // compare against a coarse grid search over {0, 0.25, ..., 1}^n
@@ -67,41 +75,71 @@ proptest! {
                 }
             }
             // the LP optimum is at most the best grid point
-            prop_assert!(sol.objective_value <= best + 1e-6,
-                "simplex {} worse than grid {best}", sol.objective_value);
+            assert!(
+                sol.objective_value <= best + 1e-6,
+                "simplex {} worse than grid {best}, seed {seed}",
+                sol.objective_value
+            );
         }
     }
+}
 
-    #[test]
-    fn objective_value_matches_values(p in arb_covering_lp()) {
+#[test]
+fn objective_value_matches_values() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = rand_covering_lp(&mut rng);
         let sol = p.solve();
-        prop_assert_eq!(sol.status, LpStatus::Optimal);
-        let recomputed: f64 = sol.values.iter().zip(&p.objective).map(|(a, b)| a * b).sum();
-        prop_assert!((recomputed - sol.objective_value).abs() < 1e-7);
+        assert_eq!(sol.status, LpStatus::Optimal, "seed {seed}");
+        let recomputed: f64 = sol
+            .values
+            .iter()
+            .zip(&p.objective)
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (recomputed - sol.objective_value).abs() < 1e-7,
+            "objective mismatch, seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn scaling_costs_scales_the_optimum(p in arb_covering_lp(), factor in 1..5u32) {
+#[test]
+fn scaling_costs_scales_the_optimum() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = rand_covering_lp(&mut rng);
+        let factor = rng.gen_range(1..5u32);
         let base = p.solve();
         let mut scaled = p.clone();
         for c in scaled.objective.iter_mut() {
             *c *= factor as f64;
         }
         let s = scaled.solve();
-        prop_assert_eq!(base.status, LpStatus::Optimal);
-        prop_assert_eq!(s.status, LpStatus::Optimal);
-        prop_assert!((s.objective_value - factor as f64 * base.objective_value).abs() < 1e-5);
+        assert_eq!(base.status, LpStatus::Optimal, "seed {seed}");
+        assert_eq!(s.status, LpStatus::Optimal, "seed {seed}");
+        assert!(
+            (s.objective_value - factor as f64 * base.objective_value).abs() < 1e-5,
+            "scaling mismatch, seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn adding_constraints_never_improves(p in arb_covering_lp()) {
+#[test]
+fn adding_constraints_never_improves() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = rand_covering_lp(&mut rng);
         let base = p.solve();
         let mut tighter = p.clone();
         // add "sum of all variables ≥ 1.5"
         let all: Vec<(usize, f64)> = (0..p.num_vars()).map(|i| (i, 1.0)).collect();
         tighter.constraint(all, ConstraintOp::Ge, 1.5);
         let t = tighter.solve();
-        prop_assert_eq!(t.status, LpStatus::Optimal);
-        prop_assert!(t.objective_value >= base.objective_value - 1e-7);
+        assert_eq!(t.status, LpStatus::Optimal, "seed {seed}");
+        assert!(
+            t.objective_value >= base.objective_value - 1e-7,
+            "tightening improved objective, seed {seed}"
+        );
     }
 }

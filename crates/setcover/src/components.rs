@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn component_exact_matches_monolithic_exact() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(88);
         for _ in 0..40 {
             // build 2–3 disjoint blocks of elements

@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_random_instances() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(42);
         for _ in 0..100 {
             let n = rng.gen_range(1..=7usize);

@@ -75,6 +75,11 @@ pub fn solve_greedy(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
     }
 
     let mut selected = Vec::new();
+    // Certificate (verify feature): record each element's selection-time
+    // price cost/newly_covered; dual fitting turns those into a proof of
+    // the H(Δ) guarantee (see crate::verify).
+    #[cfg(feature = "verify")]
+    let mut price: Vec<f64> = vec![0.0; instance.num_elements()];
     while uncovered_left > 0 {
         let Some(top) = heap.pop() else {
             return Err(Mc3Error::Internal(
@@ -82,6 +87,7 @@ pub fn solve_greedy(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
             ));
         };
         let s = top.id as usize;
+        // audit:allow(no-unchecked-index-in-hot-loops) heap ids come from 0..num_sets
         let current = live[s];
         if current == 0 {
             continue; // fully stale
@@ -97,16 +103,28 @@ pub fn solve_greedy(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
         }
         // fresh maximum: select it
         selected.push(s);
+        #[cfg(feature = "verify")]
+        let unit_price = top.cost as f64 / current as f64;
         for &e in instance.set(s) {
+            // audit:allow(no-unchecked-index-in-hot-loops) element ids are dense 0..num_elements
             if !covered[e as usize] {
+                // audit:allow(no-unchecked-index-in-hot-loops) same dense-id invariant
                 covered[e as usize] = true;
+                #[cfg(feature = "verify")]
+                {
+                    // audit:allow(no-unchecked-index-in-hot-loops) same dense-id invariant
+                    price[e as usize] = unit_price;
+                }
                 uncovered_left -= 1;
                 for &other in instance.containing(e) {
+                    // audit:allow(no-unchecked-index-in-hot-loops) containing() yields valid set ids
                     live[other as usize] -= 1;
                 }
             }
         }
     }
+    #[cfg(feature = "verify")]
+    crate::verify::assert_greedy_dual_feasible(instance, &price, &selected);
     Ok(SetCoverSolution::new(instance, selected))
 }
 
@@ -208,7 +226,7 @@ mod tests {
 
     #[test]
     fn respects_harmonic_bound_on_random_instances() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(2024);
         for _ in 0..50 {
             let n = rng.gen_range(1..=8usize);

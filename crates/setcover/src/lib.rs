@@ -26,6 +26,8 @@ pub mod local_search;
 pub mod lp_round;
 pub mod primal_dual;
 pub mod prune;
+#[cfg(feature = "verify")]
+pub mod verify;
 
 pub use components::{solve_exact_by_components, split_components, WscComponent};
 pub use exact::solve_exact;

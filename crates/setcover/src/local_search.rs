@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn never_hurts_greedy_on_random_instances() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(1414);
         for _ in 0..60 {
             let n = rng.gen_range(1..=10usize);

@@ -103,7 +103,7 @@ mod tests {
 
     #[test]
     fn rounding_respects_f_times_opt_on_random_instances() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(31337);
         for _ in 0..30 {
             let n = rng.gen_range(1..=6usize);

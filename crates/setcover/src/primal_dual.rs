@@ -32,6 +32,7 @@ pub fn solve_primal_dual(instance: &SetCoverInstance) -> Result<SetCoverSolution
             .iter()
             .map(|&s| residual[s as usize])
             .min()
+            // audit:allow(no-unwrap-in-lib) `e` is uncovered ⇒ containing(e) is non-empty (feasibility pre-checked)
             .expect("coverability checked above");
         for &s in instance.containing(e) {
             let r = &mut residual[s as usize];
@@ -81,7 +82,7 @@ mod tests {
 
     #[test]
     fn respects_frequency_bound_on_random_instances() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(5150);
         for _ in 0..50 {
             let n = rng.gen_range(1..=8usize);

@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn never_increases_cost_on_random_greedy_outputs() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(606);
         for _ in 0..50 {
             let n = rng.gen_range(1..=10usize);

@@ -1,101 +1,137 @@
 //! Property-based tests of the WSC substrate: every algorithm covers, the
 //! approximation guarantees hold against the exact optimum, reverse-delete
 //! never hurts, and all solvers are deterministic.
+//!
+//! Seeded-loop style (the workspace builds offline, without `proptest`):
+//! each test replays deterministic random cases from
+//! [`mc3_core::rng::StdRng`], printing the seed on failure.
 
+use mc3_core::rng::prelude::*;
 use mc3_core::Weight;
 use mc3_setcover::{
     prune_redundant, solve_exact, solve_greedy, solve_lp_rounding, solve_primal_dual,
     SetCoverInstance,
 };
-use proptest::prelude::*;
+
+const CASES: u64 = 200;
 
 /// A coverable WSC instance: singletons for every element plus random sets.
-fn arb_instance() -> impl Strategy<Value = SetCoverInstance> {
-    (1..8usize)
-        .prop_flat_map(|n| {
-            let singleton_costs = prop::collection::vec(1..20u64, n);
-            let extra_set = (prop::collection::vec(0..n as u32, 1..6), 1..20u64);
-            let extras = prop::collection::vec(extra_set, 0..8);
-            (Just(n), singleton_costs, extras)
-        })
-        .prop_map(|(n, singles, extras)| {
-            let mut sets: Vec<(Vec<u32>, Weight)> = singles
-                .into_iter()
-                .enumerate()
-                .map(|(e, c)| (vec![e as u32], Weight::new(c)))
-                .collect();
-            for (els, c) in extras {
-                sets.push((els, Weight::new(c)));
-            }
-            SetCoverInstance::new(n, sets)
-        })
+fn rand_instance(rng: &mut StdRng) -> SetCoverInstance {
+    let n = rng.gen_range(1..8usize);
+    let mut sets: Vec<(Vec<u32>, Weight)> = (0..n)
+        .map(|e| (vec![e as u32], Weight::new(rng.gen_range(1..20u64))))
+        .collect();
+    let extras = rng.gen_range(0..8usize);
+    for _ in 0..extras {
+        let len = rng.gen_range(1..6usize);
+        let els: Vec<u32> = (0..len).map(|_| rng.gen_range(0..n as u32)).collect();
+        sets.push((els, Weight::new(rng.gen_range(1..20u64))));
+    }
+    SetCoverInstance::new(n, sets)
 }
 
-proptest! {
-    #[test]
-    fn all_algorithms_cover(inst in arb_instance()) {
+#[test]
+fn all_algorithms_cover() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = rand_instance(&mut rng);
         for sol in [
-            solve_greedy(&inst).unwrap(),
-            solve_primal_dual(&inst).unwrap(),
-            solve_lp_rounding(&inst).unwrap(),
-            solve_exact(&inst).unwrap(),
+            solve_greedy(&inst).expect("coverable"),
+            solve_primal_dual(&inst).expect("coverable"),
+            solve_lp_rounding(&inst).expect("coverable"),
+            solve_exact(&inst).expect("coverable"),
         ] {
-            prop_assert!(sol.is_cover(&inst));
+            assert!(sol.is_cover(&inst), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn guarantees_hold(inst in arb_instance()) {
-        let opt = solve_exact(&inst).unwrap().cost.raw();
+#[test]
+fn guarantees_hold() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = rand_instance(&mut rng);
+        let opt = solve_exact(&inst).expect("coverable").cost.raw();
         let h: f64 = (1..=inst.degree().max(1)).map(|i| 1.0 / i as f64).sum();
         let f = inst.frequency().max(1) as u64;
 
-        let greedy = solve_greedy(&inst).unwrap().cost.raw();
-        prop_assert!(greedy as f64 <= h * opt as f64 + 1e-9, "greedy {greedy} > H(Δ)·{opt}");
+        let greedy = solve_greedy(&inst).expect("coverable").cost.raw();
+        assert!(
+            greedy as f64 <= h * opt as f64 + 1e-9,
+            "greedy {greedy} > H(Δ)·{opt}, seed {seed}"
+        );
 
-        let pd = solve_primal_dual(&inst).unwrap().cost.raw();
-        prop_assert!(pd <= f * opt, "primal-dual {pd} > {f}·{opt}");
+        let pd = solve_primal_dual(&inst).expect("coverable").cost.raw();
+        assert!(pd <= f * opt, "primal-dual {pd} > {f}·{opt}, seed {seed}");
 
-        let lp = solve_lp_rounding(&inst).unwrap().cost.raw();
-        prop_assert!(lp <= f * opt, "lp rounding {lp} > {f}·{opt}");
+        let lp = solve_lp_rounding(&inst).expect("coverable").cost.raw();
+        assert!(lp <= f * opt, "lp rounding {lp} > {f}·{opt}, seed {seed}");
 
         // nothing beats the optimum
-        prop_assert!(greedy >= opt && pd >= opt && lp >= opt);
+        assert!(
+            greedy >= opt && pd >= opt && lp >= opt,
+            "below OPT, seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn prune_never_hurts_and_stays_feasible(inst in arb_instance()) {
+#[test]
+fn prune_never_hurts_and_stays_feasible() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = rand_instance(&mut rng);
         for sol in [
-            solve_greedy(&inst).unwrap(),
-            solve_primal_dual(&inst).unwrap(),
+            solve_greedy(&inst).expect("coverable"),
+            solve_primal_dual(&inst).expect("coverable"),
         ] {
             let pruned = prune_redundant(&inst, &sol);
-            prop_assert!(pruned.is_cover(&inst));
-            prop_assert!(pruned.cost <= sol.cost);
-            prop_assert!(pruned.selected.len() <= sol.selected.len());
+            assert!(pruned.is_cover(&inst), "pruned cover, seed {seed}");
+            assert!(pruned.cost <= sol.cost, "prune raised cost, seed {seed}");
+            assert!(
+                pruned.selected.len() <= sol.selected.len(),
+                "prune grew selection, seed {seed}"
+            );
             // idempotent
             let twice = prune_redundant(&inst, &pruned);
-            prop_assert_eq!(twice.cost, pruned.cost);
+            assert_eq!(twice.cost, pruned.cost, "prune not idempotent, seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn determinism(inst in arb_instance()) {
-        prop_assert_eq!(solve_greedy(&inst).unwrap(), solve_greedy(&inst).unwrap());
-        prop_assert_eq!(solve_primal_dual(&inst).unwrap(), solve_primal_dual(&inst).unwrap());
-        prop_assert_eq!(solve_exact(&inst).unwrap().cost, solve_exact(&inst).unwrap().cost);
+#[test]
+fn determinism() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = rand_instance(&mut rng);
+        assert_eq!(
+            solve_greedy(&inst).expect("coverable"),
+            solve_greedy(&inst).expect("coverable"),
+            "greedy nondeterministic, seed {seed}"
+        );
+        assert_eq!(
+            solve_primal_dual(&inst).expect("coverable"),
+            solve_primal_dual(&inst).expect("coverable"),
+            "primal-dual nondeterministic, seed {seed}"
+        );
+        assert_eq!(
+            solve_exact(&inst).expect("coverable").cost,
+            solve_exact(&inst).expect("coverable").cost,
+            "exact nondeterministic, seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn exact_is_a_lower_bound_for_any_cover(inst in arb_instance(), pick_bits in prop::collection::vec(any::<bool>(), 16)) {
+#[test]
+fn exact_is_a_lower_bound_for_any_cover() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = rand_instance(&mut rng);
         // any feasible subset of sets costs at least OPT
-        let opt = solve_exact(&inst).unwrap().cost;
-        let selected: Vec<usize> = (0..inst.num_sets())
-            .filter(|&s| pick_bits.get(s).copied().unwrap_or(false))
-            .collect();
+        let opt = solve_exact(&inst).expect("coverable").cost;
+        let selected: Vec<usize> = (0..inst.num_sets()).filter(|_| rng.gen_bool(0.5)).collect();
         let candidate = mc3_setcover::SetCoverSolution::new(&inst, selected);
         if candidate.is_cover(&inst) {
-            prop_assert!(candidate.cost >= opt);
+            assert!(candidate.cost >= opt, "cover below OPT, seed {seed}");
         }
     }
 }

@@ -217,7 +217,7 @@ mod tests {
 
     #[test]
     fn mixed_matches_exact_on_random_uniform_instances() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(31);
         for _ in 0..30 {
             let n = rng.gen_range(1..=6usize);
@@ -296,7 +296,7 @@ mod tests {
 
     #[test]
     fn baselines_always_cover_random_instances() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(2718);
         for round in 0..25 {
             let n = rng.gen_range(1..=8usize);

@@ -163,7 +163,7 @@ mod tests {
 
     #[test]
     fn matches_exact_on_random_queries() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(808);
         for round in 0..40 {
             let len = rng.gen_range(1..=5usize);

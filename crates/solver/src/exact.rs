@@ -74,7 +74,7 @@ mod tests {
 
     #[test]
     fn preprocessing_on_and_off_agree() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(4242);
         for round in 0..40 {
             let n = rng.gen_range(1..=5usize);

@@ -129,6 +129,30 @@ pub fn solve_general_with(
         .collect();
     ids.sort_unstable();
     ids.dedup();
+    // Certificate (verify feature): coverage plus the Theorem 5.3 ratio.
+    // The greedy side is bounded by H(Δ) — at most the paper's
+    // ln I + ln(k−1) + 1 once preprocessing has removed singletons — and
+    // the dual side by the instance's exact frequency f ≤ 2^(k−1); the
+    // Combined strategy keeps the cheaper output, hence the min.
+    #[cfg(feature = "verify")]
+    {
+        let bounds = crate::verify::residual_bounds(ws, queries);
+        let theorem = if bounds.queries > 0 && bounds.max_len >= 2 {
+            (bounds.queries as f64).ln() + ((bounds.max_len - 1) as f64).ln() + 1.0
+        } else {
+            1.0
+        };
+        let greedy_ratio = mc3_setcover::verify::harmonic(red.instance.degree())
+            .max(theorem)
+            .max(1.0);
+        let f_ratio = (red.instance.frequency() as f64).max(1.0);
+        let ratio = match strategy {
+            WscStrategy::GreedyOnly => greedy_ratio,
+            WscStrategy::PrimalDualOnly | WscStrategy::LpRoundingOnly => f_ratio,
+            WscStrategy::Combined => greedy_ratio.min(f_ratio),
+        };
+        crate::verify::assert_ratio_certificate(ws, queries, &ids, ratio);
+    }
     Ok(ids)
 }
 
@@ -256,7 +280,7 @@ mod tests {
 
     #[test]
     fn greedy_and_dual_strategies_both_cover_random_instances() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(77);
         for _ in 0..25 {
             let n = rng.gen_range(1..=6usize);

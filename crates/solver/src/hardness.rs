@@ -138,8 +138,9 @@ impl Theorem51Reduction {
         let mut picked = Vec::new();
         for c in solution.classifiers() {
             if c.len() == 2 && c.contains(self.e_prop) {
-                let other = c.iter().find(|&p| p != self.e_prop).unwrap();
-                picked.push(other.0 as usize);
+                if let Some(other) = c.iter().find(|&p| p != self.e_prop) {
+                    picked.push(other.0 as usize);
+                }
             }
         }
         picked.sort_unstable();
@@ -207,7 +208,7 @@ mod tests {
 
     #[test]
     fn theorem_5_1_on_random_instances() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(51);
         for _ in 0..20 {
             let n = rng.gen_range(2..=5usize);
@@ -276,7 +277,7 @@ mod tests {
 
     #[test]
     fn theorem_5_2_on_random_instances() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(52);
         for _ in 0..20 {
             let n = rng.gen_range(2..=6usize);

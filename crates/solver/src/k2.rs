@@ -139,6 +139,11 @@ pub fn solve_k2_with(
 
     picked.sort_unstable();
     picked.dedup();
+    // Certificate (verify feature): the pick must cover every residual
+    // need, and — since Algorithm 2 is exact (Theorem 4.1) — its cost must
+    // land inside the per-query [max min-cover, Σ min-cover] bracket.
+    #[cfg(feature = "verify")]
+    crate::verify::assert_exact_certificate(ws, queries, &picked);
     Ok(picked)
 }
 

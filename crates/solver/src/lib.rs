@@ -30,6 +30,8 @@ pub mod partial;
 pub mod preprocess;
 pub mod reduction;
 pub mod solver;
+#[cfg(feature = "verify")]
+pub mod verify;
 pub mod work;
 
 pub use exact::solve_exact;

@@ -126,6 +126,7 @@ fn query_greedy(
             }
         }
         let Some((q, cost)) = best else { break };
+        // audit:allow(no-unwrap-in-lib) q was just chosen because min_cover succeeded on it
         let (_, ids) = min_cover(&ws, q).expect("re-evaluating the chosen query");
         for id in ids {
             ws.select(id);
@@ -369,7 +370,7 @@ mod tests {
 
     #[test]
     fn strategies_never_exceed_the_exact_optimum() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(0xBEEF);
         for round in 0..15 {
             let n = rng.gen_range(1..=5usize);

@@ -345,24 +345,31 @@ impl Mc3Solver {
             let next = std::sync::atomic::AtomicUsize::new(0);
             let results: Vec<std::sync::Mutex<Option<Result<Vec<ClassifierId>>>>> =
                 comps.iter().map(|_| std::sync::Mutex::new(None)).collect();
-            crossbeam::scope(|scope| {
+            // std::thread::scope propagates worker panics when it unwinds,
+            // so no explicit join-error plumbing is needed.
+            std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|_| loop {
+                    scope.spawn(|| loop {
                         let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if i >= comps.len() {
                             break;
                         }
                         let r = solve_component(&comps[i]);
-                        *results[i].lock().unwrap() = Some(r);
+                        if let Ok(mut slot) = results[i].lock() {
+                            *slot = Some(r);
+                        }
                     });
                 }
-            })
-            .map_err(|_| mc3_core::Mc3Error::Internal("component worker panicked".into()))?;
+            });
             for cell in results {
                 let r = cell
                     .into_inner()
-                    .unwrap()
-                    .expect("every component was processed");
+                    .map_err(|_| {
+                        mc3_core::Mc3Error::Internal("component worker poisoned its result".into())
+                    })?
+                    .ok_or_else(|| {
+                        mc3_core::Mc3Error::Internal("component result missing".into())
+                    })?;
                 picked.extend(r?);
             }
         } else {
@@ -397,6 +404,19 @@ impl Mc3Solver {
             picked = new_ids;
         }
         let solution = Solution::from_ids(&ws.universe, picked);
+        // End-to-end certificate (verify feature): rebuild per-query cover
+        // witnesses and re-check feasibility and cost accounting from
+        // scratch. A prebuilt inventory re-prices classifiers to zero, so
+        // the instance-level cost recomputation only applies without one.
+        #[cfg(feature = "verify")]
+        if self.config.prebuilt.is_empty() {
+            let cert = mc3_core::Certificate::for_solution(instance, &solution).map_err(|e| {
+                mc3_core::Mc3Error::Internal(format!("certificate construction failed: {e}"))
+            })?;
+            cert.verify(instance, &solution).map_err(|e| {
+                mc3_core::Mc3Error::Internal(format!("certificate verification failed: {e}"))
+            })?;
+        }
         let solve = t_solve.elapsed();
 
         Ok(SolverReport {
@@ -470,7 +490,7 @@ mod tests {
 
     #[test]
     fn k2_exact_matches_reference_exact() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(909);
         for round in 0..30 {
             let n = rng.gen_range(1..=8usize);
@@ -496,7 +516,7 @@ mod tests {
 
     #[test]
     fn k2_exact_without_preprocessing_still_optimal() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(911);
         for round in 0..20 {
             let n = rng.gen_range(1..=6usize);
@@ -523,7 +543,7 @@ mod tests {
 
     #[test]
     fn general_stays_within_guarantee_on_random_instances() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(1234);
         for round in 0..25 {
             let n = rng.gen_range(1..=5usize);
@@ -572,7 +592,7 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_agree() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(555);
         let mut queries = Vec::new();
         // several disjoint components
@@ -694,7 +714,7 @@ mod tests {
 
     #[test]
     fn both_flow_algorithms_agree_through_the_facade() {
-        use rand::prelude::*;
+        use mc3_core::rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(0xF10F);
         for round in 0..10 {
             let n = rng.gen_range(2..=20usize);

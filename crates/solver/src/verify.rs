@@ -1,0 +1,246 @@
+//! Solver-level certificate checks (`verify` feature).
+//!
+//! The per-query cover DP ([`crate::cover_dp::min_cover`]) brackets the
+//! residual optimum from both sides without knowing it:
+//!
+//! * any feasible solution restricted to one query covers that query, so
+//!   `LB = max_q min_cover(q)` is a lower bound on `OPT`;
+//! * the union of the per-query minimum covers is itself feasible, so
+//!   `UB = Σ_q min_cover(q)` is an upper bound on `OPT`.
+//!
+//! The exact `k ≤ 2` solver must land inside `[LB, UB]` (Theorem 4.1),
+//! and Algorithm 3's output must satisfy `cost ≤ ρ · UB ≥ ρ · OPT` for
+//! its guaranteed factor `ρ` (Theorem 5.3). Both checks re-derive the
+//! bounds from the untouched [`WorkState`], so a buggy reduction, flow
+//! solve or WSC run trips an assertion instead of silently shipping a
+//! worse-than-guaranteed classifier set.
+
+use crate::cover_dp::min_cover;
+use crate::work::WorkState;
+use mc3_core::{ClassifierId, FxHashSet};
+
+/// Lower/upper bounds on the residual optimum derived from per-query
+/// minimum covers, plus the parameters of the Theorem 5.3 ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct ResidualBounds {
+    /// `max_q min_cover(q)` — a lower bound on the residual `OPT`.
+    pub lower: u128,
+    /// `Σ_q min_cover(q)` — an upper bound on the residual `OPT`.
+    pub upper: u128,
+    /// Number of still-uncovered queries (`I` in Theorem 5.3).
+    pub queries: usize,
+    /// Maximum length of a still-uncovered query (`k` in Theorem 5.3).
+    pub max_len: usize,
+}
+
+/// Computes [`ResidualBounds`] over the listed queries. Asserts that every
+/// residual query still has a finite cover — the solver just claimed to
+/// have solved them.
+pub fn residual_bounds(ws: &WorkState<'_>, queries: &[usize]) -> ResidualBounds {
+    let mut bounds = ResidualBounds {
+        lower: 0,
+        upper: 0,
+        queries: 0,
+        max_len: 0,
+    };
+    for &q in queries {
+        if ws.need(q) == 0 {
+            continue;
+        }
+        let cover = min_cover(ws, q);
+        assert!(
+            cover.is_some(),
+            "query {q} has no finite cover, yet the solver returned a solution"
+        );
+        let Some((cost, _)) = cover else { continue };
+        let finite = cost.finite();
+        assert!(
+            finite.is_some(),
+            "min_cover returned an infinite cost for query {q}"
+        );
+        let c = finite.unwrap_or(0) as u128;
+        bounds.lower = bounds.lower.max(c);
+        bounds.upper += c;
+        bounds.queries += 1;
+        bounds.max_len = bounds.max_len.max(ws.universe.query_local(q).len);
+    }
+    bounds
+}
+
+/// Sums the residual cost of `picked` (classifiers already selected in
+/// `ws` are free, exactly as the reduction priced them). Asserts every
+/// picked classifier is usable and finite.
+pub fn picked_cost(ws: &WorkState<'_>, picked: &[ClassifierId]) -> u128 {
+    let mut total: u128 = 0;
+    for &id in picked {
+        if ws.selected[id.index()] {
+            continue;
+        }
+        let finite = ws.weight[id.index()].finite();
+        assert!(
+            finite.is_some(),
+            "solver picked classifier {id:?} with infinite weight"
+        );
+        total += finite.unwrap_or(0) as u128;
+    }
+    total
+}
+
+/// Asserts that `picked`, together with the classifiers already selected
+/// in `ws`, covers every still-needed property of every listed query.
+pub fn assert_covers_residual(ws: &WorkState<'_>, queries: &[usize], picked: &[ClassifierId]) {
+    let picked_set: FxHashSet<u32> = picked.iter().map(|id| id.0).collect();
+    for &q in queries {
+        let need = ws.need(q);
+        if need == 0 {
+            continue;
+        }
+        let local = ws.universe.query_local(q);
+        let mut covered = 0u32;
+        for mask in 1..(1u32 << local.len) {
+            let id = local.table[mask as usize];
+            if !id.is_none() && picked_set.contains(&id.0) {
+                covered |= mask;
+            }
+        }
+        assert_eq!(
+            need & !covered,
+            0,
+            "query {q} still needs properties (mask {:#b}) the picked classifiers do not cover",
+            need & !covered
+        );
+    }
+}
+
+/// Certificate for an *exact* residual solve (the `k ≤ 2` path):
+/// coverage plus `LB ≤ cost ≤ UB`, all in exact integer arithmetic.
+pub fn assert_exact_certificate(ws: &WorkState<'_>, queries: &[usize], picked: &[ClassifierId]) {
+    assert_covers_residual(ws, queries, picked);
+    let bounds = residual_bounds(ws, queries);
+    let cost = picked_cost(ws, picked);
+    assert!(
+        cost >= bounds.lower,
+        "exact solver cost {cost} is below the per-query lower bound {}: \
+         cost accounting or coverage is corrupt",
+        bounds.lower
+    );
+    assert!(
+        cost <= bounds.upper,
+        "exact solver cost {cost} exceeds the union-of-min-covers bound {}: \
+         the \"optimal\" WVC solution is not optimal",
+        bounds.upper
+    );
+}
+
+/// Certificate for an *approximate* residual solve (Algorithm 3):
+/// coverage, `cost ≥ LB`, and the Theorem 5.3-style guarantee
+/// `cost ≤ ratio · UB` (sound because `UB ≥ OPT`). A hair of relative
+/// slack absorbs the `f64` rounding in `ratio`.
+pub fn assert_ratio_certificate(
+    ws: &WorkState<'_>,
+    queries: &[usize],
+    picked: &[ClassifierId],
+    ratio: f64,
+) {
+    assert!(ratio >= 1.0, "approximation ratios are at least 1");
+    assert_covers_residual(ws, queries, picked);
+    let bounds = residual_bounds(ws, queries);
+    let cost = picked_cost(ws, picked);
+    assert!(
+        cost >= bounds.lower,
+        "solver cost {cost} is below the per-query lower bound {}: \
+         cost accounting or coverage is corrupt",
+        bounds.lower
+    );
+    let allowed = ratio * bounds.upper as f64 * (1.0 + 1e-9);
+    assert!(
+        cost as f64 <= allowed,
+        "solver cost {cost} exceeds ratio {ratio:.4} x upper bound {}: \
+         the Theorem 5.3 guarantee does not hold",
+        bounds.upper
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc3_core::{ClassifierUniverse, Instance, PropSet, WeightsBuilder};
+
+    fn ws_for(instance: &Instance) -> WorkState<'_> {
+        let u = ClassifierUniverse::build(instance);
+        WorkState::new(instance, u)
+    }
+
+    fn instance_xy() -> Instance {
+        let w = WeightsBuilder::new()
+            .classifier([0u32], 2u64)
+            .classifier([1u32], 2u64)
+            .classifier([0u32, 1], 3u64)
+            .build();
+        Instance::new(vec![vec![0u32, 1]], w).unwrap()
+    }
+
+    #[test]
+    fn bounds_bracket_the_single_query_optimum() {
+        let instance = instance_xy();
+        let ws = ws_for(&instance);
+        let b = residual_bounds(&ws, &[0]);
+        assert_eq!(b.lower, 3); // XY at cost 3 is the min cover
+        assert_eq!(b.upper, 3);
+        assert_eq!(b.queries, 1);
+        assert_eq!(b.max_len, 2);
+    }
+
+    #[test]
+    fn accepts_the_optimal_pick() {
+        let instance = instance_xy();
+        let ws = ws_for(&instance);
+        let xy = ws.universe.id_of(&PropSet::from_ids([0u32, 1])).unwrap();
+        assert_exact_certificate(&ws, &[0], &[xy]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not optimal")]
+    fn rejects_a_suboptimal_exact_claim() {
+        let instance = instance_xy();
+        let ws = ws_for(&instance);
+        let x = ws.universe.id_of(&PropSet::from_ids([0u32])).unwrap();
+        let y = ws.universe.id_of(&PropSet::from_ids([1u32])).unwrap();
+        // X + Y = 4 covers, but the exact solver should have found XY = 3.
+        assert_exact_certificate(&ws, &[0], &[x, y]);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not cover")]
+    fn rejects_an_uncovering_pick() {
+        let instance = instance_xy();
+        let ws = ws_for(&instance);
+        let x = ws.universe.id_of(&PropSet::from_ids([0u32])).unwrap();
+        assert_exact_certificate(&ws, &[0], &[x]);
+    }
+
+    #[test]
+    fn ratio_certificate_accepts_within_budget() {
+        let instance = instance_xy();
+        let ws = ws_for(&instance);
+        let x = ws.universe.id_of(&PropSet::from_ids([0u32])).unwrap();
+        let y = ws.universe.id_of(&PropSet::from_ids([1u32])).unwrap();
+        // cost 4 ≤ 2 × UB(3): fine for a 2-approximation.
+        assert_ratio_certificate(&ws, &[0], &[x, y], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Theorem 5.3")]
+    fn ratio_certificate_rejects_a_blown_budget() {
+        let w = WeightsBuilder::new()
+            .classifier([0u32], 1u64)
+            .classifier([1u32], 1u64)
+            .classifier([0u32, 1], 100u64)
+            .build();
+        let instance = Instance::new(vec![vec![0u32, 1]], w).unwrap();
+        let ws = ws_for(&instance);
+        let xy = ws.universe.id_of(&PropSet::from_ids([0u32, 1])).unwrap();
+        // cost 100 > 2 × UB(2): no 2-approximation produces this.
+        assert_ratio_certificate(&ws, &[0], &[xy], 2.0);
+    }
+}

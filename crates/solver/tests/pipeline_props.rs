@@ -1,90 +1,132 @@
 //! Pipeline-level properties on medium random instances (no exact
 //! reference needed): refinement monotonicity, bounded-universe validity,
 //! Short-First consistency, and prebuilt-inventory accounting.
+//!
+//! Seeded-loop style (the workspace builds offline, without `proptest`):
+//! each test replays deterministic random cases from
+//! [`mc3_core::rng::StdRng`], printing the seed on failure.
 
+use mc3_core::rng::prelude::*;
 use mc3_core::{is_cover, Instance, Weights};
 use mc3_solver::{Algorithm, Mc3Solver};
-use proptest::prelude::*;
 
-fn arb_instance() -> impl Strategy<Value = Instance> {
-    let query = prop::collection::vec(0..30u32, 1..5);
-    (prop::collection::vec(query, 1..40), any::<u64>()).prop_map(|(queries, seed)| {
-        Instance::new(queries, Weights::seeded(seed, 1, 40)).expect("valid instance")
-    })
+const CASES: u64 = 48;
+
+fn rand_instance(rng: &mut StdRng) -> Instance {
+    let nq = rng.gen_range(1..40usize);
+    let queries: Vec<Vec<u32>> = (0..nq)
+        .map(|_| {
+            let len = rng.gen_range(1..5usize);
+            (0..len).map(|_| rng.gen_range(0..30u32)).collect()
+        })
+        .collect();
+    let wseed = rng.gen::<u64>();
+    Instance::new(queries, Weights::seeded(wseed, 1, 40)).expect("valid instance")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn refinement_never_raises_the_cost(instance in arb_instance()) {
+#[test]
+fn refinement_never_raises_the_cost() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = rand_instance(&mut rng);
         let raw = Mc3Solver::new()
             .algorithm(Algorithm::General)
             .without_refinement()
             .solve(&instance)
-            .unwrap();
+            .expect("solvable");
         let refined = Mc3Solver::new()
             .algorithm(Algorithm::General)
             .solve(&instance)
-            .unwrap();
-        raw.verify(&instance).unwrap();
-        refined.verify(&instance).unwrap();
-        prop_assert!(refined.cost() <= raw.cost());
+            .expect("solvable");
+        raw.verify(&instance).expect("raw cover");
+        refined.verify(&instance).expect("refined cover");
+        assert!(
+            refined.cost() <= raw.cost(),
+            "refinement raised cost, seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn short_first_and_general_both_cover(instance in arb_instance()) {
+#[test]
+fn short_first_and_general_both_cover() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = rand_instance(&mut rng);
         for alg in [Algorithm::General, Algorithm::ShortFirst, Algorithm::Auto] {
-            let sol = Mc3Solver::new().algorithm(alg).solve(&instance).unwrap();
-            sol.verify(&instance).unwrap();
+            let sol = Mc3Solver::new()
+                .algorithm(alg)
+                .solve(&instance)
+                .expect("solvable");
+            sol.verify(&instance).expect("valid cover");
         }
     }
+}
 
-    #[test]
-    fn prebuilt_marginal_cost_is_bounded_by_fresh_cost(instance in arb_instance()) {
+#[test]
+fn prebuilt_marginal_cost_is_bounded_by_fresh_cost() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = rand_instance(&mut rng);
         // building on top of any inventory can never cost more than
         // starting from scratch
-        let fresh = Mc3Solver::new().solve(&instance).unwrap();
+        let fresh = Mc3Solver::new().solve(&instance).expect("solvable");
         // reuse half of the fresh solution as the inventory
-        let inventory: Vec<_> = fresh
-            .classifiers()
-            .iter()
-            .step_by(2)
-            .cloned()
-            .collect();
+        let inventory: Vec<_> = fresh.classifiers().iter().step_by(2).cloned().collect();
         let report = Mc3Solver::new()
             .prebuilt(inventory.clone())
             .solve_report(&instance)
-            .unwrap();
-        prop_assert!(is_cover(&instance, &report.full_cover()));
-        prop_assert!(
+            .expect("solvable");
+        assert!(
+            is_cover(&instance, &report.full_cover()),
+            "not a cover, seed {seed}"
+        );
+        assert!(
             report.solution.cost() <= fresh.cost(),
-            "marginal {} > fresh {}",
+            "marginal {} > fresh {}, seed {seed}",
             report.solution.cost(),
             fresh.cost()
         );
         // everything reported as used inventory really is inventory
         for c in &report.prebuilt_used {
-            prop_assert!(inventory.contains(c));
+            assert!(inventory.contains(c), "phantom inventory use, seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn bounded_universe_solutions_respect_the_bound(instance in arb_instance(), kp in 1..4usize) {
+#[test]
+fn bounded_universe_solutions_respect_the_bound() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = rand_instance(&mut rng);
+        let kp = rng.gen_range(1..4usize);
         let sol = Mc3Solver::new()
             .algorithm(Algorithm::General)
             .max_classifier_len(kp)
             .solve(&instance)
-            .unwrap();
-        sol.verify(&instance).unwrap();
-        prop_assert!(sol.classifiers().iter().all(|c| c.len() <= kp));
+            .expect("solvable");
+        sol.verify(&instance).expect("valid cover");
+        assert!(
+            sol.classifiers().iter().all(|c| c.len() <= kp),
+            "classifier over bound, seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn reports_are_self_consistent(instance in arb_instance()) {
-        let report = Mc3Solver::new().solve_report(&instance).unwrap();
-        prop_assert_eq!(report.instance_stats.num_queries, instance.num_queries());
-        prop_assert!(report.timings.total >= report.timings.preprocess);
+#[test]
+fn reports_are_self_consistent() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = rand_instance(&mut rng);
+        let report = Mc3Solver::new().solve_report(&instance).expect("solvable");
+        assert_eq!(
+            report.instance_stats.num_queries,
+            instance.num_queries(),
+            "query count, seed {seed}"
+        );
+        assert!(
+            report.timings.total >= report.timings.preprocess,
+            "timings, seed {seed}"
+        );
         // recorded solution cost equals the weight-function sum
         let recomputed: mc3_core::Weight = report
             .solution
@@ -92,6 +134,10 @@ proptest! {
             .iter()
             .map(|c| instance.weight(c))
             .sum();
-        prop_assert_eq!(recomputed, report.solution.cost());
+        assert_eq!(
+            recomputed,
+            report.solution.cost(),
+            "cost mismatch, seed {seed}"
+        );
     }
 }

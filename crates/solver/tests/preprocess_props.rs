@@ -1,39 +1,57 @@
 //! Property-based tests of Algorithm 1's internal invariants on random
 //! instances: optimality preservation, state consistency, and monotone
 //! effects of the individual steps.
+//!
+//! Seeded-loop style (the workspace builds offline, without `proptest`):
+//! each test replays deterministic random cases from
+//! [`mc3_core::rng::StdRng`], printing the seed on failure.
 
+use mc3_core::rng::prelude::*;
 use mc3_core::{ClassifierUniverse, Instance, Weights};
 use mc3_solver::preprocess::{preprocess, PreprocessOptions};
 use mc3_solver::work::WorkState;
-use proptest::prelude::*;
 
-fn arb_instance() -> impl Strategy<Value = Instance> {
-    let query = prop::collection::vec(0..8u32, 1..4);
-    (prop::collection::vec(query, 1..8), any::<u64>()).prop_map(|(queries, seed)| {
-        Instance::new(queries, Weights::seeded(seed, 1, 25)).expect("valid instance")
-    })
+const CASES: u64 = 96;
+
+fn rand_instance(rng: &mut StdRng) -> Instance {
+    let nq = rng.gen_range(1..8usize);
+    let queries: Vec<Vec<u32>> = (0..nq)
+        .map(|_| {
+            let len = rng.gen_range(1..4usize);
+            (0..len).map(|_| rng.gen_range(0..8u32)).collect()
+        })
+        .collect();
+    let wseed = rng.gen::<u64>();
+    Instance::new(queries, Weights::seeded(wseed, 1, 25)).expect("valid instance")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn state_invariants_after_preprocessing(instance in arb_instance()) {
+#[test]
+fn state_invariants_after_preprocessing() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = rand_instance(&mut rng);
         let universe = ClassifierUniverse::build(&instance);
         let mut ws = WorkState::new(&instance, universe);
-        preprocess(&mut ws, &PreprocessOptions::default()).unwrap();
+        preprocess(&mut ws, &PreprocessOptions::default()).expect("preprocess");
 
         // selected classifiers are never removed, always zero current weight
         for (i, &sel) in ws.selected.iter().enumerate() {
             if sel {
-                prop_assert!(!ws.removed[i], "classifier {i} selected AND removed");
-                prop_assert!(ws.weight[i].is_zero());
-                prop_assert!(ws.eff[i].is_zero());
+                assert!(
+                    !ws.removed[i],
+                    "classifier {i} selected AND removed, seed {seed}"
+                );
+                assert!(ws.weight[i].is_zero(), "seed {seed}");
+                assert!(ws.eff[i].is_zero(), "seed {seed}");
             }
         }
         // dead queries are exactly the fully covered ones
         for q in 0..instance.num_queries() {
-            prop_assert_eq!(ws.alive[q], ws.need(q) != 0, "query {} liveness", q);
+            assert_eq!(
+                ws.alive[q],
+                ws.need(q) != 0,
+                "query {q} liveness, seed {seed}"
+            );
         }
         // coverage masks only contain bits of selected classifiers
         for q in 0..instance.num_queries() {
@@ -45,7 +63,10 @@ proptest! {
                     expected |= mask;
                 }
             }
-            prop_assert_eq!(ws.covered[q], expected, "query {} covered mask", q);
+            assert_eq!(
+                ws.covered[q], expected,
+                "query {q} covered mask, seed {seed}"
+            );
         }
         // base cost equals the original weights of the selected classifiers
         let recomputed: u64 = ws
@@ -55,29 +76,38 @@ proptest! {
             .filter(|&(_, &s)| s)
             .map(|(i, _)| ws.universe.weight(mc3_core::ClassifierId(i as u32)).raw())
             .sum();
-        prop_assert_eq!(ws.base_cost.raw(), recomputed);
+        assert_eq!(ws.base_cost.raw(), recomputed, "base cost, seed {seed}");
     }
+}
 
-    #[test]
-    fn removals_never_break_coverability(instance in arb_instance()) {
+#[test]
+fn removals_never_break_coverability() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = rand_instance(&mut rng);
         // after preprocessing, every alive query still has a finite cover
         // among the available classifiers
         let universe = ClassifierUniverse::build(&instance);
         let mut ws = WorkState::new(&instance, universe);
-        preprocess(&mut ws, &PreprocessOptions::default()).unwrap();
+        preprocess(&mut ws, &PreprocessOptions::default()).expect("preprocess");
         for q in ws.alive_query_indices() {
             let cover = mc3_solver::cover_dp::min_cover(&ws, q);
-            prop_assert!(cover.is_some(), "query {q} lost its finite cover");
+            assert!(
+                cover.is_some(),
+                "query {q} lost its finite cover, seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn each_step_subset_preserves_the_optimum(instance in arb_instance()) {
-        let reference = mc3_solver::exact::solve_exact_with(
-            &instance,
-            &PreprocessOptions::disabled(),
-        )
-        .unwrap();
+#[test]
+fn each_step_subset_preserves_the_optimum() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = rand_instance(&mut rng);
+        let reference =
+            mc3_solver::exact::solve_exact_with(&instance, &PreprocessOptions::disabled())
+                .expect("solvable");
         for opts in [
             PreprocessOptions {
                 singletons_and_zero: true,
@@ -93,29 +123,32 @@ proptest! {
             },
             PreprocessOptions::default(),
         ] {
-            let sol = mc3_solver::exact::solve_exact_with(&instance, &opts).unwrap();
-            sol.verify(&instance).unwrap();
-            prop_assert_eq!(
+            let sol = mc3_solver::exact::solve_exact_with(&instance, &opts).expect("solvable");
+            sol.verify(&instance).expect("valid cover");
+            assert_eq!(
                 sol.cost(),
                 reference.cost(),
-                "options {:?} changed the optimum",
-                opts
+                "options {opts:?} changed the optimum, seed {seed}"
             );
         }
     }
+}
 
-    #[test]
-    fn preprocessing_is_idempotent(instance in arb_instance()) {
+#[test]
+fn preprocessing_is_idempotent() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = rand_instance(&mut rng);
         let universe = ClassifierUniverse::build(&instance);
         let mut ws = WorkState::new(&instance, universe);
         let opts = PreprocessOptions::default();
-        preprocess(&mut ws, &opts).unwrap();
+        preprocess(&mut ws, &opts).expect("preprocess");
         let selected_before: Vec<bool> = ws.selected.clone();
         let removed_before: Vec<bool> = ws.removed.clone();
         let cost_before = ws.base_cost;
-        preprocess(&mut ws, &opts).unwrap();
-        prop_assert_eq!(ws.selected, selected_before);
-        prop_assert_eq!(ws.removed, removed_before);
-        prop_assert_eq!(ws.base_cost, cost_before);
+        preprocess(&mut ws, &opts).expect("preprocess");
+        assert_eq!(ws.selected, selected_before, "seed {seed}");
+        assert_eq!(ws.removed, removed_before, "seed {seed}");
+        assert_eq!(ws.base_cost, cost_before, "seed {seed}");
     }
 }

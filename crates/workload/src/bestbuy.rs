@@ -8,8 +8,8 @@
 //! distinct queries — so the property pool is sized for modest reuse.
 
 use crate::Dataset;
+use mc3_core::rng::prelude::*;
 use mc3_core::{Instance, Weights};
-use rand::prelude::*;
 
 /// Configuration of the BestBuy-alike generator.
 #[derive(Debug, Clone)]
@@ -47,7 +47,7 @@ impl BestBuyConfig {
 
     /// Length distribution: 35 % singletons, 60 % pairs, 4 % triples, 1 %
     /// quadruples — 95 % of queries of length ≤ 2, max length 4.
-    fn sample_len(rng: &mut impl Rng) -> usize {
+    fn sample_len(rng: &mut StdRng) -> usize {
         match rng.gen_range(0..100u32) {
             0..=34 => 1,
             35..=94 => 2,
@@ -80,6 +80,7 @@ impl BestBuyConfig {
             }
         }
         let instance = Instance::new(queries, Weights::uniform(self.uniform_cost))
+            // audit:allow(no-unwrap-in-lib) generator invariant: queries are non-empty and <= 16 props
             .expect("generator produces valid queries");
         Dataset::new("BB", instance)
     }

@@ -6,13 +6,16 @@
 //! materializing ~2 million classifier weights.
 
 use crate::Dataset;
+use mc3_core::json::{self, Json};
 use mc3_core::{FxHashMap, Instance, PropSet, Weight, Weights};
-use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
 /// Serializable weight-function description.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+///
+/// On disk this is a tagged object: `{"kind": "uniform", "cost": 1}`,
+/// `{"kind": "seeded", "seed": 7, "lo": 1, "hi": 50}`, or
+/// `{"kind": "explicit", "entries": [[[0, 1], 3], ...], "default": null}`.
+#[derive(Debug, Clone, PartialEq)]
 pub enum WeightSpec {
     /// Every classifier costs `cost`.
     Uniform {
@@ -40,7 +43,7 @@ pub enum WeightSpec {
 }
 
 /// The serializable dataset file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetFile {
     /// Dataset name.
     pub name: String,
@@ -52,6 +55,102 @@ pub struct DatasetFile {
 
 fn weight_to_opt(w: Weight) -> Option<u64> {
     w.finite()
+}
+
+impl WeightSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            WeightSpec::Uniform { cost } => Json::object([
+                ("kind", Json::Str("uniform".into())),
+                ("cost", Json::Int(*cost as i128)),
+            ]),
+            WeightSpec::Seeded { seed, lo, hi } => Json::object([
+                ("kind", Json::Str("seeded".into())),
+                ("seed", Json::Int(*seed as i128)),
+                ("lo", Json::Int(*lo as i128)),
+                ("hi", Json::Int(*hi as i128)),
+            ]),
+            WeightSpec::Explicit { entries, default } => Json::object([
+                ("kind", Json::Str("explicit".into())),
+                (
+                    "entries",
+                    Json::array(entries.iter().map(|(ids, cost)| {
+                        Json::array([
+                            Json::array(ids.iter().map(|&p| Json::Int(p as i128))),
+                            Json::opt_u64(*cost),
+                        ])
+                    })),
+                ),
+                ("default", Json::opt_u64(*default)),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<WeightSpec, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("weights: missing string field 'kind'")?;
+        let u64_field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("weights: missing u64 field '{name}'"))
+        };
+        let opt_u64_field = |name: &str| -> Result<Option<u64>, String> {
+            match v.get(name) {
+                None => Err(format!("weights: missing field '{name}'")),
+                Some(Json::Null) => Ok(None),
+                Some(x) => x
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("weights: field '{name}' must be u64 or null")),
+            }
+        };
+        match kind {
+            "uniform" => Ok(WeightSpec::Uniform {
+                cost: u64_field("cost")?,
+            }),
+            "seeded" => Ok(WeightSpec::Seeded {
+                seed: u64_field("seed")?,
+                lo: u64_field("lo")?,
+                hi: u64_field("hi")?,
+            }),
+            "explicit" => {
+                let raw = v
+                    .get("entries")
+                    .and_then(Json::as_array)
+                    .ok_or("weights: missing array field 'entries'")?;
+                let mut entries = Vec::with_capacity(raw.len());
+                for e in raw {
+                    let pair = e
+                        .as_array()
+                        .filter(|p| p.len() == 2)
+                        .ok_or("weights: each entry must be a [classifier, cost] pair")?;
+                    let ids = pair
+                        .first()
+                        .and_then(Json::as_array)
+                        .ok_or("weights: entry classifier must be an id array")?
+                        .iter()
+                        .map(|p| p.as_u32().ok_or("weights: property ids must be u32"))
+                        .collect::<Result<Vec<u32>, _>>()?;
+                    let cost = match pair.get(1) {
+                        Some(Json::Null) => None,
+                        Some(x) => Some(
+                            x.as_u64()
+                                .ok_or("weights: entry cost must be u64 or null")?,
+                        ),
+                        None => None,
+                    };
+                    entries.push((ids, cost));
+                }
+                Ok(WeightSpec::Explicit {
+                    entries,
+                    default: opt_u64_field("default")?,
+                })
+            }
+            other => Err(format!("weights: unknown kind '{other}'")),
+        }
+    }
 }
 
 fn opt_to_weight(o: Option<u64>) -> Weight {
@@ -72,6 +171,7 @@ impl DatasetFile {
             .collect();
         let weights = match ds.instance.weights() {
             Weights::Uniform(w) => WeightSpec::Uniform {
+                // audit:allow(no-unwrap-in-lib) Weights::uniform rejects infinite costs at construction
                 cost: w.finite().expect("uniform weights are finite"),
             },
             Weights::Seeded { seed, lo, hi } => WeightSpec::Seeded {
@@ -79,6 +179,7 @@ impl DatasetFile {
                 lo: *lo,
                 hi: *hi,
             },
+            // audit:allow(no-unwrap-in-lib) documented API contract: custom fns are not serializable
             Weights::Custom(_) => panic!(
                 "custom cost functions cannot be serialized; materialize them \
                  into an explicit map first"
@@ -100,6 +201,52 @@ impl DatasetFile {
             queries,
             weights,
         }
+    }
+
+    /// Renders the file as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::Str(self.name.clone())),
+            (
+                "queries",
+                Json::array(
+                    self.queries
+                        .iter()
+                        .map(|q| Json::array(q.iter().map(|&p| Json::Int(p as i128)))),
+                ),
+            ),
+            ("weights", self.weights.to_json()),
+        ])
+    }
+
+    /// Parses the file from a JSON document.
+    pub fn from_json(v: &Json) -> Result<DatasetFile, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("dataset: missing string field 'name'")?
+            .to_owned();
+        let raw_queries = v
+            .get("queries")
+            .and_then(Json::as_array)
+            .ok_or("dataset: missing array field 'queries'")?;
+        let mut queries = Vec::with_capacity(raw_queries.len());
+        for q in raw_queries {
+            let ids = q
+                .as_array()
+                .ok_or("dataset: each query must be an id array")?
+                .iter()
+                .map(|p| p.as_u32().ok_or("dataset: property ids must be u32"))
+                .collect::<Result<Vec<u32>, _>>()?;
+            queries.push(ids);
+        }
+        let weights =
+            WeightSpec::from_json(v.get("weights").ok_or("dataset: missing field 'weights'")?)?;
+        Ok(DatasetFile {
+            name,
+            queries,
+            weights,
+        })
     }
 
     /// Reconstructs the dataset.
@@ -125,19 +272,18 @@ impl DatasetFile {
 
 /// Writes a dataset as pretty JSON.
 pub fn write_dataset_json(ds: &Dataset, mut w: impl Write) -> std::io::Result<()> {
-    let file = DatasetFile::from_dataset(ds);
-    let json = serde_json::to_string_pretty(&file).expect("dataset serializes");
+    let json = DatasetFile::from_dataset(ds).to_json().to_string_pretty();
     w.write_all(json.as_bytes())
 }
 
 /// Reads a dataset from JSON.
 pub fn read_dataset_json(mut r: impl Read) -> std::io::Result<Dataset> {
+    let invalid = |e: String| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
     let mut buf = String::new();
     r.read_to_string(&mut buf)?;
-    let file: DatasetFile = serde_json::from_str(&buf)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    file.into_dataset()
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    let doc = json::parse(&buf).map_err(|e| invalid(e.to_string()))?;
+    let file = DatasetFile::from_json(&doc).map_err(invalid)?;
+    file.into_dataset().map_err(|e| invalid(e.to_string()))
 }
 
 #[cfg(test)]

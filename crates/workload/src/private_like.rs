@@ -10,8 +10,8 @@
 //! structure Step 2 exploits.
 
 use crate::Dataset;
+use mc3_core::rng::prelude::*;
 use mc3_core::{Instance, Weights};
-use rand::prelude::*;
 
 /// A product category of the private-alike dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,7 +42,7 @@ impl PrivateCategory {
         }
     }
 
-    fn sample_len(self, rng: &mut impl Rng) -> usize {
+    fn sample_len(self, rng: &mut StdRng) -> usize {
         match self {
             // Fashion: 96 % short, max 5
             PrivateCategory::Fashion => match rng.gen_range(0..100u32) {
@@ -110,6 +110,7 @@ impl PrivateConfig {
             queries.extend(self.generate_category_queries(cat, cat.query_share(self.num_queries)));
         }
         let weights = Weights::seeded(self.seed ^ 0xAB, self.cost_range.0, self.cost_range.1);
+        // audit:allow(no-unwrap-in-lib) generator invariant: queries are non-empty and <= 16 props
         let instance = Instance::new(queries, weights).expect("valid queries");
         Dataset::new("P", instance)
     }
@@ -120,6 +121,7 @@ impl PrivateConfig {
         let n = PrivateCategory::Fashion.query_share(self.num_queries);
         let queries = self.generate_category_queries(PrivateCategory::Fashion, n);
         let weights = Weights::seeded(self.seed ^ 0xAB, self.cost_range.0, self.cost_range.1);
+        // audit:allow(no-unwrap-in-lib) generator invariant: queries are non-empty and <= 16 props
         let instance = Instance::new(queries, weights).expect("valid queries");
         Dataset::new("P-fashion", instance)
     }

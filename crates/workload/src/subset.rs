@@ -5,8 +5,8 @@
 //! different cardinalities and run the algorithms over these corresponding
 //! sub-instances" (§6.1).
 
+use mc3_core::rng::prelude::*;
 use mc3_core::{Instance, Result};
-use rand::prelude::*;
 
 /// A sub-instance of `size` queries sampled uniformly without replacement
 /// (clamped to the instance size).

@@ -11,8 +11,8 @@
 //!   seeded weights so that nothing needs materializing.
 
 use crate::Dataset;
+use mc3_core::rng::prelude::*;
 use mc3_core::{Instance, Weights};
-use rand::prelude::*;
 
 /// How property popularity is distributed when sampling query properties.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,7 +97,7 @@ impl SyntheticConfig {
     /// Samples a query length: `P(l) = 1/2^(l−1)`, truncated to
     /// `[min_len, max_len]` by resampling (paper: "queries generated with
     /// length exceeding 10 are omitted").
-    fn sample_len(&self, rng: &mut impl Rng) -> usize {
+    fn sample_len(&self, rng: &mut StdRng) -> usize {
         debug_assert!(self.min_len >= 1 && self.min_len <= self.max_len);
         if self.min_len == self.max_len {
             return self.min_len;
@@ -144,6 +144,7 @@ impl SyntheticConfig {
             match &zipf_cdf {
                 None => rng.gen_range(0..pool as u32),
                 Some((cdf, ids)) => {
+                    // audit:allow(no-unwrap-in-lib) zipf_cdf is Some only when pool > 0
                     let total = *cdf.last().expect("non-empty pool");
                     let x = rng.gen_range(0.0..total);
                     let rank = cdf.partition_point(|&c| c < x);
@@ -178,6 +179,7 @@ impl SyntheticConfig {
         }
 
         let weights = Weights::seeded(self.seed ^ 0x5EED, self.cost_range.0, self.cost_range.1);
+        // audit:allow(no-unwrap-in-lib) generator invariant: queries are non-empty and <= 16 props
         let instance = Instance::new(queries, weights).expect("generator produces valid queries");
         Dataset::new("S", instance)
     }

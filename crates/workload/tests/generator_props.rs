@@ -1,83 +1,131 @@
 //! Property-based tests of the workload generators: every generated dataset
 //! is a valid, solvable instance whose marginals stay within the published
 //! bounds, and serialization round-trips.
+//!
+//! Seeded-loop style (the workspace builds offline, without `proptest`):
+//! each test replays deterministic random cases from
+//! [`mc3_core::rng::StdRng`], printing the seed on failure.
 
+use mc3_core::rng::prelude::*;
 use mc3_workload::{
     random_subset, read_dataset_json, write_dataset_json, BestBuyConfig, PrivateConfig,
     SyntheticConfig,
 };
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    #[test]
-    fn synthetic_instances_are_valid(n in 1..300usize, seed in any::<u64>()) {
+#[test]
+fn synthetic_instances_are_valid() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let n = rng.gen_range(1..300usize);
+        let seed = rng.gen::<u64>();
         let ds = SyntheticConfig::with_queries(n).seed(seed).generate();
-        prop_assert_eq!(ds.instance.num_queries(), n);
-        prop_assert!(ds.instance.max_query_len() <= 10);
+        assert_eq!(ds.instance.num_queries(), n, "case {case}");
+        assert!(ds.instance.max_query_len() <= 10, "case {case}");
         for q in ds.instance.queries() {
-            prop_assert!(q.len() >= 2);
+            assert!(q.len() >= 2, "case {case}");
             let w = ds.instance.weight(q);
-            prop_assert!((1..=50).contains(&w.finite().unwrap()));
+            assert!(
+                (1..=50).contains(&w.finite().expect("finite weight")),
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn bestbuy_instances_are_valid(n in 1..300usize, seed in 1..u64::MAX) {
+#[test]
+fn bestbuy_instances_are_valid() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let n = rng.gen_range(1..300usize);
         let mut cfg = BestBuyConfig::with_queries(n);
-        cfg.seed = seed;
+        cfg.seed = rng.gen_range(1..u64::MAX);
         let ds = cfg.generate();
-        prop_assert_eq!(ds.instance.num_queries(), n);
-        prop_assert!(ds.instance.max_query_len() <= 4);
+        assert_eq!(ds.instance.num_queries(), n, "case {case}");
+        assert!(ds.instance.max_query_len() <= 4, "case {case}");
         for q in ds.instance.queries().iter().take(10) {
-            prop_assert_eq!(ds.instance.weight(q).finite(), Some(1));
+            assert_eq!(ds.instance.weight(q).finite(), Some(1), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn private_instances_are_valid(n in 10..300usize, seed in 1..u64::MAX) {
+#[test]
+fn private_instances_are_valid() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let n = rng.gen_range(10..300usize);
         let mut cfg = PrivateConfig::with_queries(n);
-        cfg.seed = seed;
+        cfg.seed = rng.gen_range(1..u64::MAX);
         let ds = cfg.generate();
-        prop_assert!(ds.instance.num_queries() <= n);
-        prop_assert!(ds.instance.num_queries() >= n - n / 10 - 2); // share rounding
-        prop_assert!(ds.instance.max_query_len() <= 6);
+        assert!(ds.instance.num_queries() <= n, "case {case}");
+        assert!(
+            ds.instance.num_queries() >= n - n / 10 - 2,
+            "share rounding, case {case}"
+        );
+        assert!(ds.instance.max_query_len() <= 6, "case {case}");
         for q in ds.instance.queries().iter().take(10) {
-            let w = ds.instance.weight(q).finite().unwrap();
-            prop_assert!((1..=63).contains(&w));
+            let w = ds.instance.weight(q).finite().expect("finite weight");
+            assert!((1..=63).contains(&w), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn zipf_instances_are_valid(n in 1..200usize, s in 2..25u32) {
+#[test]
+fn zipf_instances_are_valid() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let n = rng.gen_range(1..200usize);
+        let s = rng.gen_range(2..25u32);
         let ds = SyntheticConfig::with_queries(n)
             .zipf(s as f64 / 10.0)
             .generate();
-        prop_assert_eq!(ds.instance.num_queries(), n);
-        prop_assert!(ds.instance.queries().iter().all(|q| q.len() >= 2));
+        assert_eq!(ds.instance.num_queries(), n, "case {case}");
+        assert!(
+            ds.instance.queries().iter().all(|q| q.len() >= 2),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn roundtrip_any_generated_dataset(n in 1..120usize, seed in any::<u64>()) {
+#[test]
+fn roundtrip_any_generated_dataset() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let n = rng.gen_range(1..120usize);
+        let seed = rng.gen::<u64>();
         let ds = SyntheticConfig::with_queries(n).seed(seed).generate();
         let mut buf = Vec::new();
-        write_dataset_json(&ds, &mut buf).unwrap();
-        let back = read_dataset_json(buf.as_slice()).unwrap();
-        prop_assert_eq!(back.instance.queries(), ds.instance.queries());
+        write_dataset_json(&ds, &mut buf).expect("write");
+        let back = read_dataset_json(buf.as_slice()).expect("read back");
+        assert_eq!(
+            back.instance.queries(),
+            ds.instance.queries(),
+            "case {case}"
+        );
         for q in ds.instance.queries().iter().take(10) {
-            prop_assert_eq!(back.instance.weight(q), ds.instance.weight(q));
+            assert_eq!(
+                back.instance.weight(q),
+                ds.instance.weight(q),
+                "case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn subsets_compose(n in 10..200usize, a in 1..100usize, seed in any::<u64>()) {
+#[test]
+fn subsets_compose() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let n = rng.gen_range(10..200usize);
+        let a = rng.gen_range(1..100usize);
+        let seed = rng.gen::<u64>();
         let ds = SyntheticConfig::with_queries(n).seed(seed).generate();
-        let sub = random_subset(&ds.instance, a, seed ^ 1).unwrap();
-        let subsub = random_subset(&sub, a / 2, seed ^ 2).unwrap();
-        prop_assert!(subsub.num_queries() <= sub.num_queries());
+        let sub = random_subset(&ds.instance, a, seed ^ 1).expect("subset");
+        let subsub = random_subset(&sub, a / 2, seed ^ 2).expect("subset of subset");
+        assert!(subsub.num_queries() <= sub.num_queries(), "case {case}");
         for q in subsub.queries() {
-            prop_assert!(ds.instance.queries().contains(q));
+            assert!(ds.instance.queries().contains(q), "case {case}");
         }
     }
 }

@@ -16,7 +16,7 @@
 //! ```
 
 use mc3::prelude::*;
-use rand::prelude::*;
+use mc3_core::rng::prelude::*;
 
 /// An item: its true (hidden) properties and what the database records.
 struct Item {
