@@ -10,11 +10,12 @@
 use crate::lexer::{lex, Lexed, Token, TokenKind};
 
 /// Names of all rules, in reporting order.
-pub const ALL_RULES: [&str; 4] = [
+pub const ALL_RULES: [&str; 5] = [
     "no-unwrap-in-lib",
     "no-default-hasher",
     "no-unchecked-index-in-hot-loops",
     "no-float-eq",
+    "no-bare-instant",
 ];
 
 /// File-name stems whose inner loops are hot paths for the indexing rule
@@ -173,6 +174,7 @@ pub fn check_file(file: &str, source: &str) -> Vec<Violation> {
     rule_no_default_hasher(file, &lexed, &ctx, &mut violations);
     rule_no_unchecked_index(file, &lexed, &ctx, &mut violations);
     rule_no_float_eq(file, &lexed, &ctx, &mut violations);
+    rule_no_bare_instant(file, &lexed, &ctx, &mut violations);
 
     violations.retain(|v| {
         !lexed.waivers.iter().any(|w| {
@@ -279,6 +281,37 @@ fn rule_no_float_eq(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Viol
     }
 }
 
+/// `Instant::now()` outside the telemetry crate: ad-hoc timing pairs drift
+/// from the span tree (the exact bug the `SolveTimings` derivation fixed),
+/// so wall-time must flow through `mc3_telemetry::timed_span`/`span`. The
+/// telemetry crate itself is the one place allowed to read the clock, and
+/// the bench harness carries reviewed waivers.
+fn rule_no_bare_instant(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Violation>) {
+    if file.starts_with("crates/telemetry/") {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] || !t.is_ident("Instant") {
+            continue;
+        }
+        let call = toks.get(i + 1).map(|n| n.is_punct(':')) == Some(true)
+            && toks.get(i + 2).map(|n| n.is_punct(':')) == Some(true)
+            && toks.get(i + 3).map(|n| n.is_ident("now")) == Some(true)
+            && toks.get(i + 4).map(|n| n.is_punct('(')) == Some(true);
+        if call {
+            out.push(Violation {
+                rule: "no-bare-instant",
+                file: file.to_owned(),
+                line: t.line,
+                message: "direct Instant::now() in library code; route timing through \
+                          mc3_telemetry spans (timed_span) so wall-times land in the trace"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +392,32 @@ mod tests {
         // A waiver for a different rule does not help.
         let src = "// audit:allow(no-float-eq)\nfn f() { x.unwrap(); }";
         assert_eq!(check_file("a.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn bare_instant_flagged_outside_telemetry_and_tests() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(
+            rules_hit("crates/solver/src/solver.rs", src),
+            vec!["no-bare-instant"]
+        );
+        // Fully qualified paths hit too (the match anchors on `Instant`).
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert_eq!(
+            rules_hit("crates/flow/src/dinic.rs", src),
+            vec!["no-bare-instant"]
+        );
+        // The telemetry crate is the one place allowed to read the clock.
+        assert!(rules_hit("crates/telemetry/src/spans.rs", src).is_empty());
+        // Tests and plain mentions of the type are fine.
+        let src = "#[cfg(test)]\nmod tests { fn f() { let t = Instant::now(); } }";
+        assert!(rules_hit("crates/solver/src/solver.rs", src).is_empty());
+        let src = "use std::time::Instant;\nfn f(t: Instant) {}";
+        assert!(rules_hit("crates/solver/src/solver.rs", src).is_empty());
+        // Waivers work as for every other rule.
+        let src =
+            "// audit:allow(no-bare-instant) harness clock\nfn f() { let t = Instant::now(); }";
+        assert!(rules_hit("crates/bench/src/timing.rs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,22 @@
+//! Seeded violation: `no-bare-instant` (two direct `Instant::now()` calls
+//! in library code; the `use` alone and the test-gated call must not be
+//! flagged).
+
+use std::time::Instant;
+
+pub fn timed_work() -> u64 {
+    let start = Instant::now();
+    let mid = std::time::Instant::now();
+    (mid - start).as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_here_is_fine() {
+        let t = Instant::now();
+        assert!(timed_work() < t.elapsed().as_nanos() as u64 + 1_000_000_000);
+    }
+}

@@ -73,6 +73,18 @@ fn float_eq_fixture_is_caught() {
 }
 
 #[test]
+fn bare_instant_fixture_is_caught() {
+    let (file, source) = fixture("bare_instant.rs");
+    let violations = check_file(&file, &source);
+    assert_eq!(
+        violations.len(),
+        2,
+        "both library Instant::now() calls, nothing in tests: {violations:?}"
+    );
+    assert!(violations.iter().all(|v| v.rule == "no-bare-instant"));
+}
+
+#[test]
 fn a_waiver_suppresses_a_fixture_violation() {
     let src = "// audit:allow(no-float-eq) reviewed: sentinel compare\n\
                pub fn f(x: f64) -> bool { x == 0.0 }\n";
@@ -92,6 +104,7 @@ fn lint_run_over_fixtures_exits_nonzero() {
         "default_hasher.rs",
         "dinic.rs",
         "float_eq.rs",
+        "bare_instant.rs",
     ] {
         let (_, source) = fixture(name);
         std::fs::write(src_dir.join(name), source).expect("copy fixture");
@@ -113,6 +126,7 @@ fn lint_run_over_fixtures_exits_nonzero() {
         "no-default-hasher",
         "no-unchecked-index-in-hot-loops",
         "no-float-eq",
+        "no-bare-instant",
     ] {
         assert!(
             stdout.contains(&format!("error[{rule}]")),

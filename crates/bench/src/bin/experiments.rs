@@ -3,33 +3,55 @@
 //! ```text
 //! cargo run --release -p mc3-bench --bin experiments -- all [--full]
 //! cargo run --release -p mc3-bench --bin experiments -- fig3a fig3d
+//! cargo run --release -p mc3-bench --bin experiments -- all --telemetry tel.json
 //! ```
+//!
+//! With `--telemetry <FILE>` the whole run executes under a telemetry
+//! session and the aggregated [`mc3_telemetry::TelemetryReport`] (span
+//! tree, solver-internals counters, histograms) is written as JSON.
 
 use mc3_bench::{run_experiment, ExperimentScale, EXPERIMENT_IDS};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut full = false;
+    let mut telemetry_out: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => full = true,
+            "--telemetry" => match it.next() {
+                Some(path) => telemetry_out = Some(path),
+                None => {
+                    eprintln!("error: --telemetry requires a file path");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("error: unknown flag '{other}'");
+                std::process::exit(2);
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
     let scale = if full {
         ExperimentScale::Full
     } else {
         ExperimentScale::Quick
     };
-    let mut ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    if ids.is_empty() || ids.contains(&"all") {
-        ids = EXPERIMENT_IDS.to_vec();
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = EXPERIMENT_IDS.iter().map(|&s| s.to_owned()).collect();
     }
 
     println!(
         "# MC3 experiment harness ({} scale)\n",
         if full { "full / paper" } else { "quick" }
     );
+    let session = telemetry_out.is_some().then(mc3_telemetry::Session::begin);
     let mut failed = false;
-    for id in ids {
+    for id in &ids {
+        // audit:allow(no-bare-instant) the harness times the experiments themselves
         let start = std::time::Instant::now();
         match run_experiment(id, scale) {
             Ok(report) => {
@@ -41,6 +63,17 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("error: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let (Some(session), Some(path)) = (session, telemetry_out) {
+        let report = session.finish();
+        let json = report.to_json().to_string_pretty();
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("telemetry report written to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
                 failed = true;
             }
         }

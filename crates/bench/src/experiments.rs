@@ -588,9 +588,11 @@ fn ablation_flow(scale: ExperimentScale) -> String {
                 })
                 .collect(),
         };
+        // audit:allow(no-bare-instant) the experiment times the two flow kernels
         let t0 = std::time::Instant::now();
         let dinic = solve_bipartite_wvc_with(&inst, FlowAlgorithm::Dinic).unwrap();
         let dt = t0.elapsed();
+        // audit:allow(no-bare-instant) the experiment times the two flow kernels
         let t1 = std::time::Instant::now();
         let pr = solve_bipartite_wvc_with(&inst, FlowAlgorithm::PushRelabel).unwrap();
         let pt = t1.elapsed();

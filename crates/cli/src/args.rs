@@ -75,6 +75,30 @@ pub enum Command {
         max_classifier_len: Option<usize>,
         /// Optional solution output path (`-` = stdout).
         out: Option<String>,
+        /// Telemetry trace: `None` = off, `Some(None)` = print the span
+        /// tree, `Some(Some(path))` = write the `TelemetryReport` JSON.
+        trace: Option<Option<String>>,
+    },
+    /// `mc3 profile [DATASET.json] [--kind K] [--queries N] [--seed S]
+    /// [--algorithm A] [--parallel] [--json FILE] [--top N]`
+    Profile {
+        /// Dataset JSON path; omitted = generate a workload.
+        dataset: Option<String>,
+        /// Generator when no dataset is given.
+        kind: GeneratorKind,
+        /// Queries to generate when no dataset is given.
+        queries: usize,
+        /// Generator seed.
+        seed: u64,
+        /// Algorithm to profile.
+        algorithm: Algorithm,
+        /// Solve components in parallel.
+        parallel: bool,
+        /// Also write the `TelemetryReport` JSON here (and re-parse it as
+        /// a schema self-check).
+        json: Option<String>,
+        /// How many counters to list.
+        top: usize,
     },
     /// `mc3 verify DATASET SOLUTION`
     Verify {
@@ -123,7 +147,9 @@ USAGE:
   mc3 solve <DATASET.json> [--algorithm <auto|k2|general|short-first|exact|
                              property-oriented|query-oriented|mixed|local-greedy>]
             [--no-preprocess] [--no-refine] [--parallel]
-            [--max-classifier-len <K>] [--out <FILE|->]
+            [--max-classifier-len <K>] [--out <FILE|->] [--trace[=<FILE>]]
+  mc3 profile [DATASET.json] [--kind <K>] [--queries <N>] [--seed <S>]
+              [--algorithm <A>] [--parallel] [--json <FILE>] [--top <N>]
   mc3 verify <DATASET.json> <SOLUTION.json>
   mc3 audit <DATASET.json> <SOLUTION.json>
   mc3 parse <QUERIES.txt> [--uniform-cost <N> | --cost-range <LO..HI> [--seed <S>]]
@@ -229,6 +255,7 @@ impl Cli {
                 let mut parallel = false;
                 let mut max_classifier_len = None;
                 let mut out = None;
+                let mut trace = None;
                 while let Some(flag) = s.next().map(str::to_owned) {
                     match flag.as_str() {
                         "--algorithm" => algorithm = parse_algorithm(&s.value_of("--algorithm")?)?,
@@ -243,6 +270,10 @@ impl Cli {
                             )
                         }
                         "--out" => out = Some(s.value_of("--out")?),
+                        "--trace" => trace = Some(None),
+                        other if other.starts_with("--trace=") => {
+                            trace = Some(Some(other["--trace=".len()..].to_owned()))
+                        }
                         other => return Err(format!("unknown flag '{other}' for solve")),
                     }
                 }
@@ -254,6 +285,57 @@ impl Cli {
                     parallel,
                     max_classifier_len,
                     out,
+                    trace,
+                }
+            }
+            "profile" => {
+                let mut dataset = None;
+                let mut kind = GeneratorKind::Synthetic;
+                let mut queries = 200usize;
+                let mut seed = 7u64;
+                let mut algorithm = Algorithm::ShortFirst;
+                let mut parallel = false;
+                let mut json = None;
+                let mut top = 12usize;
+                while let Some(arg) = s.next().map(str::to_owned) {
+                    match arg.as_str() {
+                        "--kind" => kind = GeneratorKind::parse(&s.value_of("--kind")?)?,
+                        "--queries" => {
+                            queries = s
+                                .value_of("--queries")?
+                                .parse()
+                                .map_err(|e| format!("--queries: {e}"))?
+                        }
+                        "--seed" => {
+                            seed = s
+                                .value_of("--seed")?
+                                .parse()
+                                .map_err(|e| format!("--seed: {e}"))?
+                        }
+                        "--algorithm" => algorithm = parse_algorithm(&s.value_of("--algorithm")?)?,
+                        "--parallel" => parallel = true,
+                        "--json" => json = Some(s.value_of("--json")?),
+                        "--top" => {
+                            top = s
+                                .value_of("--top")?
+                                .parse()
+                                .map_err(|e| format!("--top: {e}"))?
+                        }
+                        other if !other.starts_with("--") && dataset.is_none() => {
+                            dataset = Some(other.to_owned())
+                        }
+                        other => return Err(format!("unknown flag '{other}' for profile")),
+                    }
+                }
+                Command::Profile {
+                    dataset,
+                    kind,
+                    queries,
+                    seed,
+                    algorithm,
+                    parallel,
+                    json,
+                    top,
                 }
             }
             "verify" => {
@@ -391,6 +473,83 @@ mod tests {
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_solve_trace_variants() {
+        let cli = Cli::parse(["solve", "d.json"]).unwrap();
+        assert!(matches!(cli.command, Command::Solve { trace: None, .. }));
+        let cli = Cli::parse(["solve", "d.json", "--trace"]).unwrap();
+        assert!(matches!(
+            cli.command,
+            Command::Solve {
+                trace: Some(None),
+                ..
+            }
+        ));
+        let cli = Cli::parse(["solve", "d.json", "--trace=t.json"]).unwrap();
+        match cli.command {
+            Command::Solve { trace, .. } => assert_eq!(trace, Some(Some("t.json".to_owned()))),
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_profile_defaults_and_flags() {
+        let cli = Cli::parse(["profile"]).unwrap();
+        match cli.command {
+            Command::Profile {
+                dataset,
+                kind,
+                queries,
+                seed,
+                algorithm,
+                parallel,
+                json,
+                top,
+            } => {
+                assert_eq!(dataset, None);
+                assert_eq!(kind, GeneratorKind::Synthetic);
+                assert_eq!(queries, 200);
+                assert_eq!(seed, 7);
+                assert_eq!(algorithm, Algorithm::ShortFirst);
+                assert!(!parallel);
+                assert_eq!(json, None);
+                assert_eq!(top, 12);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cli = Cli::parse([
+            "profile",
+            "d.json",
+            "--algorithm",
+            "general",
+            "--parallel",
+            "--json",
+            "tel.json",
+            "--top",
+            "5",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Profile {
+                dataset,
+                algorithm,
+                parallel,
+                json,
+                top,
+                ..
+            } => {
+                assert_eq!(dataset.as_deref(), Some("d.json"));
+                assert_eq!(algorithm, Algorithm::General);
+                assert!(parallel);
+                assert_eq!(json.as_deref(), Some("tel.json"));
+                assert_eq!(top, 5);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(Cli::parse(["profile", "--frob"]).is_err());
+        assert!(Cli::parse(["profile", "a.json", "b.json"]).is_err());
     }
 
     #[test]

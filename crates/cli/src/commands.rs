@@ -31,6 +31,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             parallel,
             max_classifier_len,
             out,
+            trace,
         } => solve(
             dataset,
             *algorithm,
@@ -39,6 +40,26 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             *parallel,
             *max_classifier_len,
             out.as_deref(),
+            trace.as_ref(),
+        ),
+        Command::Profile {
+            dataset,
+            kind,
+            queries,
+            seed,
+            algorithm,
+            parallel,
+            json,
+            top,
+        } => profile(
+            dataset.as_deref(),
+            *kind,
+            *queries,
+            *seed,
+            *algorithm,
+            *parallel,
+            json.as_deref(),
+            *top,
         ),
         Command::Verify { dataset, solution } => verify(dataset, solution),
         Command::Audit { dataset, solution } => audit(dataset, solution),
@@ -130,6 +151,22 @@ fn stats(path: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Serializes a telemetry report to pretty JSON and re-parses it through
+/// `mc3_core::json` + the strict [`TelemetryReport::from_json`] reader, so
+/// every emitted trace is guaranteed to round-trip (schema drift fails the
+/// command, not a later consumer).
+fn telemetry_json_checked(tel: &mc3_telemetry::TelemetryReport) -> Result<String, String> {
+    let json = tel.to_json().to_string_pretty();
+    let parsed = mc3_core::json::parse(&json)
+        .map_err(|e| format!("telemetry JSON does not parse back: {e}"))?;
+    let back = mc3_telemetry::TelemetryReport::from_json(&parsed)
+        .map_err(|e| format!("telemetry JSON failed the schema check: {e}"))?;
+    if &back != tel {
+        return Err("telemetry JSON round-trip changed the report".to_owned());
+    }
+    Ok(json)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn solve(
     dataset: &str,
@@ -139,6 +176,7 @@ fn solve(
     parallel: bool,
     max_classifier_len: Option<usize>,
     out: Option<&str>,
+    trace: Option<&Option<String>>,
 ) -> Result<String, String> {
     let ds = load_dataset(dataset)?;
     let mut solver = Mc3Solver::new().algorithm(algorithm).parallel(parallel);
@@ -151,9 +189,11 @@ fn solve(
     if let Some(kp) = max_classifier_len {
         solver = solver.max_classifier_len(kp);
     }
+    let session = trace.is_some().then(mc3_telemetry::Session::begin);
     let report = solver
         .solve_report(&ds.instance)
         .map_err(|e| format!("solve failed: {e}"))?;
+    let tel = session.map(mc3_telemetry::Session::finish);
     report
         .solution
         .verify(&ds.instance)
@@ -181,6 +221,87 @@ fn solve(
         let json = SolutionFile::from_solution(&report.solution)
             .to_json()
             .to_string_pretty();
+        text.push_str(&write_out(path, &json)?);
+    }
+    if let Some(tel) = tel {
+        match trace {
+            Some(Some(path)) => {
+                let json = telemetry_json_checked(&tel)?;
+                text.push_str(&write_out(path, &json)?);
+            }
+            _ => {
+                text.push('\n');
+                text.push_str(&tel.render());
+            }
+        }
+    }
+    Ok(text)
+}
+
+/// `mc3 profile`: solve a dataset (or a generated workload) under a
+/// telemetry session and print the span tree plus the busiest counters.
+#[allow(clippy::too_many_arguments)]
+fn profile(
+    dataset: Option<&str>,
+    kind: GeneratorKind,
+    queries: usize,
+    seed: u64,
+    algorithm: mc3_solver::Algorithm,
+    parallel: bool,
+    json: Option<&str>,
+    top: usize,
+) -> Result<String, String> {
+    let ds = match dataset {
+        Some(path) => load_dataset(path)?,
+        None => match kind {
+            GeneratorKind::Synthetic => {
+                SyntheticConfig::with_queries(queries).seed(seed).generate()
+            }
+            GeneratorKind::SyntheticShort => SyntheticConfig::short(queries).seed(seed).generate(),
+            GeneratorKind::BestBuy => {
+                let mut cfg = BestBuyConfig::with_queries(queries);
+                cfg.seed = seed.max(1);
+                cfg.generate()
+            }
+            GeneratorKind::Private => {
+                let mut cfg = PrivateConfig::with_queries(queries);
+                cfg.seed = seed.max(1);
+                cfg.generate()
+            }
+            GeneratorKind::PrivateFashion => {
+                let mut cfg = PrivateConfig::with_queries(queries * 10);
+                cfg.seed = seed.max(1);
+                cfg.generate_fashion()
+            }
+        },
+    };
+    let session = mc3_telemetry::Session::begin();
+    let report = Mc3Solver::new()
+        .algorithm(algorithm)
+        .parallel(parallel)
+        .solve_report(&ds.instance)
+        .map_err(|e| format!("solve failed: {e}"))?;
+    let tel = session.finish();
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "profile of '{}' ({} queries, k = {}) with {:?}:",
+        ds.name,
+        ds.instance.num_queries(),
+        ds.instance.max_query_len(),
+        algorithm
+    );
+    let _ = writeln!(
+        text,
+        "cost {} with {} classifiers in {:.3}s\n",
+        report.solution.cost(),
+        report.solution.len(),
+        report.timings.total.as_secs_f64()
+    );
+    text.push_str(&tel.render_top(top));
+    if let Some(path) = json {
+        let json = telemetry_json_checked(&tel)?;
         text.push_str(&write_out(path, &json)?);
     }
     Ok(text)
@@ -461,5 +582,65 @@ mod tests {
     fn help_prints_usage() {
         let out = run(&Cli::parse(["help"]).unwrap()).unwrap();
         assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn solve_trace_writes_a_parseable_report() {
+        let data = tmp("trace.json");
+        let trace = tmp("trace_out.json");
+        run(&Cli::parse([
+            "generate",
+            "--kind",
+            "synthetic",
+            "--queries",
+            "60",
+            "--seed",
+            "5",
+            "--out",
+            &data,
+        ])
+        .unwrap())
+        .unwrap();
+        let arg = format!("--trace={trace}");
+        let out = run(&Cli::parse(["solve", &data, &arg]).unwrap()).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let json = mc3_core::json::parse(&text).unwrap();
+        let tel = mc3_telemetry::TelemetryReport::from_json(&json).unwrap();
+        assert!(
+            tel.spans.iter().any(|s| s.name == "solve"),
+            "{}",
+            tel.render()
+        );
+        // bare --trace prints the tree instead of writing a file
+        let out = run(&Cli::parse(["solve", &data, "--trace"]).unwrap()).unwrap();
+        assert!(out.contains("solve"), "{out}");
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn profile_generates_solves_and_round_trips_json() {
+        let json_path = tmp("profile_tel.json");
+        let out = run(&Cli::parse([
+            "profile",
+            "--queries",
+            "80",
+            "--seed",
+            "3",
+            "--json",
+            &json_path,
+            "--top",
+            "6",
+        ])
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("profile of"), "{out}");
+        assert!(out.contains("counters (non-zero, largest first):"), "{out}");
+        let text = std::fs::read_to_string(&json_path).unwrap();
+        let json = mc3_core::json::parse(&text).unwrap();
+        let tel = mc3_telemetry::TelemetryReport::from_json(&json).unwrap();
+        assert!(tel.counters.values().any(|&v| v > 0), "{}", tel.render());
+        std::fs::remove_file(&json_path).ok();
     }
 }

@@ -46,21 +46,37 @@ impl<'a> Dinic<'a> {
     /// residual state (for min-cut extraction).
     pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> u64 {
         assert_ne!(s, t, "source and sink must differ");
+        let _span = mc3_telemetry::span("dinic.max_flow");
         let mut flow: u64 = 0;
+        let mut phases = 0u64;
+        let mut paths = 0u64;
+        let mut visits = 0u64;
         while self.bfs(s, t) {
+            phases += 1;
+            visits += self.queue.len() as u64;
             self.iter.iter_mut().for_each(|i| *i = 0);
-            flow += self.blocking_flow(s, t);
+            let (f, p) = self.blocking_flow(s, t);
+            flow += f;
+            paths += p;
         }
+        mc3_telemetry::span_add(mc3_telemetry::Counter::DinicPhases, phases);
+        mc3_telemetry::span_add(mc3_telemetry::Counter::DinicAugmentingPaths, paths);
+        mc3_telemetry::span_add(mc3_telemetry::Counter::DinicBfsVisits, visits);
         #[cfg(feature = "verify")]
-        crate::verify::assert_max_flow(self.g, s, t, flow);
+        {
+            let _vspan = mc3_telemetry::span("verify.max_flow");
+            crate::verify::assert_max_flow(self.g, s, t, flow);
+            mc3_telemetry::span_add(mc3_telemetry::Counter::VerifyFlowChecks, 1);
+        }
         flow
     }
 
     /// Sends a blocking flow through the current level graph with an
     /// explicit path stack (no recursion — safe on arbitrarily deep
-    /// networks).
-    fn blocking_flow(&mut self, s: NodeId, t: NodeId) -> u64 {
+    /// networks). Returns `(flow, augmenting paths)`.
+    fn blocking_flow(&mut self, s: NodeId, t: NodeId) -> (u64, u64) {
         let mut total = 0u64;
+        let mut paths = 0u64;
         let mut path: Vec<usize> = Vec::new(); // edge ids along the path
         let mut v = s;
         loop {
@@ -78,6 +94,7 @@ impl<'a> Dinic<'a> {
                     self.g.edges[ei ^ 1].cap += delta;
                 }
                 total += delta;
+                paths += 1;
                 let first_sat = path
                     .iter()
                     .position(|&ei| self.g.edges[ei].cap == 0)
@@ -106,7 +123,7 @@ impl<'a> Dinic<'a> {
             } else {
                 // dead end: retreat
                 if v == s {
-                    return total;
+                    return (total, paths);
                 }
                 // audit:allow(no-unwrap-in-lib) v != s here, so the path stack is non-empty
                 let ei = path.pop().expect("non-source dead end has a parent edge");

@@ -19,6 +19,9 @@ pub struct PushRelabel<'a> {
     height_count: Vec<u32>,
     active: VecDeque<u32>,
     in_queue: Vec<bool>,
+    pushes: u64,
+    relabels: u64,
+    gap_firings: u64,
 }
 
 impl<'a> PushRelabel<'a> {
@@ -32,6 +35,9 @@ impl<'a> PushRelabel<'a> {
             height_count: vec![0; 2 * n + 1],
             active: VecDeque::new(),
             in_queue: vec![false; n],
+            pushes: 0,
+            relabels: 0,
+            gap_firings: 0,
         }
     }
 
@@ -39,6 +45,7 @@ impl<'a> PushRelabel<'a> {
     /// state consistent with it (min-cut extraction works as usual).
     pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> u64 {
         assert_ne!(s, t, "source and sink must differ");
+        let _span = mc3_telemetry::span("push_relabel.max_flow");
         let n = self.g.num_nodes();
         self.height[s] = n as u32;
         for h in self.height.iter() {
@@ -66,8 +73,15 @@ impl<'a> PushRelabel<'a> {
             self.in_queue[v] = false;
             self.discharge(v, s, t);
         }
+        mc3_telemetry::span_add(mc3_telemetry::Counter::PrPushes, self.pushes);
+        mc3_telemetry::span_add(mc3_telemetry::Counter::PrRelabels, self.relabels);
+        mc3_telemetry::span_add(mc3_telemetry::Counter::PrGapFirings, self.gap_firings);
         #[cfg(feature = "verify")]
-        crate::verify::assert_max_flow(self.g, s, t, self.excess[t]);
+        {
+            let _vspan = mc3_telemetry::span("verify.max_flow");
+            crate::verify::assert_max_flow(self.g, s, t, self.excess[t]);
+            mc3_telemetry::span_add(mc3_telemetry::Counter::VerifyFlowChecks, 1);
+        }
         self.excess[t]
     }
 
@@ -91,6 +105,7 @@ impl<'a> PushRelabel<'a> {
                         self.in_queue[to] = true;
                         self.active.push_back(to as u32);
                     }
+                    self.pushes += 1;
                     pushed = true;
                 }
             }
@@ -116,8 +131,10 @@ impl<'a> PushRelabel<'a> {
                 // gap heuristic: if v was the last node at height `old`,
                 // everything strictly above `old` (below n) is unreachable
                 // from t and can jump past n
+                self.relabels += 1;
                 self.height_count[old as usize] -= 1;
                 if self.height_count[old as usize] == 0 && (old as usize) < self.g.num_nodes() {
+                    self.gap_firings += 1;
                     let n = self.g.num_nodes() as u32;
                     for h in self.height.iter_mut() {
                         if *h > old && *h < n {

@@ -78,6 +78,8 @@ pub fn solve_bipartite_wvc_with(
     inst: &BipartiteWvc,
     algorithm: FlowAlgorithm,
 ) -> Result<WvcSolution> {
+    let _span = mc3_telemetry::span("wvc.solve");
+    mc3_telemetry::span_add(mc3_telemetry::Counter::WvcSolves, 1);
     // Cheap infeasibility check (also catches what the flow would express
     // as a cut of sentinel weight).
     for (i, &(u, v)) in inst.edges.iter().enumerate() {
@@ -154,6 +156,7 @@ pub fn solve_bipartite_wvc_with(
     // so weight == flow proves the cover optimal.
     #[cfg(feature = "verify")]
     {
+        let _vspan = mc3_telemetry::span("verify.wvc");
         assert!(
             inst.edges
                 .iter()
@@ -165,6 +168,7 @@ pub fn solve_bipartite_wvc_with(
             Some(flow),
             "cover weight != max-flow value: WVC optimality certificate failed"
         );
+        mc3_telemetry::span_add(mc3_telemetry::Counter::VerifyWvcChecks, 1);
     }
 
     Ok(WvcSolution {

@@ -17,6 +17,7 @@ pub const MAX_EXACT_ELEMENTS: usize = 128;
 /// Solves WSC exactly. Errors on uncoverable instances; panics if the
 /// instance exceeds [`MAX_EXACT_ELEMENTS`].
 pub fn solve_exact(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
+    let _span = mc3_telemetry::span("setcover.exact");
     assert!(
         instance.num_elements() <= MAX_EXACT_ELEMENTS,
         "exact solver limited to {MAX_EXACT_ELEMENTS} elements"

@@ -56,6 +56,7 @@ impl PartialOrd for Entry {
 /// Runs lazy-heap greedy; errors with [`Mc3Error::Uncoverable`] (carrying
 /// the element index) if some element is in no set.
 pub fn solve_greedy(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
+    let _span = mc3_telemetry::span("setcover.greedy");
     instance.ensure_coverable()?;
     let m = instance.num_sets();
     let mut covered = vec![false; instance.num_elements()];
@@ -80,12 +81,15 @@ pub fn solve_greedy(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
     // the H(Δ) guarantee (see crate::verify).
     #[cfg(feature = "verify")]
     let mut price: Vec<f64> = vec![0.0; instance.num_elements()];
+    let mut iterations = 0u64;
+    let mut pq_rebuilds = 0u64;
     while uncovered_left > 0 {
         let Some(top) = heap.pop() else {
             return Err(Mc3Error::Internal(
                 "greedy heap exhausted with uncovered elements".to_owned(),
             ));
         };
+        iterations += 1;
         let s = top.id as usize;
         // audit:allow(no-unchecked-index-in-hot-loops) heap ids come from 0..num_sets
         let current = live[s];
@@ -94,6 +98,7 @@ pub fn solve_greedy(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
         }
         if current < top.cov {
             // stale: reinsert with the fresh count
+            pq_rebuilds += 1;
             heap.push(Entry {
                 cov: current,
                 cost: top.cost,
@@ -103,6 +108,7 @@ pub fn solve_greedy(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
         }
         // fresh maximum: select it
         selected.push(s);
+        mc3_telemetry::record(mc3_telemetry::Hist::GreedyPickCoverage, current as u64);
         #[cfg(feature = "verify")]
         let unit_price = top.cost as f64 / current as f64;
         for &e in instance.set(s) {
@@ -123,8 +129,18 @@ pub fn solve_greedy(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
             }
         }
     }
+    mc3_telemetry::span_add(mc3_telemetry::Counter::GreedyIterations, iterations);
+    mc3_telemetry::span_add(mc3_telemetry::Counter::GreedyPqRebuilds, pq_rebuilds);
+    mc3_telemetry::span_add(
+        mc3_telemetry::Counter::GreedySelected,
+        selected.len() as u64,
+    );
     #[cfg(feature = "verify")]
-    crate::verify::assert_greedy_dual_feasible(instance, &price, &selected);
+    {
+        let _vspan = mc3_telemetry::span("verify.greedy_dual");
+        crate::verify::assert_greedy_dual_feasible(instance, &price, &selected);
+        mc3_telemetry::span_add(mc3_telemetry::Counter::VerifyGreedyDualChecks, 1);
+    }
     Ok(SetCoverSolution::new(instance, selected))
 }
 

@@ -17,6 +17,7 @@ use mc3_lp::{ConstraintOp, LpProblem, LpStatus};
 /// Solves WSC by LP rounding. Errors if the instance is uncoverable or the
 /// LP solver fails unexpectedly.
 pub fn solve_lp_rounding(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
+    let _span = mc3_telemetry::span("setcover.lp_round");
     instance.ensure_coverable()?;
     if instance.num_elements() == 0 {
         return Ok(SetCoverSolution::new(instance, vec![]));

@@ -15,6 +15,7 @@ use mc3_core::Result;
 
 /// Runs the primal–dual algorithm.
 pub fn solve_primal_dual(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
+    let _span = mc3_telemetry::span("setcover.primal_dual");
     instance.ensure_coverable()?;
     let m = instance.num_sets();
     let mut residual: Vec<u64> = (0..m).map(|s| instance.cost(s).raw()).collect();

@@ -67,6 +67,8 @@ pub fn solve_general_with(
     lp_limits: LpLimits,
     refine: bool,
 ) -> Result<Vec<ClassifierId>> {
+    let _span = mc3_telemetry::span("general.solve");
+    mc3_telemetry::span_add(mc3_telemetry::Counter::DispatchGeneral, 1);
     let red = reduce_to_wsc(ws, queries);
     if red.instance.num_elements() == 0 {
         return Ok(Vec::new());
@@ -136,6 +138,7 @@ pub fn solve_general_with(
     // Combined strategy keeps the cheaper output, hence the min.
     #[cfg(feature = "verify")]
     {
+        let _vspan = mc3_telemetry::span("verify.ratio");
         let bounds = crate::verify::residual_bounds(ws, queries);
         let theorem = if bounds.queries > 0 && bounds.max_len >= 2 {
             (bounds.queries as f64).ln() + ((bounds.max_len - 1) as f64).ln() + 1.0
@@ -152,6 +155,7 @@ pub fn solve_general_with(
             WscStrategy::Combined => greedy_ratio.min(f_ratio),
         };
         crate::verify::assert_ratio_certificate(ws, queries, &ids, ratio);
+        mc3_telemetry::span_add(mc3_telemetry::Counter::VerifyRatioChecks, 1);
     }
     Ok(ids)
 }

@@ -29,6 +29,8 @@ pub fn solve_k2_with(
     queries: &[usize],
     flow: FlowAlgorithm,
 ) -> Result<Vec<ClassifierId>> {
+    let _span = mc3_telemetry::span("k2.solve");
+    mc3_telemetry::span_add(mc3_telemetry::Counter::DispatchK2, 1);
     let mut picked: Vec<ClassifierId> = Vec::new();
 
     // Singleton queries force their classifier (Observation 3.1). When
@@ -143,7 +145,11 @@ pub fn solve_k2_with(
     // need, and — since Algorithm 2 is exact (Theorem 4.1) — its cost must
     // land inside the per-query [max min-cover, Σ min-cover] bracket.
     #[cfg(feature = "verify")]
-    crate::verify::assert_exact_certificate(ws, queries, &picked);
+    {
+        let _vspan = mc3_telemetry::span("verify.exact_bracket");
+        crate::verify::assert_exact_certificate(ws, queries, &picked);
+        mc3_telemetry::span_add(mc3_telemetry::Counter::VerifyExactBracketChecks, 1);
+    }
     Ok(picked)
 }
 

@@ -84,12 +84,15 @@ pub fn preprocess(ws: &mut WorkState<'_>, opts: &PreprocessOptions) -> Result<Pr
     let queries_before = ws.alive_queries();
 
     if opts.singletons_and_zero {
+        let _span = mc3_telemetry::span("preprocess.step1");
         step1(ws, &mut stats)?;
     }
     if opts.decomposition {
+        let _span = mc3_telemetry::span("preprocess.step3");
         step3_fixpoint(ws, opts, &mut stats)?;
     }
     if opts.k2_singleton_pruning && ws.instance.max_query_len() <= 2 {
+        let _span = mc3_telemetry::span("preprocess.step4");
         step4(ws, &mut stats);
     }
 
@@ -110,12 +113,14 @@ fn step1(ws: &mut WorkState<'_>, stats: &mut PreprocessStats) -> Result<()> {
         }
         ws.select(id);
         stats.selected += 1;
+        mc3_telemetry::span_add(mc3_telemetry::Counter::PreObs31Selected, 1);
     }
     for c in 0..ws.universe.len() {
         let id = ClassifierId(c as u32);
         if !ws.selected[c] && !ws.removed[c] && ws.weight[c].is_zero() && ws.relevant_count[c] > 0 {
             ws.select(id);
             stats.selected += 1;
+            mc3_telemetry::span_add(mc3_telemetry::Counter::PreObs31Selected, 1);
         }
     }
     Ok(())
@@ -138,6 +143,7 @@ fn step3_fixpoint(
 
     for _pass in 0..opts.max_passes {
         stats.passes += 1;
+        mc3_telemetry::span_add(mc3_telemetry::Counter::PrePasses, 1);
         let mut changed = false;
 
         // --- decomposition sweep, by increasing length ---
@@ -162,6 +168,7 @@ fn step3_fixpoint(
                 } else if best <= ws.weight[c] {
                     ws.remove(id, best);
                     stats.removed_by_decomposition += 1;
+                    mc3_telemetry::span_add(mc3_telemetry::Counter::PreObs33Removed, 1);
                     changed = true;
                 } else {
                     ws.eff[c] = ws.weight[c];
@@ -261,6 +268,7 @@ fn select_forced(ws: &mut WorkState<'_>, stats: &mut PreprocessStats) -> Result<
             let id = ws.universe.query_local(q).table[mask as usize];
             ws.select(id);
             stats.selected += 1;
+            mc3_telemetry::span_add(mc3_telemetry::Counter::PreObs33Forced, 1);
             changed = true;
         }
     }
@@ -353,6 +361,7 @@ fn step4(ws: &mut WorkState<'_>, stats: &mut PreprocessStats) {
             }
             ws.remove(singleton, Weight::INFINITE);
             stats.removed_by_singleton_pruning += 1;
+            mc3_telemetry::span_add(mc3_telemetry::Counter::PreObs34Pruned, 1);
             // chain reaction: partners' sums just dropped to 0 for these pairs
             for partner in partners {
                 if queued.insert(partner) {

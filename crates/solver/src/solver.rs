@@ -10,7 +10,8 @@ use crate::k2::solve_k2_with;
 use crate::preprocess::{preprocess, PreprocessOptions, PreprocessStats};
 use crate::work::WorkState;
 use mc3_core::{ClassifierId, ClassifierUniverse, Instance, InstanceStats, Result, Solution};
-use std::time::{Duration, Instant};
+use mc3_telemetry::TimedSpan;
+use std::time::Duration;
 
 /// Which algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -87,6 +88,11 @@ impl Default for SolverConfig {
 }
 
 /// Wall-clock breakdown of a solve.
+///
+/// Derived from the telemetry span tree (`solve` → `setup` /
+/// `preprocess` / `solve_core`): each field is the exact duration stored
+/// in the corresponding span node, so the tree and these public fields
+/// can never disagree (see `docs/observability.md`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolveTimings {
     /// Universe enumeration + working-state construction.
@@ -251,27 +257,31 @@ impl Mc3Solver {
 
     /// Solves and returns the full report.
     pub fn solve_report(&self, instance: &Instance) -> Result<SolverReport> {
-        let start = Instant::now();
+        // The root span doubles as the end-to-end clock: `SolveTimings` is
+        // read back out of the same `TimedSpan`s that build the telemetry
+        // tree, so there are no independent `Instant` pairs to drift.
+        let total_t = mc3_telemetry::timed_span("solve");
         // Baselines and the exact solver bypass the shared pipeline.
         match self.config.algorithm {
             Algorithm::PropertyOriented => {
-                return self.baseline_report(instance, start, baselines::property_oriented)
+                return self.baseline_report(instance, total_t, baselines::property_oriented)
             }
             Algorithm::QueryOriented => {
-                return self.baseline_report(instance, start, baselines::query_oriented)
+                return self.baseline_report(instance, total_t, baselines::query_oriented)
             }
-            Algorithm::Mixed => return self.baseline_report(instance, start, baselines::mixed),
+            Algorithm::Mixed => return self.baseline_report(instance, total_t, baselines::mixed),
             Algorithm::LocalGreedy => {
-                return self.baseline_report(instance, start, baselines::local_greedy)
+                return self.baseline_report(instance, total_t, baselines::local_greedy)
             }
             Algorithm::Exact => {
-                return self.baseline_report(instance, start, |i| {
+                return self.baseline_report(instance, total_t, |i| {
                     exact::solve_exact_with(i, &self.config.preprocess)
                 })
             }
             _ => {}
         }
 
+        let setup_t = mc3_telemetry::timed_span("setup");
         let kp = self
             .config
             .max_classifier_len
@@ -284,13 +294,13 @@ impl Mc3Solver {
         }
         let instance_stats = InstanceStats::gather_with_universe(instance, &universe);
         let mut ws = WorkState::new(instance, universe);
-        let setup = start.elapsed();
+        let setup = setup_t.finish();
 
-        let t_pre = Instant::now();
+        let pre_t = mc3_telemetry::timed_span("preprocess");
         let preprocess_stats = preprocess(&mut ws, &self.config.preprocess)?;
-        let pre = t_pre.elapsed();
+        let pre = pre_t.finish();
 
-        let t_solve = Instant::now();
+        let solve_t = mc3_telemetry::timed_span("solve_core");
         let mut picked: Vec<ClassifierId> = Vec::new();
 
         let effective = match self.config.algorithm {
@@ -322,6 +332,12 @@ impl Mc3Solver {
         let alive = ws.alive_query_indices();
         let comps = connected_components(instance.queries(), &alive);
         let num_components = comps.len();
+        mc3_telemetry::count(mc3_telemetry::Counter::ComponentsSplit, comps.len() as u64);
+        if mc3_telemetry::is_enabled() {
+            for comp in &comps {
+                mc3_telemetry::record(mc3_telemetry::Hist::ComponentSize, comp.len() as u64);
+            }
+        }
 
         let solve_component = |comp: &[usize]| -> Result<Vec<ClassifierId>> {
             match effective {
@@ -410,14 +426,16 @@ impl Mc3Solver {
         // the instance-level cost recomputation only applies without one.
         #[cfg(feature = "verify")]
         if self.config.prebuilt.is_empty() {
+            let _vspan = mc3_telemetry::span("verify.certificate");
             let cert = mc3_core::Certificate::for_solution(instance, &solution).map_err(|e| {
                 mc3_core::Mc3Error::Internal(format!("certificate construction failed: {e}"))
             })?;
             cert.verify(instance, &solution).map_err(|e| {
                 mc3_core::Mc3Error::Internal(format!("certificate verification failed: {e}"))
             })?;
+            mc3_telemetry::span_add(mc3_telemetry::Counter::VerifyCertificateChecks, 1);
         }
-        let solve = t_solve.elapsed();
+        let solve = solve_t.finish();
 
         Ok(SolverReport {
             solution,
@@ -429,7 +447,7 @@ impl Mc3Solver {
                 setup,
                 preprocess: pre,
                 solve,
-                total: start.elapsed(),
+                total: total_t.finish(),
             },
         })
     }
@@ -439,11 +457,11 @@ impl Mc3Solver {
     fn baseline_report(
         &self,
         instance: &Instance,
-        start: Instant,
+        total_t: TimedSpan,
         f: impl Fn(&Instance) -> Result<Solution>,
     ) -> Result<SolverReport> {
         let solution = f(instance)?;
-        let total = start.elapsed();
+        let total = total_t.finish();
         Ok(SolverReport {
             solution,
             prebuilt_used: Vec::new(),

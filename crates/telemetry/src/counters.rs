@@ -1,0 +1,293 @@
+//! The fixed counter and histogram registries.
+//!
+//! Counters are a *closed* enum: every countable solver internal is
+//! declared here, once, with its wire name. The cells behind them are
+//! global `AtomicU64`s, so increments from worker threads aggregate for
+//! free and a parallel solve reports exactly the same totals as a
+//! sequential solve of the same instance (the solvers themselves are
+//! deterministic per component). [`TelemetryReport`](crate::TelemetryReport)
+//! always emits *every* registered name — zeros included — which is what
+//! lets `TelemetryReport::from_json` double as a schema-drift guard.
+//!
+//! Histograms use log2 buckets: bucket 0 holds the value `0`, bucket
+//! `i ≥ 1` holds values in `[2^(i-1), 2^i - 1]`, for [`HIST_BUCKETS`]
+//! buckets total (enough for the full `u64` range).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! declare_counters {
+    ($($(#[$meta:meta])* $variant:ident => $name:literal,)+) => {
+        /// A registered monotonic counter.
+        ///
+        /// The registry is deliberately closed: adding a counter means
+        /// adding a variant here, which automatically extends the JSON
+        /// schema, the report renderer and the CI drift guard.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum Counter {
+            $($(#[$meta])* $variant,)+
+        }
+
+        /// Wire names of every registered counter, in declaration order.
+        pub const COUNTER_NAMES: &[&str] = &[$($name,)+];
+
+        impl Counter {
+            /// Every registered counter, in declaration order.
+            pub const ALL: &'static [Counter] = &[$(Counter::$variant,)+];
+
+            /// The counter's wire name, as emitted in `TelemetryReport`.
+            pub fn name(self) -> &'static str {
+                match self { $(Counter::$variant => $name,)+ }
+            }
+        }
+    };
+}
+
+declare_counters! {
+    /// Dinic: BFS phases (level-graph rebuilds).
+    DinicPhases => "dinic_phases",
+    /// Dinic: augmenting paths found across all blocking flows.
+    DinicAugmentingPaths => "dinic_augmenting_paths",
+    /// Dinic: nodes enqueued across all level-graph BFS runs.
+    DinicBfsVisits => "dinic_bfs_visits",
+    /// Push-relabel: push operations.
+    PrPushes => "pr_pushes",
+    /// Push-relabel: relabel operations.
+    PrRelabels => "pr_relabels",
+    /// Push-relabel: gap-heuristic firings.
+    PrGapFirings => "pr_gap_firings",
+    /// Greedy WSC: heap pops (iterations of the selection loop).
+    GreedyIterations => "greedy_iterations",
+    /// Greedy WSC: stale heap entries reinserted with a fresh coverage.
+    GreedyPqRebuilds => "greedy_pq_rebuilds",
+    /// Greedy WSC: sets selected into the cover.
+    GreedySelected => "greedy_selected",
+    /// Preprocessing: Observation 3.1 firings (Step-1 selections).
+    PreObs31Selected => "pre_obs31_selected",
+    /// Preprocessing: Observation 3.3 removals (Step-3 decompositions).
+    PreObs33Removed => "pre_obs33_removed",
+    /// Preprocessing: Step-3 forced selections (last remaining cover).
+    PreObs33Forced => "pre_obs33_forced",
+    /// Preprocessing: Observation 3.4 singleton prunes (Step 4).
+    PreObs34Pruned => "pre_obs34_pruned",
+    /// Preprocessing: Step-3 fixpoint passes.
+    PrePasses => "pre_passes",
+    /// Solver: property-connected components found after preprocessing.
+    ComponentsSplit => "components_split",
+    /// Solver: dispatches into the exact k ≤ 2 path (Algorithm 2).
+    DispatchK2 => "dispatch_k2",
+    /// Solver: dispatches into the general WSC path (Algorithm 3).
+    DispatchGeneral => "dispatch_general",
+    /// Bipartite weighted-vertex-cover reductions solved via max-flow.
+    WvcSolves => "wvc_solves",
+    /// Verify feature: max-flow certificates re-checked.
+    VerifyFlowChecks => "verify_flow_checks",
+    /// Verify feature: WVC optimality certificates re-checked.
+    VerifyWvcChecks => "verify_wvc_checks",
+    /// Verify feature: greedy dual-fitting certificates re-checked.
+    VerifyGreedyDualChecks => "verify_greedy_dual_checks",
+    /// Verify feature: k ≤ 2 exactness certificates re-checked.
+    VerifyExactBracketChecks => "verify_exact_bracket_checks",
+    /// Verify feature: Theorem 5.3 ratio certificates re-checked.
+    VerifyRatioChecks => "verify_ratio_checks",
+    /// Verify feature: end-to-end solution certificates re-checked.
+    VerifyCertificateChecks => "verify_certificate_checks",
+}
+
+macro_rules! declare_hists {
+    ($($(#[$meta:meta])* $variant:ident => $name:literal,)+) => {
+        /// A registered log2-bucketed histogram.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum Hist {
+            $($(#[$meta])* $variant,)+
+        }
+
+        /// Wire names of every registered histogram, in declaration order.
+        pub const HIST_NAMES: &[&str] = &[$($name,)+];
+
+        impl Hist {
+            /// Every registered histogram, in declaration order.
+            pub const ALL: &'static [Hist] = &[$(Hist::$variant,)+];
+
+            /// The histogram's wire name, as emitted in `TelemetryReport`.
+            pub fn name(self) -> &'static str {
+                match self { $(Hist::$variant => $name,)+ }
+            }
+        }
+    };
+}
+
+declare_hists! {
+    /// Sizes (query counts) of property-connected components.
+    ComponentSize => "component_size",
+    /// Newly covered elements per greedy WSC selection.
+    GreedyPickCoverage => "greedy_pick_coverage",
+}
+
+/// Number of log2 buckets per histogram: bucket 0 for the value `0`,
+/// buckets `1..=64` for `[2^(i-1), 2^i - 1]`.
+pub const HIST_BUCKETS: usize = 65;
+
+const N_COUNTERS: usize = COUNTER_NAMES.len();
+const N_HISTS: usize = HIST_NAMES.len();
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_ROW: [AtomicU64; HIST_BUCKETS] = [ZERO; HIST_BUCKETS];
+
+static CELLS: [AtomicU64; N_COUNTERS] = [ZERO; N_COUNTERS];
+static HIST_CELLS: [[AtomicU64; HIST_BUCKETS]; N_HISTS] = [ZERO_ROW; N_HISTS];
+static HIST_COUNT: [AtomicU64; N_HISTS] = [ZERO; N_HISTS];
+static HIST_SUM: [AtomicU64; N_HISTS] = [ZERO; N_HISTS];
+
+/// Unconditional add, for callers that already checked the gate.
+pub(crate) fn raw_add(c: Counter, n: u64) {
+    CELLS[c as usize].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Adds `n` to a counter if a telemetry session is recording. When the
+/// gate is off this is one relaxed atomic load and a predictable branch.
+#[inline]
+pub fn count(c: Counter, n: u64) {
+    if crate::is_enabled() {
+        raw_add(c, n);
+    }
+}
+
+/// Current total of a counter (survives until the next [`Session::begin`]
+/// reset, so it can be read after a session finishes).
+///
+/// [`Session::begin`]: crate::Session::begin
+pub fn total(c: Counter) -> u64 {
+    CELLS[c as usize].load(Ordering::Relaxed)
+}
+
+/// The log2 bucket index a value lands in: `0 → 0`, otherwise
+/// `64 - v.leading_zeros()` (so `1 → 1`, `2..=3 → 2`, `4..=7 → 3`, …).
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of a bucket index.
+///
+/// # Panics
+/// Panics if `bucket >= HIST_BUCKETS`.
+pub fn bucket_bounds(bucket: usize) -> (u64, u64) {
+    assert!(bucket < HIST_BUCKETS, "bucket index out of range");
+    if bucket == 0 {
+        (0, 0)
+    } else if bucket == 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (bucket - 1), (1u64 << bucket) - 1)
+    }
+}
+
+/// Records one observation into a histogram if a session is recording.
+#[inline]
+pub fn record(h: Hist, v: u64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    HIST_CELLS[h as usize][bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    HIST_COUNT[h as usize].fetch_add(1, Ordering::Relaxed);
+    HIST_SUM[h as usize].fetch_add(v, Ordering::Relaxed);
+}
+
+/// Number of observations recorded into a histogram so far.
+pub fn hist_count(h: Hist) -> u64 {
+    HIST_COUNT[h as usize].load(Ordering::Relaxed)
+}
+
+/// Raw snapshot of one histogram: `(count, sum, non-empty buckets)`.
+pub(crate) fn hist_raw(h: Hist) -> (u64, u64, Vec<(u32, u64)>) {
+    let row = &HIST_CELLS[h as usize];
+    let buckets = row
+        .iter()
+        .enumerate()
+        .filter_map(|(i, cell)| {
+            let c = cell.load(Ordering::Relaxed);
+            (c > 0).then_some((i as u32, c))
+        })
+        .collect();
+    (
+        HIST_COUNT[h as usize].load(Ordering::Relaxed),
+        HIST_SUM[h as usize].load(Ordering::Relaxed),
+        buckets,
+    )
+}
+
+/// Zeroes every counter and histogram cell (session start).
+pub(crate) fn reset() {
+    for cell in &CELLS {
+        cell.store(0, Ordering::Relaxed);
+    }
+    for row in &HIST_CELLS {
+        for cell in row {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+    for cell in &HIST_COUNT {
+        cell.store(0, Ordering::Relaxed);
+    }
+    for cell in &HIST_SUM {
+        cell.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        for window in [COUNTER_NAMES, HIST_NAMES] {
+            for (i, a) in window.iter().enumerate() {
+                assert!(
+                    a.chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                    "wire name {a} is not snake_case"
+                );
+                for b in window.iter().skip(i + 1) {
+                    assert_ne!(a, b, "duplicate wire name");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counter_enum_and_name_table_agree() {
+        assert_eq!(Counter::ALL.len(), COUNTER_NAMES.len());
+        for (i, &c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c as usize, i);
+            assert_eq!(c.name(), COUNTER_NAMES[i]);
+        }
+        assert_eq!(Hist::ALL.len(), HIST_NAMES.len());
+        for (i, &h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(h as usize, i);
+            assert_eq!(h.name(), HIST_NAMES[i]);
+        }
+    }
+
+    #[test]
+    fn bucket_of_matches_bounds() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX / 2, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b < HIST_BUCKETS);
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= v && v <= hi, "{v} outside bucket {b} = [{lo}, {hi}]");
+        }
+        // Buckets tile the u64 range with no gaps or overlaps.
+        let mut next = 0u64;
+        for b in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert_eq!(lo, next);
+            next = hi.wrapping_add(1);
+        }
+        assert_eq!(next, 0, "last bucket must end at u64::MAX");
+    }
+}

@@ -1,0 +1,107 @@
+#![warn(missing_docs)]
+
+//! `mc3-telemetry` — zero-dependency observability for the MC³ solver.
+//!
+//! The paper's experiments (§6) are all about *where* solver work goes:
+//! preprocessing shrinkage per Observation 3.1–3.4, flow effort inside
+//! the k ≤ 2 path (Theorem 4.1), greedy iterations against the
+//! Theorem 5.3 bound. This crate records exactly that, with three
+//! primitives and one hard rule:
+//!
+//! * **Spans** ([`span`], [`timed_span`]) — hierarchical wall-time
+//!   regions kept on a thread-local stack; worker-thread spans surface as
+//!   their own roots and are merged by name at report time.
+//! * **Counters** ([`Counter`], [`count`], [`span_add`]) — a closed
+//!   registry of monotonic `AtomicU64`s, so parallel and sequential
+//!   solves of one instance report identical totals.
+//! * **Histograms** ([`Hist`], [`record`]) — log2-bucketed distributions
+//!   (component sizes, greedy pick coverage).
+//!
+//! The hard rule: **when no [`Session`] is recording, everything is a
+//! no-op behind one relaxed atomic load** ([`is_enabled`]). Solver crates
+//! can therefore instrument their innermost loops unconditionally. The
+//! companion `mc3-audit` rule `no-bare-instant` keeps ad-hoc timing from
+//! creeping back in: library code times things through [`timed_span`],
+//! never raw `Instant::now()` pairs.
+//!
+//! A session ends in a [`TelemetryReport`]: JSON via `mc3_core::json`
+//! (schema in `docs/observability.md`) or a flame-style text tree via
+//! [`TelemetryReport::render`].
+//!
+//! ```
+//! use mc3_telemetry as telemetry;
+//!
+//! let session = telemetry::Session::begin();
+//! {
+//!     let _solve = telemetry::span("solve");
+//!     let phase = telemetry::timed_span("setup");
+//!     telemetry::span_add(telemetry::Counter::DinicPhases, 3);
+//!     let wall = phase.finish(); // span node stores exactly `wall`
+//!     assert!(wall.as_nanos() > 0);
+//! }
+//! let report = session.finish();
+//! assert_eq!(report.counters["dinic_phases"], 3);
+//! ```
+
+mod counters;
+mod report;
+mod spans;
+
+pub use counters::{
+    bucket_bounds, bucket_of, count, hist_count, record, total, Counter, Hist, COUNTER_NAMES,
+    HIST_BUCKETS, HIST_NAMES,
+};
+pub use report::{HistogramData, SpanData, TelemetryReport, REPORT_VERSION};
+pub use spans::{open_span_depth, span, span_add, timed_span, SpanGuard, TimedSpan};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a telemetry session is currently recording. This is the whole
+/// disabled-path cost: one relaxed load of a static `AtomicBool`.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Serializes sessions across threads (and across tests in one binary).
+static SESSION: Mutex<()> = Mutex::new(());
+
+/// An exclusive recording session.
+///
+/// [`Session::begin`] takes a process-wide lock, zeroes all counters,
+/// histograms and pending spans, and opens the gate; [`Session::finish`]
+/// closes the gate and returns the [`TelemetryReport`]. Dropping a
+/// session without finishing it still closes the gate. Because state is
+/// global, concurrent would-be sessions block on `begin` until the
+/// current one ends — recording is meant for one solve/profile run at a
+/// time, not for overlapping measurements.
+pub struct Session {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Session {
+    /// Starts recording from a clean slate.
+    pub fn begin() -> Session {
+        let lock = SESSION.lock().unwrap_or_else(|p| p.into_inner());
+        counters::reset();
+        spans::take_finished();
+        ENABLED.store(true, Ordering::SeqCst);
+        Session { _lock: lock }
+    }
+
+    /// Stops recording and assembles the report. Counter totals remain
+    /// readable via [`total`] until the next `begin` resets them.
+    pub fn finish(self) -> TelemetryReport {
+        ENABLED.store(false, Ordering::SeqCst);
+        report::gather()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,562 @@
+//! Aggregated telemetry snapshots: JSON export and the flame-style dump.
+//!
+//! A [`TelemetryReport`] is what [`Session::finish`](crate::Session::finish)
+//! returns: same-name sibling spans merged (wall times and counters
+//! summed, instance counts kept), every registered counter — zeros
+//! included — and every registered histogram. The JSON schema is
+//! versioned and strict: [`TelemetryReport::from_json`] rejects a report
+//! that is missing any *registered* counter or histogram name, which is
+//! the schema-drift guard CI leans on (see `docs/observability.md`).
+
+use crate::counters::{self, Counter, Hist, COUNTER_NAMES, HIST_NAMES};
+use crate::spans::{self, RawSpan};
+use mc3_core::json::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema version emitted in the JSON `version` field.
+pub const REPORT_VERSION: u64 = 1;
+
+/// One aggregated span node: all same-name siblings merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanData {
+    /// Span name (see the taxonomy in `docs/observability.md`).
+    pub name: String,
+    /// Total wall time across all merged instances, in nanoseconds.
+    pub wall_ns: u64,
+    /// Number of raw span instances merged into this node.
+    pub count: u64,
+    /// Counter increments attributed to this span (wire name → total).
+    pub counters: BTreeMap<String, u64>,
+    /// Aggregated children, in first-seen order.
+    pub children: Vec<SpanData>,
+}
+
+/// Snapshot of one log2 histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramData {
+    /// Histogram wire name.
+    pub name: String,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Non-empty buckets as `(bucket index, observation count)` pairs,
+    /// bucket semantics per [`counters::bucket_bounds`].
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// A full telemetry snapshot for one recording session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryReport {
+    /// Aggregated span roots, in first-seen order.
+    pub spans: Vec<SpanData>,
+    /// Every registered counter (zeros included).
+    pub counters: BTreeMap<String, u64>,
+    /// Every registered histogram (empty ones included).
+    pub histograms: Vec<HistogramData>,
+}
+
+fn merge_into(siblings: &mut Vec<SpanData>, raw: RawSpan) {
+    let idx = match siblings.iter().position(|s| s.name == raw.name) {
+        Some(i) => i,
+        None => {
+            siblings.push(SpanData {
+                name: raw.name.to_owned(),
+                wall_ns: 0,
+                count: 0,
+                counters: BTreeMap::new(),
+                children: Vec::new(),
+            });
+            siblings.len() - 1
+        }
+    };
+    let Some(slot) = siblings.get_mut(idx) else {
+        return;
+    };
+    slot.wall_ns = slot.wall_ns.saturating_add(raw.wall_ns);
+    slot.count += 1;
+    for (name, v) in raw.counters {
+        let cell = slot.counters.entry(name.to_owned()).or_insert(0);
+        *cell = cell.saturating_add(v);
+    }
+    for child in raw.children {
+        merge_into(&mut slot.children, child);
+    }
+}
+
+/// Assembles a report from the current global state (gate must already be
+/// off so no new spans race the drain).
+pub(crate) fn gather() -> TelemetryReport {
+    let mut roots: Vec<SpanData> = Vec::new();
+    for raw in spans::take_finished() {
+        merge_into(&mut roots, raw);
+    }
+    TelemetryReport {
+        spans: roots,
+        counters: Counter::ALL
+            .iter()
+            .map(|&c| (c.name().to_owned(), counters::total(c)))
+            .collect(),
+        histograms: Hist::ALL
+            .iter()
+            .map(|&h| {
+                let (count, sum, buckets) = counters::hist_raw(h);
+                HistogramData {
+                    name: h.name().to_owned(),
+                    count,
+                    sum,
+                    buckets,
+                }
+            })
+            .collect(),
+    }
+}
+
+fn span_to_json(s: &SpanData) -> Json {
+    Json::object([
+        ("name", Json::Str(s.name.clone())),
+        ("wall_ns", Json::Int(s.wall_ns as i128)),
+        ("count", Json::Int(s.count as i128)),
+        (
+            "counters",
+            Json::Object(
+                s.counters
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Json::Int(v as i128)))
+                    .collect(),
+            ),
+        ),
+        (
+            "children",
+            Json::Array(s.children.iter().map(span_to_json).collect()),
+        ),
+    ])
+}
+
+fn span_from_json(v: &Json) -> Result<SpanData, String> {
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("span missing string 'name'")?
+        .to_owned();
+    let wall_ns = v
+        .get("wall_ns")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("span '{name}' missing u64 'wall_ns'"))?;
+    let count = v
+        .get("count")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("span '{name}' missing u64 'count'"))?;
+    let mut counters = BTreeMap::new();
+    match v.get("counters") {
+        Some(Json::Object(map)) => {
+            for (k, val) in map {
+                let n = val
+                    .as_u64()
+                    .ok_or_else(|| format!("span '{name}' counter '{k}' is not a u64"))?;
+                counters.insert(k.clone(), n);
+            }
+        }
+        _ => return Err(format!("span '{name}' missing object 'counters'")),
+    }
+    let mut children = Vec::new();
+    match v.get("children") {
+        Some(Json::Array(items)) => {
+            for item in items {
+                children.push(span_from_json(item)?);
+            }
+        }
+        _ => return Err(format!("span '{name}' missing array 'children'")),
+    }
+    Ok(SpanData {
+        name,
+        wall_ns,
+        count,
+        counters,
+        children,
+    })
+}
+
+fn hist_to_json(h: &HistogramData) -> Json {
+    Json::object([
+        ("name", Json::Str(h.name.clone())),
+        ("count", Json::Int(h.count as i128)),
+        ("sum", Json::Int(h.sum as i128)),
+        (
+            "buckets",
+            Json::Array(
+                h.buckets
+                    .iter()
+                    .map(|&(i, c)| Json::Array(vec![Json::Int(i as i128), Json::Int(c as i128)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn hist_from_json(v: &Json) -> Result<HistogramData, String> {
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("histogram missing string 'name'")?
+        .to_owned();
+    let count = v
+        .get("count")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("histogram '{name}' missing u64 'count'"))?;
+    let sum = v
+        .get("sum")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("histogram '{name}' missing u64 'sum'"))?;
+    let mut buckets = Vec::new();
+    match v.get("buckets") {
+        Some(Json::Array(items)) => {
+            for item in items {
+                let pair = item
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| format!("histogram '{name}' bucket is not a pair"))?;
+                let idx = pair
+                    .first()
+                    .and_then(Json::as_u64)
+                    .filter(|&i| i < counters::HIST_BUCKETS as u64)
+                    .ok_or_else(|| format!("histogram '{name}' bucket index invalid"))?;
+                let c = pair
+                    .get(1)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("histogram '{name}' bucket count invalid"))?;
+                buckets.push((idx as u32, c));
+            }
+        }
+        _ => return Err(format!("histogram '{name}' missing array 'buckets'")),
+    }
+    Ok(HistogramData {
+        name,
+        count,
+        sum,
+        buckets,
+    })
+}
+
+/// Renders a nanosecond duration adaptively (`ns`, `µs`, `ms` or `s`).
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// `last`: `None` for a root (no connector), else whether this node is
+/// its parent's last child.
+fn render_node(
+    out: &mut String,
+    node: &SpanData,
+    prefix: &str,
+    last: Option<bool>,
+    parent_ns: Option<u64>,
+) {
+    let connector = match last {
+        None => "",
+        Some(true) => "└─ ",
+        Some(false) => "├─ ",
+    };
+    let pct = match parent_ns {
+        Some(p) if p > 0 => format!(" {:5.1}%", 100.0 * node.wall_ns as f64 / p as f64),
+        _ => String::new(),
+    };
+    let times = if node.count > 1 {
+        format!(" ×{}", node.count)
+    } else {
+        String::new()
+    };
+    let mut line = format!(
+        "{prefix}{connector}{} {}{pct}{times}",
+        node.name,
+        fmt_ns(node.wall_ns)
+    );
+    if !node.counters.is_empty() {
+        let inline: Vec<String> = node
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let _ = write!(line, "  [{}]", inline.join(" "));
+    }
+    let _ = writeln!(out, "{line}");
+    let child_prefix = match last {
+        None => String::new(),
+        Some(true) => format!("{prefix}   "),
+        Some(false) => format!("{prefix}│  "),
+    };
+    let n = node.children.len();
+    for (i, child) in node.children.iter().enumerate() {
+        render_node(
+            out,
+            child,
+            &child_prefix,
+            Some(i + 1 == n),
+            Some(node.wall_ns),
+        );
+    }
+}
+
+impl TelemetryReport {
+    /// Serializes to the versioned JSON schema (see `docs/observability.md`).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("version", Json::Int(REPORT_VERSION as i128)),
+            (
+                "spans",
+                Json::Array(self.spans.iter().map(span_to_json).collect()),
+            ),
+            (
+                "counters",
+                Json::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Int(v as i128)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Array(self.histograms.iter().map(hist_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a report back from JSON. **Strict**: fails if the version is
+    /// unknown, any field is malformed, or any *registered* counter or
+    /// histogram name is absent — absence means the emitting binary and
+    /// this binary disagree about the registry (schema drift).
+    pub fn from_json(v: &Json) -> Result<TelemetryReport, String> {
+        let version = v
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("report missing u64 'version'")?;
+        if version != REPORT_VERSION {
+            return Err(format!(
+                "unsupported telemetry report version {version} (expected {REPORT_VERSION})"
+            ));
+        }
+        let mut spans = Vec::new();
+        match v.get("spans") {
+            Some(Json::Array(items)) => {
+                for item in items {
+                    spans.push(span_from_json(item)?);
+                }
+            }
+            _ => return Err("report missing array 'spans'".to_owned()),
+        }
+        let mut counters = BTreeMap::new();
+        match v.get("counters") {
+            Some(Json::Object(map)) => {
+                for (k, val) in map {
+                    let n = val
+                        .as_u64()
+                        .ok_or_else(|| format!("counter '{k}' is not a u64"))?;
+                    counters.insert(k.clone(), n);
+                }
+            }
+            _ => return Err("report missing object 'counters'".to_owned()),
+        }
+        for name in COUNTER_NAMES {
+            if !counters.contains_key(*name) {
+                return Err(format!(
+                    "registered counter '{name}' absent from report (schema drift)"
+                ));
+            }
+        }
+        let mut histograms = Vec::new();
+        match v.get("histograms") {
+            Some(Json::Array(items)) => {
+                for item in items {
+                    histograms.push(hist_from_json(item)?);
+                }
+            }
+            _ => return Err("report missing array 'histograms'".to_owned()),
+        }
+        for name in HIST_NAMES {
+            if !histograms.iter().any(|h| h.name == *name) {
+                return Err(format!(
+                    "registered histogram '{name}' absent from report (schema drift)"
+                ));
+            }
+        }
+        Ok(TelemetryReport {
+            spans,
+            counters,
+            histograms,
+        })
+    }
+
+    /// Counters with non-zero totals, largest first.
+    pub fn top_counters(&self) -> Vec<(&str, u64)> {
+        let mut v: Vec<(&str, u64)> = self
+            .counters
+            .iter()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(k, &n)| (k.as_str(), n))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Flame-style tree dump plus top counters and histograms — the body
+    /// of `mc3 profile` and `mc3 solve --trace` output.
+    pub fn render(&self) -> String {
+        self.render_top(usize::MAX)
+    }
+
+    /// [`render`](Self::render) with the counter listing truncated to the
+    /// `limit` largest entries (`mc3 profile --top N`).
+    pub fn render_top(&self, limit: usize) -> String {
+        let mut out = String::new();
+        if self.spans.is_empty() {
+            let _ = writeln!(out, "(no spans recorded)");
+        }
+        for root in &self.spans {
+            render_node(&mut out, root, "", None, None);
+        }
+        let mut top = self.top_counters();
+        let omitted = top.len().saturating_sub(limit);
+        top.truncate(limit);
+        if !top.is_empty() {
+            let _ = writeln!(out, "\ncounters (non-zero, largest first):");
+            let width = top.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            for (name, n) in top {
+                let _ = writeln!(out, "  {name:width$}  {n}");
+            }
+            if omitted > 0 {
+                let _ = writeln!(out, "  … {omitted} more");
+            }
+        }
+        for h in &self.histograms {
+            if h.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "\nhistogram {} (n={}, sum={}):",
+                h.name, h.count, h.sum
+            );
+            for &(b, c) in &h.buckets {
+                let (lo, hi) = counters::bucket_bounds(b as usize);
+                let label = if lo == hi {
+                    format!("{lo}")
+                } else {
+                    format!("{lo}..={hi}")
+                };
+                let _ = writeln!(out, "  {label:>12}  {c}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(name: &'static str, wall: u64, children: Vec<RawSpan>) -> RawSpan {
+        RawSpan {
+            name,
+            wall_ns: wall,
+            counters: vec![("dinic_phases", 2)],
+            children,
+        }
+    }
+
+    #[test]
+    fn aggregation_merges_same_name_siblings() {
+        let mut roots = Vec::new();
+        merge_into(
+            &mut roots,
+            raw("solve", 100, vec![raw("k2.solve", 40, vec![])]),
+        );
+        merge_into(
+            &mut roots,
+            raw("solve", 50, vec![raw("k2.solve", 10, vec![])]),
+        );
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].wall_ns, 150);
+        assert_eq!(roots[0].count, 2);
+        assert_eq!(roots[0].counters["dinic_phases"], 4);
+        assert_eq!(roots[0].children.len(), 1);
+        assert_eq!(roots[0].children[0].wall_ns, 50);
+        assert_eq!(roots[0].children[0].count, 2);
+    }
+
+    fn sample_report() -> TelemetryReport {
+        let mut roots = Vec::new();
+        merge_into(
+            &mut roots,
+            raw("solve", 1_500_000, vec![raw("setup", 200_000, vec![])]),
+        );
+        TelemetryReport {
+            spans: roots,
+            counters: COUNTER_NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.to_string(), i as u64))
+                .collect(),
+            histograms: HIST_NAMES
+                .iter()
+                .map(|n| HistogramData {
+                    name: n.to_string(),
+                    count: 3,
+                    sum: 12,
+                    buckets: vec![(1, 1), (3, 2)],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let report = sample_report();
+        let text = report.to_json().to_string_pretty();
+        let parsed = mc3_core::json::parse(&text).expect("report JSON must parse");
+        let back = TelemetryReport::from_json(&parsed).expect("strict parse");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn from_json_rejects_a_missing_registered_counter() {
+        let report = sample_report();
+        let mut v = report.to_json();
+        if let Json::Object(map) = &mut v {
+            if let Some(Json::Object(counters)) = map.get_mut("counters") {
+                counters.remove("dinic_phases");
+            }
+        }
+        let err = TelemetryReport::from_json(&v).expect_err("must flag drift");
+        assert!(err.contains("dinic_phases"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn from_json_rejects_a_bad_version() {
+        let report = sample_report();
+        let mut v = report.to_json();
+        if let Json::Object(map) = &mut v {
+            map.insert("version".to_owned(), Json::Int(99));
+        }
+        assert!(TelemetryReport::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn render_mentions_every_span_and_top_counter() {
+        let report = sample_report();
+        let text = report.render();
+        assert!(text.contains("solve"));
+        assert!(text.contains("setup"));
+        assert!(text.contains("counters (non-zero"));
+        assert!(text.contains("histogram component_size"));
+    }
+}

@@ -1,0 +1,173 @@
+//! The hierarchical span collector.
+//!
+//! Each thread keeps a stack of open spans in a thread-local; closing a
+//! span folds it into its parent's child list, and closing a span with no
+//! parent (a per-thread root — the top-level solve, or a solver phase
+//! running on a worker thread) moves the finished subtree into a global
+//! list that [`Session::finish`](crate::Session::finish) drains. In a
+//! parallel solve the per-component phase spans therefore surface as
+//! separate top-level roots rather than children of `solve_core`; the
+//! aggregation in [`report`](crate::report) merges same-name roots, so
+//! the totals are identical either way.
+//!
+//! When no session is recording, [`span`] returns an inactive guard
+//! without touching the thread-local at all — the disabled path is one
+//! relaxed atomic load.
+
+use crate::counters::Counter;
+use std::cell::RefCell;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A closed span subtree as recorded on one thread, before aggregation.
+#[derive(Debug, Clone)]
+pub(crate) struct RawSpan {
+    pub(crate) name: &'static str,
+    pub(crate) wall_ns: u64,
+    pub(crate) counters: Vec<(&'static str, u64)>,
+    pub(crate) children: Vec<RawSpan>,
+}
+
+struct OpenSpan {
+    name: &'static str,
+    start: Instant,
+    counters: Vec<(&'static str, u64)>,
+    children: Vec<RawSpan>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<OpenSpan>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Roots closed while the session gate was on, from all threads.
+static FINISHED: Mutex<Vec<RawSpan>> = Mutex::new(Vec::new());
+
+pub(crate) fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn close_current(wall_override: Option<Duration>) {
+    STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let Some(open) = stack.pop() else { return };
+        let wall = wall_override.unwrap_or_else(|| open.start.elapsed());
+        let node = RawSpan {
+            name: open.name,
+            wall_ns: duration_ns(wall),
+            counters: open.counters,
+            children: open.children,
+        };
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(node),
+            None => {
+                let mut finished = FINISHED.lock().unwrap_or_else(|p| p.into_inner());
+                finished.push(node);
+            }
+        }
+    });
+}
+
+/// Guard for an open span; the span closes when the guard drops.
+#[must_use = "the span closes when this guard drops — bind it to a local"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Closes the span early with an explicitly measured wall time instead
+    /// of the guard's own clock (the [`TimedSpan`] bridge uses this so the
+    /// tree and the returned `Duration` come from one measurement).
+    pub(crate) fn close_with(mut self, wall: Duration) {
+        if self.active {
+            self.active = false;
+            close_current(Some(wall));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            close_current(None);
+        }
+    }
+}
+
+/// Opens a span named `name` on this thread. A no-op returning an
+/// inactive guard when no session is recording.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::is_enabled() {
+        return SpanGuard { active: false };
+    }
+    STACK.with(|s| {
+        s.borrow_mut().push(OpenSpan {
+            name,
+            start: Instant::now(),
+            counters: Vec::new(),
+            children: Vec::new(),
+        });
+    });
+    SpanGuard { active: true }
+}
+
+/// Adds `n` to a global counter *and* attributes it to the innermost open
+/// span on this thread (if any), so the rendered tree can show where the
+/// work happened. Gated like [`count`](crate::count).
+pub fn span_add(c: Counter, n: u64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    crate::counters::raw_add(c, n);
+    STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if let Some(top) = stack.last_mut() {
+            match top.counters.iter_mut().find(|(k, _)| *k == c.name()) {
+                Some((_, v)) => *v = v.saturating_add(n),
+                None => top.counters.push((c.name(), n)),
+            }
+        }
+    });
+}
+
+/// A span that always measures wall time, even when telemetry is off.
+///
+/// This is the bridge between the span tree and public timing fields like
+/// `SolveTimings`: [`TimedSpan::finish`] takes **one** `Instant::elapsed`
+/// measurement, stores it in the span node (when recording) and returns it
+/// to the caller, so the tree and the derived timings agree exactly.
+pub struct TimedSpan {
+    start: Instant,
+    guard: Option<SpanGuard>,
+}
+
+/// Opens a [`TimedSpan`] named `name`.
+pub fn timed_span(name: &'static str) -> TimedSpan {
+    TimedSpan {
+        start: Instant::now(),
+        guard: Some(span(name)),
+    }
+}
+
+impl TimedSpan {
+    /// Closes the span and returns its wall time. The span-tree node (if a
+    /// session is recording) stores exactly the returned duration.
+    pub fn finish(mut self) -> Duration {
+        let wall = self.start.elapsed();
+        if let Some(guard) = self.guard.take() {
+            guard.close_with(wall);
+        }
+        wall
+    }
+}
+
+/// Number of spans currently open on this thread. Exposed for tests that
+/// assert the disabled path records nothing.
+pub fn open_span_depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+/// Drains every finished root recorded so far (all threads).
+pub(crate) fn take_finished() -> Vec<RawSpan> {
+    let mut finished = FINISHED.lock().unwrap_or_else(|p| p.into_inner());
+    std::mem::take(&mut *finished)
+}

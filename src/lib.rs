@@ -20,7 +20,9 @@
 //! * [`workload`] — the paper's synthetic generator and
 //!   dataset-alike generators (BestBuy, Private);
 //! * [`flow`], [`setcover`], [`lp`] —
-//!   reusable substrates.
+//!   reusable substrates;
+//! * [`telemetry`] — spans, counters and histograms for
+//!   profiling solver internals (see `docs/observability.md`).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@ pub use mc3_flow as flow;
 pub use mc3_lp as lp;
 pub use mc3_setcover as setcover;
 pub use mc3_solver as solver;
+pub use mc3_telemetry as telemetry;
 pub use mc3_workload as workload;
 
 /// One-stop imports for typical use.
