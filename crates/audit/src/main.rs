@@ -105,7 +105,8 @@ USAGE:
 
 Checks every crates/*/src/**/*.rs against the lint rules
 (no-unwrap-in-lib, no-default-hasher, no-unchecked-index-in-hot-loops,
-no-float-eq, no-bare-instant). Sites reviewed by a human carry `// audit:allow(rule)`
+no-float-eq, no-bare-instant, no-raw-eprintln-in-lib). Sites reviewed
+by a human carry `// audit:allow(rule)`
 waivers; wholesale legacy debt is budgeted in lint.allow (see
 docs/audit.md). Exit code 0 = clean, 1 = failures, 2 = usage/IO error.
 ";

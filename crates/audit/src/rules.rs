@@ -10,12 +10,13 @@
 use crate::lexer::{lex, Lexed, Token, TokenKind};
 
 /// Names of all rules, in reporting order.
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 6] = [
     "no-unwrap-in-lib",
     "no-default-hasher",
     "no-unchecked-index-in-hot-loops",
     "no-float-eq",
     "no-bare-instant",
+    "no-raw-eprintln-in-lib",
 ];
 
 /// File-name stems whose inner loops are hot paths for the indexing rule
@@ -175,6 +176,7 @@ pub fn check_file(file: &str, source: &str) -> Vec<Violation> {
     rule_no_unchecked_index(file, &lexed, &ctx, &mut violations);
     rule_no_float_eq(file, &lexed, &ctx, &mut violations);
     rule_no_bare_instant(file, &lexed, &ctx, &mut violations);
+    rule_no_raw_eprintln(file, &lexed, &ctx, &mut violations);
 
     violations.retain(|v| {
         !lexed.waivers.iter().any(|w| {
@@ -312,6 +314,44 @@ fn rule_no_bare_instant(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<
     }
 }
 
+/// Crates whose job is writing to stdout/stderr (binaries and the lint
+/// driver itself); the raw-print rule does not apply there.
+const PRINT_EXEMPT_PREFIXES: [&str; 3] = ["crates/cli/", "crates/bench/", "crates/audit/"];
+
+/// `print!`/`println!`/`eprint!`/`eprintln!` in library crates: ad-hoc
+/// writes bypass the leveled, rate-limited `mc3-obs` event log (no
+/// sequence numbers, no span context, no way to silence them in a serving
+/// process). Binaries keep stdout for their actual output, so `cli`,
+/// `bench` and `audit` — plus `src/bin/` targets and `main.rs` anywhere —
+/// are exempt.
+fn rule_no_raw_eprintln(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Violation>) {
+    if PRINT_EXEMPT_PREFIXES.iter().any(|p| file.starts_with(p))
+        || file.contains("/bin/")
+        || file.ends_with("main.rs")
+    {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test[i] || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let is_print = matches!(t.text.as_str(), "print" | "println" | "eprint" | "eprintln");
+        if is_print && toks.get(i + 1).map(|n| n.is_punct('!')) == Some(true) {
+            out.push(Violation {
+                rule: "no-raw-eprintln-in-lib",
+                file: file.to_owned(),
+                line: t.line,
+                message: format!(
+                    "{}! in library code; emit a leveled mc3_obs event (debug/info/warn/error) \
+                     so diagnostics carry span context and respect rate limits",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,6 +458,29 @@ mod tests {
         let src =
             "// audit:allow(no-bare-instant) harness clock\nfn f() { let t = Instant::now(); }";
         assert!(rules_hit("crates/bench/src/timing.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_prints_flagged_in_lib_code_only() {
+        let src = "fn f() { eprintln!(\"bad\"); println!(\"also bad\"); }";
+        assert_eq!(
+            rules_hit("crates/solver/src/solver.rs", src),
+            vec!["no-raw-eprintln-in-lib"; 2]
+        );
+        // Binary crates, bin targets and main.rs keep their stdout.
+        assert!(rules_hit("crates/cli/src/commands.rs", src).is_empty());
+        assert!(rules_hit("crates/bench/src/bin/experiments.rs", src).is_empty());
+        assert!(rules_hit("crates/audit/src/main.rs", src).is_empty());
+        assert!(rules_hit("crates/solver/src/main.rs", src).is_empty());
+        // Tests may print freely.
+        let test_src = "#[cfg(test)]\nmod tests { fn f() { eprintln!(\"dbg\"); } }";
+        assert!(rules_hit("crates/solver/src/solver.rs", test_src).is_empty());
+        // A function merely named print is not a macro invocation.
+        assert!(rules_hit("crates/solver/src/x.rs", "fn f() { print(); }").is_empty());
+        // Waivers work as for every other rule.
+        let waived = "// audit:allow(no-raw-eprintln-in-lib) reviewed: sink fallback\n\
+                      fn f() { eprintln!(\"x\"); }";
+        assert!(rules_hit("crates/obs/src/events.rs", waived).is_empty());
     }
 
     #[test]

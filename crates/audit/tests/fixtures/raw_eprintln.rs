@@ -1,0 +1,24 @@
+//! Seeded violation: `no-raw-eprintln-in-lib` (a stderr diagnostic and a
+//! stdout print in library code; the waived fallback and the test-gated
+//! print must not be flagged).
+
+pub fn noisy_solve(cost: u64) -> u64 {
+    eprintln!("solve finished with cost {cost}");
+    if cost == 0 {
+        println!("degenerate instance");
+    }
+    // audit:allow(no-raw-eprintln-in-lib) reviewed: fixture's sanctioned fallback
+    eprintln!("waived fallback");
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_print() {
+        println!("debugging output is fine here");
+        assert_eq!(noisy_solve(3), 3);
+    }
+}

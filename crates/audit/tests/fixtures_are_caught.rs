@@ -85,6 +85,28 @@ fn bare_instant_fixture_is_caught() {
 }
 
 #[test]
+fn raw_eprintln_fixture_is_caught() {
+    let (file, source) = fixture("raw_eprintln.rs");
+    let violations = check_file(&file, &source);
+    assert_eq!(
+        violations.len(),
+        2,
+        "eprintln! and println! outside tests, minus the waiver: {violations:?}"
+    );
+    assert!(violations
+        .iter()
+        .all(|v| v.rule == "no-raw-eprintln-in-lib"));
+}
+
+#[test]
+fn raw_eprintln_rule_exempts_binary_crates() {
+    // The same source under a binary-crate path is clean.
+    let (_, source) = fixture("raw_eprintln.rs");
+    assert!(check_file("crates/cli/src/commands.rs", &source).is_empty());
+    assert!(check_file("crates/bench/src/bin/experiments.rs", &source).is_empty());
+}
+
+#[test]
 fn a_waiver_suppresses_a_fixture_violation() {
     let src = "// audit:allow(no-float-eq) reviewed: sentinel compare\n\
                pub fn f(x: f64) -> bool { x == 0.0 }\n";
@@ -105,6 +127,7 @@ fn lint_run_over_fixtures_exits_nonzero() {
         "dinic.rs",
         "float_eq.rs",
         "bare_instant.rs",
+        "raw_eprintln.rs",
     ] {
         let (_, source) = fixture(name);
         std::fs::write(src_dir.join(name), source).expect("copy fixture");
@@ -127,6 +150,7 @@ fn lint_run_over_fixtures_exits_nonzero() {
         "no-unchecked-index-in-hot-loops",
         "no-float-eq",
         "no-bare-instant",
+        "no-raw-eprintln-in-lib",
     ] {
         assert!(
             stdout.contains(&format!("error[{rule}]")),

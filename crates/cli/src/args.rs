@@ -18,7 +18,18 @@ pub enum GeneratorKind {
 }
 
 impl GeneratorKind {
-    fn parse(s: &str) -> Result<GeneratorKind, String> {
+    /// The CLI spelling of this generator (inverse of [`GeneratorKind::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            GeneratorKind::Synthetic => "synthetic",
+            GeneratorKind::SyntheticShort => "synthetic-short",
+            GeneratorKind::BestBuy => "bestbuy",
+            GeneratorKind::Private => "private",
+            GeneratorKind::PrivateFashion => "private-fashion",
+        }
+    }
+
+    pub(crate) fn parse(s: &str) -> Result<GeneratorKind, String> {
         match s {
             "synthetic" => Ok(GeneratorKind::Synthetic),
             "synthetic-short" => Ok(GeneratorKind::SyntheticShort),
@@ -78,6 +89,8 @@ pub enum Command {
         /// Telemetry trace: `None` = off, `Some(None)` = print the span
         /// tree, `Some(Some(path))` = write the `TelemetryReport` JSON.
         trace: Option<Option<String>>,
+        /// Chrome trace-event JSON output path.
+        chrome: Option<String>,
     },
     /// `mc3 profile [DATASET.json] [--kind K] [--queries N] [--seed S]
     /// [--algorithm A] [--parallel] [--json FILE] [--top N]`
@@ -97,8 +110,36 @@ pub enum Command {
         /// Also write the `TelemetryReport` JSON here (and re-parse it as
         /// a schema self-check).
         json: Option<String>,
+        /// Chrome trace-event JSON output path.
+        chrome: Option<String>,
+        /// Prometheus text-exposition output path.
+        prom: Option<String>,
         /// How many counters to list.
         top: usize,
+    },
+    /// `mc3 bench-gate --baseline FILE [--candidate FILE] [--update]
+    /// [--wall-tol X] [--counter-tol X] [--kind K] [--queries N] [--seed S]
+    /// [--algorithm A]`
+    BenchGate {
+        /// Baseline JSON path (spec + known-good report).
+        baseline: String,
+        /// Pre-recorded candidate `TelemetryReport` JSON; omitted = re-run
+        /// the baseline's workload spec.
+        candidate: Option<String>,
+        /// Re-record the baseline instead of gating against it.
+        update: bool,
+        /// Override the wall-time regression tolerance.
+        wall_tol: Option<f64>,
+        /// Override the counter drift tolerance.
+        counter_tol: Option<f64>,
+        /// Workload generator override (only meaningful with `--update`).
+        kind: Option<GeneratorKind>,
+        /// Workload size override (only meaningful with `--update`).
+        queries: Option<u64>,
+        /// Workload seed override (only meaningful with `--update`).
+        seed: Option<u64>,
+        /// Algorithm override (only meaningful with `--update`).
+        algorithm: Option<Algorithm>,
     },
     /// `mc3 verify DATASET SOLUTION`
     Verify {
@@ -148,8 +189,13 @@ USAGE:
                              property-oriented|query-oriented|mixed|local-greedy>]
             [--no-preprocess] [--no-refine] [--parallel]
             [--max-classifier-len <K>] [--out <FILE|->] [--trace[=<FILE>]]
+            [--chrome <FILE>]
   mc3 profile [DATASET.json] [--kind <K>] [--queries <N>] [--seed <S>]
               [--algorithm <A>] [--parallel] [--json <FILE>] [--top <N>]
+              [--chrome <FILE>] [--prom <FILE>]
+  mc3 bench-gate --baseline <FILE> [--candidate <FILE>] [--update]
+                 [--wall-tol <X>] [--counter-tol <X>] [--kind <K>]
+                 [--queries <N>] [--seed <S>] [--algorithm <A>]
   mc3 verify <DATASET.json> <SOLUTION.json>
   mc3 audit <DATASET.json> <SOLUTION.json>
   mc3 parse <QUERIES.txt> [--uniform-cost <N> | --cost-range <LO..HI> [--seed <S>]]
@@ -158,7 +204,7 @@ USAGE:
   mc3 help
 ";
 
-fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
+pub(crate) fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
     match s {
         "auto" => Ok(Algorithm::Auto),
         "k2" => Ok(Algorithm::K2Exact),
@@ -170,6 +216,21 @@ fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
         "mixed" => Ok(Algorithm::Mixed),
         "local-greedy" | "lg" => Ok(Algorithm::LocalGreedy),
         other => Err(format!("unknown algorithm '{other}'")),
+    }
+}
+
+/// The canonical CLI spelling of an algorithm (inverse of the parser).
+pub(crate) fn algorithm_name(a: Algorithm) -> &'static str {
+    match a {
+        Algorithm::Auto => "auto",
+        Algorithm::K2Exact => "k2",
+        Algorithm::General => "general",
+        Algorithm::ShortFirst => "short-first",
+        Algorithm::Exact => "exact",
+        Algorithm::PropertyOriented => "property-oriented",
+        Algorithm::QueryOriented => "query-oriented",
+        Algorithm::Mixed => "mixed",
+        Algorithm::LocalGreedy => "local-greedy",
     }
 }
 
@@ -256,6 +317,7 @@ impl Cli {
                 let mut max_classifier_len = None;
                 let mut out = None;
                 let mut trace = None;
+                let mut chrome = None;
                 while let Some(flag) = s.next().map(str::to_owned) {
                     match flag.as_str() {
                         "--algorithm" => algorithm = parse_algorithm(&s.value_of("--algorithm")?)?,
@@ -274,6 +336,7 @@ impl Cli {
                         other if other.starts_with("--trace=") => {
                             trace = Some(Some(other["--trace=".len()..].to_owned()))
                         }
+                        "--chrome" => chrome = Some(s.value_of("--chrome")?),
                         other => return Err(format!("unknown flag '{other}' for solve")),
                     }
                 }
@@ -286,6 +349,7 @@ impl Cli {
                     max_classifier_len,
                     out,
                     trace,
+                    chrome,
                 }
             }
             "profile" => {
@@ -296,6 +360,8 @@ impl Cli {
                 let mut algorithm = Algorithm::ShortFirst;
                 let mut parallel = false;
                 let mut json = None;
+                let mut chrome = None;
+                let mut prom = None;
                 let mut top = 12usize;
                 while let Some(arg) = s.next().map(str::to_owned) {
                     match arg.as_str() {
@@ -315,6 +381,8 @@ impl Cli {
                         "--algorithm" => algorithm = parse_algorithm(&s.value_of("--algorithm")?)?,
                         "--parallel" => parallel = true,
                         "--json" => json = Some(s.value_of("--json")?),
+                        "--chrome" => chrome = Some(s.value_of("--chrome")?),
+                        "--prom" => prom = Some(s.value_of("--prom")?),
                         "--top" => {
                             top = s
                                 .value_of("--top")?
@@ -335,7 +403,74 @@ impl Cli {
                     algorithm,
                     parallel,
                     json,
+                    chrome,
+                    prom,
                     top,
+                }
+            }
+            "bench-gate" => {
+                let mut baseline = None;
+                let mut candidate = None;
+                let mut update = false;
+                let mut wall_tol = None;
+                let mut counter_tol = None;
+                let mut kind = None;
+                let mut queries = None;
+                let mut seed = None;
+                let mut algorithm = None;
+                while let Some(flag) = s.next().map(str::to_owned) {
+                    match flag.as_str() {
+                        "--baseline" => baseline = Some(s.value_of("--baseline")?),
+                        "--candidate" => candidate = Some(s.value_of("--candidate")?),
+                        "--update" => update = true,
+                        "--wall-tol" => {
+                            wall_tol = Some(
+                                s.value_of("--wall-tol")?
+                                    .parse()
+                                    .map_err(|e| format!("--wall-tol: {e}"))?,
+                            )
+                        }
+                        "--counter-tol" => {
+                            counter_tol = Some(
+                                s.value_of("--counter-tol")?
+                                    .parse()
+                                    .map_err(|e| format!("--counter-tol: {e}"))?,
+                            )
+                        }
+                        "--kind" => kind = Some(GeneratorKind::parse(&s.value_of("--kind")?)?),
+                        "--queries" => {
+                            queries = Some(
+                                s.value_of("--queries")?
+                                    .parse()
+                                    .map_err(|e| format!("--queries: {e}"))?,
+                            )
+                        }
+                        "--seed" => {
+                            seed = Some(
+                                s.value_of("--seed")?
+                                    .parse()
+                                    .map_err(|e| format!("--seed: {e}"))?,
+                            )
+                        }
+                        "--algorithm" => {
+                            algorithm = Some(parse_algorithm(&s.value_of("--algorithm")?)?)
+                        }
+                        other => return Err(format!("unknown flag '{other}' for bench-gate")),
+                    }
+                }
+                if candidate.is_some() && update {
+                    return Err("--candidate and --update are mutually exclusive".into());
+                }
+                Command::BenchGate {
+                    baseline: baseline.ok_or("bench-gate requires --baseline")?,
+                    candidate,
+                    update,
+                    wall_tol,
+                    counter_tol,
+                    kind,
+                    queries,
+                    seed,
+                    algorithm,
                 }
             }
             "verify" => {
@@ -506,6 +641,8 @@ mod tests {
                 algorithm,
                 parallel,
                 json,
+                chrome,
+                prom,
                 top,
             } => {
                 assert_eq!(dataset, None);
@@ -515,6 +652,8 @@ mod tests {
                 assert_eq!(algorithm, Algorithm::ShortFirst);
                 assert!(!parallel);
                 assert_eq!(json, None);
+                assert_eq!(chrome, None);
+                assert_eq!(prom, None);
                 assert_eq!(top, 12);
             }
             other => panic!("wrong command: {other:?}"),
@@ -580,6 +719,123 @@ mod tests {
             Cli::parse(Vec::<String>::new()).unwrap().command,
             Command::Help
         ));
+    }
+
+    #[test]
+    fn parses_exporter_flags() {
+        let cli = Cli::parse(["profile", "--chrome", "t.json", "--prom", "m.prom"]).unwrap();
+        match cli.command {
+            Command::Profile { chrome, prom, .. } => {
+                assert_eq!(chrome.as_deref(), Some("t.json"));
+                assert_eq!(prom.as_deref(), Some("m.prom"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cli = Cli::parse(["solve", "d.json", "--chrome", "t.json"]).unwrap();
+        match cli.command {
+            Command::Solve { chrome, .. } => assert_eq!(chrome.as_deref(), Some("t.json")),
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_bench_gate() {
+        let cli = Cli::parse([
+            "bench-gate",
+            "--baseline",
+            "BENCH_baseline.json",
+            "--wall-tol",
+            "2.5",
+            "--counter-tol",
+            "0.1",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::BenchGate {
+                baseline,
+                candidate,
+                update,
+                wall_tol,
+                counter_tol,
+                ..
+            } => {
+                assert_eq!(baseline, "BENCH_baseline.json");
+                assert_eq!(candidate, None);
+                assert!(!update);
+                assert_eq!(wall_tol, Some(2.5));
+                assert_eq!(counter_tol, Some(0.1));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cli = Cli::parse([
+            "bench-gate",
+            "--baseline",
+            "b.json",
+            "--update",
+            "--kind",
+            "bestbuy",
+            "--queries",
+            "300",
+            "--seed",
+            "11",
+            "--algorithm",
+            "auto",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::BenchGate {
+                update,
+                kind,
+                queries,
+                seed,
+                algorithm,
+                ..
+            } => {
+                assert!(update);
+                assert_eq!(kind, Some(GeneratorKind::BestBuy));
+                assert_eq!(queries, Some(300));
+                assert_eq!(seed, Some(11));
+                assert_eq!(algorithm, Some(Algorithm::Auto));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // --baseline is required; --candidate and --update conflict
+        assert!(Cli::parse(["bench-gate"]).is_err());
+        assert!(Cli::parse([
+            "bench-gate",
+            "--baseline",
+            "b.json",
+            "--candidate",
+            "c.json",
+            "--update",
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn names_round_trip_through_parsers() {
+        for kind in [
+            GeneratorKind::Synthetic,
+            GeneratorKind::SyntheticShort,
+            GeneratorKind::BestBuy,
+            GeneratorKind::Private,
+            GeneratorKind::PrivateFashion,
+        ] {
+            assert_eq!(GeneratorKind::parse(kind.name()).unwrap(), kind);
+        }
+        for alg in [
+            Algorithm::Auto,
+            Algorithm::K2Exact,
+            Algorithm::General,
+            Algorithm::ShortFirst,
+            Algorithm::Exact,
+            Algorithm::PropertyOriented,
+            Algorithm::QueryOriented,
+            Algorithm::Mixed,
+            Algorithm::LocalGreedy,
+        ] {
+            assert_eq!(parse_algorithm(algorithm_name(alg)).unwrap(), alg);
+        }
     }
 
     #[test]

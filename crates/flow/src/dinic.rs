@@ -62,6 +62,15 @@ impl<'a> Dinic<'a> {
         mc3_telemetry::span_add(mc3_telemetry::Counter::DinicPhases, phases);
         mc3_telemetry::span_add(mc3_telemetry::Counter::DinicAugmentingPaths, paths);
         mc3_telemetry::span_add(mc3_telemetry::Counter::DinicBfsVisits, visits);
+        mc3_obs::debug(
+            "flow",
+            "dinic max-flow done",
+            &[
+                ("value", flow.into()),
+                ("phases", phases.into()),
+                ("augmenting_paths", paths.into()),
+            ],
+        );
         #[cfg(feature = "verify")]
         {
             let _vspan = mc3_telemetry::span("verify.max_flow");

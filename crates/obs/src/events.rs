@@ -1,0 +1,515 @@
+//! The structured event log: leveled JSONL with sequence numbers, span
+//! context and token-bucket rate limiting.
+//!
+//! Library crates must not write diagnostics to stderr directly (the
+//! `no-raw-eprintln-in-lib` audit rule); they call [`debug`]/[`info`]/
+//! [`warn`]/[`error`] instead. When no sink is installed an event costs
+//! one relaxed atomic load — the same discipline as the telemetry gate —
+//! so call sites can live on hot paths.
+//!
+//! One event is one JSON object on one line (keys sorted, courtesy of
+//! `mc3_core::json`):
+//!
+//! ```json
+//! {"fields":{"components":3},"level":"info","msg":"solve finished",
+//!  "seq":7,"span":"solve/solve_core","target":"solver","ts_ns":1290334}
+//! ```
+//!
+//! * `seq` — monotonic per admitted event, no gaps; a consumer can detect
+//!   sink restarts by a reset and rate-limit drops by the `dropped` field.
+//! * `ts_ns` — [`mc3_telemetry::monotonic_ns`] (this crate never reads the
+//!   clock itself; see the `no-bare-instant` rule).
+//! * `span` — the emitting thread's open telemetry span path, when a
+//!   session is recording.
+//! * `dropped` — present on the first admitted event after the token
+//!   bucket dropped events; counts the events lost since the last line.
+//!
+//! Rate limiting is a token bucket (capacity [`EventLogConfig::burst`],
+//! refill [`EventLogConfig::per_sec`] tokens per second) so a pathological
+//! solve cannot turn the event log into an IO bottleneck: bursts pass,
+//! sustained floods are summarized by `dropped` counts.
+
+use mc3_core::json::Json;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Event severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Verbose diagnostics (per-phase internals).
+    Debug = 0,
+    /// Normal operational events.
+    Info = 1,
+    /// Something unusual that did not fail the operation.
+    Warn = 2,
+    /// An operation failed.
+    Error = 3,
+}
+
+impl Level {
+    /// Wire name, lowercase.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses a wire name back into a level.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    fn to_json(&self) -> Json {
+        match self {
+            Value::U64(v) => Json::Int(*v as i128),
+            Value::I64(v) => Json::Int(*v as i128),
+            Value::F64(v) => Json::Float(*v),
+            Value::Bool(v) => Json::Bool(*v),
+            Value::Str(v) => Json::Str(v.clone()),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// Sink installation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventLogConfig {
+    /// Minimum level admitted to the sink.
+    pub min_level: Level,
+    /// Token-bucket capacity: how many events may pass in one burst.
+    pub burst: u32,
+    /// Token refill rate per second; `0` disables rate limiting.
+    pub per_sec: u32,
+}
+
+impl Default for EventLogConfig {
+    fn default() -> EventLogConfig {
+        EventLogConfig {
+            min_level: Level::Info,
+            burst: 512,
+            per_sec: 128,
+        }
+    }
+}
+
+struct SinkState {
+    writer: Box<dyn std::io::Write + Send>,
+    cfg: EventLogConfig,
+    /// Token bucket level, scaled ×1e9 so refill arithmetic stays integral.
+    tokens_nano: u128,
+    last_refill_ns: u64,
+    /// Events dropped since the last admitted one.
+    dropped: u64,
+}
+
+/// `u8::MAX` = no sink installed; otherwise the installed minimum level.
+/// This single relaxed load is the whole disabled-path cost.
+static GATE: AtomicU8 = AtomicU8::new(u8::MAX);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static SINK: Mutex<Option<SinkState>> = Mutex::new(None);
+
+fn lock_sink() -> std::sync::MutexGuard<'static, Option<SinkState>> {
+    SINK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Installs `writer` as the process-wide event sink, replacing any
+/// previous one. Sequence numbers restart at 0 on every install so one
+/// sink sees one gapless sequence.
+pub fn install(writer: Box<dyn std::io::Write + Send>, cfg: EventLogConfig) {
+    let mut sink = lock_sink();
+    SEQ.store(0, Ordering::SeqCst);
+    *sink = Some(SinkState {
+        writer,
+        cfg,
+        tokens_nano: u128::from(cfg.burst) * 1_000_000_000,
+        last_refill_ns: mc3_telemetry::monotonic_ns(),
+        dropped: 0,
+    });
+    GATE.store(cfg.min_level as u8, Ordering::SeqCst);
+}
+
+/// Installs a sink appending JSONL to `path`.
+pub fn install_file(path: &str, cfg: EventLogConfig) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    install(Box::new(std::io::BufWriter::new(file)), cfg);
+    Ok(())
+}
+
+/// Installs a sink writing JSONL lines to stderr (the binary's stdout
+/// stays reserved for its actual output).
+pub fn install_stderr(cfg: EventLogConfig) {
+    install(Box::new(std::io::stderr()), cfg);
+}
+
+/// Shared line buffer for tests and in-process consumers.
+pub type CaptureBuffer = Arc<Mutex<Vec<String>>>;
+
+struct CaptureWriter {
+    lines: CaptureBuffer,
+    partial: Vec<u8>,
+}
+
+impl std::io::Write for CaptureWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.partial.extend_from_slice(buf);
+        while let Some(pos) = self.partial.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.partial.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            if let Ok(mut lines) = self.lines.lock() {
+                lines.push(text);
+            }
+        }
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Installs an in-memory sink and returns the shared buffer of emitted
+/// lines — the test harness's view of the log.
+pub fn install_capture(cfg: EventLogConfig) -> CaptureBuffer {
+    let lines: CaptureBuffer = Arc::new(Mutex::new(Vec::new()));
+    install(
+        Box::new(CaptureWriter {
+            lines: Arc::clone(&lines),
+            partial: Vec::new(),
+        }),
+        cfg,
+    );
+    lines
+}
+
+/// Removes the installed sink (flushing it) and closes the gate.
+pub fn uninstall() {
+    let mut sink = lock_sink();
+    GATE.store(u8::MAX, Ordering::SeqCst);
+    if let Some(mut state) = sink.take() {
+        let _ = state.writer.flush();
+    }
+}
+
+/// Whether an event at `level` would currently be admitted by the gate
+/// (sink installed and level at or above the configured minimum).
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 >= GATE.load(Ordering::Relaxed) && GATE.load(Ordering::Relaxed) != u8::MAX
+}
+
+fn build_line(
+    seq: u64,
+    ts_ns: u64,
+    level: Level,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, Value)],
+    span: Option<String>,
+    dropped: u64,
+) -> String {
+    let mut map: BTreeMap<String, Json> = BTreeMap::new();
+    map.insert("seq".to_owned(), Json::Int(seq as i128));
+    map.insert("ts_ns".to_owned(), Json::Int(ts_ns as i128));
+    map.insert("level".to_owned(), Json::Str(level.as_str().to_owned()));
+    map.insert("target".to_owned(), Json::Str(target.to_owned()));
+    map.insert("msg".to_owned(), Json::Str(msg.to_owned()));
+    if let Some(span) = span {
+        map.insert("span".to_owned(), Json::Str(span));
+    }
+    if !fields.is_empty() {
+        map.insert(
+            "fields".to_owned(),
+            Json::Object(
+                fields
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), v.to_json()))
+                    .collect(),
+            ),
+        );
+    }
+    if dropped > 0 {
+        map.insert("dropped".to_owned(), Json::Int(dropped as i128));
+    }
+    Json::Object(map).to_string()
+}
+
+/// Emits one event. The normal entry points are the level helpers
+/// ([`debug`], [`info`], [`warn`], [`error`]); this is the shared core.
+pub fn event(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
+    // Fast path: no sink, or level below the installed minimum.
+    let gate = GATE.load(Ordering::Relaxed);
+    if gate == u8::MAX || (level as u8) < gate {
+        return;
+    }
+    let now = mc3_telemetry::monotonic_ns();
+    let span = mc3_telemetry::current_span_path();
+    let mut sink = lock_sink();
+    let Some(state) = sink.as_mut() else { return };
+
+    // Token-bucket admission (nanotoken units: 1 token = 1e9).
+    if state.cfg.per_sec > 0 {
+        let elapsed = now.saturating_sub(state.last_refill_ns);
+        state.last_refill_ns = now;
+        let refill = u128::from(elapsed) * u128::from(state.cfg.per_sec);
+        let cap = u128::from(state.cfg.burst) * 1_000_000_000;
+        state.tokens_nano = (state.tokens_nano + refill).min(cap);
+        if state.tokens_nano < 1_000_000_000 {
+            state.dropped += 1;
+            return;
+        }
+        state.tokens_nano -= 1_000_000_000;
+    }
+
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dropped = std::mem::take(&mut state.dropped);
+    let line = build_line(seq, now, level, target, msg, fields, span, dropped);
+    if writeln!(state.writer, "{line}").is_err() || state.writer.flush().is_err() {
+        // Last resort when the sink itself is broken: say so once on
+        // stderr and tear the sink down rather than erroring every event.
+        // audit:allow(no-raw-eprintln-in-lib) reviewed: sink-failure fallback, the sink is gone
+        eprintln!("mc3-obs: event sink write failed; uninstalling event log");
+        GATE.store(u8::MAX, Ordering::SeqCst);
+        *sink = None;
+    }
+}
+
+/// Emits a [`Level::Debug`] event.
+pub fn debug(target: &str, msg: &str, fields: &[(&str, Value)]) {
+    event(Level::Debug, target, msg, fields);
+}
+
+/// Emits a [`Level::Info`] event.
+pub fn info(target: &str, msg: &str, fields: &[(&str, Value)]) {
+    event(Level::Info, target, msg, fields);
+}
+
+/// Emits a [`Level::Warn`] event.
+pub fn warn(target: &str, msg: &str, fields: &[(&str, Value)]) {
+    event(Level::Warn, target, msg, fields);
+}
+
+/// Emits a [`Level::Error`] event.
+pub fn error(target: &str, msg: &str, fields: &[(&str, Value)]) {
+    event(Level::Error, target, msg, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Event-log tests share the global sink; serialize them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn parse_line(line: &str) -> Json {
+        mc3_core::json::parse(line).expect("event line is valid JSON")
+    }
+
+    #[test]
+    fn events_are_jsonl_with_contiguous_seq() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let lines = install_capture(EventLogConfig {
+            min_level: Level::Debug,
+            ..EventLogConfig::default()
+        });
+        info("solver", "solve finished", &[("cost", Value::U64(42))]);
+        debug("flow", "phase done", &[]);
+        warn("setcover", "fallback", &[("reason", "lp".into())]);
+        uninstall();
+        let lines = lines.lock().unwrap_or_else(|p| p.into_inner());
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let v = parse_line(line);
+            assert_eq!(v.get("seq").and_then(Json::as_u64), Some(i as u64));
+            assert!(v.get("ts_ns").and_then(Json::as_u64).is_some());
+        }
+        let first = parse_line(&lines[0]);
+        assert_eq!(first.get("level").and_then(Json::as_str), Some("info"));
+        assert_eq!(first.get("target").and_then(Json::as_str), Some("solver"));
+        assert_eq!(
+            first
+                .get("fields")
+                .and_then(|f| f.get("cost"))
+                .and_then(Json::as_u64),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn level_filter_drops_below_minimum() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let lines = install_capture(EventLogConfig {
+            min_level: Level::Warn,
+            ..EventLogConfig::default()
+        });
+        debug("t", "nope", &[]);
+        info("t", "nope", &[]);
+        warn("t", "yes", &[]);
+        error("t", "yes", &[]);
+        uninstall();
+        let lines = lines.lock().unwrap_or_else(|p| p.into_inner());
+        assert_eq!(lines.len(), 2);
+        // Filtered events consume no sequence numbers.
+        assert_eq!(
+            parse_line(&lines[1]).get("seq").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn no_sink_means_no_panic_and_no_cost() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        uninstall();
+        assert!(!enabled(Level::Error));
+        info("t", "dropped on the floor", &[]);
+    }
+
+    #[test]
+    fn token_bucket_drops_and_reports() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let lines = install_capture(EventLogConfig {
+            min_level: Level::Debug,
+            burst: 3,
+            per_sec: 1, // slow refill: the loop below outruns it
+        });
+        for i in 0..10u64 {
+            info("t", "flood", &[("i", Value::U64(i))]);
+        }
+        // A burst of 3 passes; the rest drop (refill over a few µs is ~0).
+        uninstall();
+        let lines = lines.lock().unwrap_or_else(|p| p.into_inner());
+        assert!(
+            lines.len() >= 3 && lines.len() < 10,
+            "expected rate limiting, got {} lines",
+            lines.len()
+        );
+        // Sequence numbers of admitted events stay contiguous.
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(
+                parse_line(line).get("seq").and_then(Json::as_u64),
+                Some(i as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_count_surfaces_after_refill() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let lines = install_capture(EventLogConfig {
+            min_level: Level::Debug,
+            burst: 1,
+            per_sec: 100, // refills a token every 10ms
+        });
+        info("t", "first", &[]); // consumes the whole burst
+        for _ in 0..5 {
+            info("t", "flood", &[]); // all dropped: µs apart, no refill
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30)); // ≥ 1 token back
+        info("t", "after", &[]);
+        uninstall();
+        let lines = lines.lock().unwrap_or_else(|p| p.into_inner());
+        let last = parse_line(lines.last().expect("admitted event after refill"));
+        assert_eq!(last.get("msg").and_then(Json::as_str), Some("after"));
+        assert_eq!(last.get("dropped").and_then(Json::as_u64), Some(5));
+    }
+
+    #[test]
+    fn span_context_attaches_when_recording() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let lines = install_capture(EventLogConfig {
+            min_level: Level::Debug,
+            ..EventLogConfig::default()
+        });
+        let session = mc3_telemetry::Session::begin();
+        {
+            let _outer = mc3_telemetry::span("solve");
+            let _inner = mc3_telemetry::span("solve_core");
+            info("solver", "inside", &[]);
+        }
+        drop(session);
+        uninstall();
+        let lines = lines.lock().unwrap_or_else(|p| p.into_inner());
+        let v = parse_line(&lines[0]);
+        assert_eq!(
+            v.get("span").and_then(Json::as_str),
+            Some("solve/solve_core")
+        );
+    }
+
+    #[test]
+    fn level_parse_round_trips() {
+        for l in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Level::parse("fatal"), None);
+    }
+}

@@ -1,0 +1,466 @@
+//! The perf-regression sentinel behind `mc3 bench-gate`.
+//!
+//! A checked-in [`BaselineFile`] (`BENCH_baseline.json`) pins a
+//! deterministic workload spec plus the [`TelemetryReport`] a known-good
+//! build produced for it. The gate re-runs the same workload, then
+//! compares:
+//!
+//! * **wall time per span path** — regression-only, under a loose relative
+//!   tolerance ([`GateConfig::wall_tol`]) and an absolute floor
+//!   ([`GateConfig::min_wall_ns`]) so scheduler jitter on tiny spans
+//!   cannot flake the gate. Getting *faster* never fails.
+//! * **solver-internals counters** — symmetric and strict by default
+//!   ([`GateConfig::counter_tol`] = 0): greedy iterations, Dinic phases,
+//!   push-relabel relabels, preprocessing firings and the rest of the
+//!   registry are deterministic for a pinned workload, so *any* drift is a
+//!   behavior change that must be acknowledged by re-baselining
+//!   (`mc3 bench-gate --baseline FILE --update`).
+//!
+//! Every violation names the offending span path or counter with both
+//! values, which is what the CI log shows when the gate trips.
+
+use mc3_core::json::Json;
+use mc3_telemetry::{SpanData, TelemetryReport};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Schema version of [`BaselineFile`].
+pub const BASELINE_VERSION: u64 = 1;
+
+/// The deterministic workload a baseline was recorded on. The CLI re-runs
+/// exactly this spec to produce the candidate report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Generator kind (`mc3 generate --kind` vocabulary).
+    pub kind: String,
+    /// Number of queries to generate.
+    pub queries: u64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Solver algorithm name (`mc3 solve --algorithm` vocabulary).
+    pub algorithm: String,
+}
+
+/// A checked-in baseline: workload spec + the report it produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineFile {
+    /// The pinned workload.
+    pub spec: WorkloadSpec,
+    /// The known-good report.
+    pub report: TelemetryReport,
+}
+
+impl BaselineFile {
+    /// Serializes to versioned JSON.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("version", Json::Int(BASELINE_VERSION as i128)),
+            (
+                "workload",
+                Json::object([
+                    ("kind", Json::Str(self.spec.kind.clone())),
+                    ("queries", Json::Int(self.spec.queries as i128)),
+                    ("seed", Json::Int(self.spec.seed as i128)),
+                    ("algorithm", Json::Str(self.spec.algorithm.clone())),
+                ]),
+            ),
+            ("report", self.report.to_json()),
+        ])
+    }
+
+    /// Strict parse: unknown versions and malformed fields are errors, and
+    /// the embedded report goes through the schema-drift-rejecting
+    /// [`TelemetryReport::from_json`].
+    pub fn from_json(v: &Json) -> Result<BaselineFile, String> {
+        let version = v
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("baseline missing u64 'version'")?;
+        if version != BASELINE_VERSION {
+            return Err(format!(
+                "unsupported baseline version {version} (expected {BASELINE_VERSION})"
+            ));
+        }
+        let w = v.get("workload").ok_or("baseline missing 'workload'")?;
+        let spec = WorkloadSpec {
+            kind: w
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or("workload missing string 'kind'")?
+                .to_owned(),
+            queries: w
+                .get("queries")
+                .and_then(Json::as_u64)
+                .ok_or("workload missing u64 'queries'")?,
+            seed: w
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("workload missing u64 'seed'")?,
+            algorithm: w
+                .get("algorithm")
+                .and_then(Json::as_str)
+                .ok_or("workload missing string 'algorithm'")?
+                .to_owned(),
+        };
+        let report =
+            TelemetryReport::from_json(v.get("report").ok_or("baseline missing 'report'")?)?;
+        Ok(BaselineFile { spec, report })
+    }
+}
+
+/// Gate tolerances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateConfig {
+    /// Relative wall-time regression tolerance per span: candidate fails
+    /// when `candidate > baseline × (1 + wall_tol)`. `1.0` = may take up
+    /// to 2× the baseline.
+    pub wall_tol: f64,
+    /// Relative counter drift tolerance, symmetric: candidate fails when
+    /// `|candidate − baseline| > baseline × counter_tol` (a zero baseline
+    /// admits only zero at tolerance 0). `0.0` = exact match required.
+    pub counter_tol: f64,
+    /// Spans whose **baseline** wall time is below this are not wall-time
+    /// checked (their counters still are, via the global registry).
+    pub min_wall_ns: u64,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig {
+            wall_tol: 1.0,
+            counter_tol: 0.0,
+            min_wall_ns: 200_000,
+        }
+    }
+}
+
+/// One named gate failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateViolation {
+    /// A span path got slower than the tolerance allows.
+    WallRegression {
+        /// `/`-joined span path.
+        path: String,
+        /// Baseline wall time (ns).
+        baseline_ns: u64,
+        /// Candidate wall time (ns).
+        candidate_ns: u64,
+        /// The tolerance that was exceeded.
+        tol: f64,
+    },
+    /// A registered counter drifted outside the tolerance.
+    CounterDrift {
+        /// Counter wire name.
+        name: String,
+        /// Baseline total.
+        baseline: u64,
+        /// Candidate total.
+        candidate: u64,
+        /// The tolerance that was exceeded.
+        tol: f64,
+    },
+    /// A span present in the baseline vanished from the candidate.
+    MissingSpan {
+        /// `/`-joined span path.
+        path: String,
+    },
+}
+
+impl fmt::Display for GateViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateViolation::WallRegression {
+                path,
+                baseline_ns,
+                candidate_ns,
+                tol,
+            } => write!(
+                f,
+                "span '{path}': wall time regressed {baseline_ns}ns -> {candidate_ns}ns \
+                 ({:.2}x, tolerance {:.2}x)",
+                *candidate_ns as f64 / (*baseline_ns).max(1) as f64,
+                1.0 + tol
+            ),
+            GateViolation::CounterDrift {
+                name,
+                baseline,
+                candidate,
+                tol,
+            } => write!(
+                f,
+                "counter '{name}': drifted {baseline} -> {candidate} \
+                 (relative tolerance {tol:.2})"
+            ),
+            GateViolation::MissingSpan { path } => {
+                write!(
+                    f,
+                    "span '{path}': present in baseline, absent from candidate"
+                )
+            }
+        }
+    }
+}
+
+/// The gate's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Every violation, spans first then counters, in path/name order.
+    pub violations: Vec<GateViolation>,
+    /// Span paths that were wall-time checked.
+    pub spans_checked: usize,
+    /// Counters that were compared.
+    pub counters_checked: usize,
+}
+
+impl GateOutcome {
+    /// Whether the candidate passes.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable verdict, one violation per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "REGRESSION: {v}");
+        }
+        let _ = writeln!(
+            out,
+            "bench-gate: {} span paths and {} counters checked, {} regression(s)",
+            self.spans_checked,
+            self.counters_checked,
+            self.violations.len()
+        );
+        out
+    }
+}
+
+fn flatten<'a>(prefix: &str, spans: &'a [SpanData], out: &mut BTreeMap<String, u64>) {
+    for s in spans {
+        let path = if prefix.is_empty() {
+            s.name.clone()
+        } else {
+            format!("{prefix}/{}", s.name)
+        };
+        flatten(&path, &s.children, out);
+        // Same-path collisions cannot survive report aggregation, but be
+        // safe under hand-built reports: sum.
+        let cell = out.entry(path).or_insert(0);
+        *cell = cell.saturating_add(s.wall_ns);
+    }
+}
+
+/// Compares `candidate` against `baseline` under `cfg`.
+pub fn compare(
+    baseline: &TelemetryReport,
+    candidate: &TelemetryReport,
+    cfg: &GateConfig,
+) -> GateOutcome {
+    let mut violations = Vec::new();
+
+    let mut base_spans = BTreeMap::new();
+    flatten("", &baseline.spans, &mut base_spans);
+    let mut cand_spans = BTreeMap::new();
+    flatten("", &candidate.spans, &mut cand_spans);
+
+    let mut spans_checked = 0usize;
+    for (path, &base_ns) in &base_spans {
+        match cand_spans.get(path) {
+            None => violations.push(GateViolation::MissingSpan { path: path.clone() }),
+            Some(&cand_ns) => {
+                if base_ns < cfg.min_wall_ns {
+                    continue;
+                }
+                spans_checked += 1;
+                let limit = base_ns as f64 * (1.0 + cfg.wall_tol);
+                if cand_ns as f64 > limit {
+                    violations.push(GateViolation::WallRegression {
+                        path: path.clone(),
+                        baseline_ns: base_ns,
+                        candidate_ns: cand_ns,
+                        tol: cfg.wall_tol,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut counters_checked = 0usize;
+    for (name, &base) in &baseline.counters {
+        let cand = candidate.counters.get(name).copied().unwrap_or(0);
+        counters_checked += 1;
+        let drift = cand.abs_diff(base);
+        if drift as f64 > base as f64 * cfg.counter_tol {
+            violations.push(GateViolation::CounterDrift {
+                name: name.clone(),
+                baseline: base,
+                candidate: cand,
+                tol: cfg.counter_tol,
+            });
+        }
+    }
+
+    GateOutcome {
+        violations,
+        spans_checked,
+        counters_checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, wall_ns: u64, children: Vec<SpanData>) -> SpanData {
+        SpanData {
+            name: name.to_owned(),
+            wall_ns,
+            count: 1,
+            counters: BTreeMap::new(),
+            children,
+        }
+    }
+
+    fn report(solve_ns: u64, greedy: u64) -> TelemetryReport {
+        TelemetryReport {
+            spans: vec![span(
+                "solve",
+                solve_ns,
+                vec![span("solve_core", solve_ns / 2, vec![])],
+            )],
+            counters: BTreeMap::from([
+                ("greedy_iterations".to_owned(), greedy),
+                ("dinic_phases".to_owned(), 7u64),
+            ]),
+            histograms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(10_000_000, 40);
+        let out = compare(&r, &r, &GateConfig::default());
+        assert!(out.passed(), "{}", out.render());
+        assert_eq!(out.counters_checked, 2);
+        assert!(out.spans_checked >= 2);
+    }
+
+    #[test]
+    fn faster_candidate_passes() {
+        let base = report(10_000_000, 40);
+        let cand = report(2_000_000, 40);
+        assert!(compare(&base, &cand, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn wall_regression_is_named() {
+        let base = report(10_000_000, 40);
+        let cand = report(30_000_000, 40);
+        let out = compare(&base, &cand, &GateConfig::default());
+        assert!(!out.passed());
+        let text = out.render();
+        assert!(text.contains("span 'solve'"), "{text}");
+        assert!(text.contains("regressed"), "{text}");
+    }
+
+    #[test]
+    fn tiny_spans_are_jitter_exempt() {
+        let base = report(100_000, 40); // below min_wall_ns
+        let cand = report(90_000_000, 40);
+        let out = compare(&base, &cand, &GateConfig::default());
+        assert!(out.passed(), "{}", out.render());
+        assert_eq!(out.spans_checked, 0);
+    }
+
+    #[test]
+    fn counter_drift_is_strict_and_symmetric_by_default() {
+        let base = report(10_000_000, 40);
+        for cand_val in [39u64, 41, 80] {
+            let cand = report(10_000_000, cand_val);
+            let out = compare(&base, &cand, &GateConfig::default());
+            assert!(!out.passed(), "counter {cand_val} must trip the gate");
+            assert!(out.render().contains("counter 'greedy_iterations'"));
+        }
+    }
+
+    #[test]
+    fn counter_tolerance_admits_bounded_drift() {
+        let base = report(10_000_000, 100);
+        let cfg = GateConfig {
+            counter_tol: 0.10,
+            ..GateConfig::default()
+        };
+        assert!(compare(&base, &report(10_000_000, 110), &cfg).passed());
+        assert!(!compare(&base, &report(10_000_000, 111), &cfg).passed());
+        assert!(compare(&base, &report(10_000_000, 90), &cfg).passed());
+        assert!(!compare(&base, &report(10_000_000, 89), &cfg).passed());
+    }
+
+    #[test]
+    fn missing_span_is_a_violation() {
+        let base = report(10_000_000, 40);
+        let mut cand = report(10_000_000, 40);
+        cand.spans[0].children.clear();
+        let out = compare(&base, &cand, &GateConfig::default());
+        assert!(out.violations.iter().any(
+            |v| matches!(v, GateViolation::MissingSpan { path } if path == "solve/solve_core")
+        ));
+    }
+
+    #[test]
+    fn baseline_file_round_trips() {
+        let b = BaselineFile {
+            spec: WorkloadSpec {
+                kind: "synthetic".to_owned(),
+                queries: 300,
+                seed: 42,
+                algorithm: "auto".to_owned(),
+            },
+            report: {
+                let mut r = report(5_000, 3);
+                // from_json is strict: fill the whole registry
+                r.counters = mc3_telemetry::COUNTER_NAMES
+                    .iter()
+                    .map(|n| (n.to_string(), 1u64))
+                    .collect();
+                r.histograms = mc3_telemetry::HIST_NAMES
+                    .iter()
+                    .map(|n| mc3_telemetry::HistogramData {
+                        name: n.to_string(),
+                        count: 0,
+                        sum: 0,
+                        buckets: Vec::new(),
+                    })
+                    .collect();
+                r
+            },
+        };
+        let text = b.to_json().to_string_pretty();
+        let parsed = mc3_core::json::parse(&text).expect("baseline JSON parses");
+        let back = BaselineFile::from_json(&parsed).expect("strict parse");
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn baseline_rejects_bad_version() {
+        let b = BaselineFile {
+            spec: WorkloadSpec {
+                kind: "synthetic".to_owned(),
+                queries: 1,
+                seed: 1,
+                algorithm: "auto".to_owned(),
+            },
+            report: TelemetryReport {
+                spans: Vec::new(),
+                counters: BTreeMap::new(),
+                histograms: Vec::new(),
+            },
+        };
+        let mut v = b.to_json();
+        if let Json::Object(map) = &mut v {
+            map.insert("version".to_owned(), Json::Int(99));
+        }
+        assert!(BaselineFile::from_json(&v).is_err());
+    }
+}

@@ -332,6 +332,14 @@ impl Mc3Solver {
         let alive = ws.alive_query_indices();
         let comps = connected_components(instance.queries(), &alive);
         let num_components = comps.len();
+        mc3_obs::debug(
+            "solver",
+            "components split",
+            &[
+                ("components", comps.len().into()),
+                ("alive_queries", alive.len().into()),
+            ],
+        );
         mc3_telemetry::count(mc3_telemetry::Counter::ComponentsSplit, comps.len() as u64);
         if mc3_telemetry::is_enabled() {
             for comp in &comps {
@@ -436,6 +444,15 @@ impl Mc3Solver {
             mc3_telemetry::span_add(mc3_telemetry::Counter::VerifyCertificateChecks, 1);
         }
         let solve = solve_t.finish();
+        mc3_obs::info(
+            "solver",
+            "solve finished",
+            &[
+                ("cost", solution.cost().raw().into()),
+                ("classifiers", solution.len().into()),
+                ("components", num_components.into()),
+            ],
+        );
 
         Ok(SolverReport {
             solution,

@@ -52,10 +52,13 @@ pub use counters::{
     HIST_BUCKETS, HIST_NAMES,
 };
 pub use report::{HistogramData, SpanData, TelemetryReport, REPORT_VERSION};
-pub use spans::{open_span_depth, span, span_add, timed_span, SpanGuard, TimedSpan};
+pub use spans::{
+    current_span_path, open_span_depth, span, span_add, timed_span, SpanGuard, TimedSpan,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -68,6 +71,20 @@ pub fn is_enabled() -> bool {
 
 /// Serializes sessions across threads (and across tests in one binary).
 static SESSION: Mutex<()> = Mutex::new(());
+
+/// Lazily pinned epoch for [`monotonic_ns`].
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic nanoseconds since the first call in this process.
+///
+/// This crate is the one place allowed to read the clock (the
+/// `no-bare-instant` lint pins that); consumers that need raw timestamps —
+/// the `mc3-obs` event log's per-event `ts_ns` and its token-bucket rate
+/// limiter — go through this helper instead of `Instant::now()` pairs.
+pub fn monotonic_ns() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    spans::duration_ns(epoch.elapsed())
+}
 
 /// An exclusive recording session.
 ///

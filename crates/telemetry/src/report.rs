@@ -46,6 +46,23 @@ pub struct HistogramData {
     pub buckets: Vec<(u32, u64)>,
 }
 
+impl HistogramData {
+    /// Inclusive upper value bound of log2 bucket `idx`: `0` for bucket 0,
+    /// `2^idx − 1` for buckets `1..64`, and `u64::MAX` for the last bucket
+    /// **and any out-of-range index** — exporters iterate reconstructed
+    /// bucket indices from parsed reports, so an index past the registry's
+    /// [`counters::HIST_BUCKETS`] saturates instead of panicking.
+    pub fn bucket_bound(idx: usize) -> u64 {
+        if idx == 0 {
+            0
+        } else if idx >= crate::HIST_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << idx) - 1
+        }
+    }
+}
+
 /// A full telemetry snapshot for one recording session.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TelemetryReport {
@@ -548,6 +565,23 @@ mod tests {
             map.insert("version".to_owned(), Json::Int(99));
         }
         assert!(TelemetryReport::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn bucket_bound_edges_agree_with_bucket_bounds() {
+        use crate::counters::{bucket_bounds, HIST_BUCKETS};
+        // Edge buckets: 0, the last registered bucket, and overflow.
+        assert_eq!(HistogramData::bucket_bound(0), 0);
+        assert_eq!(HistogramData::bucket_bound(1), 1);
+        assert_eq!(HistogramData::bucket_bound(HIST_BUCKETS - 1), u64::MAX);
+        // Out-of-range indices saturate instead of panicking.
+        assert_eq!(HistogramData::bucket_bound(HIST_BUCKETS), u64::MAX);
+        assert_eq!(HistogramData::bucket_bound(usize::MAX), u64::MAX);
+        // Every in-range bound is exactly the hi end of bucket_bounds.
+        for idx in 0..HIST_BUCKETS {
+            let (_, hi) = bucket_bounds(idx);
+            assert_eq!(HistogramData::bucket_bound(idx), hi, "bucket {idx}");
+        }
     }
 
     #[test]

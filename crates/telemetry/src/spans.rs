@@ -166,6 +166,21 @@ pub fn open_span_depth() -> usize {
     STACK.with(|s| s.borrow().len())
 }
 
+/// The `/`-joined names of this thread's open spans, outermost first
+/// (`"solve/solve_core/k2.solve"`), or `None` when no span is open.
+/// Structured events attach this as their span context, so a log line can
+/// be matched against the trace without any id plumbing.
+pub fn current_span_path() -> Option<String> {
+    STACK.with(|s| {
+        let stack = s.borrow();
+        if stack.is_empty() {
+            None
+        } else {
+            Some(stack.iter().map(|o| o.name).collect::<Vec<_>>().join("/"))
+        }
+    })
+}
+
 /// Drains every finished root recorded so far (all threads).
 pub(crate) fn take_finished() -> Vec<RawSpan> {
     let mut finished = FINISHED.lock().unwrap_or_else(|p| p.into_inner());

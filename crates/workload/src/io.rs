@@ -283,7 +283,17 @@ pub fn read_dataset_json(mut r: impl Read) -> std::io::Result<Dataset> {
     r.read_to_string(&mut buf)?;
     let doc = json::parse(&buf).map_err(|e| invalid(e.to_string()))?;
     let file = DatasetFile::from_json(&doc).map_err(invalid)?;
-    file.into_dataset().map_err(|e| invalid(e.to_string()))
+    let ds = file.into_dataset().map_err(|e| invalid(e.to_string()))?;
+    mc3_obs::debug(
+        "workload",
+        "dataset parsed",
+        &[
+            ("name", ds.name.as_str().into()),
+            ("queries", ds.instance.num_queries().into()),
+            ("properties", ds.instance.num_properties().into()),
+        ],
+    );
+    Ok(ds)
 }
 
 #[cfg(test)]
