@@ -25,6 +25,18 @@ fn bench_general() {
     }
 }
 
+fn bench_anti_cycling_q80_seed3() {
+    // The workload that exposed simplex cycling: its reduced component
+    // yields a degenerate covering LP. Named so the bench gate tracks the
+    // anti-cycling path specifically.
+    let ds = SyntheticConfig::with_queries(80).seed(3).generate();
+    let solver = Mc3Solver::new().algorithm(Algorithm::General);
+    let group = Group::new("mc3g_anti_cycling").samples(5);
+    group.bench("synthetic_q80_seed3", || {
+        black_box(solver.solve(&ds.instance).expect("solvable").cost())
+    });
+}
+
 fn bench_strategies() {
     let ds = SyntheticConfig::with_queries(10_000).generate();
     let group = Group::new("mc3g_wsc_strategy").samples(5);
@@ -73,6 +85,7 @@ fn bench_parallel_components() {
 
 fn main() {
     bench_general();
+    bench_anti_cycling_q80_seed3();
     bench_strategies();
     bench_short_first_and_local_greedy();
     bench_parallel_components();

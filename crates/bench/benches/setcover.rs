@@ -1,12 +1,16 @@
-//! Micro-benchmarks of the WSC substrate (§5.2): lazy-heap greedy [6, 9],
-//! the primal–dual f-approximation, LP rounding [50] on small instances,
-//! and the reverse-delete refinement.
+//! Micro-benchmarks of the WSC substrate (§5.2): sorted-cursor greedy
+//! [6, 9], the primal–dual f-approximation, LP rounding [50] on small
+//! instances, the reverse-delete refinement, swap local search, and the
+//! greedy/local-search pair on the instance Algorithm 3 actually reduces
+//! the synthetic workload to (see docs/performance.md for before/after
+//! numbers).
 
 use mc3_bench::timing::Group;
 use mc3_core::rng::prelude::*;
 use mc3_core::Weight;
 use mc3_setcover::{
-    prune_redundant, solve_greedy, solve_lp_rounding, solve_primal_dual, SetCoverInstance,
+    local_search, prune_redundant, solve_greedy, solve_lp_rounding, solve_primal_dual,
+    SetCoverInstance,
 };
 use std::hint::black_box;
 
@@ -26,7 +30,7 @@ fn random_wsc(n: usize, seed: u64) -> SetCoverInstance {
 }
 
 fn bench_greedy() {
-    let group = Group::new("wsc_greedy_lazy_heap");
+    let group = Group::new("wsc_greedy");
     for &n in &[1_000usize, 10_000, 100_000] {
         let inst = random_wsc(n, 1);
         group.bench(n, || {
@@ -64,9 +68,41 @@ fn bench_prune() {
     }
 }
 
+fn bench_local_search() {
+    let group = Group::new("wsc_local_search");
+    for &n in &[10_000usize, 100_000] {
+        let inst = random_wsc(n, 5);
+        let sol = solve_greedy(&inst).expect("coverable");
+        group.bench(n, || black_box(local_search(&inst, &sol).cost));
+    }
+}
+
+fn bench_synthetic_reduction() {
+    // The WSC instance Algorithm 3 actually hands to greedy/local search on
+    // the paper's synthetic workload (400 queries, seed 7) — the BitCover
+    // kernel's target shape, pinned by name for before/after comparisons.
+    let ds = mc3_workload::SyntheticConfig::with_queries(400)
+        .seed(7)
+        .generate();
+    let universe = mc3_core::ClassifierUniverse::build(&ds.instance);
+    let ws = mc3_solver::work::WorkState::new(&ds.instance, universe);
+    let queries: Vec<usize> = (0..ds.instance.num_queries()).collect();
+    let red = mc3_solver::reduce_to_wsc(&ws, &queries);
+    let group = Group::new("wsc_on_mc3_reduction");
+    group.bench("greedy/synthetic/400/7", || {
+        black_box(solve_greedy(&red.instance).expect("coverable").cost)
+    });
+    let sol = solve_greedy(&red.instance).expect("coverable");
+    group.bench("local_search/synthetic/400/7", || {
+        black_box(local_search(&red.instance, &sol).cost)
+    });
+}
+
 fn main() {
     bench_greedy();
     bench_primal_dual();
     bench_lp_rounding();
     bench_prune();
+    bench_local_search();
+    bench_synthetic_reduction();
 }

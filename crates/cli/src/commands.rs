@@ -365,22 +365,31 @@ fn bench_gate(
     seed: Option<u64>,
     algorithm: Option<mc3_solver::Algorithm>,
 ) -> Result<String, String> {
-    let existing = match std::fs::read_to_string(baseline_path) {
-        Ok(text) => {
-            let json = mc3_core::json::parse(&text)
-                .map_err(|e| format!("cannot parse {baseline_path}: {e}"))?;
-            Some(
-                mc3_obs::BaselineFile::from_json(&json)
-                    .map_err(|e| format!("invalid baseline {baseline_path}: {e}"))?,
-            )
-        }
+    let baseline_text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => Some(text),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
         Err(e) => return Err(format!("cannot read {baseline_path}: {e}")),
     };
+    let baseline_json = baseline_text
+        .as_deref()
+        .map(|text| {
+            mc3_core::json::parse(text).map_err(|e| format!("cannot parse {baseline_path}: {e}"))
+        })
+        .transpose()?;
 
     if update {
+        // Only the workload pin is needed from the old file — its report may
+        // legitimately fail the strict schema check (counters registered
+        // since it was recorded are exactly what --update refreshes).
+        let prev_spec = baseline_json
+            .as_ref()
+            .map(|json| {
+                mc3_obs::BaselineFile::spec_from_json(json)
+                    .map_err(|e| format!("invalid baseline {baseline_path}: {e}"))
+            })
+            .transpose()?;
         // flag > existing baseline > default, per field
-        let prev = existing.as_ref().map(|b| &b.spec);
+        let prev = prev_spec.as_ref();
         let spec = mc3_obs::WorkloadSpec {
             kind: kind
                 .map(|k| k.name().to_owned())
@@ -405,9 +414,15 @@ fn bench_gate(
         ));
     }
 
-    let baseline = existing.ok_or_else(|| {
-        format!("baseline {baseline_path} does not exist (record one with --update)")
-    })?;
+    let baseline = match &baseline_json {
+        Some(json) => mc3_obs::BaselineFile::from_json(json)
+            .map_err(|e| format!("invalid baseline {baseline_path}: {e}"))?,
+        None => {
+            return Err(format!(
+                "baseline {baseline_path} does not exist (record one with --update)"
+            ))
+        }
+    };
     let cand_report = match candidate {
         Some(path) => {
             let text = std::fs::read_to_string(path)

@@ -37,6 +37,13 @@ pub enum Mc3Error {
     },
     /// Costs overflowed `u64` while being summed.
     CostOverflow,
+    /// The LP solver exhausted its hard pivot bound (anti-cycling backstop)
+    /// before reaching optimality. Callers with a combinatorial fallback
+    /// should catch this and switch algorithms.
+    LpIterationLimit {
+        /// Simplex pivots performed before bailing out.
+        pivots: u64,
+    },
     /// An algorithm-specific invariant was violated (bug guard).
     Internal(String),
 }
@@ -66,6 +73,10 @@ impl fmt::Display for Mc3Error {
                 )
             }
             Mc3Error::CostOverflow => write!(f, "classifier cost sum overflowed u64"),
+            Mc3Error::LpIterationLimit { pivots } => write!(
+                f,
+                "LP solver hit its hard pivot bound after {pivots} pivots without converging"
+            ),
             Mc3Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }

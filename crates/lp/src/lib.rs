@@ -32,5 +32,5 @@
 pub mod simplex;
 pub mod types;
 
-pub use simplex::solve;
+pub use simplex::{default_pivot_limit, solve, solve_with_limit, DEGENERATE_STREAK_LIMIT};
 pub use types::{ConstraintOp, LpConstraint, LpProblem, LpSolution, LpStatus};

@@ -1,16 +1,41 @@
-//! Two-phase dense tableau simplex with Bland's anti-cycling rule.
+//! Two-phase dense tableau simplex with streak-triggered anti-cycling.
 //!
 //! The problem is brought to standard form `min c·x, Ax = b, x ≥ 0, b ≥ 0`
 //! by adding slack variables (for `≤`), surplus variables (for `≥`) and
 //! artificial variables (for `≥` and `=` rows, and any row whose natural
 //! slack cannot start in the basis). Phase 1 minimizes the sum of
 //! artificials; if it ends positive the program is infeasible. Phase 2
-//! optimizes the real objective over the feasible basis. Bland's rule
-//! (smallest-index entering/leaving variable) guarantees termination.
+//! optimizes the real objective over the feasible basis.
+//!
+//! # Pivot selection and anti-cycling
+//!
+//! The entering column is chosen by **Dantzig's rule** (most negative
+//! reduced cost) — few pivots in practice but susceptible to cycling on
+//! degenerate bases. After [`DEGENERATE_STREAK_LIMIT`] *consecutive*
+//! degenerate pivots (leaving ratio ≈ 0) the solver switches to **Bland's
+//! rule** (smallest-index entering column), which provably cannot cycle;
+//! the first non-degenerate pivot switches back to Dantzig. A hard pivot
+//! bound backstops both phases: when it is exhausted the solve returns
+//! [`LpStatus::IterationLimit`] instead of spinning, with the pivot count
+//! attached, so callers get a diagnosable outcome on pathological inputs.
+//!
+//! Pivot effort is exported through `mc3-telemetry` (`lp_pivots`,
+//! `lp_degenerate_pivots` counters and the `lp_iterations` histogram).
 
 use crate::types::{ConstraintOp, LpProblem, LpSolution, LpStatus};
 
 const EPS: f64 = 1e-9;
+
+/// Consecutive degenerate pivots tolerated under Dantzig's rule before the
+/// entering-column choice falls back to Bland's anti-cycling rule.
+pub const DEGENERATE_STREAK_LIMIT: u64 = 16;
+
+/// Running pivot statistics for one solve (both phases).
+#[derive(Debug, Clone, Copy, Default)]
+struct PivotStats {
+    pivots: u64,
+    degenerate: u64,
+}
 
 struct Tableau {
     /// `rows × (total_cols + 1)`; last column is the RHS.
@@ -51,22 +76,54 @@ impl Tableau {
         self.basis[row] = col;
     }
 
-    /// Runs simplex iterations until optimal or unbounded. `allowed_cols`
-    /// bounds the columns eligible to enter (used to bar artificials in
-    /// phase 2).
-    fn optimize(&mut self, allowed_cols: usize) -> LpStatus {
-        loop {
-            // Bland: smallest-index column with negative reduced cost.
-            let mut entering = None;
-            for c in 0..allowed_cols {
-                if self.obj[c] < -EPS {
-                    entering = Some(c);
-                    break;
-                }
+    /// The entering column under Dantzig's rule: most negative reduced
+    /// cost, smallest index on (exact) ties. `None` means optimal.
+    fn entering_dantzig(&self, allowed_cols: usize) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for c in 0..allowed_cols {
+            let rc = self.obj[c];
+            if rc < -EPS && best.is_none_or(|(_, b)| rc < b) {
+                best = Some((c, rc));
             }
+        }
+        best.map(|(c, _)| c)
+    }
+
+    /// The entering column under Bland's rule: smallest index with a
+    /// negative reduced cost. `None` means optimal.
+    fn entering_bland(&self, allowed_cols: usize) -> Option<usize> {
+        (0..allowed_cols).find(|&c| self.obj[c] < -EPS)
+    }
+
+    /// Runs simplex iterations until optimal, unbounded or out of pivot
+    /// budget. `allowed_cols` bounds the columns eligible to enter (used
+    /// to bar artificials in phase 2); `max_pivots` is the remaining
+    /// budget shared across phases, decremented through `stats`.
+    fn optimize(
+        &mut self,
+        allowed_cols: usize,
+        max_pivots: u64,
+        stats: &mut PivotStats,
+    ) -> LpStatus {
+        // Anti-cycling state: Dantzig's rule until a run of degenerate
+        // pivots suggests the basis is stalling, then Bland's rule, which
+        // cannot cycle; any strict-progress pivot re-arms Dantzig.
+        let mut bland = false;
+        let mut degenerate_streak = 0u64;
+        loop {
+            let entering = if bland {
+                self.entering_bland(allowed_cols)
+            } else {
+                self.entering_dantzig(allowed_cols)
+            };
             let Some(col) = entering else {
                 return LpStatus::Optimal;
             };
+            // Budget-check only once a pivot is actually required, so an
+            // exactly-sufficient budget still reports `Optimal`.
+            if stats.pivots >= max_pivots {
+                return LpStatus::IterationLimit;
+            }
             // Ratio test; ties broken by smallest basis index (Bland).
             let mut leaving: Option<(usize, f64)> = None;
             for r in 0..self.a.len() {
@@ -85,16 +142,55 @@ impl Tableau {
                     }
                 }
             }
-            let Some((row, _)) = leaving else {
+            let Some((row, ratio)) = leaving else {
                 return LpStatus::Unbounded;
             };
+            stats.pivots += 1;
+            if ratio <= EPS {
+                stats.degenerate += 1;
+                degenerate_streak += 1;
+                if degenerate_streak >= DEGENERATE_STREAK_LIMIT {
+                    bland = true;
+                }
+            } else {
+                degenerate_streak = 0;
+                bland = false;
+            }
             self.pivot(row, col);
         }
     }
 }
 
-/// Solves `problem` with the two-phase simplex method.
+/// The default hard pivot bound for a tableau with `rows` rows and `cols`
+/// columns: generous for any LP the workspace produces, yet finite, so a
+/// pathological instance surfaces as [`LpStatus::IterationLimit`] instead
+/// of an unbounded spin.
+pub fn default_pivot_limit(rows: usize, cols: usize) -> u64 {
+    32 * (rows as u64 + cols as u64) + 1024
+}
+
+/// Solves `problem` with the two-phase simplex method under the default
+/// pivot bound.
 pub fn solve(problem: &LpProblem) -> LpSolution {
+    let rows = problem.constraints.len();
+    let cols = problem.num_vars() + 2 * rows;
+    solve_with_limit(problem, default_pivot_limit(rows, cols))
+}
+
+/// Solves `problem` with an explicit hard pivot bound shared by both
+/// phases. Returns [`LpStatus::IterationLimit`] (with the pivot count in
+/// [`LpSolution::pivots`]) when the bound is exhausted.
+pub fn solve_with_limit(problem: &LpProblem, max_pivots: u64) -> LpSolution {
+    let _span = mc3_telemetry::span("lp.simplex");
+    let mut stats = PivotStats::default();
+    let solution = solve_inner(problem, max_pivots, &mut stats);
+    mc3_telemetry::span_add(mc3_telemetry::Counter::LpPivots, stats.pivots);
+    mc3_telemetry::span_add(mc3_telemetry::Counter::LpDegeneratePivots, stats.degenerate);
+    mc3_telemetry::record(mc3_telemetry::Hist::LpIterations, stats.pivots);
+    solution
+}
+
+fn solve_inner(problem: &LpProblem, max_pivots: u64, stats: &mut PivotStats) -> LpSolution {
     let n = problem.num_vars();
     let m = problem.constraints.len();
 
@@ -169,14 +265,23 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
                 }
             }
         }
-        let status = t.optimize(cols);
+        let status = t.optimize(cols, max_pivots, stats);
         debug_assert_ne!(status, LpStatus::Unbounded, "phase 1 is bounded below by 0");
+        if status == LpStatus::IterationLimit {
+            return LpSolution {
+                status,
+                objective_value: f64::NAN,
+                values: vec![],
+                pivots: stats.pivots,
+            };
+        }
         let phase1_value = -t.obj[cols];
         if phase1_value > 1e-7 {
             return LpSolution {
                 status: LpStatus::Infeasible,
                 objective_value: f64::NAN,
                 values: vec![],
+                pivots: stats.pivots,
             };
         }
         // Drive any remaining basic artificials out of the basis (degenerate
@@ -217,13 +322,25 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
     }
 
     // Artificials may not re-enter.
-    let status = t.optimize(art0);
-    if status == LpStatus::Unbounded {
-        return LpSolution {
-            status,
-            objective_value: f64::NEG_INFINITY,
-            values: vec![],
-        };
+    let status = t.optimize(art0, max_pivots, stats);
+    match status {
+        LpStatus::Unbounded => {
+            return LpSolution {
+                status,
+                objective_value: f64::NEG_INFINITY,
+                values: vec![],
+                pivots: stats.pivots,
+            }
+        }
+        LpStatus::IterationLimit => {
+            return LpSolution {
+                status,
+                objective_value: f64::NAN,
+                values: vec![],
+                pivots: stats.pivots,
+            }
+        }
+        LpStatus::Optimal | LpStatus::Infeasible => {}
     }
 
     let mut values = vec![0.0; n];
@@ -242,11 +359,13 @@ pub fn solve(problem: &LpProblem) -> LpSolution {
         status: LpStatus::Optimal,
         objective_value,
         values,
+        pivots: stats.pivots,
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::types::*;
 
     fn ge(coeffs: Vec<(usize, f64)>, rhs: f64) -> LpConstraint {
@@ -265,6 +384,7 @@ mod tests {
         assert_eq!(s.status, LpStatus::Optimal);
         assert!((s.values[0] - 2.0).abs() < 1e-7);
         assert!((s.objective_value - 6.0).abs() < 1e-7);
+        assert!(s.pivots > 0);
     }
 
     #[test]
@@ -352,7 +472,8 @@ mod tests {
 
     #[test]
     fn degenerate_pivots_terminate() {
-        // A classic degenerate configuration; Bland's rule must terminate.
+        // A classic degenerate configuration; the streak-triggered Bland
+        // fallback must terminate.
         let mut p = LpProblem::minimize(vec![-0.75, 150.0, -0.02, 6.0]);
         p.constraint(
             vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
@@ -368,6 +489,41 @@ mod tests {
         let s = p.solve();
         assert_eq!(s.status, LpStatus::Optimal);
         assert!((s.objective_value - (-0.05)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pivot_limit_surfaces_as_iteration_limit() {
+        // Any LP needing at least one pivot trips a zero budget.
+        let mut p = LpProblem::minimize(vec![3.0]);
+        p.constraint(vec![(0, 1.0)], ConstraintOp::Ge, 2.0);
+        let s = solve_with_limit(&p, 0);
+        assert_eq!(s.status, LpStatus::IterationLimit);
+        assert_eq!(s.pivots, 0);
+        assert!(s.values.is_empty());
+        // The same LP solves fine under the default budget.
+        assert_eq!(p.solve().status, LpStatus::Optimal);
+    }
+
+    #[test]
+    fn phase2_pivot_limit_also_surfaces() {
+        // ≥-rows force a phase 1; give exactly enough budget for phase 1
+        // to finish but not phase 2 by probing increasing budgets until
+        // the first Optimal, asserting every smaller budget reports
+        // IterationLimit (never a wrong answer).
+        let mut p = LpProblem::minimize(vec![2.0, 1.0, 3.0]);
+        p.constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Ge, 4.0);
+        p.constraint(vec![(1, 1.0), (2, 1.0)], ConstraintOp::Ge, 2.0);
+        p.constraint(vec![(0, 1.0)], ConstraintOp::Le, 1.0);
+        let full = p.solve();
+        assert_eq!(full.status, LpStatus::Optimal);
+        for budget in 0..full.pivots {
+            let s = solve_with_limit(&p, budget);
+            assert_eq!(s.status, LpStatus::IterationLimit, "budget {budget}");
+            assert!(s.pivots <= budget);
+        }
+        let s = solve_with_limit(&p, full.pivots);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert!((s.objective_value - full.objective_value).abs() < 1e-9);
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub enum LpStatus {
     Infeasible,
     /// The objective is unbounded below.
     Unbounded,
+    /// The hard pivot bound was exhausted before reaching optimality
+    /// (anti-cycling backstop; see [`crate::simplex::solve_with_limit`]).
+    IterationLimit,
 }
 
 /// An LP solution.
@@ -85,6 +88,9 @@ pub struct LpSolution {
     pub objective_value: f64,
     /// The variable assignment (meaningful only when `Optimal`).
     pub values: Vec<f64>,
+    /// Simplex pivots performed across both phases, including partial
+    /// progress on non-`Optimal` outcomes.
+    pub pivots: u64,
 }
 
 #[cfg(test)]

@@ -72,6 +72,18 @@ impl BaselineFile {
     /// the embedded report goes through the schema-drift-rejecting
     /// [`TelemetryReport::from_json`].
     pub fn from_json(v: &Json) -> Result<BaselineFile, String> {
+        let spec = BaselineFile::spec_from_json(v)?;
+        let report =
+            TelemetryReport::from_json(v.get("report").ok_or("baseline missing 'report'")?)?;
+        Ok(BaselineFile { spec, report })
+    }
+
+    /// Parses only the version and workload spec, ignoring the embedded
+    /// report. `--update` flows use this: a baseline whose report predates
+    /// newly registered counters fails the strict [`BaselineFile::from_json`]
+    /// schema check, but its workload pin is still the right default for
+    /// re-recording.
+    pub fn spec_from_json(v: &Json) -> Result<WorkloadSpec, String> {
         let version = v
             .get("version")
             .and_then(Json::as_u64)
@@ -82,7 +94,7 @@ impl BaselineFile {
             ));
         }
         let w = v.get("workload").ok_or("baseline missing 'workload'")?;
-        let spec = WorkloadSpec {
+        Ok(WorkloadSpec {
             kind: w
                 .get("kind")
                 .and_then(Json::as_str)
@@ -101,10 +113,7 @@ impl BaselineFile {
                 .and_then(Json::as_str)
                 .ok_or("workload missing string 'algorithm'")?
                 .to_owned(),
-        };
-        let report =
-            TelemetryReport::from_json(v.get("report").ok_or("baseline missing 'report'")?)?;
-        Ok(BaselineFile { spec, report })
+        })
     }
 }
 

@@ -1,0 +1,310 @@
+//! The shared bitset coverage kernel.
+//!
+//! Every WSC refinement loop in this crate asks the same three questions —
+//! *is this element covered?*, *how many of these elements are new?*,
+//! *which of these elements are unique?* — against a dense 0..n element
+//! universe. [`BitCover`] answers them on a flat `Vec<u64>` block array:
+//! single-bit probes for sparse element lists, word-wise popcount sweeps
+//! (`and_not`, `count_ones`) for whole-universe queries. Compared to the
+//! previous `Vec<bool>`/`containing(e)` fan-out bookkeeping this keeps the
+//! hot loops inside one cache-resident bitmap and removes the per-element
+//! indirection through the element→sets index entirely.
+//!
+//! Every primitive tallies the number of 64-bit word operations it
+//! performs; callers drain the tally with [`BitCover::take_word_ops`] and
+//! flush it to `Counter::BitCoverWordOps`, keeping the hot loops free of
+//! atomics while the telemetry stays exact and deterministic.
+
+const WORD_BITS: usize = 64;
+
+/// A dense bitmap over elements `0..len` with word-op accounting.
+#[derive(Debug, Clone)]
+pub struct BitCover {
+    blocks: Vec<u64>,
+    len: usize,
+    word_ops: u64,
+}
+
+impl BitCover {
+    /// An all-zeros bitmap over `0..len`.
+    pub fn new(len: usize) -> BitCover {
+        BitCover {
+            blocks: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+            word_ops: 0,
+        }
+    }
+
+    /// Number of bits (elements) the bitmap spans.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap spans zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Zeroes every bit, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.word_ops += self.blocks.len() as u64;
+        self.blocks.fill(0);
+    }
+
+    /// Re-targets the bitmap to `0..len`, zeroed, reusing the allocation.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.blocks.clear();
+        self.blocks.resize(len.div_ceil(WORD_BITS), 0);
+        self.word_ops += self.blocks.len() as u64;
+    }
+
+    /// Whether bit `e` is set.
+    #[inline]
+    pub fn test(&mut self, e: u32) -> bool {
+        self.word_ops += 1;
+        // audit:allow(no-unchecked-index-in-hot-loops) e < len is the caller's instance invariant
+        self.blocks[e as usize / WORD_BITS] >> (e as usize % WORD_BITS) & 1 != 0
+    }
+
+    /// Sets bit `e`.
+    #[inline]
+    pub fn set(&mut self, e: u32) {
+        self.word_ops += 1;
+        self.blocks[e as usize / WORD_BITS] |= 1u64 << (e as usize % WORD_BITS);
+    }
+
+    /// Clears bit `e`.
+    #[inline]
+    pub fn unset(&mut self, e: u32) {
+        self.word_ops += 1;
+        self.blocks[e as usize / WORD_BITS] &= !(1u64 << (e as usize % WORD_BITS));
+    }
+
+    /// Sets bit `e`, returning whether it was already set.
+    #[inline]
+    pub fn test_and_set(&mut self, e: u32) -> bool {
+        self.word_ops += 1;
+        let word = &mut self.blocks[e as usize / WORD_BITS];
+        let mask = 1u64 << (e as usize % WORD_BITS);
+        let was = *word & mask != 0;
+        *word |= mask;
+        was
+    }
+
+    /// How many of `elems` are *not* yet set (the greedy "newly covered"
+    /// count). Does not modify the bitmap.
+    pub fn newly_covered(&mut self, elems: &[u32]) -> u32 {
+        self.word_ops += elems.len() as u64;
+        let mut fresh = 0u32;
+        for &e in elems {
+            // audit:allow(no-unchecked-index-in-hot-loops) element ids are dense 0..len
+            fresh +=
+                (self.blocks[e as usize / WORD_BITS] >> (e as usize % WORD_BITS) & 1 == 0) as u32;
+        }
+        fresh
+    }
+
+    /// Sets every bit of `elems`, returning how many were newly set.
+    pub fn mark(&mut self, elems: &[u32]) -> u32 {
+        self.word_ops += elems.len() as u64;
+        let mut fresh = 0u32;
+        for &e in elems {
+            // audit:allow(no-unchecked-index-in-hot-loops) element ids are dense 0..len
+            let word = &mut self.blocks[e as usize / WORD_BITS];
+            let mask = 1u64 << (e as usize % WORD_BITS);
+            fresh += (*word & mask == 0) as u32;
+            *word |= mask;
+        }
+        fresh
+    }
+
+    /// How many of `elems` are currently set. `elems` must be duplicate-free
+    /// for the count to equal the intersection cardinality.
+    pub fn count_set(&mut self, elems: &[u32]) -> u32 {
+        self.word_ops += elems.len() as u64;
+        let mut hits = 0u32;
+        for &e in elems {
+            // audit:allow(no-unchecked-index-in-hot-loops) element ids are dense 0..len
+            hits += (self.blocks[e as usize / WORD_BITS] >> (e as usize % WORD_BITS) & 1) as u32;
+        }
+        hits
+    }
+
+    /// Whether any bit of `elems` is set (early exit on the first hit).
+    pub fn intersects(&mut self, elems: &[u32]) -> bool {
+        for (i, &e) in elems.iter().enumerate() {
+            // audit:allow(no-unchecked-index-in-hot-loops) element ids are dense 0..len
+            if self.blocks[e as usize / WORD_BITS] >> (e as usize % WORD_BITS) & 1 != 0 {
+                self.word_ops += i as u64 + 1;
+                return true;
+            }
+        }
+        self.word_ops += elems.len() as u64;
+        false
+    }
+
+    /// Appends to `out` the members of `elems` whose bit is set, in `elems`
+    /// order (e.g. the uniquely-covered elements of a set, against a
+    /// multiplicity-one bitmap).
+    pub fn unique_of(&mut self, elems: &[u32], out: &mut Vec<u32>) {
+        self.word_ops += elems.len() as u64;
+        for &e in elems {
+            // audit:allow(no-unchecked-index-in-hot-loops) element ids are dense 0..len
+            if self.blocks[e as usize / WORD_BITS] >> (e as usize % WORD_BITS) & 1 != 0 {
+                out.push(e);
+            }
+        }
+    }
+
+    /// Word-wise `self &= !other`. Both bitmaps must span the same length.
+    pub fn and_not(&mut self, other: &BitCover) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.word_ops += self.blocks.len() as u64;
+        for (w, &o) in self.blocks.iter_mut().zip(other.blocks.iter()) {
+            *w &= !o;
+        }
+    }
+
+    /// Population count over the whole bitmap (word-wise popcount sweep).
+    pub fn count_ones(&mut self) -> u64 {
+        self.word_ops += self.blocks.len() as u64;
+        self.blocks.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Drains the word-op tally (monotonic since the last call). Callers
+    /// flush this into `Counter::BitCoverWordOps`.
+    pub fn take_word_ops(&mut self) -> u64 {
+        std::mem::take(&mut self.word_ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bit_ops() {
+        let mut b = BitCover::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.test(0) && !b.test(129));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.test(0) && b.test(64) && b.test(129));
+        assert!(!b.test(63) && !b.test(65));
+        b.unset(64);
+        assert!(!b.test(64));
+        assert!(!b.test_and_set(7));
+        assert!(b.test_and_set(7));
+        assert_eq!(b.count_ones(), 3); // 0, 7, 129
+    }
+
+    #[test]
+    fn newly_covered_and_mark_agree() {
+        let mut b = BitCover::new(10);
+        let elems = [1u32, 3, 5, 7];
+        assert_eq!(b.newly_covered(&elems), 4);
+        assert_eq!(b.mark(&elems), 4);
+        assert_eq!(b.newly_covered(&elems), 0);
+        assert_eq!(b.mark(&[5, 6]), 1); // only 6 is new
+        assert_eq!(b.count_set(&[0, 1, 2, 3]), 2);
+    }
+
+    #[test]
+    fn intersects_and_unique_of() {
+        let mut b = BitCover::new(100);
+        b.set(40);
+        b.set(90);
+        assert!(b.intersects(&[1, 40, 90]));
+        assert!(!b.intersects(&[1, 2, 3]));
+        assert!(!b.intersects(&[]));
+        let mut out = Vec::new();
+        b.unique_of(&[90, 1, 40], &mut out);
+        assert_eq!(out, vec![90, 40]); // input order preserved
+    }
+
+    #[test]
+    fn and_not_masks_words() {
+        let mut a = BitCover::new(70);
+        let mut m = BitCover::new(70);
+        for e in 0..70u32 {
+            a.set(e);
+        }
+        m.set(0);
+        m.set(69);
+        a.and_not(&m);
+        assert!(!a.test(0) && !a.test(69));
+        assert!(a.test(1) && a.test(68));
+        assert_eq!(a.count_ones(), 68);
+    }
+
+    #[test]
+    fn clear_and_reset_reuse_allocation() {
+        let mut b = BitCover::new(200);
+        b.set(150);
+        b.clear();
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.len(), 200);
+        b.reset(64);
+        assert_eq!(b.len(), 64);
+        assert_eq!(b.count_ones(), 0);
+        b.set(63);
+        assert!(b.test(63));
+    }
+
+    #[test]
+    fn word_ops_tally_is_exact_and_drains() {
+        let mut b = BitCover::new(128); // 2 words
+        b.take_word_ops(); // drop construction-time tally (none) for clarity
+        b.set(3); // 1
+        assert!(b.test(3)); // 1
+        b.mark(&[1, 2, 3]); // 3
+        assert_eq!(b.newly_covered(&[9, 10]), 2); // 2
+        b.clear(); // 2 (words)
+        assert_eq!(b.take_word_ops(), 9);
+        assert_eq!(b.take_word_ops(), 0);
+    }
+
+    #[test]
+    fn zero_length_bitmap() {
+        let mut b = BitCover::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert!(!b.intersects(&[]));
+    }
+
+    #[test]
+    fn matches_bool_vec_reference_on_random_traffic() {
+        use mc3_core::rng::prelude::*;
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..=300usize);
+            let mut bits = BitCover::new(n);
+            let mut reference = vec![false; n];
+            for _ in 0..200 {
+                let e = rng.gen_range(0..n as u32);
+                match rng.gen_range(0..4u8) {
+                    0 => {
+                        bits.set(e);
+                        reference[e as usize] = true;
+                    }
+                    1 => {
+                        bits.unset(e);
+                        reference[e as usize] = false;
+                    }
+                    2 => assert_eq!(bits.test(e), reference[e as usize]),
+                    _ => {
+                        let was = bits.test_and_set(e);
+                        assert_eq!(was, reference[e as usize]);
+                        reference[e as usize] = true;
+                    }
+                }
+            }
+            let expected = reference.iter().filter(|&&x| x).count() as u64;
+            assert_eq!(bits.count_ones(), expected);
+        }
+    }
+}

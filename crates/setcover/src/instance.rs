@@ -1,4 +1,10 @@
 //! Dense Weighted Set Cover instances (Definition 2.4 of the paper).
+//!
+//! Both incidence directions are stored in CSR (compressed sparse row)
+//! layout — two flat `Vec<u32>` arrays per direction instead of a `Vec` of
+//! `Vec`s — so iterating a set's elements or an element's sets touches one
+//! contiguous slice, and the buffers can be recycled across solver rounds
+//! via [`SetCoverInstance::from_parts`]/[`SetCoverInstance::into_parts`].
 
 use mc3_core::{Mc3Error, Result, Weight};
 
@@ -14,10 +20,15 @@ pub type SetId = usize;
 #[derive(Debug, Clone)]
 pub struct SetCoverInstance {
     num_elements: usize,
-    elements: Vec<Vec<u32>>,
+    /// CSR offsets into `set_data`; length `m + 1`.
+    set_off: Vec<u32>,
+    /// Concatenated sorted element lists of all sets.
+    set_data: Vec<u32>,
     costs: Vec<Weight>,
-    /// `containing[e]` lists the sets that contain element `e`.
-    containing: Vec<Vec<u32>>,
+    /// CSR offsets into `cont_data`; length `n + 1`.
+    cont_off: Vec<u32>,
+    /// Concatenated ascending set-id lists per element.
+    cont_data: Vec<u32>,
 }
 
 impl SetCoverInstance {
@@ -26,26 +37,116 @@ impl SetCoverInstance {
     /// Element lists are deduplicated and sorted. Panics if a cost is
     /// infinite or an element id is out of range.
     pub fn new(num_elements: usize, sets: Vec<(Vec<u32>, Weight)>) -> SetCoverInstance {
-        let mut elements = Vec::with_capacity(sets.len());
+        let mut set_off = Vec::with_capacity(sets.len() + 1);
+        let mut set_data = Vec::new();
         let mut costs = Vec::with_capacity(sets.len());
-        let mut containing: Vec<Vec<u32>> = vec![Vec::new(); num_elements];
+        set_off.push(0u32);
         for (si, (mut els, cost)) in sets.into_iter().enumerate() {
             assert!(cost.is_finite(), "set {si} has infinite cost");
             els.sort_unstable();
             els.dedup();
             for &e in &els {
                 assert!((e as usize) < num_elements, "element {e} out of range");
-                containing[e as usize].push(si as u32);
             }
-            elements.push(els);
+            set_data.extend_from_slice(&els);
+            set_off.push(set_data.len() as u32);
             costs.push(cost);
         }
+        Self::from_parts(
+            num_elements,
+            set_off,
+            set_data,
+            costs,
+            Vec::new(),
+            Vec::new(),
+        )
+    }
+
+    /// Builds an instance directly from CSR parts. Each set's slice of
+    /// `set_data` must already be sorted and deduplicated (checked in debug
+    /// builds); costs must be finite. `cont_off`/`cont_data` are recycled
+    /// buffers (any contents are discarded) — pass empty `Vec`s when no
+    /// buffers are available for reuse.
+    pub fn from_parts(
+        num_elements: usize,
+        set_off: Vec<u32>,
+        set_data: Vec<u32>,
+        costs: Vec<Weight>,
+        mut cont_off: Vec<u32>,
+        mut cont_data: Vec<u32>,
+    ) -> SetCoverInstance {
+        assert_eq!(
+            set_off.len(),
+            costs.len() + 1,
+            "offset/cost length mismatch"
+        );
+        assert_eq!(
+            *set_off.last().unwrap_or(&0) as usize,
+            set_data.len(),
+            "final offset must equal data length"
+        );
+        debug_assert!(costs.iter().all(|c| c.is_finite()), "infinite cost");
+        debug_assert!(
+            set_off.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        debug_assert!(
+            set_off.windows(2).all(|w| {
+                set_data[w[0] as usize..w[1] as usize]
+                    .windows(2)
+                    .all(|p| p[0] < p[1])
+            }),
+            "set element lists must be sorted and deduplicated"
+        );
+        debug_assert!(
+            set_data.iter().all(|&e| (e as usize) < num_elements),
+            "element out of range"
+        );
+
+        // Counting sort: per-element frequencies → prefix offsets → fill.
+        // Iterating sets in ascending order makes every `containing` list
+        // ascending by construction.
+        cont_off.clear();
+        cont_off.resize(num_elements + 1, 0);
+        for &e in &set_data {
+            // audit:allow(no-unchecked-index-in-hot-loops) e < num_elements checked above
+            cont_off[e as usize + 1] += 1;
+        }
+        for i in 1..cont_off.len() {
+            cont_off[i] += cont_off[i - 1];
+        }
+        cont_data.clear();
+        cont_data.resize(set_data.len(), 0);
+        let mut cursor: Vec<u32> = cont_off[..num_elements].to_vec();
+        for s in 0..costs.len() {
+            // audit:allow(no-unchecked-index-in-hot-loops) CSR invariants established above
+            for &e in &set_data[set_off[s] as usize..set_off[s + 1] as usize] {
+                let c = &mut cursor[e as usize];
+                cont_data[*c as usize] = s as u32;
+                *c += 1;
+            }
+        }
+
         SetCoverInstance {
             num_elements,
-            elements,
+            set_off,
+            set_data,
             costs,
-            containing,
+            cont_off,
+            cont_data,
         }
+    }
+
+    /// Decomposes the instance into its CSR buffers (in `from_parts`
+    /// argument order) so their allocations can be recycled.
+    pub fn into_parts(self) -> (Vec<u32>, Vec<u32>, Vec<Weight>, Vec<u32>, Vec<u32>) {
+        (
+            self.set_off,
+            self.set_data,
+            self.costs,
+            self.cont_off,
+            self.cont_data,
+        )
     }
 
     /// Number of elements `n`.
@@ -57,13 +158,13 @@ impl SetCoverInstance {
     /// Number of sets `m`.
     #[inline]
     pub fn num_sets(&self) -> usize {
-        self.elements.len()
+        self.costs.len()
     }
 
     /// The (sorted) element list of set `s`.
     #[inline]
     pub fn set(&self, s: SetId) -> &[u32] {
-        &self.elements[s]
+        &self.set_data[self.set_off[s] as usize..self.set_off[s + 1] as usize]
     }
 
     /// The cost of set `s`.
@@ -72,34 +173,42 @@ impl SetCoverInstance {
         self.costs[s]
     }
 
-    /// The sets containing element `e`.
+    /// The sets containing element `e`, ascending.
     #[inline]
     pub fn containing(&self, e: u32) -> &[u32] {
-        &self.containing[e as usize]
+        &self.cont_data[self.cont_off[e as usize] as usize..self.cont_off[e as usize + 1] as usize]
     }
 
     /// The instance *frequency* `f`: the maximal number of sets any element
     /// belongs to.
     pub fn frequency(&self) -> usize {
-        self.containing.iter().map(Vec::len).max().unwrap_or(0)
+        self.cont_off
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The instance *degree* `Δ`: the cardinality of the largest set.
     pub fn degree(&self) -> usize {
-        self.elements.iter().map(Vec::len).max().unwrap_or(0)
+        self.set_off
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sum of set sizes `Σ|s|` (drives greedy's complexity).
     pub fn total_size(&self) -> usize {
-        self.elements.iter().map(Vec::len).sum()
+        self.set_data.len()
     }
 
     /// The first element contained in no set, if any (the instance is then
     /// uncoverable).
     pub fn first_uncoverable_element(&self) -> Option<u32> {
-        self.containing
-            .iter()
-            .position(Vec::is_empty)
+        self.cont_off
+            .windows(2)
+            .position(|w| w[0] == w[1])
             .map(|e| e as u32)
     }
 
@@ -134,13 +243,11 @@ impl SetCoverSolution {
 
     /// Whether every element of `instance` is covered.
     pub fn is_cover(&self, instance: &SetCoverInstance) -> bool {
-        let mut covered = vec![false; instance.num_elements()];
+        let mut covered = crate::bitcover::BitCover::new(instance.num_elements());
         for &s in &self.selected {
-            for &e in instance.set(s) {
-                covered[e as usize] = true;
-            }
+            covered.mark(instance.set(s));
         }
-        covered.into_iter().all(|c| c)
+        covered.count_ones() as usize == instance.num_elements()
     }
 }
 
@@ -195,5 +302,47 @@ mod tests {
         assert!(sol.is_cover(&inst));
         let partial = SetCoverSolution::new(&inst, vec![0]);
         assert!(!partial.is_cover(&inst));
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_structure() {
+        let inst = SetCoverInstance::new(
+            5,
+            vec![
+                (vec![0, 1, 4], w(3)),
+                (vec![2, 3], w(1)),
+                (vec![], w(2)),
+                (vec![4], w(9)),
+            ],
+        );
+        let sets: Vec<Vec<u32>> = (0..inst.num_sets()).map(|s| inst.set(s).to_vec()).collect();
+        let conts: Vec<Vec<u32>> = (0..5).map(|e| inst.containing(e).to_vec()).collect();
+        let (so, sd, c, co, cd) = inst.clone().into_parts();
+        let rebuilt = SetCoverInstance::from_parts(5, so, sd, c, co, cd);
+        for (s, els) in sets.iter().enumerate() {
+            assert_eq!(rebuilt.set(s), &els[..]);
+            assert_eq!(rebuilt.cost(s), inst.cost(s));
+        }
+        for (e, cs) in conts.iter().enumerate() {
+            assert_eq!(rebuilt.containing(e as u32), &cs[..]);
+        }
+    }
+
+    #[test]
+    fn containing_lists_are_ascending() {
+        use mc3_core::rng::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..=12usize);
+            let mut sets = Vec::new();
+            for _ in 0..rng.gen_range(0..=15usize) {
+                let els: Vec<u32> = (0..n as u32).filter(|_| rng.gen_bool(0.4)).collect();
+                sets.push((els, w(rng.gen_range(1..9))));
+            }
+            let inst = SetCoverInstance::new(n, sets);
+            for e in 0..n as u32 {
+                assert!(inst.containing(e).windows(2).all(|p| p[0] < p[1]));
+            }
+        }
     }
 }

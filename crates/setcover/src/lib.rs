@@ -8,8 +8,12 @@
 //! `f`-approximation (\[50\]), returning the cheaper output. This crate
 //! provides:
 //!
-//! * [`SetCoverInstance`] — the dense WSC representation with its
-//!   `frequency` (`f`) and `degree` (`Δ`) parameters;
+//! * [`SetCoverInstance`] — the dense WSC representation (CSR incidence
+//!   in both directions) with its `frequency` (`f`) and `degree` (`Δ`)
+//!   parameters;
+//! * [`bitcover`] — the shared [`BitCover`] bitset coverage kernel the hot
+//!   loops of [`greedy`], [`prune`] and [`local_search`] run on (see
+//!   `docs/performance.md`);
 //! * [`greedy`] — lazy-heap Chvátal greedy;
 //! * [`primal_dual`] — the Bar-Yehuda–Even combinatorial `f`-approximation
 //!   (LP-duality based; same guarantee as LP rounding, near-linear time);
@@ -18,6 +22,7 @@
 //! * [`exact`] — a branch-and-bound exact solver used as the reference
 //!   optimum in tests and for small sub-instances.
 
+pub mod bitcover;
 pub mod components;
 pub mod exact;
 pub mod greedy;
@@ -29,6 +34,7 @@ pub mod prune;
 #[cfg(feature = "verify")]
 pub mod verify;
 
+pub use bitcover::BitCover;
 pub use components::{solve_exact_by_components, split_components, WscComponent};
 pub use exact::solve_exact;
 pub use greedy::solve_greedy;

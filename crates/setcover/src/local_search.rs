@@ -8,6 +8,7 @@
 //! only decrease, so every approximation guarantee carried by the input
 //! solution is preserved.
 
+use crate::bitcover::BitCover;
 use crate::instance::{SetCoverInstance, SetCoverSolution};
 
 /// Maximum improvement passes before giving up on convergence.
@@ -16,69 +17,120 @@ const MAX_PASSES: usize = 8;
 /// Improves `solution` by 1-for-1 swaps and redundancy drops until no move
 /// helps (or the pass cap is hit). The result covers the same instance at
 /// equal or lower cost.
+///
+/// Coverage multiplicities (and the derived multiplicity-one bitmap) are
+/// maintained incrementally across passes: every in-pass drop/swap already
+/// applies its exact delta, so the `O(selected · m)` from-scratch recount
+/// the previous implementation ran at the top of every pass is gone. The
+/// uniquely-covered elements of a set fall out of one [`BitCover::unique_of`]
+/// probe, and candidate containment is a popcount-style [`BitCover::count_set`]
+/// sweep instead of per-element binary searches.
 pub fn local_search(instance: &SetCoverInstance, solution: &SetCoverSolution) -> SetCoverSolution {
+    let _span = mc3_telemetry::span("setcover.local_search");
     // No up-front redundancy prune: dropping a shadowed cheap set first can
     // block a profitable swap of the expensive set shadowing it. Each pass
     // below drops redundant sets in the same cost order as the swaps.
-    let mut current = solution.clone();
+    let mut mult = vec![0u32; instance.num_elements()];
+    let mut selected_mark = vec![false; instance.num_sets()];
+    // mult1: bit set ⇔ exactly one selected set covers the element.
+    let mut mult1 = BitCover::new(instance.num_elements());
+    // uniq_bits: per-set scratch holding its uniquely-covered elements.
+    let mut uniq_bits = BitCover::new(instance.num_elements());
+    for &s in &solution.selected {
+        selected_mark[s] = true;
+        for &e in instance.set(s) {
+            // audit:allow(no-unchecked-index-in-hot-loops) element ids are dense 0..num_elements
+            mult[e as usize] += 1;
+        }
+    }
+    for (e, &m) in mult.iter().enumerate() {
+        if m == 1 {
+            mult1.set(e as u32);
+        }
+    }
+    // Applies a ±1 multiplicity delta, keeping the mult1 bitmap in sync.
+    let bump = |mult: &mut [u32], mult1: &mut BitCover, e: u32, up: bool| {
+        // audit:allow(no-unchecked-index-in-hot-loops) element ids are dense 0..num_elements
+        let m = &mut mult[e as usize];
+        if up {
+            *m += 1;
+            if *m == 1 {
+                mult1.set(e);
+            } else if *m == 2 {
+                mult1.unset(e);
+            }
+        } else {
+            *m -= 1;
+            if *m == 1 {
+                mult1.set(e);
+            } else if *m == 0 {
+                mult1.unset(e);
+            }
+        }
+    };
+
+    let mut selection = solution.selected.clone();
+    let mut unique: Vec<u32> = Vec::new();
+    let mut converged = false;
     for _ in 0..MAX_PASSES {
         let mut improved = false;
 
-        // coverage multiplicity under the current selection
-        let mut mult = vec![0u32; instance.num_elements()];
-        let mut selected_mark = vec![false; instance.num_sets()];
-        for &s in &current.selected {
-            selected_mark[s] = true;
-            for &e in instance.set(s) {
-                mult[e as usize] += 1;
-            }
-        }
+        // try to replace expensive sets first (stable over ascending ids)
+        selection.sort_unstable();
+        selection.sort_by_key(|&s| std::cmp::Reverse(instance.cost(s)));
+        let mut result: Vec<usize> = Vec::with_capacity(selection.len());
 
-        let mut selected = current.selected.clone();
-        // try to replace expensive sets first
-        selected.sort_by_key(|&s| std::cmp::Reverse(instance.cost(s)));
-        let mut result: Vec<usize> = Vec::with_capacity(selected.len());
-
-        for &s in &selected {
+        for &s in &selection {
             // elements only this set covers
-            let unique: Vec<u32> = instance
-                .set(s)
-                .iter()
-                .copied()
-                .filter(|&e| mult[e as usize] == 1)
-                .collect();
+            unique.clear();
+            mult1.unique_of(instance.set(s), &mut unique);
             if unique.is_empty() {
                 // redundant — drop
                 for &e in instance.set(s) {
-                    mult[e as usize] -= 1;
+                    bump(&mut mult, &mut mult1, e, false);
                 }
                 selected_mark[s] = false;
                 improved = true;
                 continue;
             }
             // candidate replacements: cheaper sets covering all unique
-            // elements; they all contain unique[0]
+            // elements; any unique element's containing list encloses them
+            // all, so pivot on the one with the smallest fan-out. The winner
+            // (cheapest, then smallest id) is invariant under pivot choice:
+            // every containing list iterates in ascending set id.
+            uniq_bits.mark(&unique);
+            let pivot = unique
+                .iter()
+                .copied()
+                .min_by_key(|&e| instance.containing(e).len())
+                // audit:allow(no-unwrap-in-lib) the `unique.is_empty()` branch above already returned
+                .expect("unique is non-empty");
             let mut best: Option<usize> = None;
-            for &cand in instance.containing(unique[0]) {
+            let mut bound = instance.cost(s);
+            for &cand in instance.containing(pivot) {
                 let cand = cand as usize;
-                if cand == s || selected_mark[cand] || instance.cost(cand) >= instance.cost(s) {
+                if cand == s
+                    || selected_mark[cand]
+                    || instance.cost(cand) >= bound
+                    || instance.set(cand).len() < unique.len()
+                {
                     continue;
                 }
-                if unique
-                    .iter()
-                    .all(|&e| instance.set(cand).binary_search(&e).is_ok())
-                    && best.is_none_or(|b| instance.cost(cand) < instance.cost(b))
-                {
+                if uniq_bits.count_set(instance.set(cand)) as usize == unique.len() {
                     best = Some(cand);
+                    bound = instance.cost(cand);
                 }
+            }
+            for &e in &unique {
+                uniq_bits.unset(e);
             }
             match best {
                 Some(replacement) => {
                     for &e in instance.set(s) {
-                        mult[e as usize] -= 1;
+                        bump(&mut mult, &mut mult1, e, false);
                     }
                     for &e in instance.set(replacement) {
-                        mult[e as usize] += 1;
+                        bump(&mut mult, &mut mult1, e, true);
                     }
                     selected_mark[s] = false;
                     selected_mark[replacement] = true;
@@ -89,15 +141,33 @@ pub fn local_search(instance: &SetCoverInstance, solution: &SetCoverSolution) ->
             }
         }
 
-        let next = SetCoverSolution::new(instance, result);
-        debug_assert!(next.is_cover(instance), "local search broke feasibility");
-        debug_assert!(next.cost <= current.cost, "local search raised the cost");
-        current = next;
+        #[cfg(debug_assertions)]
+        {
+            let check = SetCoverSolution::new(instance, result.clone());
+            debug_assert!(check.is_cover(instance), "local search broke feasibility");
+            debug_assert!(check.cost <= solution.cost, "local search raised the cost");
+        }
+        selection = result;
         if !improved {
+            converged = true;
             break;
         }
     }
-    current
+    if !converged {
+        mc3_obs::debug(
+            "setcover",
+            "local search hit the pass cap without converging",
+            &[
+                ("max_passes", MAX_PASSES.into()),
+                ("selected", selection.len().into()),
+            ],
+        );
+    }
+    mc3_telemetry::span_add(
+        mc3_telemetry::Counter::BitCoverWordOps,
+        mult1.take_word_ops() + uniq_bits.take_word_ops(),
+    );
+    SetCoverSolution::new(instance, selection)
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@ pub fn solve_lp_rounding(instance: &SetCoverInstance) -> Result<SetCoverSolution
                 "covering LP reported unbounded (non-negative costs forbid this)".to_owned(),
             ))
         }
+        LpStatus::IterationLimit => return Err(Mc3Error::LpIterationLimit { pivots: sol.pivots }),
     }
 
     let threshold = 1.0 / f as f64 - 1e-7;

@@ -9,6 +9,7 @@
 //! heuristics which preserve the approximation guarantees, yet improve in
 //! practice ... the quality of the solution").
 
+use crate::bitcover::BitCover;
 use crate::instance::{SetCoverInstance, SetCoverSolution};
 
 /// Removes redundant sets from `solution` (most expensive first; ties by
@@ -17,11 +18,22 @@ pub fn prune_redundant(
     instance: &SetCoverInstance,
     solution: &SetCoverSolution,
 ) -> SetCoverSolution {
-    // multiplicity[e] = how many selected sets cover e
+    // multiplicity[e] = how many selected sets cover e; the `unique` bitmap
+    // tracks the elements with multiplicity exactly 1 — a set is removable
+    // iff it touches none of them (every element of a selected set has
+    // multiplicity ≥ 1, so "all ≥ 2" ⇔ "none == 1"), turning the per-set
+    // test into an early-exit bitmap probe.
     let mut multiplicity = vec![0u32; instance.num_elements()];
+    let mut unique = BitCover::new(instance.num_elements());
     for &s in &solution.selected {
         for &e in instance.set(s) {
+            // audit:allow(no-unchecked-index-in-hot-loops) element ids are dense 0..num_elements
             multiplicity[e as usize] += 1;
+        }
+    }
+    for (e, &m) in multiplicity.iter().enumerate() {
+        if m == 1 {
+            unique.set(e as u32);
         }
     }
     let mut order = solution.selected.clone();
@@ -29,18 +41,24 @@ pub fn prune_redundant(
 
     let mut keep: Vec<usize> = Vec::with_capacity(order.len());
     for s in order {
-        let removable = instance
-            .set(s)
-            .iter()
-            .all(|&e| multiplicity[e as usize] >= 2);
+        let removable = !unique.intersects(instance.set(s));
         if removable && !instance.cost(s).is_zero() {
             for &e in instance.set(s) {
-                multiplicity[e as usize] -= 1;
+                // audit:allow(no-unchecked-index-in-hot-loops) element ids are dense 0..num_elements
+                let m = &mut multiplicity[e as usize];
+                *m -= 1;
+                if *m == 1 {
+                    unique.set(e);
+                }
             }
         } else {
             keep.push(s);
         }
     }
+    mc3_telemetry::span_add(
+        mc3_telemetry::Counter::BitCoverWordOps,
+        unique.take_word_ops(),
+    );
     SetCoverSolution::new(instance, keep)
 }
 

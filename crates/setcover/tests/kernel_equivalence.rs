@@ -1,0 +1,271 @@
+//! Bit-identical equivalence of the `BitCover`-kernel hot paths against the
+//! pre-kernel sparse reference implementations.
+//!
+//! The bitset rewrite of greedy / prune / local search is a pure access-
+//! pattern change: every recount, removability probe and containment test
+//! computes exactly the value the old per-set counters and binary searches
+//! held. These tests pin that claim by replaying the *old* implementations
+//! (copied below verbatim, modulo the coverage bookkeeping they used) on 200
+//! seeded instances and demanding identical outputs — not just equal costs.
+//!
+//! Seeded-loop style (the workspace builds offline, without `proptest`).
+
+use mc3_core::rng::prelude::*;
+use mc3_core::Weight;
+use mc3_setcover::{
+    local_search, prune_redundant, solve_greedy, SetCoverInstance, SetCoverSolution,
+};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+const CASES: u64 = 200;
+
+/// A coverable WSC instance large enough to span several bitmap words.
+fn rand_instance(rng: &mut StdRng) -> SetCoverInstance {
+    let n = rng.gen_range(1..=200usize);
+    let mut sets: Vec<(Vec<u32>, Weight)> = (0..n)
+        .map(|e| (vec![e as u32], Weight::new(rng.gen_range(1..20u64))))
+        .collect();
+    let extras = rng.gen_range(0..=120usize);
+    for _ in 0..extras {
+        let len = rng.gen_range(1..=40usize);
+        let els: Vec<u32> = (0..len).map(|_| rng.gen_range(0..n as u32)).collect();
+        sets.push((els, Weight::new(rng.gen_range(1..20u64))));
+    }
+    SetCoverInstance::new(n, sets)
+}
+
+// --- pre-kernel reference implementations ---------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    cov: u32,
+    cost: u64,
+    id: u32,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let lhs = self.cov as u128 * other.cost as u128;
+        let rhs = other.cov as u128 * self.cost as u128;
+        lhs.cmp(&rhs)
+            .then_with(|| {
+                if self.cost == 0 && other.cost == 0 {
+                    self.cov.cmp(&other.cov)
+                } else {
+                    Ordering::Equal
+                }
+            })
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The old lazy-heap greedy: per-set live counters decremented through the
+/// element→sets `containing(e)` fan-out on every selection.
+fn reference_greedy(instance: &SetCoverInstance) -> (Vec<usize>, SetCoverSolution) {
+    instance
+        .ensure_coverable()
+        .expect("coverable by singletons");
+    let m = instance.num_sets();
+    let mut covered = vec![false; instance.num_elements()];
+    let mut uncovered_left = instance.num_elements();
+    let mut live: Vec<u32> = (0..m).map(|s| instance.set(s).len() as u32).collect();
+
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(m);
+    for (s, &cov) in live.iter().enumerate() {
+        if cov > 0 {
+            heap.push(Entry {
+                cov,
+                cost: instance.cost(s).raw(),
+                id: s as u32,
+            });
+        }
+    }
+
+    let mut sequence = Vec::new();
+    while uncovered_left > 0 {
+        let top = heap.pop().expect("heap exhausted");
+        let s = top.id as usize;
+        let current = live[s];
+        if current == 0 {
+            continue;
+        }
+        if current < top.cov {
+            heap.push(Entry {
+                cov: current,
+                cost: top.cost,
+                id: top.id,
+            });
+            continue;
+        }
+        sequence.push(s);
+        for &e in instance.set(s) {
+            if !covered[e as usize] {
+                covered[e as usize] = true;
+                uncovered_left -= 1;
+                for &t in instance.containing(e) {
+                    live[t as usize] -= 1;
+                }
+            }
+        }
+    }
+    let sol = SetCoverSolution::new(instance, sequence.clone());
+    (sequence, sol)
+}
+
+/// The old prune: full multiplicity recount, removability by an
+/// all-elements `mult ≥ 2` scan.
+fn reference_prune(instance: &SetCoverInstance, solution: &SetCoverSolution) -> SetCoverSolution {
+    let mut multiplicity = vec![0u32; instance.num_elements()];
+    for &s in &solution.selected {
+        for &e in instance.set(s) {
+            multiplicity[e as usize] += 1;
+        }
+    }
+    let mut order = solution.selected.clone();
+    order.sort_by_key(|&s| (std::cmp::Reverse(instance.cost(s)), std::cmp::Reverse(s)));
+
+    let mut keep: Vec<usize> = Vec::with_capacity(order.len());
+    for s in order {
+        let removable = instance
+            .set(s)
+            .iter()
+            .all(|&e| multiplicity[e as usize] >= 2);
+        if removable && !instance.cost(s).is_zero() {
+            for &e in instance.set(s) {
+                multiplicity[e as usize] -= 1;
+            }
+        } else {
+            keep.push(s);
+        }
+    }
+    SetCoverSolution::new(instance, keep)
+}
+
+/// The old local search: per-pass `O(selected · m)` multiplicity recount and
+/// per-element binary-search containment tests.
+fn reference_local_search(
+    instance: &SetCoverInstance,
+    solution: &SetCoverSolution,
+) -> SetCoverSolution {
+    const MAX_PASSES: usize = 8;
+    let mut current = solution.clone();
+    for _ in 0..MAX_PASSES {
+        let mut improved = false;
+
+        let mut mult = vec![0u32; instance.num_elements()];
+        let mut selected_mark = vec![false; instance.num_sets()];
+        for &s in &current.selected {
+            selected_mark[s] = true;
+            for &e in instance.set(s) {
+                mult[e as usize] += 1;
+            }
+        }
+
+        let mut selected = current.selected.clone();
+        selected.sort_by_key(|&s| std::cmp::Reverse(instance.cost(s)));
+        let mut result: Vec<usize> = Vec::with_capacity(selected.len());
+
+        for &s in &selected {
+            let unique: Vec<u32> = instance
+                .set(s)
+                .iter()
+                .copied()
+                .filter(|&e| mult[e as usize] == 1)
+                .collect();
+            if unique.is_empty() {
+                for &e in instance.set(s) {
+                    mult[e as usize] -= 1;
+                }
+                selected_mark[s] = false;
+                improved = true;
+                continue;
+            }
+            let mut best: Option<usize> = None;
+            for &cand in instance.containing(unique[0]) {
+                let cand = cand as usize;
+                if cand == s || selected_mark[cand] || instance.cost(cand) >= instance.cost(s) {
+                    continue;
+                }
+                if unique
+                    .iter()
+                    .all(|&e| instance.set(cand).binary_search(&e).is_ok())
+                    && best.is_none_or(|b| instance.cost(cand) < instance.cost(b))
+                {
+                    best = Some(cand);
+                }
+            }
+            match best {
+                Some(replacement) => {
+                    for &e in instance.set(s) {
+                        mult[e as usize] -= 1;
+                    }
+                    for &e in instance.set(replacement) {
+                        mult[e as usize] += 1;
+                    }
+                    selected_mark[s] = false;
+                    selected_mark[replacement] = true;
+                    result.push(replacement);
+                    improved = true;
+                }
+                None => result.push(s),
+            }
+        }
+
+        current = SetCoverSolution::new(instance, result);
+        if !improved {
+            break;
+        }
+    }
+    current
+}
+
+// --- equivalence properties -----------------------------------------------
+
+#[test]
+fn greedy_matches_sparse_reference() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = rand_instance(&mut rng);
+        let (sequence, reference) = reference_greedy(&inst);
+        let kernel = solve_greedy(&inst).expect("coverable");
+        assert_eq!(kernel.selected, reference.selected, "seed {seed}");
+        assert_eq!(kernel.cost, reference.cost, "seed {seed}");
+        // the sorted selection is exactly the selection sequence as a set
+        let mut sorted = sequence;
+        sorted.sort_unstable();
+        assert_eq!(kernel.selected, sorted, "seed {seed}");
+    }
+}
+
+#[test]
+fn prune_matches_sparse_reference() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = rand_instance(&mut rng);
+        let greedy = solve_greedy(&inst).expect("coverable");
+        let reference = reference_prune(&inst, &greedy);
+        let kernel = prune_redundant(&inst, &greedy);
+        assert_eq!(kernel.selected, reference.selected, "seed {seed}");
+        assert_eq!(kernel.cost, reference.cost, "seed {seed}");
+    }
+}
+
+#[test]
+fn local_search_matches_sparse_reference() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = rand_instance(&mut rng);
+        let greedy = solve_greedy(&inst).expect("coverable");
+        let reference = reference_local_search(&inst, &greedy);
+        let kernel = local_search(&inst, &greedy);
+        assert_eq!(kernel.selected, reference.selected, "seed {seed}");
+        assert_eq!(kernel.cost, reference.cost, "seed {seed}");
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::components::connected_components;
 use crate::preprocess::{preprocess, PreprocessOptions};
-use crate::reduction::reduce_to_wsc;
+use crate::reduction::{reduce_to_wsc_with, ReductionScratch};
 use crate::work::WorkState;
 use mc3_core::{ClassifierUniverse, Instance, Mc3Error, Result, Solution};
 use mc3_setcover::solve_exact_by_components as wsc_exact;
@@ -32,9 +32,11 @@ pub fn solve_exact_with(instance: &Instance, opts: &PreprocessOptions) -> Result
 
     let alive = ws.alive_query_indices();
     let mut picked: Vec<mc3_core::ClassifierId> = ws.selected_ids().to_vec();
+    let mut scratch = ReductionScratch::new();
     for comp in connected_components(instance.queries(), &alive) {
-        let red = reduce_to_wsc(&ws, &comp);
+        let red = reduce_to_wsc_with(&ws, &comp, &mut scratch);
         if red.instance.num_elements() == 0 {
+            scratch.recycle(red);
             continue;
         }
         let sol = wsc_exact(&red.instance).map_err(|e| match e {
@@ -44,6 +46,7 @@ pub fn solve_exact_with(instance: &Instance, opts: &PreprocessOptions) -> Result
             other => other,
         })?;
         picked.extend(sol.selected.iter().map(|&s| red.set_to_classifier[s]));
+        scratch.recycle(red);
     }
     Ok(Solution::from_ids(&ws.universe, picked))
 }

@@ -6,7 +6,7 @@
 //! and keep the cheaper output. Theorem 5.3: the combination is a
 //! `min{ln I + ln(k−1) + 1, 2^(k−1)}`-approximation.
 
-use crate::reduction::reduce_to_wsc;
+use crate::reduction::{reduce_to_wsc_with, ReductionScratch};
 use crate::work::WorkState;
 use mc3_core::{ClassifierId, Result};
 use mc3_setcover::{
@@ -67,10 +67,33 @@ pub fn solve_general_with(
     lp_limits: LpLimits,
     refine: bool,
 ) -> Result<Vec<ClassifierId>> {
+    solve_general_scratch(
+        ws,
+        queries,
+        strategy,
+        lp_limits,
+        refine,
+        &mut ReductionScratch::new(),
+    )
+}
+
+/// [`solve_general_with`] drawing the reduction's buffers from `scratch` and
+/// recycling them on the way out — callers solving many components (or many
+/// rounds) reuse one scratch so the reduction allocates nothing after the
+/// first call.
+pub fn solve_general_scratch(
+    ws: &WorkState<'_>,
+    queries: &[usize],
+    strategy: WscStrategy,
+    lp_limits: LpLimits,
+    refine: bool,
+    scratch: &mut ReductionScratch,
+) -> Result<Vec<ClassifierId>> {
     let _span = mc3_telemetry::span("general.solve");
     mc3_telemetry::span_add(mc3_telemetry::Counter::DispatchGeneral, 1);
-    let red = reduce_to_wsc(ws, queries);
+    let red = reduce_to_wsc_with(ws, queries, scratch);
     if red.instance.num_elements() == 0 {
+        scratch.recycle(red);
         return Ok(Vec::new());
     }
     red.instance.ensure_coverable().map_err(|e| {
@@ -111,11 +134,25 @@ pub fn solve_general_with(
         WscStrategy::LpRoundingOnly => refine(solve_lp_rounding(&red.instance)?),
         WscStrategy::Combined => {
             let greedy = refine(solve_greedy(&red.instance)?);
-            let dual = refine(if lp_fits {
-                solve_lp_rounding(&red.instance)?
+            // The simplex can hit its anti-cycling pivot bound on adversarial
+            // covering LPs; primal–dual carries the same f-approximation
+            // guarantee, so Combined degrades gracefully instead of failing.
+            let dual_raw = if lp_fits {
+                match solve_lp_rounding(&red.instance) {
+                    Err(mc3_core::Mc3Error::LpIterationLimit { pivots }) => {
+                        mc3_obs::warn(
+                            "solver",
+                            "LP rounding hit the simplex pivot bound; falling back to primal-dual",
+                            &[("pivots", pivots.into())],
+                        );
+                        solve_primal_dual(&red.instance)?
+                    }
+                    other => other?,
+                }
             } else {
                 solve_primal_dual(&red.instance)?
-            });
+            };
+            let dual = refine(dual_raw);
             if dual.cost < greedy.cost {
                 dual
             } else {
@@ -157,6 +194,7 @@ pub fn solve_general_with(
         crate::verify::assert_ratio_certificate(ws, queries, &ids, ratio);
         mc3_telemetry::span_add(mc3_telemetry::Counter::VerifyRatioChecks, 1);
     }
+    scratch.recycle(red);
     Ok(ids)
 }
 

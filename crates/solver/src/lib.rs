@@ -43,4 +43,5 @@ pub use partial::{
     PartialStrategy,
 };
 pub use preprocess::{PreprocessOptions, PreprocessStats};
+pub use reduction::{reduce_to_wsc, reduce_to_wsc_with, ReductionScratch, WscReduction};
 pub use solver::{Algorithm, Mc3Solver, SolveTimings, SolverConfig, SolverReport};

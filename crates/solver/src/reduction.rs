@@ -12,7 +12,7 @@
 //! and pruned classifiers produce no sets.
 
 use crate::work::WorkState;
-use mc3_core::{ClassifierId, FxHashMap};
+use mc3_core::{ClassifierId, FxHashMap, Weight};
 use mc3_setcover::SetCoverInstance;
 
 /// A WSC instance plus the mapping back to classifiers.
@@ -26,13 +26,85 @@ pub struct WscReduction {
     pub element_origin: Vec<(u32, u8)>,
 }
 
+/// Reusable buffers for [`reduce_to_wsc_with`].
+///
+/// One reduction round allocates a per-slot element-list arena, a
+/// classifier→slot map, both CSR directions of the instance and the two
+/// translation tables. A scratch keeps all of them alive between rounds so
+/// repeated reductions (per component, per round in the multivalued
+/// extension) run allocation-free after warm-up: pass the same scratch to
+/// every call and hand finished reductions back via
+/// [`ReductionScratch::recycle`].
+#[derive(Debug, Default)]
+pub struct ReductionScratch {
+    /// `element_base[i]` = first element id of `queries[i]`.
+    element_base: Vec<u32>,
+    /// classifier id → set slot for the current round.
+    slot_of: FxHashMap<u32, u32>,
+    /// Per-slot element-list arena; inner `Vec`s are recycled across rounds.
+    set_lists: Vec<Vec<u32>>,
+    // Recycled output buffers, refilled by `recycle`.
+    set_off: Vec<u32>,
+    set_data: Vec<u32>,
+    costs: Vec<Weight>,
+    cont_off: Vec<u32>,
+    cont_data: Vec<u32>,
+    set_to_classifier: Vec<ClassifierId>,
+    element_origin: Vec<(u32, u8)>,
+}
+
+impl ReductionScratch {
+    /// An empty scratch (no buffers warmed up yet).
+    pub fn new() -> ReductionScratch {
+        ReductionScratch::default()
+    }
+
+    /// Reclaims the buffers of a finished reduction so the next
+    /// [`reduce_to_wsc_with`] call reuses their allocations.
+    pub fn recycle(&mut self, red: WscReduction) {
+        let (set_off, set_data, costs, cont_off, cont_data) = red.instance.into_parts();
+        self.set_off = set_off;
+        self.set_data = set_data;
+        self.costs = costs;
+        self.cont_off = cont_off;
+        self.cont_data = cont_data;
+        self.set_to_classifier = red.set_to_classifier;
+        self.element_origin = red.element_origin;
+    }
+}
+
 /// Builds the residual WSC instance over the (alive) queries listed in
-/// `queries`.
+/// `queries`. Convenience wrapper over [`reduce_to_wsc_with`] with a
+/// throwaway scratch — callers reducing in a loop should hold a
+/// [`ReductionScratch`] instead.
 pub fn reduce_to_wsc(ws: &WorkState<'_>, queries: &[usize]) -> WscReduction {
+    reduce_to_wsc_with(ws, queries, &mut ReductionScratch::new())
+}
+
+/// [`reduce_to_wsc`] drawing every buffer from `scratch`; allocation-free
+/// once the scratch is warm (and the round is no larger than previous ones).
+pub fn reduce_to_wsc_with(
+    ws: &WorkState<'_>,
+    queries: &[usize],
+    scratch: &mut ReductionScratch,
+) -> WscReduction {
+    // Disjoint borrows of every pooled buffer.
+    let ReductionScratch {
+        element_base,
+        slot_of,
+        set_lists,
+        set_off,
+        set_data,
+        costs,
+        cont_off,
+        cont_data,
+        set_to_classifier,
+        element_origin,
+    } = scratch;
+
     // 1. number the elements: one per (query, needed property bit)
-    let mut element_origin: Vec<(u32, u8)> = Vec::new();
-    // element_base[i] = first element id of queries[i]
-    let mut element_base: Vec<u32> = Vec::with_capacity(queries.len());
+    element_origin.clear();
+    element_base.clear();
     for &q in queries {
         element_base.push(element_origin.len() as u32);
         let mut need = ws.need(q);
@@ -44,10 +116,13 @@ pub fn reduce_to_wsc(ws: &WorkState<'_>, queries: &[usize]) -> WscReduction {
     }
     let num_elements = element_origin.len();
 
-    // 2. build the sets, grouped by classifier id
-    let mut slot_of: FxHashMap<u32, u32> = FxHashMap::default();
-    let mut set_to_classifier: Vec<ClassifierId> = Vec::new();
-    let mut set_elements: Vec<Vec<u32>> = Vec::new();
+    // 2. build the sets, grouped by classifier id. Element ids grow with
+    // the query index and, within a query, with the property bit — and the
+    // mask loop touches each classifier at most once per query — so every
+    // slot's list comes out strictly ascending with no re-sort needed.
+    slot_of.clear();
+    set_to_classifier.clear();
+    let mut live_slots = 0usize;
 
     for (i, &q) in queries.iter().enumerate() {
         let need = ws.need(q);
@@ -80,10 +155,14 @@ pub fn reduce_to_wsc(ws: &WorkState<'_>, queries: &[usize]) -> WscReduction {
             let slot = *slot_of.entry(id.0).or_insert_with(|| {
                 let s = set_to_classifier.len() as u32;
                 set_to_classifier.push(id);
-                set_elements.push(Vec::new());
+                if live_slots == set_lists.len() {
+                    set_lists.push(Vec::new());
+                }
+                set_lists[live_slots].clear();
+                live_slots += 1;
                 s
             });
-            let list = &mut set_elements[slot as usize];
+            let list = &mut set_lists[slot as usize];
             let mut bits = covers;
             while bits != 0 {
                 let b = bits.trailing_zeros() as usize;
@@ -93,16 +172,29 @@ pub fn reduce_to_wsc(ws: &WorkState<'_>, queries: &[usize]) -> WscReduction {
         }
     }
 
-    let sets = set_elements
-        .into_iter()
-        .zip(set_to_classifier.iter())
-        .map(|(els, &cid)| (els, ws.weight[cid.index()]))
-        .collect();
+    // 3. flatten the arena into the recycled CSR buffers
+    set_off.clear();
+    set_off.push(0);
+    set_data.clear();
+    costs.clear();
+    for (list, &cid) in set_lists[..live_slots].iter().zip(set_to_classifier.iter()) {
+        set_data.extend_from_slice(list);
+        set_off.push(set_data.len() as u32);
+        costs.push(ws.weight[cid.index()]);
+    }
 
+    let instance = SetCoverInstance::from_parts(
+        num_elements,
+        std::mem::take(set_off),
+        std::mem::take(set_data),
+        std::mem::take(costs),
+        std::mem::take(cont_off),
+        std::mem::take(cont_data),
+    );
     WscReduction {
-        instance: SetCoverInstance::new(num_elements, sets),
-        set_to_classifier,
-        element_origin,
+        instance,
+        set_to_classifier: std::mem::take(set_to_classifier),
+        element_origin: std::mem::take(element_origin),
     }
 }
 
@@ -178,5 +270,49 @@ mod tests {
         let red = reduce_to_wsc(&ws, &[]);
         assert_eq!(red.instance.num_elements(), 0);
         assert_eq!(red.instance.num_sets(), 0);
+    }
+
+    fn assert_same_reduction(a: &WscReduction, b: &WscReduction) {
+        assert_eq!(a.element_origin, b.element_origin);
+        assert_eq!(a.set_to_classifier, b.set_to_classifier);
+        assert_eq!(a.instance.num_elements(), b.instance.num_elements());
+        assert_eq!(a.instance.num_sets(), b.instance.num_sets());
+        for s in 0..a.instance.num_sets() {
+            assert_eq!(a.instance.set(s), b.instance.set(s));
+            assert_eq!(a.instance.cost(s), b.instance.cost(s));
+        }
+        for e in 0..a.instance.num_elements() as u32 {
+            assert_eq!(a.instance.containing(e), b.instance.containing(e));
+        }
+    }
+
+    #[test]
+    fn recycled_scratch_reproduces_fresh_reductions() {
+        // Rounds of different shapes and sizes through one scratch — each
+        // must be identical to a reduction with a throwaway scratch.
+        let instance = Instance::new(
+            vec![
+                vec![0u32, 1, 2],
+                vec![1u32, 2, 3],
+                vec![4u32, 5],
+                vec![0u32],
+            ],
+            Weights::uniform(2u64),
+        )
+        .unwrap();
+        let ws = ws_for(&instance);
+        let mut scratch = ReductionScratch::new();
+        for queries in [
+            vec![0usize, 1, 2, 3],
+            vec![2usize],
+            vec![0usize, 1],
+            vec![],
+            vec![3usize, 2, 0],
+        ] {
+            let fresh = reduce_to_wsc(&ws, &queries);
+            let reused = reduce_to_wsc_with(&ws, &queries, &mut scratch);
+            assert_same_reduction(&fresh, &reused);
+            scratch.recycle(reused);
+        }
     }
 }

@@ -347,16 +347,24 @@ impl Mc3Solver {
             }
         }
 
-        let solve_component = |comp: &[usize]| -> Result<Vec<ClassifierId>> {
+        // One ReductionScratch per worker (or one for the sequential loop):
+        // reductions across components reuse the same buffers instead of
+        // reallocating both CSR directions per component.
+        let solve_component = |comp: &[usize],
+                               scratch: &mut crate::reduction::ReductionScratch|
+         -> Result<Vec<ClassifierId>> {
             match effective {
                 Algorithm::K2Exact => solve_k2_with(&ws, comp, self.config.flow_algorithm),
-                Algorithm::General | Algorithm::ShortFirst => crate::general::solve_general_with(
-                    &ws,
-                    comp,
-                    self.config.wsc_strategy,
-                    self.config.lp_limits,
-                    self.config.refine_wsc,
-                ),
+                Algorithm::General | Algorithm::ShortFirst => {
+                    crate::general::solve_general_scratch(
+                        &ws,
+                        comp,
+                        self.config.wsc_strategy,
+                        self.config.lp_limits,
+                        self.config.refine_wsc,
+                        scratch,
+                    )
+                }
                 _ => unreachable!("pipeline algorithms only"),
             }
         };
@@ -373,14 +381,17 @@ impl Mc3Solver {
             // so no explicit join-error plumbing is needed.
             std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= comps.len() {
-                            break;
-                        }
-                        let r = solve_component(&comps[i]);
-                        if let Ok(mut slot) = results[i].lock() {
-                            *slot = Some(r);
+                    scope.spawn(|| {
+                        let mut scratch = crate::reduction::ReductionScratch::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= comps.len() {
+                                break;
+                            }
+                            let r = solve_component(&comps[i], &mut scratch);
+                            if let Ok(mut slot) = results[i].lock() {
+                                *slot = Some(r);
+                            }
                         }
                     });
                 }
@@ -397,8 +408,9 @@ impl Mc3Solver {
                 picked.extend(r?);
             }
         } else {
+            let mut scratch = crate::reduction::ReductionScratch::new();
             for comp in &comps {
-                picked.extend(solve_component(comp)?);
+                picked.extend(solve_component(comp, &mut scratch)?);
             }
         }
 

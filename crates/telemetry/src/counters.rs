@@ -79,6 +79,12 @@ declare_counters! {
     DispatchGeneral => "dispatch_general",
     /// Bipartite weighted-vertex-cover reductions solved via max-flow.
     WvcSolves => "wvc_solves",
+    /// Simplex: pivots performed (phase 1 + phase 2).
+    LpPivots => "lp_pivots",
+    /// Simplex: degenerate pivots (leaving ratio ≈ 0; anti-cycling trigger).
+    LpDegeneratePivots => "lp_degenerate_pivots",
+    /// Bitset coverage kernel: 64-bit word operations executed.
+    BitCoverWordOps => "bitcover_word_ops",
     /// Verify feature: max-flow certificates re-checked.
     VerifyFlowChecks => "verify_flow_checks",
     /// Verify feature: WVC optimality certificates re-checked.
@@ -121,6 +127,8 @@ declare_hists! {
     ComponentSize => "component_size",
     /// Newly covered elements per greedy WSC selection.
     GreedyPickCoverage => "greedy_pick_coverage",
+    /// Simplex pivots per `optimize` run (phase 1 and phase 2 separately).
+    LpIterations => "lp_iterations",
 }
 
 /// Number of log2 buckets per histogram: bucket 0 for the value `0`,
