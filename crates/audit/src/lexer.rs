@@ -15,6 +15,8 @@
 //!
 //! Every token carries its 1-based line number for reporting.
 
+use mc3_core::u32_of;
+
 /// What a token is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokenKind {
@@ -85,7 +87,7 @@ pub fn lex(source: &str) -> Lexed {
 
     macro_rules! bump_lines {
         ($range:expr) => {
-            line += b[$range].iter().filter(|&&c| c == b'\n').count() as u32
+            line += u32_of(b[$range].iter().filter(|&&c| c == b'\n').count())
         };
     }
 

@@ -8,19 +8,26 @@
 //! enforcement: a dependency-free lint driver built on a hand-rolled Rust
 //! lexer ([`lexer`]), a rule set tuned to this repo ([`rules`]), and a
 //! waiver/budget system ([`allowlist`]) so legacy debt is pinned in place
-//! and can only shrink. The runtime half (certificates, flow conservation,
-//! ratio bounds) lives in `mc3-core::certificate` and the solver crates'
-//! `verify` features.
+//! and can only shrink. On top of the lexer sits a lightweight syntactic
+//! model ([`syntax`]: item tree, loop nests, closures, cast/discard
+//! shapes) that the rules consume, and a cross-artifact [`consistency`]
+//! pass that checks the telemetry registry, docs tables, fixtures and
+//! budgets against each other. The runtime half (certificates, flow
+//! conservation, ratio bounds) lives in `mc3-core::certificate` and the
+//! solver crates' `verify` features.
 //!
 //! Run it as a workspace check:
 //!
 //! ```text
 //! cargo run -p mc3-audit -- lint
+//! cargo run -p mc3-audit -- consistency
 //! ```
 
 pub mod allowlist;
+pub mod consistency;
 pub mod lexer;
 pub mod rules;
+pub mod syntax;
 
 use allowlist::{Allowlist, Finding};
 use rules::Violation;

@@ -1,6 +1,6 @@
-//! The `mc3-audit` binary: `cargo run -p mc3-audit -- lint [ROOT]`.
+//! The `mc3-audit` binary: `lint` and `consistency` over the workspace.
 //!
-//! Exit codes: `0` clean, `1` lint failures, `2` usage or IO error.
+//! Exit codes: `0` clean, `1` failures, `2` usage or IO error.
 
 use std::path::PathBuf;
 
@@ -11,8 +11,8 @@ fn main() {
 fn run() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter().map(String::as_str);
-    match it.next() {
-        Some("lint") => {}
+    let command = match it.next() {
+        Some(cmd @ ("lint" | "consistency")) => cmd,
         Some("help") | Some("--help") | Some("-h") | None => {
             println!("{USAGE}");
             return if args.is_empty() { 2 } else { 0 };
@@ -21,24 +21,26 @@ fn run() -> i32 {
             eprintln!("unknown command '{other}'\n{USAGE}");
             return 2;
         }
-    }
+    };
 
     let mut root: Option<PathBuf> = None;
     let mut allowlist_path: Option<PathBuf> = None;
     let mut list_violations = false;
+    let mut tighten_budgets = false;
     while let Some(arg) = it.next() {
         match arg {
-            "--allowlist" => match it.next() {
+            "--allowlist" if command == "lint" => match it.next() {
                 Some(p) => allowlist_path = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--allowlist requires a path");
                     return 2;
                 }
             },
-            "--list" => list_violations = true,
-            p if root.is_none() => root = Some(PathBuf::from(p)),
+            "--list" if command == "lint" => list_violations = true,
+            "--tighten-budgets" if command == "consistency" => tighten_budgets = true,
+            p if root.is_none() && !p.starts_with('-') => root = Some(PathBuf::from(p)),
             other => {
-                eprintln!("unexpected argument '{other}'\n{USAGE}");
+                eprintln!("unexpected argument '{other}' for '{command}'\n{USAGE}");
                 return 2;
             }
         }
@@ -52,6 +54,19 @@ fn run() -> i32 {
             .map(std::path::Path::to_path_buf)
             .unwrap_or_else(|| PathBuf::from("."))
     });
+
+    if command == "consistency" {
+        return match mc3_audit::consistency::check(&root, tighten_budgets) {
+            Ok(report) => {
+                print!("{}", report.render());
+                i32::from(!report.is_clean())
+            }
+            Err(e) => {
+                eprintln!("consistency check failed: {e}");
+                2
+            }
+        };
+    }
 
     let allowlist = match allowlist_path {
         Some(p) => match std::fs::read_to_string(&p) {
@@ -84,11 +99,7 @@ fn run() -> i32 {
                 }
             }
             print!("{}", report.render());
-            if report.is_clean() {
-                0
-            } else {
-                1
-            }
+            i32::from(!report.is_clean())
         }
         Err(e) => {
             eprintln!("lint failed: {e}");
@@ -102,11 +113,22 @@ mc3-audit — repo-specific static analysis for the MC3 workspace
 
 USAGE:
   mc3-audit lint [ROOT] [--allowlist FILE] [--list]
+  mc3-audit consistency [ROOT] [--tighten-budgets]
 
-Checks every crates/*/src/**/*.rs against the lint rules
+`lint` checks every crates/*/src/**/*.rs against the rule set
 (no-unwrap-in-lib, no-default-hasher, no-unchecked-index-in-hot-loops,
-no-float-eq, no-bare-instant, no-raw-eprintln-in-lib). Sites reviewed
-by a human carry `// audit:allow(rule)`
-waivers; wholesale legacy debt is budgeted in lint.allow (see
-docs/audit.md). Exit code 0 = clean, 1 = failures, 2 = usage/IO error.
+no-float-eq, no-bare-instant, no-raw-eprintln-in-lib,
+no-relaxed-atomics, no-alloc-in-hot-loops, no-silent-truncation,
+no-swallowed-result). Sites reviewed by a human carry
+`// audit:allow(rule)` waivers; wholesale legacy debt is budgeted in
+lint.allow (see docs/audit.md).
+
+`consistency` cross-checks source against artifacts: every telemetry
+Counter/Hist variant is referenced, documented in docs/observability.md
+and present in the prom exposition; every lint rule has a docs row and
+a caught negative fixture; every lint.allow path exists and no ceiling
+is looser than the measured count (`--tighten-budgets` rewrites loose
+ceilings down and deletes fully burned-down lines).
+
+Exit code 0 = clean, 1 = failures, 2 = usage/IO error.
 ";

@@ -1,27 +1,116 @@
 //! The lint rules.
 //!
-//! Each rule walks the token stream from [`crate::lexer::lex`] annotated
-//! with structural context (test regions, loop depth) and emits
-//! [`Violation`]s. Rules are deliberately syntactic: with no type
-//! information available offline, they over-approximate and rely on the
-//! explicit waiver syntax (`// audit:allow(rule)`) plus the allowlist
-//! budgets for the sites a human has reviewed.
+//! Each rule walks the syntactic model from [`crate::syntax`] — the token
+//! stream annotated with the item tree, test regions, loop depth, cast
+//! and discard shapes — and emits [`Violation`]s. Rules are deliberately
+//! syntactic: with no type information available offline, they
+//! over-approximate and rely on the explicit waiver syntax
+//! (`// audit:allow(rule)`) plus the allowlist budgets for the sites a
+//! human has reviewed.
 
-use crate::lexer::{lex, Lexed, Token, TokenKind};
+use crate::lexer::TokenKind;
+use crate::syntax::{CastOperand, SyntaxFile};
 
 /// Names of all rules, in reporting order.
-pub const ALL_RULES: [&str; 6] = [
+pub const ALL_RULES: [&str; 10] = [
     "no-unwrap-in-lib",
     "no-default-hasher",
     "no-unchecked-index-in-hot-loops",
     "no-float-eq",
     "no-bare-instant",
     "no-raw-eprintln-in-lib",
+    "no-relaxed-atomics",
+    "no-alloc-in-hot-loops",
+    "no-silent-truncation",
+    "no-swallowed-result",
+];
+
+/// Static metadata about one rule, consumed by the fixture tests and the
+/// `consistency` pass: where its negative fixture lives and which
+/// repo-relative path the fixture must be linted under (file-scoped rules
+/// key on path prefixes or file-name stems).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule name (one of [`ALL_RULES`]).
+    pub name: &'static str,
+    /// Fixture file name under `crates/audit/tests/fixtures/`.
+    pub fixture: &'static str,
+    /// Path the fixture is linted under so the rule's scoping applies.
+    pub lint_as: &'static str,
+}
+
+/// Metadata for every rule, in [`ALL_RULES`] order.
+pub const RULE_INFOS: [RuleInfo; 10] = [
+    RuleInfo {
+        name: "no-unwrap-in-lib",
+        fixture: "unwrap_in_lib.rs",
+        lint_as: "unwrap_in_lib.rs",
+    },
+    RuleInfo {
+        name: "no-default-hasher",
+        fixture: "default_hasher.rs",
+        lint_as: "default_hasher.rs",
+    },
+    RuleInfo {
+        name: "no-unchecked-index-in-hot-loops",
+        fixture: "dinic.rs",
+        lint_as: "dinic.rs",
+    },
+    RuleInfo {
+        name: "no-float-eq",
+        fixture: "float_eq.rs",
+        lint_as: "float_eq.rs",
+    },
+    RuleInfo {
+        name: "no-bare-instant",
+        fixture: "bare_instant.rs",
+        lint_as: "bare_instant.rs",
+    },
+    RuleInfo {
+        name: "no-raw-eprintln-in-lib",
+        fixture: "raw_eprintln.rs",
+        lint_as: "raw_eprintln.rs",
+    },
+    RuleInfo {
+        name: "no-relaxed-atomics",
+        fixture: "relaxed_atomic.rs",
+        lint_as: "relaxed_atomic.rs",
+    },
+    // The alloc rule is scoped to kernel file stems, so its fixture is
+    // linted under (and, in the binary-level test, copied to) a hot name.
+    RuleInfo {
+        name: "no-alloc-in-hot-loops",
+        fixture: "hot_alloc.rs",
+        lint_as: "crates/setcover/src/bitcover.rs",
+    },
+    RuleInfo {
+        name: "no-silent-truncation",
+        fixture: "truncating_cast.rs",
+        lint_as: "truncating_cast.rs",
+    },
+    RuleInfo {
+        name: "no-swallowed-result",
+        fixture: "swallowed_result.rs",
+        lint_as: "swallowed_result.rs",
+    },
 ];
 
 /// File-name stems whose inner loops are hot paths for the indexing rule
 /// (`dinic.rs`, `push_relabel.rs`, `greedy.rs` per the MC³ hot-path set).
 pub const HOT_LOOP_FILES: [&str; 3] = ["dinic.rs", "push_relabel.rs", "greedy.rs"];
+
+/// File-name stems covered by `no-alloc-in-hot-loops`: the flow and
+/// set-cover kernels plus the `ReductionScratch` call sites, where a
+/// per-iteration allocation turns an O(1) inner step into a malloc storm.
+pub const ALLOC_HOT_FILES: [&str; 7] = [
+    "dinic.rs",
+    "push_relabel.rs",
+    "greedy.rs",
+    "bitcover.rs",
+    "prune.rs",
+    "local_search.rs",
+    "reduction.rs",
+];
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,150 +125,29 @@ pub struct Violation {
     pub message: String,
 }
 
-/// Per-token structural context derived in one pass over the stream.
-struct Context {
-    /// Whether the token sits inside a `#[cfg(test)]`-gated item.
-    in_test: Vec<bool>,
-    /// Number of enclosing `for`/`while`/`loop` bodies.
-    loop_depth: Vec<u32>,
-}
-
-/// Builds [`Context`] by tracking brace nesting, pending `#[cfg(test)]`
-/// attributes and pending loop headers.
-fn analyze(tokens: &[Token]) -> Context {
-    #[derive(Clone, Copy)]
-    struct Brace {
-        is_test_root: bool,
-        is_loop: bool,
-    }
-    let mut stack: Vec<Brace> = Vec::new();
-    let mut in_test = Vec::with_capacity(tokens.len());
-    let mut loop_depth = Vec::with_capacity(tokens.len());
-    let mut test_level = 0u32;
-    let mut loops = 0u32;
-    // Set once a `#[cfg(test)]` attribute is seen; the next `{` opens the
-    // gated item's body. A `;` first means the attribute gated a
-    // braceless item (e.g. `#[cfg(test)] use x;`) — the flag is dropped.
-    let mut pending_test = false;
-    let mut pending_loop = false;
-
-    let mut i = 0usize;
-    while i < tokens.len() {
-        let t = &tokens[i];
-        in_test.push(test_level > 0);
-        // A pending loop header (`while cond`, `for x in iter`) counts as
-        // in-loop already: its tokens re-evaluate every iteration.
-        loop_depth.push(loops + u32::from(pending_loop));
-
-        if t.is_punct('#') && tokens.get(i + 1).map(|n| n.is_punct('[')) == Some(true) {
-            // Scan the attribute for `cfg` ... `test` within its brackets.
-            let mut depth = 0i32;
-            let mut saw_cfg = false;
-            let mut saw_test = false;
-            let mut j = i + 1;
-            while j < tokens.len() {
-                let a = &tokens[j];
-                if a.is_punct('[') {
-                    depth += 1;
-                } else if a.is_punct(']') {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                } else if a.is_ident("cfg") {
-                    saw_cfg = true;
-                } else if a.is_ident("test") {
-                    saw_test = true;
-                }
-                j += 1;
-            }
-            if saw_cfg && saw_test {
-                pending_test = true;
-            }
-            // The attribute's own tokens inherit the current context.
-            for _ in i + 1..=j.min(tokens.len() - 1) {
-                in_test.push(test_level > 0);
-                loop_depth.push(loops + u32::from(pending_loop));
-            }
-            i = j + 1;
-            continue;
-        }
-
-        if t.is_ident("loop") || t.is_ident("while") {
-            pending_loop = true;
-        } else if t.is_ident("for") && for_is_a_loop(tokens, i) {
-            pending_loop = true;
-        } else if t.is_punct(';') {
-            // A braceless gated item (`#[cfg(test)] use x;`, outline
-            // `mod tests;`) ends the pending attribute's scope.
-            pending_test = false;
-        } else if t.is_punct('{') {
-            let b = Brace {
-                is_test_root: pending_test,
-                is_loop: pending_loop,
-            };
-            pending_test = false;
-            pending_loop = false;
-            if b.is_test_root {
-                test_level += 1;
-            }
-            if b.is_loop {
-                loops += 1;
-            }
-            stack.push(b);
-        } else if t.is_punct('}') {
-            if let Some(b) = stack.pop() {
-                if b.is_test_root {
-                    test_level = test_level.saturating_sub(1);
-                }
-                if b.is_loop {
-                    loops = loops.saturating_sub(1);
-                }
-            }
-        }
-        i += 1;
-    }
-    Context {
-        in_test,
-        loop_depth,
-    }
-}
-
-/// Whether the `for` at `i` heads a `for … in … {` loop (as opposed to
-/// `impl Trait for Type` or `for<'a>` binders): an `in` keyword appears
-/// before the next `{` or `;`.
-fn for_is_a_loop(tokens: &[Token], i: usize) -> bool {
-    for t in tokens.iter().skip(i + 1).take(64) {
-        if t.is_ident("in") {
-            return true;
-        }
-        if t.is_punct('{') || t.is_punct(';') {
-            return false;
-        }
-    }
-    false
-}
-
 /// Runs every rule over one file's source text.
 ///
 /// `file` is the repo-relative path used both for reporting and for
-/// file-scoped rules (the hot-loop indexing rule). Waivers are applied
-/// here: a violation on line `L` is dropped if an `audit:allow` comment
-/// naming its rule sits on line `L` or `L − 1`.
+/// file-scoped rules (the hot-loop rules, the crate-scoped exemptions).
+/// Waivers are applied here: a violation on line `L` is dropped if an
+/// `audit:allow` comment naming its rule sits on line `L` or `L − 1`.
 pub fn check_file(file: &str, source: &str) -> Vec<Violation> {
-    let lexed = lex(source);
-    let ctx = analyze(&lexed.tokens);
+    let sf = SyntaxFile::parse(source);
     let mut violations = Vec::new();
 
-    rule_no_unwrap(file, &lexed, &ctx, &mut violations);
-    rule_no_default_hasher(file, &lexed, &ctx, &mut violations);
-    rule_no_unchecked_index(file, &lexed, &ctx, &mut violations);
-    rule_no_float_eq(file, &lexed, &ctx, &mut violations);
-    rule_no_bare_instant(file, &lexed, &ctx, &mut violations);
-    rule_no_raw_eprintln(file, &lexed, &ctx, &mut violations);
+    rule_no_unwrap(file, &sf, &mut violations);
+    rule_no_default_hasher(file, &sf, &mut violations);
+    rule_no_unchecked_index(file, &sf, &mut violations);
+    rule_no_float_eq(file, &sf, &mut violations);
+    rule_no_bare_instant(file, &sf, &mut violations);
+    rule_no_raw_eprintln(file, &sf, &mut violations);
+    rule_no_relaxed_atomics(file, &sf, &mut violations);
+    rule_no_alloc_in_hot_loops(file, &sf, &mut violations);
+    rule_no_silent_truncation(file, &sf, &mut violations);
+    rule_no_swallowed_result(file, &sf, &mut violations);
 
     violations.retain(|v| {
-        !lexed.waivers.iter().any(|w| {
+        !sf.waivers.iter().any(|w| {
             (w.line == v.line || w.line + 1 == v.line) && w.rules.iter().any(|r| r == v.rule)
         })
     });
@@ -187,10 +155,10 @@ pub fn check_file(file: &str, source: &str) -> Vec<Violation> {
     violations
 }
 
-fn rule_no_unwrap(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Violation>) {
-    let toks = &lexed.tokens;
+fn rule_no_unwrap(file: &str, sf: &SyntaxFile, out: &mut Vec<Violation>) {
+    let toks = &sf.tokens;
     for (i, t) in toks.iter().enumerate() {
-        if ctx.in_test[i] || t.kind != TokenKind::Ident {
+        if sf.in_test(i) || t.kind != TokenKind::Ident {
             continue;
         }
         let next_is = |c: char| toks.get(i + 1).map(|n| n.is_punct(c)) == Some(true);
@@ -209,9 +177,9 @@ fn rule_no_unwrap(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Violat
     }
 }
 
-fn rule_no_default_hasher(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Violation>) {
-    for (i, t) in lexed.tokens.iter().enumerate() {
-        if ctx.in_test[i] {
+fn rule_no_default_hasher(file: &str, sf: &SyntaxFile, out: &mut Vec<Violation>) {
+    for (i, t) in sf.tokens.iter().enumerate() {
+        if sf.in_test(i) {
             continue;
         }
         if t.is_ident("HashMap") || t.is_ident("HashSet") {
@@ -228,14 +196,14 @@ fn rule_no_default_hasher(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Ve
     }
 }
 
-fn rule_no_unchecked_index(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Violation>) {
+fn rule_no_unchecked_index(file: &str, sf: &SyntaxFile, out: &mut Vec<Violation>) {
     let name = file.rsplit('/').next().unwrap_or(file);
     if !HOT_LOOP_FILES.contains(&name) {
         return;
     }
-    let toks = &lexed.tokens;
+    let toks = &sf.tokens;
     for (i, t) in toks.iter().enumerate() {
-        if ctx.in_test[i] || ctx.loop_depth[i] == 0 || !t.is_punct('[') {
+        if sf.in_test(i) || sf.loop_depth(i) == 0 || !t.is_punct('[') {
             continue;
         }
         // Indexing follows a value: identifier, `]`, or `)`. Array
@@ -257,10 +225,10 @@ fn rule_no_unchecked_index(file: &str, lexed: &Lexed, ctx: &Context, out: &mut V
     }
 }
 
-fn rule_no_float_eq(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Violation>) {
-    let toks = &lexed.tokens;
+fn rule_no_float_eq(file: &str, sf: &SyntaxFile, out: &mut Vec<Violation>) {
+    let toks = &sf.tokens;
     for i in 0..toks.len().saturating_sub(1) {
-        if ctx.in_test[i] {
+        if sf.in_test(i) {
             continue;
         }
         let op = (toks[i].is_punct('=') || toks[i].is_punct('!')) && toks[i + 1].is_punct('=');
@@ -288,13 +256,13 @@ fn rule_no_float_eq(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Viol
 /// so wall-time must flow through `mc3_telemetry::timed_span`/`span`. The
 /// telemetry crate itself is the one place allowed to read the clock, and
 /// the bench harness carries reviewed waivers.
-fn rule_no_bare_instant(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Violation>) {
+fn rule_no_bare_instant(file: &str, sf: &SyntaxFile, out: &mut Vec<Violation>) {
     if file.starts_with("crates/telemetry/") {
         return;
     }
-    let toks = &lexed.tokens;
+    let toks = &sf.tokens;
     for (i, t) in toks.iter().enumerate() {
-        if ctx.in_test[i] || !t.is_ident("Instant") {
+        if sf.in_test(i) || !t.is_ident("Instant") {
             continue;
         }
         let call = toks.get(i + 1).map(|n| n.is_punct(':')) == Some(true)
@@ -324,16 +292,16 @@ const PRINT_EXEMPT_PREFIXES: [&str; 3] = ["crates/cli/", "crates/bench/", "crate
 /// process). Binaries keep stdout for their actual output, so `cli`,
 /// `bench` and `audit` — plus `src/bin/` targets and `main.rs` anywhere —
 /// are exempt.
-fn rule_no_raw_eprintln(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<Violation>) {
+fn rule_no_raw_eprintln(file: &str, sf: &SyntaxFile, out: &mut Vec<Violation>) {
     if PRINT_EXEMPT_PREFIXES.iter().any(|p| file.starts_with(p))
         || file.contains("/bin/")
         || file.ends_with("main.rs")
     {
         return;
     }
-    let toks = &lexed.tokens;
+    let toks = &sf.tokens;
     for (i, t) in toks.iter().enumerate() {
-        if ctx.in_test[i] || t.kind != TokenKind::Ident {
+        if sf.in_test(i) || t.kind != TokenKind::Ident {
             continue;
         }
         let is_print = matches!(t.text.as_str(), "print" | "println" | "eprint" | "eprintln");
@@ -352,12 +320,170 @@ fn rule_no_raw_eprintln(file: &str, lexed: &Lexed, ctx: &Context, out: &mut Vec<
     }
 }
 
+/// `Ordering::Relaxed` / `Ordering::SeqCst` outside `crates/telemetry/`:
+/// the weakest and strongest orderings are the two that most often hide a
+/// reasoning mistake — `Relaxed` because it provides no synchronization
+/// at all (fine for the telemetry counters, dangerous in the solver's
+/// worker pool), `SeqCst` because it usually papers over an unstated
+/// acquire/release protocol. Every such site must carry a waiver stating
+/// the ordering argument; `Acquire`/`Release`/`AcqRel` name their
+/// protocol explicitly and pass.
+fn rule_no_relaxed_atomics(file: &str, sf: &SyntaxFile, out: &mut Vec<Violation>) {
+    if file.starts_with("crates/telemetry/") {
+        return;
+    }
+    let toks = &sf.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if sf.in_test(i) || !t.is_ident("Ordering") {
+            continue;
+        }
+        let path = toks.get(i + 1).map(|n| n.is_punct(':')) == Some(true)
+            && toks.get(i + 2).map(|n| n.is_punct(':')) == Some(true);
+        if !path {
+            continue;
+        }
+        let Some(which) = toks.get(i + 3) else {
+            continue;
+        };
+        if which.is_ident("Relaxed") || which.is_ident("SeqCst") {
+            out.push(Violation {
+                rule: "no-relaxed-atomics",
+                file: file.to_owned(),
+                line: t.line,
+                message: format!(
+                    "Ordering::{} outside crates/telemetry; add a reviewed waiver stating \
+                     why this ordering is sufficient (or switch to Acquire/Release)",
+                    which.text
+                ),
+            });
+        }
+    }
+}
+
+/// Allocation inside a loop of a flow/set-cover kernel file: `Vec::new`,
+/// `vec![…]`, `.push(…)`, `.collect(…)`, `.clone(…)`, `.to_vec(…)`,
+/// `.to_owned(…)`. The kernels are called per query and per phase; an
+/// allocation per iteration is exactly the pattern `ReductionScratch` and
+/// the reusable reduction buffers exist to avoid. Reviewed
+/// one-time/amortized allocations carry waivers.
+fn rule_no_alloc_in_hot_loops(file: &str, sf: &SyntaxFile, out: &mut Vec<Violation>) {
+    let name = file.rsplit('/').next().unwrap_or(file);
+    if !ALLOC_HOT_FILES.contains(&name) {
+        return;
+    }
+    let toks = &sf.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if sf.in_test(i) || sf.loop_depth(i) == 0 || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is = |c: char| toks.get(i + 1).map(|n| n.is_punct(c)) == Some(true);
+        let prev_is_dot = i > 0 && toks[i - 1].is_punct('.');
+        let site = match t.text.as_str() {
+            "push" | "collect" | "clone" | "to_vec" | "to_owned"
+                if prev_is_dot && (next_is('(') || next_is(':')) =>
+            {
+                format!(".{}()", t.text)
+            }
+            "new" | "with_capacity"
+                if i >= 3
+                    && toks[i - 1].is_punct(':')
+                    && toks[i - 2].is_punct(':')
+                    && toks[i - 3].is_ident("Vec") =>
+            {
+                format!("Vec::{}()", t.text)
+            }
+            "vec" if next_is('!') => "vec![…]".to_owned(),
+            _ => continue,
+        };
+        out.push(Violation {
+            rule: "no-alloc-in-hot-loops",
+            file: file.to_owned(),
+            line: t.line,
+            message: format!(
+                "{site} inside a kernel loop allocates per iteration; hoist the buffer out \
+                 of the loop (see ReductionScratch) or waive after review"
+            ),
+        });
+    }
+}
+
+/// Cast targets the truncation rule considers narrowing. The workspace
+/// pins 64-bit targets (`mc3_core::cast` carries the compile-time
+/// assertion), so `usize`/`u64`/`u128`/`i128` casts cannot lose value
+/// bits from the `u32`-sized ids the kernels use; everything narrower —
+/// plus the sign-flipping `i64`/`isize` — can.
+const NARROWING_TARGETS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "i64", "isize"];
+
+/// Narrowing `as` casts in non-test code: `expr as u32` silently drops
+/// high bits on out-of-range input — the exact failure mode that corrupts
+/// id/cost arithmetic at production scale. Literal operands (`0 as u32`)
+/// and bool-shaped operands (`(a == b) as u32`, branchless kernels) are
+/// exempt; everything else must go through `mc3_core::cast`
+/// (`try_from`-backed) or carry a reviewed waiver.
+fn rule_no_silent_truncation(file: &str, sf: &SyntaxFile, out: &mut Vec<Violation>) {
+    for cast in &sf.casts {
+        if sf.in_test(cast.as_token) || !NARROWING_TARGETS.contains(&cast.target.as_str()) {
+            continue;
+        }
+        if matches!(
+            cast.operand,
+            CastOperand::Literal | CastOperand::BoolShaped | CastOperand::BoolLiteral
+        ) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "no-silent-truncation",
+            file: file.to_owned(),
+            line: cast.line,
+            message: format!(
+                "narrowing `as {}` may silently truncate; use mc3_core::cast \
+                 (try_from-backed) or waive with the range argument",
+                cast.target
+            ),
+        });
+    }
+}
+
+/// `let _ = expr;` in library crates: when `expr` is a `Result`, the `_`
+/// pattern swallows the error without a trace — unlike an unused named
+/// binding it does not even earn a warning. The `let _ = write!(buf, …)`
+/// idiom on a `String` is exempt (`fmt::Write` to a `String` cannot
+/// fail); binaries (`cli`, `src/bin/`, `main.rs`) own their exit paths
+/// and are exempt too. Everything else either handles the value, binds
+/// it to a named `_x` to document intent, or carries a reviewed waiver.
+fn rule_no_swallowed_result(file: &str, sf: &SyntaxFile, out: &mut Vec<Violation>) {
+    if file.starts_with("crates/cli/") || file.contains("/bin/") || file.ends_with("main.rs") {
+        return;
+    }
+    for d in &sf.discards {
+        if sf.in_test(d.let_token) || d.is_write_macro {
+            continue;
+        }
+        out.push(Violation {
+            rule: "no-swallowed-result",
+            file: file.to_owned(),
+            line: d.line,
+            message: "`let _ =` swallows the value (and any Err) without a trace; handle \
+                      or propagate the Result, bind a named `_x`, or waive after review"
+                .to_owned(),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn rules_hit(file: &str, src: &str) -> Vec<&'static str> {
         check_file(file, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn rule_metadata_covers_every_rule() {
+        assert_eq!(ALL_RULES.len(), RULE_INFOS.len());
+        for (rule, info) in ALL_RULES.iter().zip(RULE_INFOS.iter()) {
+            assert_eq!(*rule, info.name, "RULE_INFOS must stay in ALL_RULES order");
+        }
     }
 
     #[test]
@@ -493,5 +619,104 @@ mod tests {
     fn cfg_any_test_gates_too() {
         let src = "#[cfg(any(test, feature = \"x\"))]\nmod helpers { fn f() { x.unwrap(); } }";
         assert!(check_file("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_and_seqcst_flagged_outside_telemetry() {
+        let src = "fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::Relaxed); }";
+        assert_eq!(
+            rules_hit("crates/solver/src/solver.rs", src),
+            vec!["no-relaxed-atomics"]
+        );
+        let src = "fn f(a: &AtomicU64) { a.store(1, std::sync::atomic::Ordering::SeqCst); }";
+        assert_eq!(
+            rules_hit("crates/obs/src/events.rs", src),
+            vec!["no-relaxed-atomics"]
+        );
+        // Acquire/Release name their protocol and pass.
+        let src = "fn f(a: &AtomicU64) { a.store(1, Ordering::Release); }";
+        assert!(rules_hit("crates/obs/src/events.rs", src).is_empty());
+        // The telemetry counters are the sanctioned Relaxed user.
+        let src = "fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::Relaxed); }";
+        assert!(rules_hit("crates/telemetry/src/counters.rs", src).is_empty());
+        // Waivers state the ordering argument.
+        let src = "// audit:allow(no-relaxed-atomics) work-stealing index, result via Mutex\n\
+                   fn f(a: &AtomicU64) { a.fetch_add(1, Ordering::Relaxed); }";
+        assert!(rules_hit("crates/solver/src/solver.rs", src).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_hot_loops_flagged_in_kernel_files_only() {
+        let src = "fn f(v: &[u32]) -> Vec<u32> { let mut out = Vec::new(); \
+                   for x in v { out.push(*x); } out }";
+        // Vec::new is outside the loop: only the push fires.
+        let v = check_file("crates/setcover/src/greedy.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-alloc-in-hot-loops");
+        // Same code in a cold file: nothing.
+        assert!(rules_hit("crates/setcover/src/instance.rs", src).is_empty());
+        // collect / clone / vec! inside a loop all fire.
+        let src = "fn f(v: &[Vec<u32>]) { for x in v { let a = x.clone(); \
+                   let b: Vec<u32> = x.iter().copied().collect(); let c = vec![0u32; 4]; } }";
+        assert_eq!(
+            rules_hit("crates/flow/src/push_relabel.rs", src),
+            vec!["no-alloc-in-hot-loops"; 3]
+        );
+        // Tests in kernel files may allocate freely.
+        let src = "#[cfg(test)]\nmod tests { fn f(v: &[u32]) { \
+                   for x in v { let mut o = Vec::new(); o.push(*x); } } }";
+        assert!(rules_hit("crates/flow/src/dinic.rs", src).is_empty());
+    }
+
+    #[test]
+    fn narrowing_casts_flagged_with_shape_exemptions() {
+        let src = "fn f(n: u64) -> u32 { n as u32 }";
+        assert_eq!(
+            rules_hit("crates/flow/src/graph.rs", src),
+            vec!["no-silent-truncation"]
+        );
+        // Literal, bool-shaped and widening casts pass.
+        assert!(rules_hit("a.rs", "fn f() -> u32 { 7 as u32 }").is_empty());
+        assert!(rules_hit("a.rs", "fn f(a: u64, b: u64) -> u32 { (a == b) as u32 }").is_empty());
+        assert!(rules_hit("a.rs", "fn f(n: u32) -> u64 { n as u64 }").is_empty());
+        assert!(rules_hit("a.rs", "fn f(n: u32) -> usize { n as usize }").is_empty());
+        assert!(rules_hit("a.rs", "fn f(b: bool) -> u32 { true as u32 }").is_empty());
+        // i64 can drop the top bit of a u64: flagged.
+        let src = "fn f(n: u64) -> i64 { n as i64 }";
+        assert_eq!(rules_hit("a.rs", src), vec!["no-silent-truncation"]);
+        // Tests and waived sites pass.
+        let src = "#[cfg(test)]\nmod t { fn f(n: u64) -> u32 { n as u32 } }";
+        assert!(rules_hit("a.rs", src).is_empty());
+        let src = "// audit:allow(no-silent-truncation) hash mixing: truncation intended\n\
+                   fn f(n: u64) -> u32 { n as u32 }";
+        assert!(rules_hit("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn swallowed_results_flagged_outside_binaries() {
+        let src = "fn f() { let _ = fallible(); }";
+        assert_eq!(
+            rules_hit("crates/obs/src/events.rs", src),
+            vec!["no-swallowed-result"]
+        );
+        // The write!-to-String idiom is infallible and passes.
+        let src = "fn f(out: &mut String) { let _ = writeln!(out, \"x\"); }";
+        assert!(rules_hit("crates/obs/src/prom.rs", src).is_empty());
+        // Named discards document intent and pass.
+        assert!(rules_hit(
+            "crates/obs/src/events.rs",
+            "fn f() { let _res = fallible(); }"
+        )
+        .is_empty());
+        // Binaries own their exit paths.
+        let src = "fn f() { let _ = fallible(); }";
+        assert!(rules_hit("crates/cli/src/commands.rs", src).is_empty());
+        assert!(rules_hit("crates/bench/src/bin/experiments.rs", src).is_empty());
+        // Tests pass; waivers work.
+        let src = "#[cfg(test)]\nmod t { fn f() { let _ = fallible(); } }";
+        assert!(rules_hit("crates/obs/src/events.rs", src).is_empty());
+        let src = "// audit:allow(no-swallowed-result) best-effort flush on drop\n\
+                   fn f() { let _ = w.flush(); }";
+        assert!(rules_hit("crates/obs/src/events.rs", src).is_empty());
     }
 }

@@ -1,0 +1,794 @@
+//! A lightweight syntactic model on top of the lexer.
+//!
+//! PR 1's rules walked a flat token stream with just enough ad-hoc context
+//! (brace nesting, `#[cfg(test)]` regions, loop depth) bolted on. This
+//! module recovers a real — if deliberately small — syntactic model from
+//! the same tokens, still with zero dependencies:
+//!
+//! * an **item tree**: modules, functions, `impl`/`trait` blocks and
+//!   `struct`/`enum` declarations, each with a name, the token span of its
+//!   body and parent/child links (spans are properly nested by
+//!   construction — the property tests re-derive this from raw braces);
+//! * **per-token context**: enclosing `#[cfg(test)]` gate, loop depth
+//!   (`for`/`while`/`loop` nests, a loop header counting as depth ≥ 1),
+//!   and the innermost enclosing item;
+//! * **closures**: `|args| body` / `move |args| body` sites with their
+//!   captured-by-`move` flag and parameter names;
+//! * **expression shapes** the rules care about: `expr as T` casts with a
+//!   classification of the operand (integer literal, bool-shaped
+//!   parenthesized comparison, other) and `let _ = …` discards with the
+//!   infallible `write!`-to-`String` idiom recognized.
+//!
+//! The model is best-effort by design: it over-approximates inside
+//! `macro_rules!` bodies and never fails on malformed input — lint rules
+//! are a net, not a compiler front-end.
+
+use crate::lexer::{lex, Token, TokenKind, Waiver};
+use mc3_core::u32_of;
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { … }` (or `mod name;`).
+    Module,
+    /// `fn name(…) { … }` (or a body-less trait method).
+    Fn,
+    /// `impl Type { … }` / `impl Trait for Type { … }`.
+    Impl,
+    /// `trait Name { … }`.
+    Trait,
+    /// `struct Name …`.
+    Struct,
+    /// `enum Name { … }`.
+    Enum,
+}
+
+/// One recovered item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item class.
+    pub kind: ItemKind,
+    /// Declared name (`impl` blocks render their header, e.g.
+    /// `Display for Foo`). Possibly empty on malformed input.
+    pub name: String,
+    /// Token index of the introducing keyword.
+    pub keyword_token: usize,
+    /// Token indices of the body's `{` and `}`, when the item has a body
+    /// (`mod m;`, `struct S;` and trait-method declarations do not).
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the introducing keyword.
+    pub line: u32,
+    /// Index of the enclosing item in [`SyntaxFile::items`], if any.
+    pub parent: Option<usize>,
+    /// Indices of directly enclosed items.
+    pub children: Vec<usize>,
+}
+
+/// One recovered closure.
+#[derive(Debug, Clone)]
+pub struct Closure {
+    /// Token index of the opening `|` (or of `move`).
+    pub start_token: usize,
+    /// 1-based line of the opening `|`.
+    pub line: u32,
+    /// Whether the closure captures by `move`.
+    pub is_move: bool,
+    /// Parameter names (identifiers between the pipes; patterns are
+    /// flattened to their identifiers).
+    pub params: Vec<String>,
+}
+
+/// How a cast operand reads, without type information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CastOperand {
+    /// A literal (`0 as u32`): the value is visible, nothing to lose.
+    Literal,
+    /// A parenthesized group containing a top-level comparison or boolean
+    /// operator (`(a == b) as u32`): bool → int is exact.
+    BoolShaped,
+    /// `true` / `false`.
+    BoolLiteral,
+    /// Anything else — a variable, call chain, or arithmetic expression.
+    Other,
+}
+
+/// One `expr as Type` cast.
+#[derive(Debug, Clone)]
+pub struct Cast {
+    /// Token index of the `as` keyword.
+    pub as_token: usize,
+    /// 1-based line of the `as` keyword.
+    pub line: u32,
+    /// The target type's leading identifier (`u32`, `usize`, `f64`, …).
+    pub target: String,
+    /// Operand classification.
+    pub operand: CastOperand,
+}
+
+/// One `let _ = …` discard (exactly `_`, not a named `_x` binding).
+#[derive(Debug, Clone)]
+pub struct Discard {
+    /// Token index of the `let`.
+    pub let_token: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// Whether the discarded expression is a `write!`/`writeln!`
+    /// invocation (the infallible `fmt::Write`-to-`String` idiom).
+    pub is_write_macro: bool,
+}
+
+/// The parsed model of one source file.
+#[derive(Debug, Default)]
+pub struct SyntaxFile {
+    /// The token stream (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// All `audit:allow` waivers found.
+    pub waivers: Vec<Waiver>,
+    /// Flat item list; the tree lives in `parent`/`children` links.
+    /// Parents always precede children (indices are creation-ordered).
+    pub items: Vec<Item>,
+    /// Recovered closures.
+    pub closures: Vec<Closure>,
+    /// Recovered `as` casts.
+    pub casts: Vec<Cast>,
+    /// Recovered `let _ =` discards.
+    pub discards: Vec<Discard>,
+    in_test: Vec<bool>,
+    loop_depth: Vec<u32>,
+    item_of: Vec<Option<u32>>,
+}
+
+impl SyntaxFile {
+    /// Whether token `i` sits inside a `#[cfg(test)]`-gated item.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.in_test[i]
+    }
+
+    /// Number of `for`/`while`/`loop` bodies enclosing token `i` (a
+    /// pending loop header already counts: its tokens re-evaluate every
+    /// iteration).
+    pub fn loop_depth(&self, i: usize) -> u32 {
+        self.loop_depth[i]
+    }
+
+    /// Index into [`SyntaxFile::items`] of the innermost item whose body
+    /// encloses token `i`, if any.
+    pub fn item_of(&self, i: usize) -> Option<usize> {
+        self.item_of[i].map(|x| x as usize)
+    }
+
+    /// The innermost enclosing `fn` item of token `i`, if any.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&Item> {
+        let mut cur = self.item_of(i);
+        while let Some(idx) = cur {
+            if self.items[idx].kind == ItemKind::Fn {
+                return Some(&self.items[idx]);
+            }
+            cur = self.items[idx].parent;
+        }
+        None
+    }
+
+    /// Parses `source` into a model. Never fails.
+    pub fn parse(source: &str) -> SyntaxFile {
+        let lexed = lex(source);
+        let mut sf = SyntaxFile {
+            waivers: lexed.waivers,
+            ..SyntaxFile::default()
+        };
+        let tokens = lexed.tokens;
+
+        #[derive(Clone, Copy)]
+        struct Brace {
+            is_test_root: bool,
+            is_loop: bool,
+            item: Option<u32>,
+        }
+        let mut stack: Vec<Brace> = Vec::new();
+        let mut test_level = 0u32;
+        let mut loops = 0u32;
+        let mut current_item: Option<u32> = None;
+        // Set once a `#[cfg(test)]` attribute is seen; the next `{` opens
+        // the gated item's body. A `;` first means the attribute gated a
+        // braceless item — the flag is dropped.
+        let mut pending_test = false;
+        let mut pending_loop = false;
+        // An item header whose body brace has not opened yet.
+        let mut pending_item: Option<u32> = None;
+        // Round-bracket depth, so `impl` in `-> impl Trait` positions and
+        // `fn` pointer types inside signatures are not misread as items.
+        let mut paren_depth = 0u32;
+        // Inside `use … ;` — `as` there is a rename, not a cast.
+        let mut in_use = false;
+
+        let mut i = 0usize;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            sf.in_test.push(test_level > 0);
+            sf.loop_depth.push(loops + u32::from(pending_loop));
+            sf.item_of.push(pending_item.or(current_item));
+
+            // Attributes: scan `#[ … ]` for `cfg` + `test`; the attribute's
+            // own tokens inherit the current context.
+            if t.is_punct('#') && tokens.get(i + 1).map(|n| n.is_punct('[')) == Some(true) {
+                let mut depth = 0i32;
+                let mut saw_cfg = false;
+                let mut saw_test = false;
+                let mut j = i + 1;
+                while j < tokens.len() {
+                    let a = &tokens[j];
+                    if a.is_punct('[') {
+                        depth += 1;
+                    } else if a.is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if a.is_ident("cfg") {
+                        saw_cfg = true;
+                    } else if a.is_ident("test") {
+                        saw_test = true;
+                    }
+                    j += 1;
+                }
+                if saw_cfg && saw_test {
+                    pending_test = true;
+                }
+                for _ in i + 1..=j.min(tokens.len().saturating_sub(1)) {
+                    sf.in_test.push(test_level > 0);
+                    sf.loop_depth.push(loops + u32::from(pending_loop));
+                    sf.item_of.push(pending_item.or(current_item));
+                }
+                i = j + 1;
+                continue;
+            }
+
+            if t.kind == TokenKind::Ident {
+                match t.text.as_str() {
+                    "use" => in_use = true,
+                    "loop" | "while" => pending_loop = true,
+                    "for" if for_is_a_loop(&tokens, i) => pending_loop = true,
+                    kw @ ("mod" | "fn" | "impl" | "trait" | "struct" | "enum")
+                        if paren_depth == 0 && pending_item.is_none() && !in_use =>
+                    {
+                        if let Some(item) = recognize_item(kw, &tokens, i, current_item) {
+                            let idx = u32_of(sf.items.len());
+                            if let Some(p) = item.parent {
+                                sf.items[p].children.push(idx as usize);
+                            }
+                            sf.items.push(item);
+                            pending_item = Some(idx);
+                            // The keyword token itself belongs to the item.
+                            // audit:allow(no-unwrap-in-lib) item_of got a slot for this very token two lines up
+                            *sf.item_of.last_mut().expect("just pushed") = Some(idx);
+                        }
+                    }
+                    "as" if !in_use => {
+                        if let Some(cast) = recognize_cast(&tokens, i) {
+                            sf.casts.push(cast);
+                        }
+                    }
+                    "let" => {
+                        if let Some(d) = recognize_discard(&tokens, i) {
+                            sf.discards.push(d);
+                        }
+                    }
+                    "move" => {
+                        if tokens.get(i + 1).map(|n| n.is_punct('|')) == Some(true) {
+                            if let Some(c) = recognize_closure(&tokens, i + 1, true) {
+                                sf.closures.push(c);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            } else if t.is_punct('|') && closure_position(&tokens, i) {
+                if let Some(c) = recognize_closure(&tokens, i, false) {
+                    sf.closures.push(c);
+                }
+            } else if t.is_punct('(') {
+                paren_depth += 1;
+            } else if t.is_punct(')') {
+                paren_depth = paren_depth.saturating_sub(1);
+            } else if t.is_punct(';') {
+                // A braceless gated/declared item ends pending scopes.
+                pending_test = false;
+                if in_use {
+                    in_use = false;
+                }
+                if paren_depth == 0 {
+                    pending_item = None;
+                }
+            } else if t.is_punct('{') {
+                let b = Brace {
+                    is_test_root: pending_test,
+                    is_loop: pending_loop,
+                    item: pending_item,
+                };
+                pending_test = false;
+                pending_loop = false;
+                if let Some(idx) = pending_item.take() {
+                    sf.items[idx as usize].body = Some((i, usize::MAX));
+                    current_item = Some(idx);
+                }
+                if b.is_test_root {
+                    test_level += 1;
+                }
+                if b.is_loop {
+                    loops += 1;
+                }
+                stack.push(b);
+            } else if t.is_punct('}') {
+                if let Some(b) = stack.pop() {
+                    if b.is_test_root {
+                        test_level = test_level.saturating_sub(1);
+                    }
+                    if b.is_loop {
+                        loops = loops.saturating_sub(1);
+                    }
+                    if let Some(idx) = b.item {
+                        let item = &mut sf.items[idx as usize];
+                        if let Some((open, _)) = item.body {
+                            item.body = Some((open, i));
+                        }
+                        current_item = item.parent.map(|p| u32_of(p));
+                        // `item_of` for the closing brace is the item itself.
+                        // audit:allow(no-unwrap-in-lib) item_of got a slot for this very token at loop entry
+                        *sf.item_of.last_mut().expect("pushed above") = Some(idx);
+                    }
+                }
+            }
+            i += 1;
+        }
+        // Unterminated bodies (EOF inside an item) close at the last token.
+        let last = tokens.len().saturating_sub(1);
+        for item in &mut sf.items {
+            if let Some((open, close)) = item.body {
+                if close == usize::MAX {
+                    item.body = Some((open, last));
+                }
+            }
+        }
+        sf.tokens = tokens;
+        sf
+    }
+}
+
+/// Whether the `for` at `i` heads a `for … in … {` loop (as opposed to
+/// `impl Trait for Type` or `for<'a>` binders): an `in` keyword appears
+/// before the next `{` or `;`.
+fn for_is_a_loop(tokens: &[Token], i: usize) -> bool {
+    for t in tokens.iter().skip(i + 1).take(64) {
+        if t.is_ident("in") {
+            return true;
+        }
+        if t.is_punct('{') || t.is_punct(';') {
+            return false;
+        }
+    }
+    false
+}
+
+/// Builds an [`Item`] for the keyword at `i`, or `None` when the keyword
+/// does not introduce an item (`fn`-pointer types, stray macro tokens).
+fn recognize_item(kw: &str, tokens: &[Token], i: usize, parent: Option<u32>) -> Option<Item> {
+    let kind = match kw {
+        "mod" => ItemKind::Module,
+        "fn" => ItemKind::Fn,
+        "impl" => ItemKind::Impl,
+        "trait" => ItemKind::Trait,
+        "struct" => ItemKind::Struct,
+        "enum" => ItemKind::Enum,
+        _ => return None,
+    };
+    let name = if kind == ItemKind::Impl {
+        // Render the header up to the body / where clause, e.g.
+        // `Display for Foo` or `BitCover`.
+        let mut parts = Vec::new();
+        for t in tokens.iter().skip(i + 1).take(24) {
+            if t.is_punct('{') || t.is_ident("where") {
+                break;
+            }
+            parts.push(t.text.clone());
+        }
+        parts.join(" ")
+    } else {
+        // The declared identifier; `fn (` is an fn-pointer type, not an
+        // item. Generics on the keyword (`impl<T>`) cannot occur here.
+        match tokens.get(i + 1) {
+            Some(t) if t.kind == TokenKind::Ident => t.text.clone(),
+            _ => return None,
+        }
+    };
+    Some(Item {
+        kind,
+        name,
+        keyword_token: i,
+        body: None,
+        line: tokens[i].line,
+        parent: parent.map(|p| p as usize),
+        children: Vec::new(),
+    })
+}
+
+/// Integer-literal check for cast operands.
+fn is_int_literal(t: &Token) -> bool {
+    matches!(t.kind, TokenKind::Int | TokenKind::Float)
+}
+
+/// Builds a [`Cast`] for the `as` at `i`, when it reads like a cast.
+fn recognize_cast(tokens: &[Token], i: usize) -> Option<Cast> {
+    // The target type's first token must be an identifier (`u32`,
+    // `usize`, `f64`, a path head…). `as dyn`, `as &`, `as *const` keep
+    // their leading token as the target text, which no rule matches.
+    let target = tokens.get(i + 1)?;
+    if target.kind != TokenKind::Ident {
+        return None;
+    }
+    // A cast follows a value. `use x as y` is filtered by the caller;
+    // anything not preceded by a value-ending token is not a cast.
+    let prev = if i == 0 { return None } else { &tokens[i - 1] };
+    let value_end = prev.kind == TokenKind::Ident
+        || is_int_literal(prev)
+        || prev.kind == TokenKind::StrLit
+        || prev.is_punct(')')
+        || prev.is_punct(']');
+    if !value_end {
+        return None;
+    }
+    let operand = if is_int_literal(prev) {
+        CastOperand::Literal
+    } else if prev.is_ident("true") || prev.is_ident("false") {
+        CastOperand::BoolLiteral
+    } else if prev.is_punct(')') {
+        classify_paren_group(tokens, i - 1)
+    } else {
+        CastOperand::Other
+    };
+    Some(Cast {
+        as_token: i,
+        line: tokens[i].line,
+        target: target.text.clone(),
+        operand,
+    })
+}
+
+/// Classifies the parenthesized group ending at `close` (index of `)`):
+/// [`CastOperand::BoolShaped`] when a comparison or boolean operator sits
+/// at the group's top nesting level, [`CastOperand::Other`] otherwise.
+fn classify_paren_group(tokens: &[Token], close: usize) -> CastOperand {
+    // Walk back to the matching `(`.
+    let mut depth = 0i32;
+    let mut open = None;
+    for j in (0..=close).rev() {
+        if tokens[j].is_punct(')') || tokens[j].is_punct(']') || tokens[j].is_punct('}') {
+            depth += 1;
+        } else if tokens[j].is_punct('(') || tokens[j].is_punct('[') || tokens[j].is_punct('{') {
+            depth -= 1;
+            if depth == 0 {
+                open = Some(j);
+                break;
+            }
+        }
+    }
+    let Some(open) = open else {
+        return CastOperand::Other;
+    };
+    if !tokens[open].is_punct('(') {
+        return CastOperand::Other;
+    }
+    let mut depth = 0i32;
+    let mut j = open + 1;
+    while j < close {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if depth == 0 && t.kind == TokenKind::Punct {
+            let next = tokens.get(j + 1);
+            let next_eq = next.map(|n| n.is_punct('=')) == Some(true);
+            let bool_op = match t.text.as_str() {
+                // `==`, `!=`, `<=`, `>=` — and bare `<` / `>` which in a
+                // parenthesized *expression* read as comparisons.
+                "=" | "!" if next_eq => true,
+                "<" | ">" => true,
+                "&" if next.map(|n| n.is_punct('&')) == Some(true) => true,
+                "|" if next.map(|n| n.is_punct('|')) == Some(true) => true,
+                _ => false,
+            };
+            if bool_op {
+                return CastOperand::BoolShaped;
+            }
+        }
+        j += 1;
+    }
+    CastOperand::Other
+}
+
+/// Builds a [`Discard`] for the `let` at `i` when it is a `let _ = …`.
+fn recognize_discard(tokens: &[Token], i: usize) -> Option<Discard> {
+    if tokens.get(i + 1).map(|t| t.is_ident("_")) != Some(true)
+        || tokens.get(i + 2).map(|t| t.is_punct('=')) != Some(true)
+        // `let _ == …` cannot parse; `let _ =` only (not `let _ : T =`).
+        || tokens.get(i + 3).map(|t| t.is_punct('=')) == Some(true)
+    {
+        return None;
+    }
+    let rhs = tokens.get(i + 3);
+    let is_write_macro = matches!(rhs, Some(t) if t.is_ident("write") || t.is_ident("writeln"))
+        && tokens.get(i + 4).map(|t| t.is_punct('!')) == Some(true);
+    Some(Discard {
+        let_token: i,
+        line: tokens[i].line,
+        is_write_macro,
+    })
+}
+
+/// Whether the `|` at `i` starts a closure rather than a bitwise-or: it
+/// must follow a token that cannot end an expression.
+fn closure_position(tokens: &[Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).map(|j| &tokens[j]) else {
+        return true; // file starts with a closure — fine
+    };
+    if prev.kind == TokenKind::Punct {
+        // After `)`, `]`, `}` a `|` is bitwise-or; after `(`, `,`, `=`,
+        // `{`, `;`, `:`, `&` (borrowed closure) and friends it opens a
+        // closure.
+        !(prev.is_punct(')') || prev.is_punct(']') || prev.is_punct('}'))
+    } else {
+        // After an identifier or literal, `|` is bitwise-or — except
+        // after expression-introducing keywords.
+        matches!(
+            prev.text.as_str(),
+            "return" | "else" | "in" | "match" | "if" | "while" | "break"
+        )
+    }
+}
+
+/// Builds a [`Closure`] for the opening `|` at `pipe`.
+fn recognize_closure(tokens: &[Token], pipe: usize, is_move: bool) -> Option<Closure> {
+    if !tokens.get(pipe)?.is_punct('|') {
+        return None;
+    }
+    let mut params = Vec::new();
+    // `||` — empty parameter list.
+    if tokens.get(pipe + 1).map(|t| t.is_punct('|')) == Some(true) {
+        return Some(Closure {
+            start_token: if is_move { pipe - 1 } else { pipe },
+            line: tokens[pipe].line,
+            is_move,
+            params,
+        });
+    }
+    let mut depth = 0i32;
+    let mut j = pipe + 1;
+    // Parameters end at the matching un-nested `|`; bail out after a
+    // window — a real parameter list is short, an operator `|` is not
+    // followed by one.
+    let limit = (pipe + 96).min(tokens.len());
+    while j < limit {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth -= 1;
+            if depth < 0 {
+                return None; // ran out of the expression: was bitwise-or
+            }
+        } else if t.is_punct('|') && depth == 0 {
+            return Some(Closure {
+                start_token: if is_move { pipe - 1 } else { pipe },
+                line: tokens[pipe].line,
+                is_move,
+                params,
+            });
+        } else if depth == 0
+            && t.kind == TokenKind::Ident
+            && tokens.get(j.wrapping_sub(1)).map(|p| p.is_punct(':')) != Some(true)
+            && !matches!(t.text.as_str(), "mut" | "ref")
+        {
+            // An identifier not in type position (not preceded by `:`).
+            if tokens
+                .get(j + 1)
+                .map(|n| n.is_punct(':') || n.is_punct(',') || n.is_punct('|'))
+                != Some(false)
+            {
+                params.push(t.text.clone());
+            }
+        } else if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SyntaxFile {
+        SyntaxFile::parse(src)
+    }
+
+    #[test]
+    fn items_form_a_tree() {
+        let sf = parse(
+            "mod outer {\n  struct S;\n  impl Display for S { fn fmt(&self) {} }\n  fn free() {}\n}\n",
+        );
+        let kinds: Vec<ItemKind> = sf.items.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ItemKind::Module,
+                ItemKind::Struct,
+                ItemKind::Impl,
+                ItemKind::Fn,
+                ItemKind::Fn
+            ]
+        );
+        let outer = &sf.items[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.children, vec![1, 2, 4]);
+        let imp = &sf.items[2];
+        assert_eq!(imp.name, "Display for S");
+        assert_eq!(imp.children, vec![3]);
+        assert_eq!(sf.items[3].parent, Some(2));
+        // Body spans nest: fmt's body inside impl's body.
+        let (io, ic) = imp.body.expect("impl has a body");
+        let (fo, fc) = sf.items[3].body.expect("fn has a body");
+        assert!(io < fo && fc < ic);
+    }
+
+    #[test]
+    fn unit_structs_and_decls_have_no_body() {
+        let sf = parse("struct S;\ntrait T { fn f(&self); fn g(&self) {} }\nmod m;\n");
+        assert_eq!(sf.items[0].body, None, "unit struct");
+        let f = sf.items.iter().find(|i| i.name == "f").expect("decl f");
+        assert_eq!(f.body, None, "trait method declaration");
+        let g = sf.items.iter().find(|i| i.name == "g").expect("fn g");
+        assert!(g.body.is_some(), "defaulted trait method");
+        let m = sf.items.iter().find(|i| i.name == "m").expect("mod m");
+        assert_eq!(m.body, None, "outline module");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let sf = parse("type F = fn(u32) -> u32;\nfn real(cb: fn() -> bool) {}\n");
+        let fns: Vec<&Item> = sf.items.iter().filter(|i| i.kind == ItemKind::Fn).collect();
+        assert_eq!(fns.len(), 1, "{:?}", sf.items);
+        assert_eq!(fns[0].name, "real");
+    }
+
+    #[test]
+    fn impl_trait_in_return_position_is_not_an_item() {
+        let sf = parse("fn make() -> impl Iterator<Item = u32> { (0..3) }\n");
+        assert_eq!(sf.items.len(), 1);
+        assert_eq!(sf.items[0].kind, ItemKind::Fn);
+        assert!(sf.items[0].body.is_some());
+    }
+
+    #[test]
+    fn enclosing_fn_resolves_through_impls() {
+        let src = "impl S { fn method(&self) { let x = 1; } }";
+        let sf = parse(src);
+        let x = sf
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("x"))
+            .expect("token x");
+        assert_eq!(sf.enclosing_fn(x).expect("inside method").name, "method");
+    }
+
+    #[test]
+    fn loop_depth_counts_nests_and_headers() {
+        let src = "fn f() { for i in 0..3 { while go() { s.push(i); } } }";
+        let sf = parse(src);
+        let push = sf
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("push"))
+            .expect("push token");
+        assert_eq!(sf.loop_depth(push), 2);
+        let go = sf
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("go"))
+            .expect("go token");
+        assert_eq!(sf.loop_depth(go), 2, "loop header counts as in-loop");
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let sf = parse("impl Foo for Bar { fn f(&self) {} }");
+        assert!((0..sf.tokens.len()).all(|i| sf.loop_depth(i) == 0));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_tracked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }";
+        let sf = parse(src);
+        let unwrap = sf
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("unwrap"))
+            .expect("unwrap");
+        assert!(sf.in_test(unwrap));
+        assert!(!sf.in_test(0));
+    }
+
+    #[test]
+    fn casts_are_classified() {
+        let src = "fn f(n: u64, b: &[u64]) -> u32 { let a = 0 as u32; \
+                   let c = (n == 1) as u32; let d = n as u32; let e = true as u32; d }";
+        let sf = parse(src);
+        let ops: Vec<(String, CastOperand)> = sf
+            .casts
+            .iter()
+            .map(|c| (c.target.clone(), c.operand))
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                ("u32".to_owned(), CastOperand::Literal),
+                ("u32".to_owned(), CastOperand::BoolShaped),
+                ("u32".to_owned(), CastOperand::Other),
+                ("u32".to_owned(), CastOperand::BoolLiteral),
+            ]
+        );
+    }
+
+    #[test]
+    fn use_renames_are_not_casts() {
+        let sf = parse("use std::io::Result as IoResult;\nfn f(n: u64) -> u32 { n as u32 }");
+        assert_eq!(sf.casts.len(), 1);
+        assert_eq!(sf.casts[0].target, "u32");
+    }
+
+    #[test]
+    fn bitmask_group_is_not_bool_shaped() {
+        let sf = parse("fn f(w: u64) -> u32 { (w & 0xff) as u32 }");
+        assert_eq!(sf.casts[0].operand, CastOperand::Other);
+        let sf = parse("fn f(w: u64) -> u32 { (w & 1 == 0) as u32 }");
+        assert_eq!(sf.casts[0].operand, CastOperand::BoolShaped);
+    }
+
+    #[test]
+    fn discards_and_the_write_idiom() {
+        let src = "fn f(out: &mut String) { let _ = writeln!(out, \"x\"); \
+                   let _ = fallible(); let _x = fallible(); }";
+        let sf = parse(src);
+        assert_eq!(sf.discards.len(), 2, "{:?}", sf.discards);
+        assert!(sf.discards[0].is_write_macro);
+        assert!(!sf.discards[1].is_write_macro);
+    }
+
+    #[test]
+    fn closures_are_recovered_with_move_and_params() {
+        let src = "fn f(v: &[u32]) { let a: u32 = v.iter().map(|x| x + 1).sum(); \
+                   let t = move |acc, n| acc + n; }";
+        let sf = parse(src);
+        assert_eq!(sf.closures.len(), 2, "{:?}", sf.closures);
+        assert!(!sf.closures[0].is_move);
+        assert_eq!(sf.closures[0].params, vec!["x"]);
+        assert!(sf.closures[1].is_move);
+        assert_eq!(sf.closures[1].params, vec!["acc", "n"]);
+    }
+
+    #[test]
+    fn bitwise_or_is_not_a_closure() {
+        let sf = parse("fn f(a: u64, b: u64) -> u64 { a | b }");
+        assert!(sf.closures.is_empty(), "{:?}", sf.closures);
+    }
+
+    #[test]
+    fn item_spans_nest_on_malformed_input() {
+        // Unterminated body: close at EOF, never panic.
+        let sf = parse("fn broken() { let x = 1;");
+        assert_eq!(sf.items.len(), 1);
+        let (open, close) = sf.items[0].body.expect("body opened");
+        assert!(open < close);
+        assert_eq!(close, sf.tokens.len() - 1);
+    }
+}

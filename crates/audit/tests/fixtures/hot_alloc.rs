@@ -1,0 +1,46 @@
+//! Seeded violation: `no-alloc-in-hot-loops` (a `Vec::new` and two pushes
+//! inside kernel loops — the fixture is linted under a hot-file path; the
+//! loop-free builder, the waived push and test code must not be flagged).
+
+pub fn flatten(rows: &[Vec<u32>]) -> Vec<u32> {
+    let mut out = Vec::new();
+    for row in rows {
+        let mut scratch = Vec::new();
+        for &x in row {
+            scratch.push(x);
+        }
+        out.extend_from_slice(&scratch);
+    }
+    out
+}
+
+pub fn doubled(row: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(row.len());
+    for &x in row {
+        out.push(x);
+    }
+    out
+}
+
+pub fn doubled_reviewed(row: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(row.len());
+    for &x in row {
+        // audit:allow(no-alloc-in-hot-loops) reviewed: within-capacity push, reserved above
+        out.push(x);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loops_in_tests_may_allocate() {
+        let mut v = Vec::new();
+        for i in 0..4u32 {
+            v.push(i);
+        }
+        assert_eq!(flatten(&[v.clone()]), v);
+    }
+}

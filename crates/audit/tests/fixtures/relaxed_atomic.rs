@@ -1,0 +1,35 @@
+//! Seeded violation: `no-relaxed-atomics` (an unwaived `Relaxed` load and
+//! an unwaived `SeqCst` store; the waived store, the `Release` store and
+//! the test-gated use must not be flagged).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static FLAG: AtomicU64 = AtomicU64::new(0);
+
+pub fn peek() -> u64 {
+    FLAG.load(Ordering::Relaxed)
+}
+
+pub fn publish(v: u64) {
+    FLAG.store(v, Ordering::SeqCst);
+}
+
+pub fn publish_reviewed(v: u64) {
+    // audit:allow(no-relaxed-atomics) reviewed: lone flag, no data published through it
+    FLAG.store(v, Ordering::SeqCst);
+}
+
+pub fn publish_protocol(v: u64) {
+    FLAG.store(v, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxed_is_fine_in_tests() {
+        FLAG.store(1, Ordering::Relaxed);
+        assert_eq!(peek(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Seeded violation: `no-swallowed-result` (a `let _ =` discarding a
+//! fallible call in library code; the `write!` idiom, the typed binding,
+//! the waived discard and test code must not be flagged).
+
+use std::fmt::Write as _;
+
+pub fn lossy(s: &mut String) {
+    let _ = render(s);
+}
+
+pub fn idiomatic(out: &mut String) {
+    let _ = write!(out, "ok");
+}
+
+pub fn typed(x: u64) -> u64 {
+    let _kept: u64 = x;
+    _kept
+}
+
+pub fn reviewed(s: &mut String) {
+    // audit:allow(no-swallowed-result) reviewed: best-effort render, caller sees the partial buffer
+    let _ = render(s);
+}
+
+fn render(s: &mut String) -> Result<(), std::fmt::Error> {
+    write!(s, "x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discards_in_tests_are_fine() {
+        let mut s = String::new();
+        let _ = render(&mut s);
+        assert_eq!(s, "x");
+    }
+}

@@ -1,0 +1,36 @@
+//! Seeded violation: `no-silent-truncation` (narrowing `as u32`/`as u8`
+//! casts of runtime values; widening casts, literal operands, bool-shaped
+//! operands, the waived cast and test code must not be flagged).
+
+pub fn ids(xs: &[u64]) -> Vec<u32> {
+    xs.iter().map(|&x| x as u32).collect()
+}
+
+pub fn level(x: usize) -> u8 {
+    x as u8
+}
+
+pub fn fine(x: u32) -> u64 {
+    let widened = x as u64;
+    let lit = 7u64 as u32;
+    let shaped = (x > 3) as u32;
+    let flag = true as u32;
+    widened + u64::from(lit + shaped + flag)
+}
+
+pub fn reviewed(x: u64) -> u32 {
+    // audit:allow(no-silent-truncation) x is a property index < 32 by construction
+    x as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn casts_in_tests_are_fine() {
+        let x = 300usize as u8;
+        assert_eq!(x, 44);
+        assert_eq!(level(2), 2);
+    }
+}

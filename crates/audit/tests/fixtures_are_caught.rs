@@ -3,7 +3,7 @@
 //! exit non-zero. The fixtures live in a `fixtures/` directory precisely
 //! so the real workspace lint skips them (see `collect_files`).
 
-use mc3_audit::rules::check_file;
+use mc3_audit::rules::{check_file, RULE_INFOS};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -113,6 +113,100 @@ fn a_waiver_suppresses_a_fixture_violation() {
     assert!(check_file("w.rs", src).is_empty());
 }
 
+#[test]
+fn relaxed_atomic_fixture_is_caught() {
+    let (file, source) = fixture("relaxed_atomic.rs");
+    let violations = check_file(&file, &source);
+    assert_eq!(
+        violations.len(),
+        2,
+        "the Relaxed load and the SeqCst store; not the waived store, \
+         the Release store or the test: {violations:?}"
+    );
+    assert!(violations.iter().all(|v| v.rule == "no-relaxed-atomics"));
+}
+
+#[test]
+fn relaxed_atomic_rule_exempts_telemetry() {
+    // The counters crate is the one place Relaxed is the documented default.
+    let (_, source) = fixture("relaxed_atomic.rs");
+    assert!(check_file("crates/telemetry/src/counters.rs", &source).is_empty());
+}
+
+#[test]
+fn hot_alloc_fixture_is_caught_under_a_kernel_path() {
+    let (_, source) = fixture("hot_alloc.rs");
+    let violations = check_file("crates/setcover/src/bitcover.rs", &source);
+    assert_eq!(
+        violations.len(),
+        3,
+        "the in-loop Vec::new and the two unwaived pushes: {violations:?}"
+    );
+    assert!(violations.iter().all(|v| v.rule == "no-alloc-in-hot-loops"));
+}
+
+#[test]
+fn hot_alloc_rule_is_file_scoped() {
+    // The same source outside the kernel file list is clean.
+    let (_, source) = fixture("hot_alloc.rs");
+    assert!(check_file("hot_alloc.rs", &source).is_empty());
+    assert!(check_file("crates/core/src/json.rs", &source).is_empty());
+}
+
+#[test]
+fn truncating_cast_fixture_is_caught() {
+    let (file, source) = fixture("truncating_cast.rs");
+    let violations = check_file(&file, &source);
+    assert_eq!(
+        violations.len(),
+        2,
+        "the two narrowing runtime casts; not the widening, literal, \
+         bool-shaped, waived or test casts: {violations:?}"
+    );
+    assert!(violations.iter().all(|v| v.rule == "no-silent-truncation"));
+}
+
+#[test]
+fn swallowed_result_fixture_is_caught() {
+    let (file, source) = fixture("swallowed_result.rs");
+    let violations = check_file(&file, &source);
+    assert_eq!(
+        violations.len(),
+        1,
+        "only the bare discard; not the write! idiom, the named binding, \
+         the waiver or the test: {violations:?}"
+    );
+    assert_eq!(violations[0].rule, "no-swallowed-result");
+}
+
+#[test]
+fn swallowed_result_rule_exempts_binaries() {
+    let (_, source) = fixture("swallowed_result.rs");
+    assert!(check_file("crates/cli/src/main.rs", &source).is_empty());
+    assert!(check_file("crates/bench/src/bin/experiments.rs", &source).is_empty());
+}
+
+/// Every rule's declared fixture trips exactly that rule when linted
+/// under its declared path — the same pairing the consistency pass
+/// enforces (`rule-fixture`).
+#[test]
+fn every_rule_fixture_is_caught_by_its_rule() {
+    for info in &RULE_INFOS {
+        let (_, source) = fixture(info.fixture);
+        let rules: Vec<&'static str> = check_file(info.lint_as, &source)
+            .into_iter()
+            .map(|v| v.rule)
+            .collect();
+        assert!(
+            rules.contains(&info.name),
+            "{} fixture {} (linted as {}) did not trip its rule: {rules:?}",
+            info.name,
+            info.fixture,
+            info.lint_as
+        );
+    }
+}
+
 /// Builds a throwaway workspace whose only crate contains every fixture,
 /// runs the real `mc3-audit` binary on it, and checks the exit code and
 /// report text.
@@ -121,16 +215,16 @@ fn lint_run_over_fixtures_exits_nonzero() {
     let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fixture-workspace");
     let src_dir = root.join("crates/seeded/src");
     std::fs::create_dir_all(&src_dir).expect("create fixture workspace");
-    for name in [
-        "unwrap_in_lib.rs",
-        "default_hasher.rs",
-        "dinic.rs",
-        "float_eq.rs",
-        "bare_instant.rs",
-        "raw_eprintln.rs",
-    ] {
-        let (_, source) = fixture(name);
-        std::fs::write(src_dir.join(name), source).expect("copy fixture");
+    for info in &RULE_INFOS {
+        let (_, source) = fixture(info.fixture);
+        // Write each fixture under the path its rule watches (`lint_as`),
+        // e.g. hot_alloc.rs lands as a setcover kernel file.
+        let dest = root.join("crates/seeded/src").join(
+            Path::new(info.lint_as)
+                .file_name()
+                .expect("lint_as has a file name"),
+        );
+        std::fs::write(dest, source).expect("copy fixture");
     }
 
     let output = Command::new(env!("CARGO_BIN_EXE_mc3-audit"))
@@ -144,14 +238,7 @@ fn lint_run_over_fixtures_exits_nonzero() {
         Some(1),
         "seeded violations must fail the run; stdout:\n{stdout}"
     );
-    for rule in [
-        "no-unwrap-in-lib",
-        "no-default-hasher",
-        "no-unchecked-index-in-hot-loops",
-        "no-float-eq",
-        "no-bare-instant",
-        "no-raw-eprintln-in-lib",
-    ] {
+    for rule in mc3_audit::rules::ALL_RULES {
         assert!(
             stdout.contains(&format!("error[{rule}]")),
             "rule {rule} missing from the report:\n{stdout}"

@@ -1,0 +1,222 @@
+//! Parser round-trip properties over the real workspace: every `.rs` file
+//! the lint covers must parse into a [`SyntaxFile`] whose item tree nests
+//! properly and whose loop depths agree with an independent re-derivation
+//! from the raw lexer stream. The corpus is the codebase itself, so every
+//! new source construct added to the workspace exercises the parser.
+
+use mc3_audit::lexer::{lex, Token};
+use mc3_audit::syntax::SyntaxFile;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/audit sits two levels below the root")
+        .to_path_buf()
+}
+
+/// Independent loop-depth derivation straight from the lexer stream:
+/// bracket-skip attributes the way the parser does, track a stack of
+/// "was this brace a loop body" flags, and count a pending loop header as
+/// already inside the loop. Deliberately re-implemented (not shared with
+/// `syntax.rs`) so the two can disagree.
+fn derive_loop_depths(tokens: &[Token]) -> Vec<u32> {
+    let mut depths = Vec::with_capacity(tokens.len());
+    let mut stack: Vec<bool> = Vec::new();
+    let mut pending = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        let depth = stack.iter().filter(|&&l| l).count() + usize::from(pending);
+        depths.push(u32::try_from(depth).unwrap_or(u32::MAX));
+
+        let t = &tokens[i];
+        // `#[ … ]` groups are opaque to brace tracking.
+        if t.is_punct('#') && tokens.get(i + 1).map(|n| n.is_punct('[')) == Some(true) {
+            let mut bracket = 0i32;
+            let mut j = i + 1;
+            while j < tokens.len() {
+                if tokens[j].is_punct('[') {
+                    bracket += 1;
+                } else if tokens[j].is_punct(']') {
+                    bracket -= 1;
+                    if bracket == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            for _ in i + 1..=j.min(tokens.len().saturating_sub(1)) {
+                depths.push(u32::try_from(depth).unwrap_or(u32::MAX));
+            }
+            i = j + 1;
+            continue;
+        }
+
+        if t.is_ident("loop") || t.is_ident("while") {
+            pending = true;
+        } else if t.is_ident("for") {
+            // a loop iff `in` shows up before the body opens (excludes
+            // `impl Trait for Type` and `for<'a>` binders)
+            for n in tokens.iter().skip(i + 1).take(64) {
+                if n.is_ident("in") {
+                    pending = true;
+                    break;
+                }
+                if n.is_punct('{') || n.is_punct(';') {
+                    break;
+                }
+            }
+        } else if t.is_punct('{') {
+            stack.push(pending);
+            pending = false;
+        } else if t.is_punct('}') {
+            stack.pop();
+        }
+        i += 1;
+    }
+    depths
+}
+
+fn corpus() -> Vec<PathBuf> {
+    let files = mc3_audit::collect_files(&workspace_root()).expect("walk workspace");
+    assert!(
+        files.len() > 50,
+        "corpus suspiciously small ({} files) — wrong root?",
+        files.len()
+    );
+    files
+}
+
+#[test]
+fn loop_depth_matches_independent_lexer_tracking() {
+    for path in corpus() {
+        let source = std::fs::read_to_string(&path).expect("read source");
+        let sf = SyntaxFile::parse(&source);
+        let lexed = lex(&source);
+        assert_eq!(
+            sf.tokens.len(),
+            lexed.tokens.len(),
+            "{}: parser must not drop tokens",
+            path.display()
+        );
+        let expected = derive_loop_depths(&lexed.tokens);
+        for (i, &want) in expected.iter().enumerate() {
+            assert_eq!(
+                sf.loop_depth(i),
+                want,
+                "{}: loop depth diverges at token {i} ({:?}, line {})",
+                path.display(),
+                sf.tokens[i].text,
+                sf.tokens[i].line
+            );
+        }
+    }
+}
+
+#[test]
+fn item_spans_nest_and_brace_tokens_match() {
+    for path in corpus() {
+        let source = std::fs::read_to_string(&path).expect("read source");
+        let sf = SyntaxFile::parse(&source);
+        for (idx, item) in sf.items.iter().enumerate() {
+            if let Some((open, close)) = item.body {
+                assert!(
+                    sf.tokens[open].is_punct('{'),
+                    "{}: item {} body open is not a brace",
+                    path.display(),
+                    item.name
+                );
+                assert!(
+                    close > open && close < sf.tokens.len(),
+                    "{}: item {} body span is inverted or dangling",
+                    path.display(),
+                    item.name
+                );
+                assert!(
+                    sf.tokens[close].is_punct('}'),
+                    "{}: item {} body close is not a brace",
+                    path.display(),
+                    item.name
+                );
+            }
+            if let Some(p) = item.parent {
+                let parent = &sf.items[p];
+                assert!(
+                    parent.children.contains(&idx),
+                    "{}: parent {} does not list child {}",
+                    path.display(),
+                    parent.name,
+                    item.name
+                );
+                let (popen, pclose) = parent.body.unwrap_or_else(|| {
+                    panic!("{}: parent {} has no body", path.display(), parent.name)
+                });
+                assert!(
+                    popen < item.keyword_token,
+                    "{}: child {} starts before parent {} opens",
+                    path.display(),
+                    item.name,
+                    parent.name
+                );
+                if let Some((copen, cclose)) = item.body {
+                    assert!(
+                        popen < copen && cclose < pclose,
+                        "{}: child {} body is not enclosed by parent {}",
+                        path.display(),
+                        item.name,
+                        parent.name
+                    );
+                }
+            }
+            for &c in &item.children {
+                assert_eq!(
+                    sf.items[c].parent,
+                    Some(idx),
+                    "{}: child link of {} is not symmetric",
+                    path.display(),
+                    item.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_token_maps_into_the_item_that_spans_it() {
+    for path in corpus() {
+        let source = std::fs::read_to_string(&path).expect("read source");
+        let sf = SyntaxFile::parse(&source);
+        for (idx, item) in sf.items.iter().enumerate() {
+            let Some((open, close)) = item.body else {
+                continue;
+            };
+            // Tokens strictly inside the body map to this item or a nested one.
+            for i in open + 1..close {
+                let Some(owner) = sf.item_of(i) else {
+                    panic!(
+                        "{}: token {i} inside {} has no item",
+                        path.display(),
+                        item.name
+                    );
+                };
+                let mut cur = Some(owner);
+                let found = loop {
+                    match cur {
+                        Some(x) if x == idx => break true,
+                        Some(x) => cur = sf.items[x].parent,
+                        None => break false,
+                    }
+                };
+                assert!(
+                    found,
+                    "{}: token {i} ({:?}) maps to {} which is not nested in {}",
+                    path.display(),
+                    sf.tokens[i].text,
+                    sf.items[owner].name,
+                    item.name
+                );
+            }
+        }
+    }
+}

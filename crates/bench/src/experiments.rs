@@ -1,6 +1,7 @@
 //! The experiment implementations (one per paper table/figure).
 
 use crate::report::{pct, secs, Table};
+use mc3_core::u32_of;
 use mc3_core::{Instance, InstanceStats, WeightsBuilder};
 use mc3_solver::{Algorithm, Mc3Solver, PreprocessOptions, WscStrategy};
 use mc3_workload::{random_subset, BestBuyConfig, PrivateConfig, SyntheticConfig};
@@ -43,6 +44,14 @@ impl ExperimentScale {
         }
     }
 
+    /// The largest synthetic size — the last entry of [`Self::synthetic_sizes`].
+    fn synthetic_max(self) -> usize {
+        match self {
+            ExperimentScale::Quick => 20_000,
+            ExperimentScale::Full => 100_000,
+        }
+    }
+
     fn private_total(self) -> usize {
         match self {
             ExperimentScale::Quick => 5_000,
@@ -54,21 +63,21 @@ impl ExperimentScale {
 /// Runs one experiment; returns its rendered report.
 pub fn run_experiment(id: &str, scale: ExperimentScale) -> Result<String, String> {
     match id {
-        "table1" => Ok(table1(scale)),
-        "fig3a" => Ok(fig3a()),
-        "fig3b" => Ok(fig3b(scale)),
-        "fig3c" => Ok(fig3c(scale)),
-        "fig3d" => Ok(fig3d(scale)),
-        "fig3e" => Ok(fig3e(scale)),
-        "fig3f" => Ok(fig3f(scale)),
-        "example11" => Ok(example11()),
-        "ablation-wsc" => Ok(ablation_wsc(scale)),
-        "ablation-preprocess" => Ok(ablation_preprocess(scale)),
-        "ablation-flow" => Ok(ablation_flow(scale)),
-        "ablation-guarantee" => Ok(ablation_guarantee()),
-        "ablation-popularity" => Ok(ablation_popularity(scale)),
-        "ablation-bounded" => Ok(ablation_bounded(scale)),
-        "ablation-partial" => Ok(ablation_partial(scale)),
+        "table1" => table1(scale).map_err(|e| e.to_string()),
+        "fig3a" => fig3a().map_err(|e| e.to_string()),
+        "fig3b" => fig3b(scale).map_err(|e| e.to_string()),
+        "fig3c" => fig3c(scale).map_err(|e| e.to_string()),
+        "fig3d" => fig3d(scale).map_err(|e| e.to_string()),
+        "fig3e" => fig3e(scale).map_err(|e| e.to_string()),
+        "fig3f" => fig3f(scale).map_err(|e| e.to_string()),
+        "example11" => example11().map_err(|e| e.to_string()),
+        "ablation-wsc" => ablation_wsc(scale).map_err(|e| e.to_string()),
+        "ablation-preprocess" => ablation_preprocess(scale).map_err(|e| e.to_string()),
+        "ablation-flow" => ablation_flow(scale).map_err(|e| e.to_string()),
+        "ablation-guarantee" => ablation_guarantee().map_err(|e| e.to_string()),
+        "ablation-popularity" => ablation_popularity(scale).map_err(|e| e.to_string()),
+        "ablation-bounded" => ablation_bounded(scale).map_err(|e| e.to_string()),
+        "ablation-partial" => ablation_partial(scale).map_err(|e| e.to_string()),
         other => Err(format!(
             "unknown experiment '{other}'; known: {}",
             EXPERIMENT_IDS.join(", ")
@@ -76,16 +85,19 @@ pub fn run_experiment(id: &str, scale: ExperimentScale) -> Result<String, String
     }
 }
 
-fn solve(instance: &Instance, algorithm: Algorithm) -> (u64, Duration) {
+fn solve(instance: &Instance, algorithm: Algorithm) -> mc3_core::Result<(u64, Duration)> {
     let report = Mc3Solver::new()
         .algorithm(algorithm)
-        .solve_report(instance)
-        .expect("experiment instances are coverable");
+        .solve_report(instance)?;
     debug_assert!(report.solution.verify(instance).is_ok());
-    (report.solution.cost().raw(), report.timings.total)
+    Ok((report.solution.cost().raw(), report.timings.total))
 }
 
-fn solve_with_pre(instance: &Instance, algorithm: Algorithm, pre: bool) -> (u64, Duration) {
+fn solve_with_pre(
+    instance: &Instance,
+    algorithm: Algorithm,
+    pre: bool,
+) -> mc3_core::Result<(u64, Duration)> {
     let solver = if pre {
         Mc3Solver::new().algorithm(algorithm)
     } else {
@@ -93,15 +105,13 @@ fn solve_with_pre(instance: &Instance, algorithm: Algorithm, pre: bool) -> (u64,
             .algorithm(algorithm)
             .without_preprocessing()
     };
-    let report = solver
-        .solve_report(instance)
-        .expect("experiment instances are coverable");
-    (report.solution.cost().raw(), report.timings.total)
+    let report = solver.solve_report(instance)?;
+    Ok((report.solution.cost().raw(), report.timings.total))
 }
 
 // --- Table 1 ------------------------------------------------------------
 
-fn table1(scale: ExperimentScale) -> String {
+fn table1(scale: ExperimentScale) -> mc3_core::Result<String> {
     let mut t = Table::new(
         "Table 1: datasets",
         &[
@@ -114,7 +124,7 @@ fn table1(scale: ExperimentScale) -> String {
     );
     let bb = BestBuyConfig::default().generate();
     let p = PrivateConfig::with_queries(scale.private_total()).generate();
-    let s = SyntheticConfig::with_queries(*scale.synthetic_sizes().last().unwrap()).generate();
+    let s = SyntheticConfig::with_queries(scale.synthetic_max()).generate();
     for (name, inst, max_cost) in [
         ("BestBuy (BB)", &bb.instance, 1u64),
         ("Private (P)", &p.instance, 63),
@@ -132,16 +142,16 @@ fn table1(scale: ExperimentScale) -> String {
             ),
         ]);
     }
-    t.to_string()
+    Ok(t.to_string())
 }
 
 // --- Figure 3a ----------------------------------------------------------
 
-fn fig3a() -> String {
+fn fig3a() -> mc3_core::Result<String> {
     // The Mixed algorithm of [13] is defined only for queries of length ≤ 2,
     // which is 95% of BB; the comparison runs on that short-query slice.
     let bb = BestBuyConfig::default().generate();
-    let bb_short = bb.instance.filter_queries(|q| q.len() <= 2).unwrap();
+    let bb_short = bb.instance.filter_queries(|q| q.len() <= 2)?;
     let mut t = Table::new(
         format!(
             "Fig 3a: BB (uniform costs, {} short queries of {}) — cost vs #queries",
@@ -167,11 +177,11 @@ fn fig3a() -> String {
     .iter()
     .enumerate()
     {
-        let sub = random_subset(&bb_short, size, 0x3A + i as u64).unwrap();
-        let (mc3s, _) = solve(&sub, Algorithm::K2Exact);
-        let (mixed, _) = solve(&sub, Algorithm::Mixed);
-        let (qo, _) = solve(&sub, Algorithm::QueryOriented);
-        let (po, _) = solve(&sub, Algorithm::PropertyOriented);
+        let sub = random_subset(&bb_short, size, 0x3A + i as u64)?;
+        let (mc3s, _) = solve(&sub, Algorithm::K2Exact)?;
+        let (mixed, _) = solve(&sub, Algorithm::Mixed)?;
+        let (qo, _) = solve(&sub, Algorithm::QueryOriented)?;
+        let (po, _) = solve(&sub, Algorithm::PropertyOriented)?;
         t.row(vec![
             size.to_string(),
             mc3s.to_string(),
@@ -180,14 +190,16 @@ fn fig3a() -> String {
             po.to_string(),
         ]);
     }
-    format!("{t}Expected shape (paper): MC3[S] = Mixed (both optimal) ≤ QO ≤ PO.\n")
+    Ok(format!(
+        "{t}Expected shape (paper): MC3[S] = Mixed (both optimal) ≤ QO ≤ PO.\n"
+    ))
 }
 
 // --- Figure 3b ----------------------------------------------------------
 
-fn fig3b(scale: ExperimentScale) -> String {
+fn fig3b(scale: ExperimentScale) -> mc3_core::Result<String> {
     let p = PrivateConfig::with_queries(scale.private_total()).generate();
-    let short = p.instance.filter_queries(|q| q.len() <= 2).unwrap();
+    let short = p.instance.filter_queries(|q| q.len() <= 2)?;
     let full = short.num_queries();
     let mut t = Table::new(
         format!(
@@ -207,10 +219,10 @@ fn fig3b(scale: ExperimentScale) -> String {
         .filter(|&s| s > 0)
         .collect();
     for (i, &size) in sizes.iter().enumerate() {
-        let sub = random_subset(&short, size, 0x3B + i as u64).unwrap();
-        let (mc3s, _) = solve(&sub, Algorithm::K2Exact);
-        let (qo, _) = solve(&sub, Algorithm::QueryOriented);
-        let (po, _) = solve(&sub, Algorithm::PropertyOriented);
+        let sub = random_subset(&short, size, 0x3B + i as u64)?;
+        let (mc3s, _) = solve(&sub, Algorithm::K2Exact)?;
+        let (qo, _) = solve(&sub, Algorithm::QueryOriented)?;
+        let (po, _) = solve(&sub, Algorithm::PropertyOriented)?;
         let best_baseline = qo.min(po);
         t.row(vec![
             size.to_string(),
@@ -220,12 +232,14 @@ fn fig3b(scale: ExperimentScale) -> String {
             pct((best_baseline - mc3s) as f64, best_baseline as f64) + " cheaper",
         ]);
     }
-    format!("{t}Expected shape (paper): MC3[S] outperforms QO and PO by ≈30%.\n")
+    Ok(format!(
+        "{t}Expected shape (paper): MC3[S] outperforms QO and PO by ≈30%.\n"
+    ))
 }
 
 // --- Figure 3c ----------------------------------------------------------
 
-fn fig3c(scale: ExperimentScale) -> String {
+fn fig3c(scale: ExperimentScale) -> mc3_core::Result<String> {
     let mut t = Table::new(
         "Fig 3c: synthetic short queries — MC3[S] running time ± preprocessing",
         &[
@@ -237,8 +251,8 @@ fn fig3c(scale: ExperimentScale) -> String {
     );
     for (i, &n) in scale.synthetic_sizes().iter().enumerate() {
         let ds = SyntheticConfig::short(n).seed(0x3C + i as u64).generate();
-        let (cost_without, t_without) = solve_with_pre(&ds.instance, Algorithm::K2Exact, false);
-        let (cost_with, t_with) = solve_with_pre(&ds.instance, Algorithm::K2Exact, true);
+        let (cost_without, t_without) = solve_with_pre(&ds.instance, Algorithm::K2Exact, false)?;
+        let (cost_with, t_with) = solve_with_pre(&ds.instance, Algorithm::K2Exact, true)?;
         assert_eq!(
             cost_with, cost_without,
             "preprocessing must not change the k=2 optimum"
@@ -253,12 +267,12 @@ fn fig3c(scale: ExperimentScale) -> String {
             ),
         ]);
     }
-    format!("{t}Expected shape (paper): preprocessing saves most (≈85%) of the running time;\nthe solution cost is identical (both are optimal).\n")
+    Ok(format!("{t}Expected shape (paper): preprocessing saves most (≈85%) of the running time;\nthe solution cost is identical (both are optimal).\n"))
 }
 
 // --- Figure 3d ----------------------------------------------------------
 
-fn fig3d(scale: ExperimentScale) -> String {
+fn fig3d(scale: ExperimentScale) -> mc3_core::Result<String> {
     let cfg = PrivateConfig::with_queries(scale.private_total());
     let p = cfg.generate();
     let fashion = cfg.generate_fashion();
@@ -282,15 +296,15 @@ fn fig3d(scale: ExperimentScale) -> String {
     for (i, &size) in [n / 4, n / 2, n].iter().enumerate() {
         subsets.push((
             size.to_string(),
-            random_subset(&p.instance, size, 0x3D + i as u64).unwrap(),
+            random_subset(&p.instance, size, 0x3D + i as u64)?,
         ));
     }
     for (label, sub) in subsets {
-        let (g, _) = solve(&sub, Algorithm::General);
-        let (sf, _) = solve(&sub, Algorithm::ShortFirst);
-        let (lg, _) = solve(&sub, Algorithm::LocalGreedy);
-        let (qo, _) = solve(&sub, Algorithm::QueryOriented);
-        let (po, _) = solve(&sub, Algorithm::PropertyOriented);
+        let (g, _) = solve(&sub, Algorithm::General)?;
+        let (sf, _) = solve(&sub, Algorithm::ShortFirst)?;
+        let (lg, _) = solve(&sub, Algorithm::LocalGreedy)?;
+        let (qo, _) = solve(&sub, Algorithm::QueryOriented)?;
+        let (po, _) = solve(&sub, Algorithm::PropertyOriented)?;
         let entries = [
             ("MC3[G]", g),
             ("SF", sf),
@@ -298,7 +312,7 @@ fn fig3d(scale: ExperimentScale) -> String {
             ("QO", qo),
             ("PO", po),
         ];
-        let best = entries.iter().map(|&(_, c)| c).min().unwrap();
+        let best = entries.iter().map(|&(_, c)| c).min().unwrap_or(u64::MAX);
         let winner = entries
             .iter()
             .filter(|&&(_, c)| c == best)
@@ -315,12 +329,12 @@ fn fig3d(scale: ExperimentScale) -> String {
             winner,
         ]);
     }
-    format!("{t}Expected shape (paper): Short-First wins on the 96%-short fashion subset;\nMC3[G] wins on every mixed subset (≈12% over the closest competitor at full size).\n")
+    Ok(format!("{t}Expected shape (paper): Short-First wins on the 96%-short fashion subset;\nMC3[G] wins on every mixed subset (≈12% over the closest competitor at full size).\n"))
 }
 
 // --- Figures 3e / 3f ----------------------------------------------------
 
-fn fig3e(scale: ExperimentScale) -> String {
+fn fig3e(scale: ExperimentScale) -> mc3_core::Result<String> {
     let mut t = Table::new(
         "Fig 3e: synthetic — MC3[G] (as published) solution cost ± preprocessing",
         &[
@@ -336,18 +350,18 @@ fn fig3e(scale: ExperimentScale) -> String {
         cfg.pool_size = Some(size / 5); // t = 5, a representative U[2, √n] draw
         let ds = cfg.generate();
         // the paper's Algorithm 3 verbatim (no reverse-delete refinement)
-        let run_raw = |pre: bool| {
+        let run_raw = |pre: bool| -> mc3_core::Result<u64> {
             let mut solver = Mc3Solver::new()
                 .algorithm(Algorithm::General)
                 .without_refinement();
             if !pre {
                 solver = solver.without_preprocessing();
             }
-            solver.solve(&ds.instance).unwrap().cost().raw()
+            Ok(solver.solve(&ds.instance)?.cost().raw())
         };
-        let cost_without = run_raw(false);
-        let cost_with = run_raw(true);
-        let (cost_refined, _) = solve_with_pre(&ds.instance, Algorithm::General, true);
+        let cost_without = run_raw(false)?;
+        let cost_with = run_raw(true)?;
+        let (cost_refined, _) = solve_with_pre(&ds.instance, Algorithm::General, true)?;
         t.row(vec![
             size.to_string(),
             cost_without.to_string(),
@@ -359,10 +373,10 @@ fn fig3e(scale: ExperimentScale) -> String {
             cost_refined.to_string(),
         ]);
     }
-    format!("{t}Expected shape (paper): preprocessing lowers MC3[G]'s construction cost (≈35%).\nThe last column is this implementation's guarantee-preserving reverse-delete\naugmentation, which recovers most of the effect even without preprocessing.\n")
+    Ok(format!("{t}Expected shape (paper): preprocessing lowers MC3[G]'s construction cost (≈35%).\nThe last column is this implementation's guarantee-preserving reverse-delete\naugmentation, which recovers most of the effect even without preprocessing.\n"))
 }
 
-fn fig3f(scale: ExperimentScale) -> String {
+fn fig3f(scale: ExperimentScale) -> mc3_core::Result<String> {
     let mut t = Table::new(
         "Fig 3f: synthetic — MC3[G] running time ± preprocessing",
         &[
@@ -376,8 +390,8 @@ fn fig3f(scale: ExperimentScale) -> String {
         let mut cfg = SyntheticConfig::with_queries(size).seed(0x3F + i as u64);
         cfg.pool_size = Some(size / 5); // t = 5, a representative U[2, √n] draw
         let ds = cfg.generate();
-        let (_, t_without) = solve_with_pre(&ds.instance, Algorithm::General, false);
-        let (_, t_with) = solve_with_pre(&ds.instance, Algorithm::General, true);
+        let (_, t_without) = solve_with_pre(&ds.instance, Algorithm::General, false)?;
+        let (_, t_with) = solve_with_pre(&ds.instance, Algorithm::General, true)?;
         t.row(vec![
             size.to_string(),
             secs(t_without),
@@ -388,14 +402,16 @@ fn fig3f(scale: ExperimentScale) -> String {
             ),
         ]);
     }
-    format!("{t}Expected shape (paper): preprocessing saves ≈50% of MC3[G]'s running time.\n")
+    Ok(format!(
+        "{t}Expected shape (paper): preprocessing saves ≈50% of MC3[G]'s running time.\n"
+    ))
 }
 
 // --- Example 1.1 ----------------------------------------------------------
 
 /// The paper's running example as an instance: queries
 /// `{juventus, white, adidas}` and `{chelsea, adidas}` with the §1 costs.
-pub fn example11_instance() -> Instance {
+pub fn example11_instance() -> mc3_core::Result<Instance> {
     // props: j = 0, w = 1, a = 2, c = 3
     let w = WeightsBuilder::new()
         .classifier([3u32], 5u64) // C
@@ -408,11 +424,11 @@ pub fn example11_instance() -> Instance {
         .classifier([0u32, 1], 4u64) // JW
         .classifier([0u32, 1, 2], 5u64) // JAW
         .build();
-    Instance::new(vec![vec![0u32, 1, 2], vec![2u32, 3]], w).unwrap()
+    Instance::new(vec![vec![0u32, 1, 2], vec![2u32, 3]], w)
 }
 
-fn example11() -> String {
-    let instance = example11_instance();
+fn example11() -> mc3_core::Result<String> {
+    let instance = example11_instance()?;
     let mut t = Table::new(
         "Example 1.1: soccer shirts (optimum {AC, AJ, W} = 7N)",
         &["algorithm", "cost", "classifiers"],
@@ -424,8 +440,8 @@ fn example11() -> String {
         ("Query-Oriented", Algorithm::QueryOriented),
         ("Property-Oriented", Algorithm::PropertyOriented),
     ] {
-        let sol = Mc3Solver::new().algorithm(alg).solve(&instance).unwrap();
-        sol.verify(&instance).unwrap();
+        let sol = Mc3Solver::new().algorithm(alg).solve(&instance)?;
+        sol.verify(&instance)?;
         let names: Vec<String> = sol
             .classifiers()
             .iter()
@@ -441,12 +457,12 @@ fn example11() -> String {
             names.join(" "),
         ]);
     }
-    t.to_string()
+    Ok(t.to_string())
 }
 
 // --- Ablations ------------------------------------------------------------
 
-fn ablation_wsc(scale: ExperimentScale) -> String {
+fn ablation_wsc(scale: ExperimentScale) -> mc3_core::Result<String> {
     let sizes: &[usize] = match scale {
         ExperimentScale::Quick => &[200, 2_000],
         ExperimentScale::Full => &[200, 2_000, 10_000],
@@ -467,23 +483,22 @@ fn ablation_wsc(scale: ExperimentScale) -> String {
         let ds = SyntheticConfig::with_queries(n)
             .seed(0xAB + i as u64)
             .generate();
-        let run = |strategy: WscStrategy| {
+        let run = |strategy: WscStrategy| -> mc3_core::Result<(u64, Duration)> {
             let report = Mc3Solver::new()
                 .algorithm(Algorithm::General)
                 .wsc_strategy(strategy)
-                .solve_report(&ds.instance)
-                .unwrap();
-            (report.solution.cost().raw(), report.timings.total)
+                .solve_report(&ds.instance)?;
+            Ok((report.solution.cost().raw(), report.timings.total))
         };
-        let (g, tg) = run(WscStrategy::GreedyOnly);
-        let (pd, _) = run(WscStrategy::PrimalDualOnly);
+        let (g, tg) = run(WscStrategy::GreedyOnly)?;
+        let (pd, _) = run(WscStrategy::PrimalDualOnly)?;
         // the dense simplex only fits small reductions
         let lp = if n <= 200 {
-            run(WscStrategy::LpRoundingOnly).0.to_string()
+            run(WscStrategy::LpRoundingOnly)?.0.to_string()
         } else {
             "(too large)".to_owned()
         };
-        let (c, tc) = run(WscStrategy::Combined);
+        let (c, tc) = run(WscStrategy::Combined)?;
         t.row(vec![
             n.to_string(),
             g.to_string(),
@@ -494,10 +509,12 @@ fn ablation_wsc(scale: ExperimentScale) -> String {
             secs(tc),
         ]);
     }
-    format!("{t}Combined = min(greedy, f-approximation) — never worse than either (Theorem 5.3).\n")
+    Ok(format!(
+        "{t}Combined = min(greedy, f-approximation) — never worse than either (Theorem 5.3).\n"
+    ))
 }
 
-fn ablation_preprocess(scale: ExperimentScale) -> String {
+fn ablation_preprocess(scale: ExperimentScale) -> mc3_core::Result<String> {
     let n = match scale {
         ExperimentScale::Quick => 5_000,
         ExperimentScale::Full => 20_000,
@@ -538,20 +555,19 @@ fn ablation_preprocess(scale: ExperimentScale) -> String {
         let report = Mc3Solver::new()
             .algorithm(Algorithm::General)
             .preprocess(opts)
-            .solve_report(&ds.instance)
-            .unwrap();
+            .solve_report(&ds.instance)?;
         t.row(vec![
             label.to_owned(),
             report.solution.cost().raw().to_string(),
             secs(report.timings.total),
         ]);
     }
-    t.to_string()
+    Ok(t.to_string())
 }
 
 // --- Flow-algorithm ablation -----------------------------------------------
 
-fn ablation_flow(scale: ExperimentScale) -> String {
+fn ablation_flow(scale: ExperimentScale) -> mc3_core::Result<String> {
     use mc3_core::rng::prelude::*;
     use mc3_core::Weight;
     use mc3_flow::{solve_bipartite_wvc_with, BipartiteWvc, FlowAlgorithm};
@@ -577,12 +593,12 @@ fn ablation_flow(scale: ExperimentScale) -> String {
         let inst = BipartiteWvc {
             left_weights: (0..nl).map(|_| Weight::new(rng.gen_range(1..50))).collect(),
             right_weights: (0..n).map(|_| Weight::new(rng.gen_range(1..50))).collect(),
-            edges: (0..n as u32)
+            edges: (0..u32_of(n))
                 .flat_map(|r| {
-                    let a = rng.gen_range(0..nl as u32);
-                    let mut b = rng.gen_range(0..nl as u32);
+                    let a = rng.gen_range(0..u32_of(nl));
+                    let mut b = rng.gen_range(0..u32_of(nl));
                     if b == a {
-                        b = (b + 1) % nl as u32;
+                        b = (b + 1) % u32_of(nl);
                     }
                     [(a, r), (b, r)]
                 })
@@ -590,11 +606,11 @@ fn ablation_flow(scale: ExperimentScale) -> String {
         };
         // audit:allow(no-bare-instant) the experiment times the two flow kernels
         let t0 = std::time::Instant::now();
-        let dinic = solve_bipartite_wvc_with(&inst, FlowAlgorithm::Dinic).unwrap();
+        let dinic = solve_bipartite_wvc_with(&inst, FlowAlgorithm::Dinic)?;
         let dt = t0.elapsed();
         // audit:allow(no-bare-instant) the experiment times the two flow kernels
         let t1 = std::time::Instant::now();
-        let pr = solve_bipartite_wvc_with(&inst, FlowAlgorithm::PushRelabel).unwrap();
+        let pr = solve_bipartite_wvc_with(&inst, FlowAlgorithm::PushRelabel)?;
         let pt = t1.elapsed();
         assert_eq!(
             dinic.weight, pr.weight,
@@ -608,12 +624,14 @@ fn ablation_flow(scale: ExperimentScale) -> String {
             secs(pt),
         ]);
     }
-    format!("{t}Both are exact (identical costs); the paper selected Dinic [10] for speed.\n")
+    Ok(format!(
+        "{t}Both are exact (identical costs); the paper selected Dinic [10] for speed.\n"
+    ))
 }
 
 // --- Empirical approximation ratios ----------------------------------------
 
-fn ablation_guarantee() -> String {
+fn ablation_guarantee() -> mc3_core::Result<String> {
     use mc3_core::rng::prelude::*;
     let mut t = Table::new(
         "Empirical approximation ratio vs the Theorem 5.3 guarantee (small random instances)",
@@ -639,16 +657,13 @@ fn ablation_guarantee() -> String {
                     (0..len).map(|_| rng.gen_range(0..10u32)).collect()
                 })
                 .collect();
-            let instance =
-                Instance::new(queries, mc3_core::Weights::seeded(rng.gen(), 1, 40)).unwrap();
+            let instance = Instance::new(queries, mc3_core::Weights::seeded(rng.gen(), 1, 40))?;
             let report = Mc3Solver::new()
                 .algorithm(Algorithm::General)
-                .solve_report(&instance)
-                .unwrap();
+                .solve_report(&instance)?;
             let exact = Mc3Solver::new()
                 .algorithm(Algorithm::Exact)
-                .solve(&instance)
-                .unwrap();
+                .solve(&instance)?;
             let ratio = report.solution.cost().raw() as f64 / exact.cost().raw().max(1) as f64;
             max_ratio = max_ratio.max(ratio);
             sum_ratio += ratio;
@@ -662,14 +677,14 @@ fn ablation_guarantee() -> String {
             format!("{max_bound:.2}"),
         ]);
     }
-    format!(
+    Ok(format!(
         "{t}MC3[G] sits far below its worst-case bound in practice (§6's qualitative finding).\n"
-    )
+    ))
 }
 
 // --- Property-popularity extension ------------------------------------------
 
-fn ablation_popularity(scale: ExperimentScale) -> String {
+fn ablation_popularity(scale: ExperimentScale) -> mc3_core::Result<String> {
     let n = match scale {
         ExperimentScale::Quick => 5_000,
         ExperimentScale::Full => 20_000,
@@ -698,10 +713,9 @@ fn ablation_popularity(scale: ExperimentScale) -> String {
         let ds = cfg.generate();
         let report = Mc3Solver::new()
             .algorithm(Algorithm::General)
-            .solve_report(&ds.instance)
-            .unwrap();
-        let (sf, _) = solve(&ds.instance, Algorithm::ShortFirst);
-        let (po, _) = solve(&ds.instance, Algorithm::PropertyOriented);
+            .solve_report(&ds.instance)?;
+        let (sf, _) = solve(&ds.instance, Algorithm::ShortFirst)?;
+        let (po, _) = solve(&ds.instance, Algorithm::PropertyOriented)?;
         let g = report.solution.cost().raw();
         t.row(vec![
             label.to_owned(),
@@ -712,12 +726,12 @@ fn ablation_popularity(scale: ExperimentScale) -> String {
             pct(po.saturating_sub(g) as f64, po as f64) + " cheaper",
         ]);
     }
-    format!("{t}Heavier skew raises incidence I and widens MC3[G]'s margin: popular properties\namortize over many queries while the rare tail is covered by cheap conjunctions,\nwhereas Property-Oriented still pays for every distinct property.\n")
+    Ok(format!("{t}Heavier skew raises incidence I and widens MC3[G]'s margin: popular properties\namortize over many queries while the rare tail is covered by cheap conjunctions,\nwhereas Property-Oriented still pays for every distinct property.\n"))
 }
 
 // --- Bounded classifiers (§5.3) ----------------------------------------------
 
-fn ablation_bounded(scale: ExperimentScale) -> String {
+fn ablation_bounded(scale: ExperimentScale) -> mc3_core::Result<String> {
     let p = PrivateConfig::with_queries(scale.private_total()).generate();
     let k = p.instance.max_query_len();
     let mut t = Table::new(
@@ -728,8 +742,7 @@ fn ablation_bounded(scale: ExperimentScale) -> String {
         let report = Mc3Solver::new()
             .algorithm(Algorithm::General)
             .max_classifier_len(kp)
-            .solve_report(&p.instance)
-            .unwrap();
+            .solve_report(&p.instance)?;
         let cost = report.solution.cost().raw();
         t.row(vec![
             if kp == k {
@@ -743,12 +756,12 @@ fn ablation_bounded(scale: ExperimentScale) -> String {
             secs(report.timings.total),
         ]);
     }
-    format!("{t}k' = 2 is the prevalent practical choice (§5.3): frequency drops from 2^(k−1) to k\nwhile most of the cost benefit of longer classifiers is already realized.\n")
+    Ok(format!("{t}k' = 2 is the prevalent practical choice (§5.3): frequency drops from 2^(k−1) to k\nwhile most of the cost benefit of longer classifiers is already realized.\n"))
 }
 
 // --- Budgeted partial cover (§5.3 / §8 future work) --------------------------
 
-fn ablation_partial(scale: ExperimentScale) -> String {
+fn ablation_partial(scale: ExperimentScale) -> mc3_core::Result<String> {
     use mc3_core::rng::prelude::*;
     use mc3_solver::{solve_partial_cover_with, PartialStrategy};
 
@@ -763,7 +776,7 @@ fn ablation_partial(scale: ExperimentScale) -> String {
         .map(|_| 1 + (1000.0 / (1.0 + rng.gen_range(0.0..99.0f64))) as u64)
         .collect();
     let total_value: u64 = values.iter().sum();
-    let full_cost = Mc3Solver::new().solve(&p.instance).unwrap().cost().raw();
+    let full_cost = Mc3Solver::new().solve(&p.instance)?.cost().raw();
 
     let mut t = Table::new(
         format!(
@@ -774,14 +787,12 @@ fn ablation_partial(scale: ExperimentScale) -> String {
     );
     for pct_budget in [10u64, 25, 50, 75, 100] {
         let budget = mc3_core::Weight::new(full_cost * pct_budget / 100);
-        let run = |strategy| {
-            solve_partial_cover_with(&p.instance, &values, budget, strategy)
-                .unwrap()
-                .covered_value
+        let run = |strategy| -> mc3_core::Result<u64> {
+            Ok(solve_partial_cover_with(&p.instance, &values, budget, strategy)?.covered_value)
         };
-        let g = run(PartialStrategy::QueryGreedy);
-        let k = run(PartialStrategy::ComponentKnapsack);
-        let b = run(PartialStrategy::Best);
+        let g = run(PartialStrategy::QueryGreedy)?;
+        let k = run(PartialStrategy::ComponentKnapsack)?;
+        let b = run(PartialStrategy::Best)?;
         t.row(vec![
             format!("{pct_budget}%"),
             g.to_string(),
@@ -790,7 +801,7 @@ fn ablation_partial(scale: ExperimentScale) -> String {
             pct(b as f64, total_value as f64),
         ]);
     }
-    format!("{t}Diminishing returns: most of the query-load value is covered well below the full budget\n(the paper's motivation for the budgeted variant it leaves as future work).\n")
+    Ok(format!("{t}Diminishing returns: most of the query-load value is covered well below the full budget\n(the paper's motivation for the budgeted variant it leaves as future work).\n"))
 }
 
 #[cfg(test)]
@@ -799,7 +810,7 @@ mod tests {
 
     #[test]
     fn example11_reports_optimum_seven() {
-        let out = example11();
+        let out = example11().expect("example 1.1 is coverable");
         assert!(out.contains("Exact"), "{out}");
         // the Exact and MC3[G] rows must both report cost 7
         let lines: Vec<&str> = out.lines().filter(|l| l.contains('|')).collect();
@@ -816,7 +827,7 @@ mod tests {
 
     #[test]
     fn table1_lists_three_datasets() {
-        let out = table1(ExperimentScale::Quick);
+        let out = table1(ExperimentScale::Quick).expect("table1 runs");
         assert!(out.contains("BestBuy"));
         assert!(out.contains("Private"));
         assert!(out.contains("Synthetic"));
@@ -825,7 +836,7 @@ mod tests {
     #[test]
     fn fig3a_small_scale_shape_holds() {
         // run on the real experiment (BB is small) and verify the ordering
-        let out = fig3a();
+        let out = fig3a().expect("fig3a runs");
         for line in out
             .lines()
             .filter(|l| l.starts_with("| ") && !l.contains("MC3"))

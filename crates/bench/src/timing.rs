@@ -6,6 +6,7 @@
 //! iteration, and is deterministic apart from machine noise. Re-exported
 //! for the `benches/*.rs` entry points (`cargo bench -p mc3-bench`).
 
+use mc3_core::u32_of;
 use std::time::{Duration, Instant};
 
 /// One benchmark group; prints a header line and owns the sample policy.
@@ -55,12 +56,12 @@ impl Group {
                 for _ in 0..iters {
                     std::hint::black_box(f());
                 }
-                start.elapsed() / iters as u32
+                start.elapsed() / u32_of(iters)
             })
             .collect();
         per_iter.sort_unstable();
         let median = per_iter[per_iter.len() / 2];
-        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        let mean = per_iter.iter().sum::<Duration>() / u32_of(per_iter.len());
         println!(
             "{}/{id:<24} median {:>12}  mean {:>12}  ({} samples x {iters} iters)",
             self.name,

@@ -1,0 +1,104 @@
+//! Checked narrowing conversions — the sanctioned choke point for the
+//! `no-silent-truncation` lint.
+//!
+//! A bare `expr as u32` silently drops high bits when the value is out of
+//! range, which is exactly how id/cost arithmetic goes wrong at serving
+//! scale. These helpers route every narrowing through `TryFrom` and turn
+//! an out-of-range value into a loud panic at the offending call site
+//! (`#[track_caller]`) instead of a silently corrupted id. The panics are
+//! *invariant* checks — every caller converts values it has itself bounded
+//! (ids below a universe size, counts below a query length), so a failure
+//! here is a bug, not an input error, and the one `expect` each carries is
+//! individually waived for `no-unwrap-in-lib`.
+//!
+//! The exemption story the lint relies on: the workspace pins 64-bit
+//! targets (asserted below), so `as usize`/`as u64` from `u32`-sized ids
+//! can never truncate and stay allowed; everything narrower funnels
+//! through here or carries a reviewed `audit:allow(no-silent-truncation)`
+//! waiver stating the range argument.
+
+/// The id/offset arithmetic across the workspace assumes `usize` is at
+/// least 64 bits wide (u32 ids index into u64-word bitsets, and `u64`
+/// counters round-trip through `usize` histogram buckets).
+const _USIZE_IS_64_BIT: () = assert!(
+    usize::BITS >= 64,
+    "MC3 requires a 64-bit target: u64 <-> usize conversions are assumed lossless"
+);
+
+/// Converts to `u32`, panicking at the call site if the value is out of
+/// range.
+///
+/// Use for ids and counts whose bound is an invariant of the caller
+/// (universe sizes, per-query property counts).
+#[inline]
+#[track_caller]
+pub fn u32_of<T: TryInto<u32>>(v: T) -> u32 {
+    match v.try_into() {
+        Ok(x) => x,
+        // audit:allow(no-unwrap-in-lib) the single reviewed truncation choke point; out-of-range here is a caller invariant violation
+        Err(_) => panic!("value exceeds u32 range"),
+    }
+}
+
+/// Converts to `u16`, panicking at the call site if the value is out of
+/// range.
+#[inline]
+#[track_caller]
+pub fn u16_of<T: TryInto<u16>>(v: T) -> u16 {
+    match v.try_into() {
+        Ok(x) => x,
+        // audit:allow(no-unwrap-in-lib) reviewed truncation choke point, same contract as u32_of
+        Err(_) => panic!("value exceeds u16 range"),
+    }
+}
+
+/// Converts to `u8`, panicking at the call site if the value is out of
+/// range.
+#[inline]
+#[track_caller]
+pub fn u8_of<T: TryInto<u8>>(v: T) -> u8 {
+    match v.try_into() {
+        Ok(x) => x,
+        // audit:allow(no-unwrap-in-lib) reviewed truncation choke point, same contract as u32_of
+        Err(_) => panic!("value exceeds u8 range"),
+    }
+}
+
+/// Converts to `i64`, panicking at the call site if the value is out of
+/// range (a `u64` above `i64::MAX` would otherwise flip sign).
+#[inline]
+#[track_caller]
+pub fn i64_of<T: TryInto<i64>>(v: T) -> i64 {
+    match v.try_into() {
+        Ok(x) => x,
+        // audit:allow(no-unwrap-in-lib) reviewed truncation choke point, same contract as u32_of
+        Err(_) => panic!("value exceeds i64 range"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_round_trip() {
+        assert_eq!(u32_of(7u64), 7);
+        assert_eq!(u32_of(u64::from(u32::MAX)), u32::MAX);
+        assert_eq!(u32_of(0usize), 0);
+        assert_eq!(u16_of(65_535u32), u16::MAX);
+        assert_eq!(u8_of(255u32), u8::MAX);
+        assert_eq!(i64_of(u64::MAX / 2), (u64::MAX / 2) as i64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32 range")]
+    fn out_of_range_panics_loudly() {
+        let _ = u32_of(u64::from(u32::MAX) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds i64 range")]
+    fn sign_flip_panics_loudly() {
+        let _ = i64_of(u64::MAX);
+    }
+}

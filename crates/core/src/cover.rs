@@ -5,6 +5,7 @@
 //! `T` is necessarily a subset of `q`; hence `q` is covered iff the union of
 //! all members of `S` that are subsets of `q` equals `q`.
 
+use crate::cast::u32_of;
 use crate::instance::Instance;
 use crate::propset::{Classifier, PropSet, Query};
 
@@ -48,7 +49,7 @@ pub fn first_uncovered(instance: &Instance, classifiers: &[Classifier]) -> Optio
     let mut by_prop: FxHashMap<crate::prop::PropId, Vec<u32>> = FxHashMap::default();
     for (i, c) in classifiers.iter().enumerate() {
         for p in c.iter() {
-            by_prop.entry(p).or_default().push(i as u32);
+            by_prop.entry(p).or_default().push(u32_of(i));
         }
     }
     let mut seen: Vec<u32> = Vec::new();

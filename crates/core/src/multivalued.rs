@@ -16,6 +16,7 @@
 //!    descriptor defined here is consumed by `mc3-solver`'s extended
 //!    reduction.
 
+use crate::cast::u32_of;
 use crate::error::Result;
 use crate::fxhash::FxHashMap;
 use crate::instance::Instance;
@@ -67,7 +68,7 @@ impl AttributeSchema {
         if let Some(&id) = self.name_ids.get(name) {
             return id;
         }
-        let id = AttributeId(self.names.len() as u32);
+        let id = AttributeId(u32_of(self.names.len()));
         self.names.push(name.to_owned());
         self.name_ids.insert(name.to_owned(), id);
         id
@@ -132,7 +133,7 @@ pub fn merge_to_attributes(
     weights: Weights,
 ) -> Result<(Instance, FxHashMap<PropId, PropId>)> {
     let mut mapping: FxHashMap<PropId, PropId> = FxHashMap::default();
-    let mut next_fresh = schema.num_attributes() as u32;
+    let mut next_fresh = u32_of(schema.num_attributes());
     let mut queries: Vec<Query> = Vec::with_capacity(instance.num_queries());
     for q in instance.queries() {
         let mut ids: Vec<PropId> = Vec::with_capacity(q.len());

@@ -4,6 +4,7 @@
 //! as `team = Juventus` or `color = White`. We intern property names to dense
 //! `u32` ids so that queries and classifiers are small integer sets.
 
+use crate::cast::u32_of;
 use crate::fxhash::FxHashMap;
 use std::fmt;
 
@@ -97,7 +98,7 @@ impl PropertyInterner {
         self.names
             .iter()
             .enumerate()
-            .map(|(i, n)| (PropId(i as u32), n.as_str()))
+            .map(|(i, n)| (PropId(u32_of(i)), n.as_str()))
     }
 }
 

@@ -12,6 +12,7 @@
 //! classifiers" variant (§5.3): only classifiers of length ≤ `k'` are
 //! considered.
 
+use crate::cast::u32_of;
 use crate::error::{Mc3Error, Result};
 use crate::fxhash::FxHashMap;
 use crate::instance::Instance;
@@ -72,7 +73,7 @@ impl QueryLocal {
     /// The full-query mask `2^ℓ − 1`.
     #[inline]
     pub fn full_mask(&self) -> u32 {
-        ((1u64 << self.len) - 1) as u32
+        u32_of((1u64 << self.len) - 1)
     }
 }
 
@@ -108,7 +109,7 @@ impl ClassifierUniverse {
             let len = q.len();
             let full = (1u64 << len) as usize;
             let mut table = vec![ClassifierId::NONE; full];
-            for mask in 1..full as u32 {
+            for mask in 1..u32_of(full) {
                 if (mask.count_ones() as usize) > kp {
                     continue;
                 }
@@ -116,7 +117,7 @@ impl ClassifierUniverse {
                 let id = match index.get(&subset) {
                     Some(&id) => id,
                     None => {
-                        let id = ClassifierId(classifiers.len() as u32);
+                        let id = ClassifierId(u32_of(classifiers.len()));
                         weights.push(instance.weight(&subset));
                         classifiers.push(subset.clone());
                         incidence.push(0);
@@ -238,7 +239,7 @@ impl ClassifierUniverse {
         self.classifiers
             .iter()
             .enumerate()
-            .map(|(i, c)| (ClassifierId(i as u32), c))
+            .map(|(i, c)| (ClassifierId(u32_of(i)), c))
     }
 }
 

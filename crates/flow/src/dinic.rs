@@ -6,6 +6,7 @@
 //! general bound is `O(V²E)`, improving to `O(E√V)` on unit networks.
 
 use crate::graph::{FlowNetwork, NodeId};
+use mc3_core::u32_of;
 
 /// Dinic max-flow solver state over a [`FlowNetwork`].
 ///
@@ -124,6 +125,7 @@ impl<'a> Dinic<'a> {
                     (e.to as usize, e.cap)
                 };
                 if cap > 0 && self.level[v] < self.level[to] {
+                    // audit:allow(no-alloc-in-hot-loops) reviewed: reused DFS path scratch — capacity amortized across augmentations
                     path.push(ei);
                     v = to;
                 } else {
@@ -148,7 +150,7 @@ impl<'a> Dinic<'a> {
         self.level.iter_mut().for_each(|l| *l = -1);
         self.queue.clear();
         self.level[s] = 0;
-        self.queue.push(s as u32);
+        self.queue.push(u32_of(s));
         let mut head = 0;
         while head < self.queue.len() {
             let v = self.queue[head] as usize;
@@ -157,6 +159,7 @@ impl<'a> Dinic<'a> {
                 let e = &self.g.edges[ei as usize];
                 if e.cap > 0 && self.level[e.to as usize] < 0 {
                     self.level[e.to as usize] = self.level[v] + 1;
+                    // audit:allow(no-alloc-in-hot-loops) reviewed: reused BFS queue member buffer, cleared not freed per phase
                     self.queue.push(e.to);
                 }
             }

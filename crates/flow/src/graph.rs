@@ -6,6 +6,8 @@
 //! sentinel strictly larger than any possible cut (e.g. the sum of all
 //! finite node weights plus one), keeping all arithmetic exact.
 
+use mc3_core::u32_of;
+
 /// Node index within a [`FlowNetwork`].
 pub type NodeId = usize;
 
@@ -61,10 +63,13 @@ impl FlowNetwork {
     /// twin starts at capacity 0.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: u64) -> EdgeId {
         debug_assert!(from < self.num_nodes() && to < self.num_nodes());
-        let id = self.edges.len() as u32;
-        self.edges.push(Edge { to: to as u32, cap });
+        let id = u32_of(self.edges.len());
         self.edges.push(Edge {
-            to: from as u32,
+            to: u32_of(to),
+            cap,
+        });
+        self.edges.push(Edge {
+            to: u32_of(from),
             cap: 0,
         });
         self.adj[from].push(id);

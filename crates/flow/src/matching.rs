@@ -5,6 +5,8 @@
 //! degenerates to minimum-cardinality vertex cover, which by König's theorem
 //! equals maximum matching on bipartite graphs.
 
+use mc3_core::u32_of;
+
 /// Adjacency-list bipartite graph (`left → right` edges only).
 #[derive(Debug, Clone)]
 pub struct BipartiteGraph {
@@ -26,7 +28,7 @@ impl BipartiteGraph {
     /// Adds an edge `left u` — `right v`.
     pub fn add_edge(&mut self, u: usize, v: usize) {
         debug_assert!(v < self.num_right);
-        self.adj[u].push(v as u32);
+        self.adj[u].push(u32_of(v));
     }
 
     /// Number of left vertices.
@@ -66,7 +68,7 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
         for u in 0..nl {
             if pair_left[u] == UNMATCHED {
                 dist[u] = 0;
-                queue.push(u as u32);
+                queue.push(u32_of(u));
             } else {
                 dist[u] = INF;
             }
@@ -124,7 +126,7 @@ fn try_augment(
         };
         if ok {
             pair_left[u] = v;
-            pair_right[v as usize] = u as u32;
+            pair_right[v as usize] = u32_of(u);
             return true;
         }
     }
@@ -147,7 +149,7 @@ pub fn koenig_vertex_cover(g: &BipartiteGraph, matching: &Matching) -> (Vec<bool
     for (u, z) in z_left.iter_mut().enumerate() {
         if matching.pair_left[u] == UNMATCHED {
             *z = true;
-            stack.push(u as u32);
+            stack.push(u32_of(u));
         }
     }
     while let Some(u) = stack.pop() {

@@ -1,6 +1,7 @@
 //! Minimum-cut extraction from a residual network.
 
 use crate::graph::{FlowNetwork, NodeId};
+use mc3_core::u32_of;
 
 /// After a max-flow computation, returns the characteristic vector of the
 /// source side `Z` of a minimum `s–t` cut: `Z` is the set of nodes reachable
@@ -10,7 +11,7 @@ pub fn source_side_of_min_cut(g: &FlowNetwork, s: NodeId) -> Vec<bool> {
     let mut reach = vec![false; g.num_nodes()];
     let mut queue = Vec::with_capacity(g.num_nodes());
     reach[s] = true;
-    queue.push(s as u32);
+    queue.push(u32_of(s));
     let mut head = 0;
     while head < queue.len() {
         let v = queue[head] as usize;

@@ -8,6 +8,7 @@
 //! must agree on every instance.
 
 use crate::graph::{FlowNetwork, NodeId};
+use mc3_core::u32_of;
 use std::collections::VecDeque;
 
 /// FIFO push–relabel solver over a [`FlowNetwork`].
@@ -47,7 +48,7 @@ impl<'a> PushRelabel<'a> {
         assert_ne!(s, t, "source and sink must differ");
         let _span = mc3_telemetry::span("push_relabel.max_flow");
         let n = self.g.num_nodes();
-        self.height[s] = n as u32;
+        self.height[s] = u32_of(n);
         for h in self.height.iter() {
             self.height_count[*h as usize] += 1;
         }
@@ -63,7 +64,7 @@ impl<'a> PushRelabel<'a> {
                 self.excess[to] += cap;
                 if to != t && to != s && !self.in_queue[to] {
                     self.in_queue[to] = true;
-                    self.active.push_back(to as u32);
+                    self.active.push_back(u32_of(to));
                 }
             }
         }
@@ -113,7 +114,7 @@ impl<'a> PushRelabel<'a> {
                     self.excess[to] += delta;
                     if to != s && to != t && !self.in_queue[to] {
                         self.in_queue[to] = true;
-                        self.active.push_back(to as u32);
+                        self.active.push_back(u32_of(to));
                     }
                     self.pushes += 1;
                     pushed = true;
@@ -145,7 +146,7 @@ impl<'a> PushRelabel<'a> {
                 self.height_count[old as usize] -= 1;
                 if self.height_count[old as usize] == 0 && (old as usize) < self.g.num_nodes() {
                     self.gap_firings += 1;
-                    let n = self.g.num_nodes() as u32;
+                    let n = u32_of(self.g.num_nodes());
                     for h in self.height.iter_mut() {
                         if *h > old && *h < n {
                             self.height_count[*h as usize] -= 1;

@@ -69,6 +69,14 @@ impl Level {
             _ => None,
         }
     }
+
+    /// Gate encoding of the level: the discriminant as `u8`
+    /// (`u8::MAX` is reserved for "gate closed").
+    #[inline]
+    fn as_gate(self) -> u8 {
+        // audit:allow(no-silent-truncation) enum discriminants are 0..=3 by construction
+        self as u8
+    }
 }
 
 /// A typed field value attached to an event.
@@ -185,6 +193,7 @@ fn lock_sink() -> std::sync::MutexGuard<'static, Option<SinkState>> {
 /// sink sees one gapless sequence.
 pub fn install(writer: Box<dyn std::io::Write + Send>, cfg: EventLogConfig) {
     let mut sink = lock_sink();
+    // audit:allow(no-relaxed-atomics) reviewed: SeqCst — the seq restart must be ordered before the gate publish below
     SEQ.store(0, Ordering::SeqCst);
     *sink = Some(SinkState {
         writer,
@@ -193,7 +202,8 @@ pub fn install(writer: Box<dyn std::io::Write + Send>, cfg: EventLogConfig) {
         last_refill_ns: mc3_telemetry::monotonic_ns(),
         dropped: 0,
     });
-    GATE.store(cfg.min_level as u8, Ordering::SeqCst);
+    // audit:allow(no-relaxed-atomics) reviewed: SeqCst gate publish — opens the sink to concurrent emitters
+    GATE.store(cfg.min_level.as_gate(), Ordering::SeqCst);
 }
 
 /// Installs a sink appending JSONL to `path`.
@@ -254,8 +264,10 @@ pub fn install_capture(cfg: EventLogConfig) -> CaptureBuffer {
 /// Removes the installed sink (flushing it) and closes the gate.
 pub fn uninstall() {
     let mut sink = lock_sink();
+    // audit:allow(no-relaxed-atomics) reviewed: SeqCst gate close — must be visible before the sink is dropped
     GATE.store(u8::MAX, Ordering::SeqCst);
     if let Some(mut state) = sink.take() {
+        // audit:allow(no-swallowed-result) reviewed: best-effort flush on teardown, the sink is going away
         let _ = state.writer.flush();
     }
 }
@@ -264,7 +276,8 @@ pub fn uninstall() {
 /// (sink installed and level at or above the configured minimum).
 #[inline]
 pub fn enabled(level: Level) -> bool {
-    level as u8 >= GATE.load(Ordering::Relaxed) && GATE.load(Ordering::Relaxed) != u8::MAX
+    // audit:allow(no-relaxed-atomics) reviewed: monotonic gate probe — a stale read only delays admission
+    level.as_gate() >= GATE.load(Ordering::Relaxed) && GATE.load(Ordering::Relaxed) != u8::MAX
 }
 
 fn build_line(
@@ -307,8 +320,9 @@ fn build_line(
 /// ([`debug`], [`info`], [`warn`], [`error`]); this is the shared core.
 pub fn event(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
     // Fast path: no sink, or level below the installed minimum.
+    // audit:allow(no-relaxed-atomics) reviewed: gate probe only — admission is re-checked under the sink lock
     let gate = GATE.load(Ordering::Relaxed);
-    if gate == u8::MAX || (level as u8) < gate {
+    if gate == u8::MAX || level.as_gate() < gate {
         return;
     }
     let now = mc3_telemetry::monotonic_ns();
@@ -330,6 +344,7 @@ pub fn event(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
         state.tokens_nano -= 1_000_000_000;
     }
 
+    // audit:allow(no-relaxed-atomics) reviewed: seq only needs uniqueness — writes are serialized by the sink mutex
     let seq = SEQ.fetch_add(1, Ordering::Relaxed);
     let dropped = std::mem::take(&mut state.dropped);
     let line = build_line(seq, now, level, target, msg, fields, span, dropped);
@@ -338,6 +353,7 @@ pub fn event(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
         // stderr and tear the sink down rather than erroring every event.
         // audit:allow(no-raw-eprintln-in-lib) reviewed: sink-failure fallback, the sink is gone
         eprintln!("mc3-obs: event sink write failed; uninstalling event log");
+        // audit:allow(no-relaxed-atomics) reviewed: SeqCst gate close on sink failure — must beat the sink teardown
         GATE.store(u8::MAX, Ordering::SeqCst);
         *sink = None;
     }

@@ -154,6 +154,7 @@ impl BitCover {
         for &e in elems {
             // audit:allow(no-unchecked-index-in-hot-loops) element ids are dense 0..len
             if self.blocks[e as usize / WORD_BITS] >> (e as usize % WORD_BITS) & 1 != 0 {
+                // audit:allow(no-alloc-in-hot-loops) reviewed: output accumulation into a caller-recycled buffer
                 out.push(e);
             }
         }

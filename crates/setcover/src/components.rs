@@ -7,6 +7,7 @@
 //! much larger inputs.
 
 use crate::instance::{SetCoverInstance, SetCoverSolution};
+use mc3_core::u32_of;
 use mc3_core::Result;
 
 /// A sub-instance plus the mappings back to the parent.
@@ -27,7 +28,7 @@ pub struct WscComponent {
 pub fn split_components(instance: &SetCoverInstance) -> Vec<WscComponent> {
     let n = instance.num_elements();
     // union-find over elements
-    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut parent: Vec<u32> = (0..u32_of(n)).collect();
     fn find(parent: &mut [u32], mut x: u32) -> u32 {
         while parent[x as usize] != x {
             parent[x as usize] = parent[parent[x as usize] as usize];
@@ -47,7 +48,7 @@ pub fn split_components(instance: &SetCoverInstance) -> Vec<WscComponent> {
 
     // group elements by root
     let mut groups: mc3_core::FxHashMap<u32, Vec<u32>> = mc3_core::FxHashMap::default();
-    for e in 0..n as u32 {
+    for e in 0..u32_of(n) {
         groups.entry(find(&mut parent, e)).or_default().push(e);
     }
     let mut ordered: Vec<Vec<u32>> = groups.into_values().collect();
@@ -61,7 +62,7 @@ pub fn split_components(instance: &SetCoverInstance) -> Vec<WscComponent> {
         .map(|elements| {
             let mut local_of: mc3_core::FxHashMap<u32, u32> = mc3_core::FxHashMap::default();
             for (i, &e) in elements.iter().enumerate() {
-                local_of.insert(e, i as u32);
+                local_of.insert(e, u32_of(i));
             }
             // sets touching this component (every element of such a set is
             // inside it, by construction of the union-find)

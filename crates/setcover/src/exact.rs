@@ -9,6 +9,7 @@
 //! verifier, not a scalable solver.
 
 use crate::instance::{SetCoverInstance, SetCoverSolution};
+use mc3_core::u32_of;
 use mc3_core::{Mc3Error, Result};
 
 /// Maximum element count accepted by [`solve_exact`].
@@ -42,7 +43,7 @@ pub fn solve_exact(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
         .collect();
     // candidates per element, sorted by ascending cost (ties: id)
     let mut candidates: Vec<Vec<u32>> = (0..n)
-        .map(|e| instance.containing(e as u32).to_vec())
+        .map(|e| instance.containing(u32_of(e)).to_vec())
         .collect();
     for c in &mut candidates {
         c.sort_by_key(|&s| (instance.cost(s as usize).raw(), s));

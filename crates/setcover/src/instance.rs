@@ -6,6 +6,7 @@
 //! contiguous slice, and the buffers can be recycled across solver rounds
 //! via [`SetCoverInstance::from_parts`]/[`SetCoverInstance::into_parts`].
 
+use mc3_core::u32_of;
 use mc3_core::{Mc3Error, Result, Weight};
 
 /// Index of a set within a [`SetCoverInstance`].
@@ -49,7 +50,7 @@ impl SetCoverInstance {
                 assert!((e as usize) < num_elements, "element {e} out of range");
             }
             set_data.extend_from_slice(&els);
-            set_off.push(set_data.len() as u32);
+            set_off.push(u32_of(set_data.len()));
             costs.push(cost);
         }
         Self::from_parts(
@@ -122,7 +123,7 @@ impl SetCoverInstance {
             // audit:allow(no-unchecked-index-in-hot-loops) CSR invariants established above
             for &e in &set_data[set_off[s] as usize..set_off[s + 1] as usize] {
                 let c = &mut cursor[e as usize];
-                cont_data[*c as usize] = s as u32;
+                cont_data[*c as usize] = u32_of(s);
                 *c += 1;
             }
         }
@@ -209,7 +210,7 @@ impl SetCoverInstance {
         self.cont_off
             .windows(2)
             .position(|w| w[0] == w[1])
-            .map(|e| e as u32)
+            .map(|e| u32_of(e))
     }
 
     /// Errors if some element cannot be covered.

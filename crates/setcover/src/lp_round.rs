@@ -11,6 +11,7 @@
 //! configurable size threshold.
 
 use crate::instance::{SetCoverInstance, SetCoverSolution};
+use mc3_core::u32_of;
 use mc3_core::{Mc3Error, Result};
 use mc3_lp::{ConstraintOp, LpProblem, LpStatus};
 
@@ -28,7 +29,7 @@ pub fn solve_lp_rounding(instance: &SetCoverInstance) -> Result<SetCoverSolution
         .map(|s| instance.cost(s).raw() as f64)
         .collect();
     let mut lp = LpProblem::minimize(objective);
-    for e in 0..instance.num_elements() as u32 {
+    for e in 0..u32_of(instance.num_elements()) {
         let coeffs: Vec<(usize, f64)> = instance
             .containing(e)
             .iter()

@@ -11,6 +11,7 @@
 //! LP-rounding implementation lives in [`crate::lp_round`].
 
 use crate::instance::{SetCoverInstance, SetCoverSolution};
+use mc3_core::u32_of;
 use mc3_core::Result;
 
 /// Runs the primal–dual algorithm.
@@ -23,7 +24,7 @@ pub fn solve_primal_dual(instance: &SetCoverInstance) -> Result<SetCoverSolution
     let mut covered = vec![false; instance.num_elements()];
     let mut selected = Vec::new();
 
-    for e in 0..instance.num_elements() as u32 {
+    for e in 0..u32_of(instance.num_elements()) {
         if covered[e as usize] {
             continue;
         }

@@ -11,6 +11,7 @@
 
 use crate::bitcover::BitCover;
 use crate::instance::{SetCoverInstance, SetCoverSolution};
+use mc3_core::u32_of;
 
 /// Removes redundant sets from `solution` (most expensive first; ties by
 /// larger id for determinism). The result covers exactly the same elements.
@@ -33,7 +34,7 @@ pub fn prune_redundant(
     }
     for (e, &m) in multiplicity.iter().enumerate() {
         if m == 1 {
-            unique.set(e as u32);
+            unique.set(u32_of(e));
         }
     }
     let mut order = solution.selected.clone();
@@ -52,6 +53,7 @@ pub fn prune_redundant(
                 }
             }
         } else {
+            // audit:allow(no-alloc-in-hot-loops) reviewed: output accumulation with capacity reserved up front
             keep.push(s);
         }
     }

@@ -8,6 +8,7 @@
 //! over property ids is equivalent and allocation-friendlier.
 
 use mc3_core::fxhash::FxHashMap;
+use mc3_core::u32_of;
 
 /// Union–find with path halving and union by size.
 #[derive(Debug, Clone)]
@@ -20,7 +21,7 @@ impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> UnionFind {
         UnionFind {
-            parent: (0..n as u32).collect(),
+            parent: (0..u32_of(n)).collect(),
             size: vec![1; n],
         }
     }
@@ -62,7 +63,7 @@ pub fn connected_components(
     let mut prop_slot: FxHashMap<u32, u32> = FxHashMap::default();
     for &qi in query_indices {
         for p in queries[qi].iter() {
-            let next = prop_slot.len() as u32;
+            let next = u32_of(prop_slot.len());
             prop_slot.entry(p.0).or_insert(next);
         }
     }

@@ -8,6 +8,7 @@
 //! query (§6.1).
 
 use crate::work::WorkState;
+use mc3_core::u32_of;
 use mc3_core::{ClassifierId, Weight};
 
 /// The cheapest cover of query `q`'s still-needed properties, using current
@@ -26,7 +27,7 @@ pub fn min_cover(ws: &WorkState<'_>, q: usize) -> Option<(Weight, Vec<Classifier
     // usable classifier masks grouped by their lowest *needed* relevance:
     // we branch on the lowest set bit of the residual, so group by bit.
     let mut by_bit: Vec<Vec<u32>> = vec![Vec::new(); len];
-    for mask in 1..size as u32 {
+    for mask in 1..u32_of(size) {
         let id = local.table[mask as usize];
         if id.is_none() || !ws.is_usable(id) {
             continue;
@@ -43,7 +44,7 @@ pub fn min_cover(ws: &WorkState<'_>, q: usize) -> Option<(Weight, Vec<Classifier
     let mut dp = vec![Weight::INFINITE; size];
     let mut choice = vec![0u32; size];
     dp[0] = Weight::ZERO;
-    for u in 1..size as u32 {
+    for u in 1..u32_of(size) {
         if u & need != u {
             continue; // only residuals of the needed mask arise
         }

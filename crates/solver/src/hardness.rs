@@ -16,6 +16,7 @@
 //! hard instances on which solver behaviour is checked against the known
 //! SC optimum.
 
+use mc3_core::u32_of;
 use mc3_core::{Instance, PropId, PropSet, Result, Solution, Weight, WeightsBuilder};
 
 /// An unweighted Set Cover instance: `sets[i]` lists the elements
@@ -88,7 +89,7 @@ pub struct Theorem51Reduction {
 /// assert!(sc.is_cover(&red.extract_set_cover(&sol)));
 /// ```
 pub fn reduce_set_cover_theorem_5_1(sc: &SetCoverInput) -> Result<Theorem51Reduction> {
-    let num_sets = sc.sets.len() as u32;
+    let num_sets = u32_of(sc.sets.len());
     let e_prop = PropId(num_sets); // set-properties are 0..num_sets
     let set_props: Vec<PropId> = (0..num_sets).map(PropId).collect();
 
@@ -96,7 +97,7 @@ pub fn reduce_set_cover_theorem_5_1(sc: &SetCoverInput) -> Result<Theorem51Reduc
     let mut member_sets: Vec<Vec<u32>> = vec![Vec::new(); sc.num_elements];
     for (s, els) in sc.sets.iter().enumerate() {
         for &e in els {
-            member_sets[e as usize].push(s as u32);
+            member_sets[e as usize].push(u32_of(s));
         }
     }
 
@@ -153,7 +154,7 @@ impl Theorem51Reduction {
 /// unit-cost classifier per SC set (all other classifiers omitted). The MC³
 /// optimum equals the SC optimum.
 pub fn reduce_set_cover_theorem_5_2(sc: &SetCoverInput) -> Result<Instance> {
-    let query: Vec<u32> = (0..sc.num_elements as u32).collect();
+    let query: Vec<u32> = (0..u32_of(sc.num_elements)).collect();
     let mut weights = WeightsBuilder::new();
     for els in &sc.sets {
         weights.insert(PropSet::from_ids(els.iter().copied()), Weight::new(1));

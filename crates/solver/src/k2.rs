@@ -10,6 +10,7 @@
 //! (Theorem 2.3, `mc3-flow`).
 
 use crate::work::WorkState;
+use mc3_core::u32_of;
 use mc3_core::{ClassifierId, FxHashMap, Mc3Error, Result, Weight};
 use mc3_flow::{solve_bipartite_wvc_with, BipartiteWvc, FlowAlgorithm};
 
@@ -83,7 +84,7 @@ pub fn solve_k2_with(
             2 => {
                 let pair = local.table[0b11];
                 let r = *right_slot.entry(pair.0).or_insert_with(|| {
-                    let slot = right_ids.len() as u32;
+                    let slot = u32_of(right_ids.len());
                     right_ids.push(pair);
                     right_weights.push(weight_of(pair));
                     slot
@@ -97,7 +98,7 @@ pub fn solve_k2_with(
                         continue; // property already covered by a forced pick
                     }
                     let l = *left_slot.entry(single.0).or_insert_with(|| {
-                        let slot = left_ids.len() as u32;
+                        let slot = u32_of(left_ids.len());
                         left_ids.push(single);
                         left_weights.push(weight_of(single));
                         slot

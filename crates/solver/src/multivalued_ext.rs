@@ -12,6 +12,7 @@
 
 use crate::reduction::reduce_to_wsc;
 use crate::work::WorkState;
+use mc3_core::u32_of;
 use mc3_core::{
     AttributeSchema, Classifier, ClassifierUniverse, Instance, Mc3Error, MultiValuedClassifier,
     Result, Weight,
@@ -109,7 +110,7 @@ pub fn solve_with_multivalued(
                 let prop = instance.queries()[q as usize].ids()[bit as usize];
                 schema.attribute_of(prop) == Some(mv.attribute)
             })
-            .map(|(e, _)| e as u32)
+            .map(|(e, _)| u32_of(e))
             .collect();
         sets.push((elements, mv.cost));
     }

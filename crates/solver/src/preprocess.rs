@@ -24,6 +24,7 @@
 //!   (chain reaction).
 
 use crate::work::WorkState;
+use mc3_core::u32_of;
 use mc3_core::{ClassifierId, Mc3Error, Result, Weight};
 
 /// Which preprocessing steps to run (the paper's ablation knobs).
@@ -132,7 +133,7 @@ fn step1(ws: &mut WorkState<'_>, stats: &mut PreprocessStats) -> Result<()> {
         mc3_telemetry::span_add(mc3_telemetry::Counter::PreObs31Selected, 1);
     }
     for c in 0..ws.universe.len() {
-        let id = ClassifierId(c as u32);
+        let id = ClassifierId(u32_of(c));
         if !ws.selected[c] && !ws.removed[c] && ws.weight[c].is_zero() && ws.relevant_count[c] > 0 {
             ws.select(id);
             stats.selected += 1;
@@ -253,7 +254,7 @@ fn select_forced(ws: &mut WorkState<'_>, stats: &mut PreprocessStats) -> Result<
         let local = ws.universe.query_local(q);
         let len = local.len;
         count[..len].iter_mut().for_each(|c| *c = 0);
-        for mask in 1..local.table.len() as u32 {
+        for mask in 1..u32_of(local.table.len()) {
             let id = local.table[mask as usize];
             if id.is_none() || !ws.is_usable(id) {
                 continue;

@@ -12,6 +12,7 @@
 //! and pruned classifiers produce no sets.
 
 use crate::work::WorkState;
+use mc3_core::{u32_of, u8_of};
 use mc3_core::{ClassifierId, FxHashMap, Weight};
 use mc3_setcover::SetCoverInstance;
 
@@ -106,12 +107,14 @@ pub fn reduce_to_wsc_with(
     element_origin.clear();
     element_base.clear();
     for &q in queries {
-        element_base.push(element_origin.len() as u32);
+        // audit:allow(no-alloc-in-hot-loops) reviewed: push into recycled ReductionScratch buffer — capacity amortized across solves
+        element_base.push(u32_of(element_origin.len()));
         let mut need = ws.need(q);
         while need != 0 {
-            let b = need.trailing_zeros() as u8;
+            let b = u8_of(need.trailing_zeros());
             need &= need - 1;
-            element_origin.push((q as u32, b));
+            // audit:allow(no-alloc-in-hot-loops) reviewed: push into recycled ReductionScratch buffer — capacity amortized across solves
+            element_origin.push((u32_of(q), b));
         }
     }
     let num_elements = element_origin.len();
@@ -143,7 +146,7 @@ pub fn reduce_to_wsc_with(
                 next += 1;
             }
         }
-        for mask in 1..local.table.len() as u32 {
+        for mask in 1..u32_of(local.table.len()) {
             let id = local.table[mask as usize];
             if id.is_none() || !ws.is_usable(id) {
                 continue;
@@ -153,9 +156,11 @@ pub fn reduce_to_wsc_with(
                 continue;
             }
             let slot = *slot_of.entry(id.0).or_insert_with(|| {
-                let s = set_to_classifier.len() as u32;
+                let s = u32_of(set_to_classifier.len());
+                // audit:allow(no-alloc-in-hot-loops) reviewed: push into recycled ReductionScratch buffer — capacity amortized across solves
                 set_to_classifier.push(id);
                 if live_slots == set_lists.len() {
+                    // audit:allow(no-alloc-in-hot-loops) reviewed: arena grows only when live_slots outruns the recycled arena — amortized across solves
                     set_lists.push(Vec::new());
                 }
                 set_lists[live_slots].clear();
@@ -167,6 +172,7 @@ pub fn reduce_to_wsc_with(
             while bits != 0 {
                 let b = bits.trailing_zeros() as usize;
                 bits &= bits - 1;
+                // audit:allow(no-alloc-in-hot-loops) reviewed: push into recycled ReductionScratch buffer — capacity amortized across solves
                 list.push(bit_elem[b]);
             }
         }
@@ -179,7 +185,9 @@ pub fn reduce_to_wsc_with(
     costs.clear();
     for (list, &cid) in set_lists[..live_slots].iter().zip(set_to_classifier.iter()) {
         set_data.extend_from_slice(list);
-        set_off.push(set_data.len() as u32);
+        // audit:allow(no-alloc-in-hot-loops) reviewed: push into recycled ReductionScratch buffer — capacity amortized across solves
+        set_off.push(u32_of(set_data.len()));
+        // audit:allow(no-alloc-in-hot-loops) reviewed: push into recycled ReductionScratch buffer — capacity amortized across solves
         costs.push(ws.weight[cid.index()]);
     }
 

@@ -384,6 +384,7 @@ impl Mc3Solver {
                     scope.spawn(|| {
                         let mut scratch = crate::reduction::ReductionScratch::new();
                         loop {
+                            // audit:allow(no-relaxed-atomics) reviewed: work-stealing index only needs uniqueness — results flow through per-slot Mutexes and the scope join
                             let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             if i >= comps.len() {
                                 break;

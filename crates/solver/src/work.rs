@@ -10,6 +10,7 @@
 //! pairs it appears in, so selections propagate coverage in time linear in
 //! the classifier's total incidence.
 
+use mc3_core::u32_of;
 use mc3_core::{ClassifierId, ClassifierUniverse, Instance, Weight};
 
 /// Mutable solver state over an instance and its classifier universe.
@@ -73,8 +74,8 @@ impl<'a> WorkState<'a> {
             for (mask, &id) in local.table.iter().enumerate() {
                 if !id.is_none() {
                     let slot = cursor[id.index()] as usize;
-                    occ_q[slot] = qi as u32;
-                    occ_mask[slot] = mask as u32;
+                    occ_q[slot] = u32_of(qi);
+                    occ_mask[slot] = u32_of(mask);
                     cursor[id.index()] += 1;
                 }
             }
@@ -173,7 +174,7 @@ impl<'a> WorkState<'a> {
             }
             self.covered[q] |= self.occ_mask[i];
             if self.need(q) == 0 {
-                killed.push(q as u32);
+                killed.push(u32_of(q));
             }
         }
         for &q in &killed {

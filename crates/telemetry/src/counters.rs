@@ -13,6 +13,7 @@
 //! `i ≥ 1` holds values in `[2^(i-1), 2^i - 1]`, for [`HIST_BUCKETS`]
 //! buckets total (enough for the full `u64` range).
 
+use mc3_core::u32_of;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 macro_rules! declare_counters {
@@ -219,7 +220,7 @@ pub(crate) fn hist_raw(h: Hist) -> (u64, u64, Vec<(u32, u64)>) {
         .enumerate()
         .filter_map(|(i, cell)| {
             let c = cell.load(Ordering::Relaxed);
-            (c > 0).then_some((i as u32, c))
+            (c > 0).then_some((u32_of(i), c))
         })
         .collect();
     (

@@ -11,6 +11,7 @@
 use crate::counters::{self, Counter, Hist, COUNTER_NAMES, HIST_NAMES};
 use crate::spans::{self, RawSpan};
 use mc3_core::json::Json;
+use mc3_core::u32_of;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -243,7 +244,7 @@ fn hist_from_json(v: &Json) -> Result<HistogramData, String> {
                     .get(1)
                     .and_then(Json::as_u64)
                     .ok_or_else(|| format!("histogram '{name}' bucket count invalid"))?;
-                buckets.push((idx as u32, c));
+                buckets.push((u32_of(idx), c));
             }
         }
         _ => return Err(format!("histogram '{name}' missing array 'buckets'")),

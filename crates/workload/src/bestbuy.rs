@@ -9,6 +9,7 @@
 
 use crate::Dataset;
 use mc3_core::rng::prelude::*;
+use mc3_core::u32_of;
 use mc3_core::{Instance, Weights};
 
 /// Configuration of the BestBuy-alike generator.
@@ -59,7 +60,7 @@ impl BestBuyConfig {
     /// Generates the dataset.
     pub fn generate(&self) -> Dataset {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let pool = self.pool_size.unwrap_or(self.num_queries * 2) as u32;
+        let pool = u32_of(self.pool_size.unwrap_or(self.num_queries * 2));
         let mut seen = mc3_core::FxHashSet::default();
         let mut queries: Vec<Vec<u32>> = Vec::with_capacity(self.num_queries);
         let max_attempts = self.num_queries.saturating_mul(50) + 1000;

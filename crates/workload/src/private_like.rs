@@ -11,6 +11,7 @@
 
 use crate::Dataset;
 use mc3_core::rng::prelude::*;
+use mc3_core::u32_of;
 use mc3_core::{Instance, Weights};
 
 /// A product category of the private-alike dataset.
@@ -128,7 +129,7 @@ impl PrivateConfig {
 
     fn generate_category_queries(&self, cat: PrivateCategory, n: usize) -> Vec<Vec<u32>> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ cat.prop_base() as u64);
-        let pool = (n / self.pool_divisor).max(8) as u32;
+        let pool = u32_of(n / self.pool_divisor).max(8);
         let base = cat.prop_base();
         let mut seen = mc3_core::FxHashSet::default();
         let mut queries = Vec::with_capacity(n);

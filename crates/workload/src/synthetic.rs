@@ -12,6 +12,7 @@
 
 use crate::Dataset;
 use mc3_core::rng::prelude::*;
+use mc3_core::u32_of;
 use mc3_core::{Instance, Weights};
 
 /// How property popularity is distributed when sampling query properties.
@@ -135,14 +136,14 @@ impl SyntheticConfig {
                         acc
                     })
                     .collect();
-                let mut ids: Vec<u32> = (0..pool as u32).collect();
+                let mut ids: Vec<u32> = (0..u32_of(pool)).collect();
                 ids.shuffle(&mut rng);
                 Some((cdf, ids))
             }
         };
         let sample_prop = |rng: &mut StdRng| -> u32 {
             match &zipf_cdf {
-                None => rng.gen_range(0..pool as u32),
+                None => rng.gen_range(0..u32_of(pool)),
                 Some((cdf, ids)) => {
                     // audit:allow(no-unwrap-in-lib) zipf_cdf is Some only when pool > 0
                     let total = *cdf.last().expect("non-empty pool");
