@@ -25,6 +25,14 @@
 //!    only shrink, so a stale ceiling is an error. `--tighten-budgets`
 //!    rewrites ceilings down to measured reality (deleting lines whose
 //!    count reached zero) instead of failing.
+//! 6. **No-alloc waivers ↔ runtime.** Every file carrying a
+//!    `no-alloc-in-hot-loops` waiver claims its hot-loop allocations are
+//!    amortized away; this check closes the loop by solving a pinned
+//!    deterministic workload under a telemetry session and requiring
+//!    each waiver file's designated steady-state span to record at
+//!    least one allocation-free instance (`min_instance_allocs == 0` in
+//!    the memprof attribution). Skipped when the tree under audit has
+//!    no such waivers.
 
 use crate::rules::{check_file, RULE_INFOS};
 use crate::{collect_files, load_allowlist};
@@ -153,6 +161,7 @@ pub fn check(root: &Path, tighten_budgets: bool) -> std::io::Result<ConsistencyR
     check_registry(root, &sources, &mut report);
     check_rules(root, &mut report);
     check_budgets(root, &sources, tighten_budgets, &mut report)?;
+    check_waivers(&sources, &mut report);
 
     Ok(report)
 }
@@ -187,6 +196,7 @@ fn check_registry(root: &Path, sources: &[(String, String)], report: &mut Consis
                 buckets: Vec::new(),
             })
             .collect(),
+        ..TelemetryReport::default()
     });
 
     for (enum_name, variant, wire) in &variants {
@@ -433,6 +443,163 @@ fn rewrite_allowlist(
     std::fs::write(path, out)
 }
 
+/// The lint rule whose inline waivers check 6 closes the loop on.
+const NO_ALLOC_RULE: &str = "no-alloc-in-hot-loops";
+
+/// File name → the designated steady-state span for its no-alloc waivers.
+/// A waiver says "this allocation is amortized away"; the span is where
+/// the runtime half of that claim is measured — it must record at least
+/// one allocation-free instance on the pinned workload. A waiver in a file
+/// absent from this table is itself a problem: the claim would be
+/// unverifiable.
+const NO_ALLOC_SPANS: &[(&str, &str)] = &[
+    ("dinic.rs", "dinic.max_flow"),
+    ("greedy.rs", "setcover.greedy.select"),
+    ("prune.rs", "setcover.prune"),
+    ("local_search.rs", "setcover.local_search.pass"),
+    ("bitcover.rs", "setcover.local_search.pass"),
+    ("reduction.rs", "solver.reduce"),
+];
+
+/// Check 6: every no-alloc waiver file's designated span is steady-state
+/// allocation-free on the pinned workload.
+fn check_waivers(sources: &[(String, String)], report: &mut ConsistencyReport) {
+    // Waivers come from the real lexer (comment-form only), so prose
+    // mentions of the rule name — including this file's — don't count.
+    let waiver_files: Vec<&str> = sources
+        .iter()
+        .filter(|(_, src)| {
+            crate::lexer::lex(src)
+                .waivers
+                .iter()
+                .any(|w| w.rules.iter().any(|r| r == NO_ALLOC_RULE))
+        })
+        .map(|(rel, _)| rel.as_str())
+        .collect();
+    // A tree with no waivers (unit-test workspaces, stripped checkouts)
+    // has nothing to verify and no workload to run.
+    if waiver_files.is_empty() {
+        return;
+    }
+
+    // span → waiver files whose claim it carries
+    let mut required: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for rel in &waiver_files {
+        report.checks_run += 1;
+        let file = rel.rsplit('/').next().unwrap_or(rel);
+        match NO_ALLOC_SPANS.iter().find(|(f, _)| *f == file) {
+            Some((_, span)) => required.entry(span).or_default().push(rel),
+            None => report.problems.push(Problem {
+                check: "waiver-span",
+                subject: (*rel).to_owned(),
+                detail: format!(
+                    "file carries a `{NO_ALLOC_RULE}` waiver but has no \
+                     designated steady-state span; instrument one and add it \
+                     to the NO_ALLOC_SPANS table in \
+                     crates/audit/src/consistency.rs"
+                ),
+            }),
+        }
+    }
+
+    let tel = match run_pinned_workload() {
+        Ok(tel) => tel,
+        Err(e) => {
+            report.checks_run += 1;
+            report.problems.push(Problem {
+                check: "waiver-alloc-free",
+                subject: "pinned workload".to_owned(),
+                detail: e,
+            });
+            return;
+        }
+    };
+    // name → (merged instances, min allocations over any single instance)
+    let mut observed: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    fn visit<'a>(nodes: &'a [mc3_telemetry::SpanData], out: &mut BTreeMap<&'a str, (u64, u64)>) {
+        for n in nodes {
+            let e = out.entry(n.name.as_str()).or_insert((0, u64::MAX));
+            e.0 += n.count;
+            e.1 = e.1.min(n.mem.min_instance_allocs);
+            visit(&n.children, out);
+        }
+    }
+    visit(&tel.spans, &mut observed);
+
+    for (span, files) in required {
+        report.checks_run += 1;
+        match observed.get(span) {
+            None => report.problems.push(Problem {
+                check: "waiver-alloc-free",
+                subject: span.to_owned(),
+                detail: format!(
+                    "designated span never ran on the pinned workload, so the \
+                     zero-allocation claim behind the waivers in {} is \
+                     unverified; extend run_pinned_workload to exercise it",
+                    files.join(", ")
+                ),
+            }),
+            Some(&(instances, min_allocs)) if min_allocs != 0 => report.problems.push(Problem {
+                check: "waiver-alloc-free",
+                subject: span.to_owned(),
+                detail: format!(
+                    "all {instances} instances on the pinned workload \
+                         allocated (best case {min_allocs} allocs); the \
+                         `{NO_ALLOC_RULE}` waivers in {} claim an \
+                         amortized-to-zero steady state",
+                    files.join(", ")
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+}
+
+/// Solves two deterministic instances under one telemetry session and
+/// returns the merged report:
+///
+/// * a handcrafted instance with pinned structure — a k ≤ 2 property
+///   triangle (real WVC/max-flow work for `dinic.max_flow`) plus two
+///   property-disjoint long-query components, largest first, solved
+///   sequentially so the reduction's recycled scratch gets warm
+///   (allocation-free) rounds;
+/// * a small mixed synthetic dataset from `mc3-workload`, for breadth
+///   across the greedy/prune/local-search kernels.
+fn run_pinned_workload() -> Result<TelemetryReport, String> {
+    use mc3_solver::{Algorithm, Mc3Solver};
+    let queries: Vec<Vec<u32>> = vec![
+        // short phase: a WVC triangle sharing properties pairwise
+        vec![0, 1],
+        vec![1, 2],
+        vec![0, 2],
+        // general components (disjoint property ranges), largest first so
+        // every later reduction fits the recycled scratch capacities
+        vec![10, 11, 12, 13],
+        vec![11, 12, 13, 14],
+        vec![10, 12, 14],
+        vec![20, 21, 22],
+        vec![21, 22, 23],
+    ];
+    let handcrafted = mc3_core::Instance::new(queries, mc3_core::Weights::seeded(7, 1, 50))
+        .map_err(|e| format!("handcrafted pinned instance rejected: {e}"))?;
+    let synthetic = mc3_workload::SyntheticConfig::with_queries(160)
+        .seed(0x3C0)
+        .generate();
+
+    let session = mc3_telemetry::Session::begin();
+    let solver = Mc3Solver::new()
+        .algorithm(Algorithm::ShortFirst)
+        .parallel(false);
+    let solved = solver
+        .solve_report(&handcrafted)
+        .and_then(|_| solver.solve_report(&synthetic.instance));
+    let tel = session.finish();
+    match solved {
+        Ok(_) => Ok(tel),
+        Err(e) => Err(format!("pinned workload failed to solve: {e}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,6 +660,7 @@ mod tests {
                     buckets: Vec::new(),
                 })
                 .collect(),
+            ..TelemetryReport::default()
         });
         for name in mc3_telemetry::COUNTER_NAMES {
             assert!(prom.contains(&format!("mc3_{name}_total ")), "{name}");
@@ -503,6 +671,61 @@ mod tests {
                 "{name}"
             );
         }
+    }
+
+    #[test]
+    fn no_alloc_waivers_are_steady_state_allocation_free() {
+        // End-to-end on the real workspace: every waiver file maps to a
+        // designated span and that span records an allocation-free
+        // instance on the pinned workload.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let files = crate::collect_files(root).expect("collect lint scope");
+        let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
+        for path in &files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            sources.push((rel, std::fs::read_to_string(path).expect("read source")));
+        }
+        let mut report = ConsistencyReport::default();
+        check_waivers(&sources, &mut report);
+        assert!(
+            report.checks_run > 0,
+            "the real tree has waivers; the check must not skip"
+        );
+        assert!(report.problems.is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn waiver_check_skips_trees_without_waivers() {
+        let sources = vec![("crates/x/src/a.rs".to_owned(), "pub fn f() {}\n".to_owned())];
+        let mut report = ConsistencyReport::default();
+        check_waivers(&sources, &mut report);
+        assert_eq!(report.checks_run, 0);
+        assert!(report.problems.is_empty());
+    }
+
+    #[test]
+    fn unmapped_waiver_files_are_flagged() {
+        let sources = vec![(
+            "crates/x/src/mystery.rs".to_owned(),
+            format!("fn f() {{}} // audit:allow({NO_ALLOC_RULE}) reviewed: test\n"),
+        )];
+        let mut report = ConsistencyReport::default();
+        check_waivers(&sources, &mut report);
+        assert!(
+            report
+                .problems
+                .iter()
+                .any(|p| p.check == "waiver-span" && p.subject.ends_with("mystery.rs")),
+            "{:?}",
+            report.problems
+        );
     }
 
     #[test]

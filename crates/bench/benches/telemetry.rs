@@ -50,7 +50,45 @@ fn bench_primitives() {
     drop(session.finish());
 }
 
+fn bench_allocator_overhead() {
+    let group = Group::new("memprof_allocator").samples(5);
+    group.bench("alloc_free/disabled_gate", || {
+        for i in 0..1_000usize {
+            black_box(Box::new(i));
+        }
+    });
+    let session = Session::begin();
+    group.bench("alloc_free/enabled_gate", || {
+        for i in 0..1_000usize {
+            black_box(Box::new(i));
+        }
+    });
+    drop(session.finish());
+
+    // Hard ceiling while the gate is closed: the tracking wrapper adds a
+    // single relaxed load on top of malloc, so one alloc+free round trip
+    // is single-digit-to-tens of ns in practice. The ceiling is
+    // deliberately loose (shared-runner noise, debug builds) while still
+    // catching an accidental always-on slow path.
+    const ITERS: u32 = 100_000;
+    let mut per_alloc = f64::MAX;
+    for _ in 0..5 {
+        let t0 = std::time::Instant::now();
+        for i in 0..ITERS {
+            black_box(Box::new(i));
+        }
+        per_alloc = per_alloc.min(t0.elapsed().as_nanos() as f64 / f64::from(ITERS));
+    }
+    println!("memprof_allocator/disabled_gate_floor     {per_alloc:.1} ns per alloc+free");
+    assert!(
+        per_alloc < 1_000.0,
+        "disabled-gate allocator costs {per_alloc:.1} ns per alloc+free; \
+         the tracking wrapper must stay a single relaxed load while off"
+    );
+}
+
 fn main() {
     bench_solve_overhead();
     bench_primitives();
+    bench_allocator_overhead();
 }

@@ -93,7 +93,7 @@ pub enum Command {
         chrome: Option<String>,
     },
     /// `mc3 profile [DATASET.json] [--kind K] [--queries N] [--seed S]
-    /// [--algorithm A] [--parallel] [--json FILE] [--top N]`
+    /// [--algorithm A] [--parallel] [--json FILE] [--top N] [--mem]`
     Profile {
         /// Dataset JSON path; omitted = generate a workload.
         dataset: Option<String>,
@@ -116,6 +116,8 @@ pub enum Command {
         prom: Option<String>,
         /// How many counters to list.
         top: usize,
+        /// Render the memory (allocation) flame view instead of wall time.
+        mem: bool,
     },
     /// `mc3 bench-gate --baseline FILE [--candidate FILE] [--update]
     /// [--wall-tol X] [--counter-tol X] [--kind K] [--queries N] [--seed S]
@@ -140,6 +142,8 @@ pub enum Command {
         seed: Option<u64>,
         /// Algorithm override (only meaningful with `--update`).
         algorithm: Option<Algorithm>,
+        /// Skip the exact per-span allocation-count checks.
+        no_mem: bool,
     },
     /// `mc3 verify DATASET SOLUTION`
     Verify {
@@ -192,9 +196,9 @@ USAGE:
             [--chrome <FILE>]
   mc3 profile [DATASET.json] [--kind <K>] [--queries <N>] [--seed <S>]
               [--algorithm <A>] [--parallel] [--json <FILE>] [--top <N>]
-              [--chrome <FILE>] [--prom <FILE>]
+              [--chrome <FILE>] [--prom <FILE>] [--mem]
   mc3 bench-gate --baseline <FILE> [--candidate <FILE>] [--update]
-                 [--wall-tol <X>] [--counter-tol <X>] [--kind <K>]
+                 [--wall-tol <X>] [--counter-tol <X>] [--no-mem] [--kind <K>]
                  [--queries <N>] [--seed <S>] [--algorithm <A>]
   mc3 verify <DATASET.json> <SOLUTION.json>
   mc3 audit <DATASET.json> <SOLUTION.json>
@@ -363,6 +367,7 @@ impl Cli {
                 let mut chrome = None;
                 let mut prom = None;
                 let mut top = 12usize;
+                let mut mem = false;
                 while let Some(arg) = s.next().map(str::to_owned) {
                     match arg.as_str() {
                         "--kind" => kind = GeneratorKind::parse(&s.value_of("--kind")?)?,
@@ -389,6 +394,7 @@ impl Cli {
                                 .parse()
                                 .map_err(|e| format!("--top: {e}"))?
                         }
+                        "--mem" => mem = true,
                         other if !other.starts_with("--") && dataset.is_none() => {
                             dataset = Some(other.to_owned())
                         }
@@ -406,6 +412,7 @@ impl Cli {
                     chrome,
                     prom,
                     top,
+                    mem,
                 }
             }
             "bench-gate" => {
@@ -418,11 +425,13 @@ impl Cli {
                 let mut queries = None;
                 let mut seed = None;
                 let mut algorithm = None;
+                let mut no_mem = false;
                 while let Some(flag) = s.next().map(str::to_owned) {
                     match flag.as_str() {
                         "--baseline" => baseline = Some(s.value_of("--baseline")?),
                         "--candidate" => candidate = Some(s.value_of("--candidate")?),
                         "--update" => update = true,
+                        "--no-mem" => no_mem = true,
                         "--wall-tol" => {
                             wall_tol = Some(
                                 s.value_of("--wall-tol")?
@@ -471,6 +480,7 @@ impl Cli {
                     queries,
                     seed,
                     algorithm,
+                    no_mem,
                 }
             }
             "verify" => {
@@ -644,6 +654,7 @@ mod tests {
                 chrome,
                 prom,
                 top,
+                mem,
             } => {
                 assert_eq!(dataset, None);
                 assert_eq!(kind, GeneratorKind::Synthetic);
@@ -655,6 +666,7 @@ mod tests {
                 assert_eq!(chrome, None);
                 assert_eq!(prom, None);
                 assert_eq!(top, 12);
+                assert!(!mem);
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -668,6 +680,7 @@ mod tests {
             "tel.json",
             "--top",
             "5",
+            "--mem",
         ])
         .unwrap();
         match cli.command {
@@ -677,6 +690,7 @@ mod tests {
                 parallel,
                 json,
                 top,
+                mem,
                 ..
             } => {
                 assert_eq!(dataset.as_deref(), Some("d.json"));
@@ -684,6 +698,7 @@ mod tests {
                 assert!(parallel);
                 assert_eq!(json.as_deref(), Some("tel.json"));
                 assert_eq!(top, 5);
+                assert!(mem);
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -757,6 +772,7 @@ mod tests {
                 update,
                 wall_tol,
                 counter_tol,
+                no_mem,
                 ..
             } => {
                 assert_eq!(baseline, "BENCH_baseline.json");
@@ -764,6 +780,7 @@ mod tests {
                 assert!(!update);
                 assert_eq!(wall_tol, Some(2.5));
                 assert_eq!(counter_tol, Some(0.1));
+                assert!(!no_mem);
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -780,6 +797,7 @@ mod tests {
             "11",
             "--algorithm",
             "auto",
+            "--no-mem",
         ])
         .unwrap();
         match cli.command {
@@ -789,6 +807,7 @@ mod tests {
                 queries,
                 seed,
                 algorithm,
+                no_mem,
                 ..
             } => {
                 assert!(update);
@@ -796,6 +815,7 @@ mod tests {
                 assert_eq!(queries, Some(300));
                 assert_eq!(seed, Some(11));
                 assert_eq!(algorithm, Some(Algorithm::Auto));
+                assert!(no_mem);
             }
             other => panic!("wrong command: {other:?}"),
         }

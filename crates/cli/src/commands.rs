@@ -55,6 +55,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             chrome,
             prom,
             top,
+            mem,
         } => profile(
             dataset.as_deref(),
             *kind,
@@ -66,6 +67,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             chrome.as_deref(),
             prom.as_deref(),
             *top,
+            *mem,
         ),
         Command::BenchGate {
             baseline,
@@ -77,6 +79,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             queries,
             seed,
             algorithm,
+            no_mem,
         } => bench_gate(
             baseline,
             candidate.as_deref(),
@@ -87,6 +90,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             *queries,
             *seed,
             *algorithm,
+            *no_mem,
         ),
         Command::Verify { dataset, solution } => verify(dataset, solution),
         Command::Audit { dataset, solution } => audit(dataset, solution),
@@ -278,7 +282,8 @@ fn solve(
 }
 
 /// `mc3 profile`: solve a dataset (or a generated workload) under a
-/// telemetry session and print the span tree plus the busiest counters.
+/// telemetry session and print the span tree plus the busiest counters —
+/// or, with `--mem`, the allocation flame view.
 #[allow(clippy::too_many_arguments)]
 fn profile(
     dataset: Option<&str>,
@@ -291,6 +296,7 @@ fn profile(
     chrome: Option<&str>,
     prom: Option<&str>,
     top: usize,
+    mem: bool,
 ) -> Result<String, String> {
     let ds = match dataset {
         Some(path) => load_dataset(path)?,
@@ -320,7 +326,14 @@ fn profile(
         report.solution.len(),
         report.timings.total.as_secs_f64()
     );
-    text.push_str(&tel.render_top(top));
+    if mem {
+        text.push_str(&tel.render_mem());
+    } else {
+        text.push_str(&tel.render_top(top));
+        if tel.peak_rss_bytes > 0 {
+            let _ = writeln!(text, "peak rss (process): {} bytes", tel.peak_rss_bytes);
+        }
+    }
     if let Some(path) = json {
         let json = telemetry_json_checked(&tel)?;
         text.push_str(&write_out(path, &json)?);
@@ -364,6 +377,7 @@ fn bench_gate(
     queries: Option<u64>,
     seed: Option<u64>,
     algorithm: Option<mc3_solver::Algorithm>,
+    no_mem: bool,
 ) -> Result<String, String> {
     let baseline_text = match std::fs::read_to_string(baseline_path) {
         Ok(text) => Some(text),
@@ -441,6 +455,7 @@ fn bench_gate(
     if let Some(t) = counter_tol {
         cfg.counter_tol = t;
     }
+    cfg.check_mem = !no_mem;
     let outcome = mc3_obs::compare(&baseline.report, &cand_report, &cfg);
     let text = outcome.render();
     if outcome.passed() {
@@ -896,6 +911,14 @@ mod tests {
 
         std::fs::remove_file(&baseline).ok();
         std::fs::remove_file(&candidate).ok();
+    }
+
+    #[test]
+    fn profile_mem_renders_the_allocation_view() {
+        let out = run(&Cli::parse(["profile", "--queries", "60", "--seed", "2", "--mem"]).unwrap())
+            .unwrap();
+        assert!(out.contains("allocations"), "{out}");
+        assert!(out.contains("peak live bytes (session):"), "{out}");
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub struct Dinic<'a> {
     level: Vec<i32>,
     iter: Vec<usize>,
     queue: Vec<u32>,
+    path: Vec<usize>,
 }
 
 impl<'a> Dinic<'a> {
@@ -40,6 +41,8 @@ impl<'a> Dinic<'a> {
             level: vec![-1; n],
             iter: vec![0; n],
             queue: Vec::with_capacity(n),
+            // DFS path stack: a simple path visits each node at most once
+            path: Vec::with_capacity(n),
         }
     }
 
@@ -87,25 +90,27 @@ impl<'a> Dinic<'a> {
     fn blocking_flow(&mut self, s: NodeId, t: NodeId) -> (u64, u64) {
         let mut total = 0u64;
         let mut paths = 0u64;
-        let mut path: Vec<usize> = Vec::new(); // edge ids along the path
+        self.path.clear(); // edge ids along the path; buffer reused across phases
         let mut v = s;
         loop {
             if v == t {
                 // augment by the bottleneck, then retreat to the tail of
                 // the first saturated edge and keep searching from there
-                let delta = path
+                let delta = self
+                    .path
                     .iter()
                     .map(|&ei| self.g.edges[ei].cap)
                     .min()
                     // audit:allow(no-unwrap-in-lib) v == t and s != t, so the DFS path is non-empty
                     .expect("path to t is non-empty");
-                for &ei in &path {
+                for &ei in &self.path {
                     self.g.edges[ei].cap -= delta;
                     self.g.edges[ei ^ 1].cap += delta;
                 }
                 total += delta;
                 paths += 1;
-                let first_sat = path
+                let first_sat = self
+                    .path
                     .iter()
                     .position(|&ei| self.g.edges[ei].cap == 0)
                     // audit:allow(no-unwrap-in-lib) delta is the path minimum, so some edge hit zero
@@ -113,9 +118,9 @@ impl<'a> Dinic<'a> {
                 v = if first_sat == 0 {
                     s
                 } else {
-                    self.g.edges[path[first_sat - 1]].to as usize
+                    self.g.edges[self.path[first_sat - 1]].to as usize
                 };
-                path.truncate(first_sat);
+                self.path.truncate(first_sat);
                 continue;
             }
             if self.iter[v] < self.g.adj[v].len() {
@@ -125,8 +130,8 @@ impl<'a> Dinic<'a> {
                     (e.to as usize, e.cap)
                 };
                 if cap > 0 && self.level[v] < self.level[to] {
-                    // audit:allow(no-alloc-in-hot-loops) reviewed: reused DFS path scratch — capacity amortized across augmentations
-                    path.push(ei);
+                    // audit:allow(no-alloc-in-hot-loops) reviewed: push into the preallocated DFS path stack (capacity = node count, a simple path never exceeds it)
+                    self.path.push(ei);
                     v = to;
                 } else {
                     self.iter[v] += 1;
@@ -137,7 +142,7 @@ impl<'a> Dinic<'a> {
                     return (total, paths);
                 }
                 // audit:allow(no-unwrap-in-lib) v != s here, so the path stack is non-empty
-                let ei = path.pop().expect("non-source dead end has a parent edge");
+                let ei = self.path.pop().expect("dead end has a parent edge");
                 let parent = self.g.edges[ei ^ 1].to as usize;
                 self.iter[parent] += 1;
                 v = parent;

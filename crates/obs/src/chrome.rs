@@ -14,6 +14,14 @@
 //! trees telemetry produces (children of one instance never outlast their
 //! parent, so summed child wall ≤ summed parent wall), this preserves
 //! strict parent/child containment — the property tests pin that.
+//!
+//! The memory axis rides along twice: every `"X"` event carries its
+//! span's allocation tally in `args` (`mem.allocs`, `mem.alloc_bytes`,
+//! `mem.frees`, `mem.peak_live_bytes`), and a `live_bytes` counter track
+//! (`"ph": "C"`) samples net live bytes at every root-span boundary, so
+//! the trace viewer draws the session's memory profile as a graph. The
+//! counter samples roots only — per-span tallies are inclusive of
+//! children, so summing nested spans would double-count.
 
 use mc3_core::json::Json;
 use mc3_telemetry::{SpanData, TelemetryReport};
@@ -39,6 +47,16 @@ fn span_event(span: &SpanData, start_ns: u64) -> Json {
         ("start_ns".to_owned(), Json::Int(start_ns as i128)),
         ("wall_ns".to_owned(), Json::Int(span.wall_ns as i128)),
         ("count".to_owned(), Json::Int(span.count as i128)),
+        ("mem.allocs".to_owned(), Json::Int(span.mem.allocs as i128)),
+        (
+            "mem.alloc_bytes".to_owned(),
+            Json::Int(span.mem.alloc_bytes as i128),
+        ),
+        ("mem.frees".to_owned(), Json::Int(span.mem.frees as i128)),
+        (
+            "mem.peak_live_bytes".to_owned(),
+            Json::Int(span.mem.peak_live_bytes as i128),
+        ),
     ];
     for (name, &v) in &span.counters {
         args.push((format!("counter.{name}"), Json::Int(v as i128)));
@@ -87,23 +105,57 @@ fn metadata_event(name: &str, value: &str) -> Json {
     )
 }
 
+/// A `"C"` (counter-track) sample of net live bytes at `ts_ns`.
+fn live_bytes_event(ts_ns: u64, live: u64) -> Json {
+    Json::Object(
+        [
+            ("name".to_owned(), Json::Str("live_bytes".to_owned())),
+            ("cat".to_owned(), Json::Str("mc3".to_owned())),
+            ("ph".to_owned(), Json::Str("C".to_owned())),
+            ("ts".to_owned(), micros(ts_ns)),
+            ("pid".to_owned(), Json::Int(PID as i128)),
+            ("tid".to_owned(), Json::Int(TID as i128)),
+            (
+                "args".to_owned(),
+                Json::Object([("bytes".to_owned(), Json::Int(live as i128))].into()),
+            ),
+        ]
+        .into_iter()
+        .collect(),
+    )
+}
+
 /// Converts a report into the Chrome trace-event **object format**:
 /// `{"traceEvents": [...], "displayTimeUnit": "ns"}`, with one `"X"`
-/// event per aggregated span node plus process/thread metadata events.
+/// event per aggregated span node, a `live_bytes` counter track sampled
+/// at root-span boundaries, plus process/thread metadata events.
 pub fn chrome_trace_json(report: &TelemetryReport) -> Json {
     let mut events = vec![
         metadata_event("process_name", "mc3"),
         metadata_event("thread_name", "solver"),
     ];
     let mut cursor = 0u64;
+    // Running net live bytes across the sequential root layout, clamped
+    // at zero (a root can free more than it allocates when it consumes
+    // buffers built before the session gate opened).
+    let mut live = 0i128;
     for root in &report.spans {
+        events.push(live_bytes_event(cursor, clamp_live(live)));
         emit_subtree(root, cursor, &mut events);
         cursor = cursor.saturating_add(root.wall_ns);
+        live += i128::from(root.mem.alloc_bytes) - i128::from(root.mem.free_bytes);
+    }
+    if !report.spans.is_empty() {
+        events.push(live_bytes_event(cursor, clamp_live(live)));
     }
     Json::object([
         ("traceEvents", Json::Array(events)),
         ("displayTimeUnit", Json::Str("ns".to_owned())),
     ])
+}
+
+fn clamp_live(live: i128) -> u64 {
+    u64::try_from(live.max(0)).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -117,6 +169,14 @@ mod tests {
             wall_ns,
             count: 1,
             counters: BTreeMap::from([("dinic_phases".to_owned(), 3u64)]),
+            mem: mc3_telemetry::SpanMem {
+                allocs: 4,
+                alloc_bytes: 2048,
+                frees: 2,
+                free_bytes: 1024,
+                peak_live_bytes: 1536,
+                min_instance_allocs: 4,
+            },
             children,
         }
     }
@@ -124,8 +184,7 @@ mod tests {
     fn report_with(spans: Vec<SpanData>) -> TelemetryReport {
         TelemetryReport {
             spans,
-            counters: BTreeMap::new(),
-            histograms: Vec::new(),
+            ..TelemetryReport::default()
         }
     }
 
@@ -148,8 +207,9 @@ mod tests {
         )]);
         let j = chrome_trace_json(&report);
         let events = trace_events(&j);
-        // 2 metadata + 3 spans
-        assert_eq!(events.len(), 5);
+        // 2 metadata + 3 spans + 2 live_bytes samples (one per root
+        // boundary: before the root and after the last one)
+        assert_eq!(events.len(), 7);
         let xs: Vec<&&Json> = events
             .iter()
             .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
@@ -172,7 +232,7 @@ mod tests {
             .expect("core event");
         let dur = core.get("dur").and_then(Json::as_f64).expect("f64 dur");
         assert!((dur - 1.234).abs() < 1e-9, "dur = {dur}");
-        // counters surface in args
+        // counters and the memory tally surface in args
         assert_eq!(
             solve
                 .get("args")
@@ -180,6 +240,42 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(3)
         );
+        assert_eq!(
+            solve
+                .get("args")
+                .and_then(|a| a.get("mem.alloc_bytes"))
+                .and_then(Json::as_u64),
+            Some(2048)
+        );
+        assert_eq!(
+            solve
+                .get("args")
+                .and_then(|a| a.get("mem.peak_live_bytes"))
+                .and_then(Json::as_u64),
+            Some(1536)
+        );
+    }
+
+    #[test]
+    fn live_bytes_track_samples_root_boundaries() {
+        // Two roots, each netting +1024 live bytes: samples must read
+        // 0 (start), 1024 (between roots), 2048 (end).
+        let report = report_with(vec![span("a", 1_000, vec![]), span("b", 2_000, vec![])]);
+        let j = chrome_trace_json(&report);
+        let samples: Vec<(u64, u64)> = trace_events(&j)
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .map(|e| {
+                (
+                    e.get("ts").and_then(Json::as_u64).expect("integral ts"),
+                    e.get("args")
+                        .and_then(|a| a.get("bytes"))
+                        .and_then(Json::as_u64)
+                        .expect("bytes"),
+                )
+            })
+            .collect();
+        assert_eq!(samples, vec![(0, 0), (1, 1024), (3, 2048)]);
     }
 
     #[test]
@@ -204,6 +300,7 @@ mod tests {
         let report = report_with(vec![span("solve", 77, vec![span("x", 33, vec![])])]);
         let text = chrome_trace_json(&report).to_string_pretty();
         let parsed = mc3_core::json::parse(&text).expect("chrome JSON parses");
-        assert_eq!(trace_events(&parsed).len(), 4);
+        // 2 metadata + 2 spans + 2 live_bytes samples
+        assert_eq!(trace_events(&parsed).len(), 6);
     }
 }

@@ -15,6 +15,13 @@
 //!   registry are deterministic for a pinned workload, so *any* drift is a
 //!   behavior change that must be acknowledged by re-baselining
 //!   (`mc3 bench-gate --baseline FILE --update`).
+//! * **allocation counts and bytes per span path** — *exact*, no
+//!   tolerance and no size floor ([`GateConfig::check_mem`], on by
+//!   default). Unlike wall time, the allocator trace of a pinned
+//!   single-threaded workload is fully deterministic, so the memory axis
+//!   is the one signal the gate can pin to the byte; a kernel quietly
+//!   growing a buffer per iteration trips the gate even when wall time
+//!   hides inside the jitter tolerance.
 //!
 //! Every violation names the offending span path or counter with both
 //! values, which is what the CI log shows when the gate trips.
@@ -131,6 +138,11 @@ pub struct GateConfig {
     /// Spans whose **baseline** wall time is below this are not wall-time
     /// checked (their counters still are, via the global registry).
     pub min_wall_ns: u64,
+    /// Whether to gate on the memory axis: exact per-span-path allocation
+    /// counts and bytes (no tolerance, no floor — allocator traces of a
+    /// pinned workload are deterministic), plus the global `mem_*`
+    /// counters. `mc3 bench-gate --no-mem` turns this off.
+    pub check_mem: bool,
 }
 
 impl Default for GateConfig {
@@ -139,6 +151,7 @@ impl Default for GateConfig {
             wall_tol: 1.0,
             counter_tol: 0.0,
             min_wall_ns: 200_000,
+            check_mem: true,
         }
     }
 }
@@ -173,6 +186,19 @@ pub enum GateViolation {
         /// `/`-joined span path.
         path: String,
     },
+    /// A span path's allocation tally changed. Exact by design: for a
+    /// pinned seed the allocator trace is deterministic, so any change is
+    /// a real behavior change (fix it or re-record the baseline).
+    MemDrift {
+        /// `/`-joined span path.
+        path: String,
+        /// Which memory field drifted (`allocs` or `alloc_bytes`).
+        field: &'static str,
+        /// Baseline value.
+        baseline: u64,
+        /// Candidate value.
+        candidate: u64,
+    },
 }
 
 impl fmt::Display for GateViolation {
@@ -206,6 +232,16 @@ impl fmt::Display for GateViolation {
                     "span '{path}': present in baseline, absent from candidate"
                 )
             }
+            GateViolation::MemDrift {
+                path,
+                field,
+                baseline,
+                candidate,
+            } => write!(
+                f,
+                "span '{path}': {field} drifted {baseline} -> {candidate} \
+                 (memory gating is exact; re-record the baseline to accept)"
+            ),
         }
     }
 }
@@ -245,7 +281,15 @@ impl GateOutcome {
     }
 }
 
-fn flatten<'a>(prefix: &str, spans: &'a [SpanData], out: &mut BTreeMap<String, u64>) {
+/// Per-path figures the gate compares.
+#[derive(Debug, Clone, Copy, Default)]
+struct PathStats {
+    wall_ns: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+fn flatten<'a>(prefix: &str, spans: &'a [SpanData], out: &mut BTreeMap<String, PathStats>) {
     for s in spans {
         let path = if prefix.is_empty() {
             s.name.clone()
@@ -255,8 +299,10 @@ fn flatten<'a>(prefix: &str, spans: &'a [SpanData], out: &mut BTreeMap<String, u
         flatten(&path, &s.children, out);
         // Same-path collisions cannot survive report aggregation, but be
         // safe under hand-built reports: sum.
-        let cell = out.entry(path).or_insert(0);
-        *cell = cell.saturating_add(s.wall_ns);
+        let cell = out.entry(path).or_insert_with(PathStats::default);
+        cell.wall_ns = cell.wall_ns.saturating_add(s.wall_ns);
+        cell.allocs = cell.allocs.saturating_add(s.mem.allocs);
+        cell.alloc_bytes = cell.alloc_bytes.saturating_add(s.mem.alloc_bytes);
     }
 }
 
@@ -274,20 +320,37 @@ pub fn compare(
     flatten("", &candidate.spans, &mut cand_spans);
 
     let mut spans_checked = 0usize;
-    for (path, &base_ns) in &base_spans {
+    for (path, base) in &base_spans {
         match cand_spans.get(path) {
             None => violations.push(GateViolation::MissingSpan { path: path.clone() }),
-            Some(&cand_ns) => {
-                if base_ns < cfg.min_wall_ns {
+            Some(cand) => {
+                // Memory first: exact, no jitter floor — the allocator
+                // trace of a pinned workload is deterministic.
+                if cfg.check_mem {
+                    for (field, b, c) in [
+                        ("allocs", base.allocs, cand.allocs),
+                        ("alloc_bytes", base.alloc_bytes, cand.alloc_bytes),
+                    ] {
+                        if b != c {
+                            violations.push(GateViolation::MemDrift {
+                                path: path.clone(),
+                                field,
+                                baseline: b,
+                                candidate: c,
+                            });
+                        }
+                    }
+                }
+                if base.wall_ns < cfg.min_wall_ns {
                     continue;
                 }
                 spans_checked += 1;
-                let limit = base_ns as f64 * (1.0 + cfg.wall_tol);
-                if cand_ns as f64 > limit {
+                let limit = base.wall_ns as f64 * (1.0 + cfg.wall_tol);
+                if cand.wall_ns as f64 > limit {
                     violations.push(GateViolation::WallRegression {
                         path: path.clone(),
-                        baseline_ns: base_ns,
-                        candidate_ns: cand_ns,
+                        baseline_ns: base.wall_ns,
+                        candidate_ns: cand.wall_ns,
                         tol: cfg.wall_tol,
                     });
                 }
@@ -297,6 +360,12 @@ pub fn compare(
 
     let mut counters_checked = 0usize;
     for (name, &base) in &baseline.counters {
+        // The global mem_* totals belong to the memory axis: skipped
+        // entirely under --no-mem (they move with every allocation, so
+        // keeping them strict would defeat the opt-out).
+        if !cfg.check_mem && name.starts_with("mem_") {
+            continue;
+        }
         let cand = candidate.counters.get(name).copied().unwrap_or(0);
         counters_checked += 1;
         let drift = cand.abs_diff(base);
@@ -327,6 +396,14 @@ mod tests {
             wall_ns,
             count: 1,
             counters: BTreeMap::new(),
+            mem: mc3_telemetry::SpanMem {
+                allocs: 10,
+                alloc_bytes: 1024,
+                frees: 10,
+                free_bytes: 1024,
+                peak_live_bytes: 512,
+                min_instance_allocs: 10,
+            },
             children,
         }
     }
@@ -342,7 +419,7 @@ mod tests {
                 ("greedy_iterations".to_owned(), greedy),
                 ("dinic_phases".to_owned(), 7u64),
             ]),
-            histograms: Vec::new(),
+            ..TelemetryReport::default()
         }
     }
 
@@ -407,6 +484,43 @@ mod tests {
     }
 
     #[test]
+    fn mem_drift_is_exact_even_on_tiny_spans() {
+        // 100_000 ns is below min_wall_ns, so wall time is exempt — but
+        // memory gating has no floor: one extra alloc must trip the gate.
+        let base = report(100_000, 40);
+        let mut cand = report(100_000, 40);
+        cand.spans[0].children[0].mem.allocs += 1;
+        let out = compare(&base, &cand, &GateConfig::default());
+        assert!(!out.passed());
+        let text = out.render();
+        assert!(text.contains("span 'solve/solve_core'"), "{text}");
+        assert!(text.contains("allocs drifted 10 -> 11"), "{text}");
+        // Both directions trip: fewer allocations is also a change.
+        let mut cand = report(100_000, 40);
+        cand.spans[0].mem.alloc_bytes -= 1;
+        assert!(!compare(&base, &cand, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn no_mem_config_admits_allocation_drift() {
+        let mut base = report(10_000_000, 40);
+        base.counters.insert("mem_allocs".to_owned(), 1_000);
+        let mut cand = report(10_000_000, 40);
+        cand.counters.insert("mem_allocs".to_owned(), 2_000);
+        cand.spans[0].mem.allocs += 99;
+        cand.spans[0].mem.alloc_bytes += 4096;
+        let cfg = GateConfig {
+            check_mem: false,
+            ..GateConfig::default()
+        };
+        let out = compare(&base, &cand, &cfg);
+        assert!(out.passed(), "{}", out.render());
+        // With the default config the same drift fails on all three axes.
+        let strict = compare(&base, &cand, &GateConfig::default());
+        assert!(strict.violations.len() >= 3, "{}", strict.render());
+    }
+
+    #[test]
     fn missing_span_is_a_violation() {
         let base = report(10_000_000, 40);
         let mut cand = report(10_000_000, 40);
@@ -460,11 +574,7 @@ mod tests {
                 seed: 1,
                 algorithm: "auto".to_owned(),
             },
-            report: TelemetryReport {
-                spans: Vec::new(),
-                counters: BTreeMap::new(),
-                histograms: Vec::new(),
-            },
+            report: TelemetryReport::default(),
         };
         let mut v = b.to_json();
         if let Json::Object(map) = &mut v {

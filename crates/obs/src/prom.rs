@@ -4,9 +4,14 @@
 //! (version 0.0.4): every registered counter as `mc3_<name>_total`, every
 //! log2 histogram as a native Prometheus histogram with cumulative
 //! `_bucket{le="..."}` lines (upper bounds from
-//! [`HistogramData::bucket_bound`]), and the aggregated span tree as two
+//! [`HistogramData::bucket_bound`]), and the aggregated span tree as four
 //! labelled counter families (`mc3_span_wall_nanoseconds_total`,
-//! `mc3_span_instances_total`, label `span="<path>"`).
+//! `mc3_span_instances_total`, `mc3_span_allocs_total`,
+//! `mc3_span_alloc_bytes_total`, label `span="<path>"`). The session's
+//! memory high-water marks surface as two gauges
+//! (`mc3_peak_live_bytes`, `mc3_peak_rss_bytes`); the global allocator
+//! counters (`mem_allocs`, ...) and the `alloc_size_bytes` histogram flow
+//! through the ordinary counter/histogram paths.
 //!
 //! Today the output is written to a file (`mc3 profile --prom FILE`); the
 //! same function is the scrape body for a future serving mode — the text
@@ -91,6 +96,22 @@ pub fn prometheus_text(report: &TelemetryReport) -> String {
     for h in &report.histograms {
         render_histogram(&mut out, h);
     }
+    for (metric, help, value) in [
+        (
+            "mc3_peak_live_bytes",
+            "Peak net live bytes observed by the tracking allocator during the session.",
+            report.peak_live_bytes,
+        ),
+        (
+            "mc3_peak_rss_bytes",
+            "Process peak resident set size (VmHWM) at report time; 0 when unreadable.",
+            report.peak_rss_bytes,
+        ),
+    ] {
+        let _ = writeln!(out, "# HELP {metric} {help}");
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {value}");
+    }
 
     let mut flat: Vec<(String, &SpanData)> = Vec::new();
     walk_spans("", &report.spans, &mut flat);
@@ -122,6 +143,32 @@ pub fn prometheus_text(report: &TelemetryReport) -> String {
                 s.count
             );
         }
+        let _ = writeln!(
+            out,
+            "# HELP mc3_span_allocs_total Heap allocations attributed to an aggregated telemetry span (inclusive of children)."
+        );
+        let _ = writeln!(out, "# TYPE mc3_span_allocs_total counter");
+        for (path, s) in &flat {
+            let _ = writeln!(
+                out,
+                "mc3_span_allocs_total{{span=\"{}\"}} {}",
+                escape_label(path),
+                s.mem.allocs
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP mc3_span_alloc_bytes_total Heap bytes allocated within an aggregated telemetry span (inclusive of children)."
+        );
+        let _ = writeln!(out, "# TYPE mc3_span_alloc_bytes_total counter");
+        for (path, s) in &flat {
+            let _ = writeln!(
+                out,
+                "mc3_span_alloc_bytes_total{{span=\"{}\"}} {}",
+                escape_label(path),
+                s.mem.alloc_bytes
+            );
+        }
     }
     out
 }
@@ -138,11 +185,27 @@ mod tests {
                 wall_ns: 5_000,
                 count: 1,
                 counters: BTreeMap::new(),
+                mem: mc3_telemetry::SpanMem {
+                    allocs: 12,
+                    alloc_bytes: 4096,
+                    frees: 8,
+                    free_bytes: 2048,
+                    peak_live_bytes: 3072,
+                    min_instance_allocs: 12,
+                },
                 children: vec![SpanData {
                     name: "setup".to_owned(),
                     wall_ns: 2_000,
                     count: 3,
                     counters: BTreeMap::new(),
+                    mem: mc3_telemetry::SpanMem {
+                        allocs: 6,
+                        alloc_bytes: 1024,
+                        frees: 6,
+                        free_bytes: 1024,
+                        peak_live_bytes: 512,
+                        min_instance_allocs: 2,
+                    },
                     children: Vec::new(),
                 }],
             }],
@@ -156,6 +219,8 @@ mod tests {
                 sum: 23,
                 buckets: vec![(0, 1), (2, 3), (3, 2)],
             }],
+            peak_live_bytes: 3072,
+            peak_rss_bytes: 1 << 21,
         }
     }
 
@@ -189,6 +254,20 @@ mod tests {
         assert!(text.contains("mc3_span_wall_nanoseconds_total{span=\"solve\"} 5000"));
         assert!(text.contains("mc3_span_wall_nanoseconds_total{span=\"solve/setup\"} 2000"));
         assert!(text.contains("mc3_span_instances_total{span=\"solve/setup\"} 3"));
+    }
+
+    #[test]
+    fn span_memory_families_and_peak_gauges_render() {
+        let text = prometheus_text(&sample());
+        assert!(text.contains("# TYPE mc3_span_allocs_total counter"));
+        assert!(text.contains("mc3_span_allocs_total{span=\"solve\"} 12"));
+        assert!(text.contains("mc3_span_allocs_total{span=\"solve/setup\"} 6"));
+        assert!(text.contains("mc3_span_alloc_bytes_total{span=\"solve\"} 4096"));
+        assert!(text.contains("mc3_span_alloc_bytes_total{span=\"solve/setup\"} 1024"));
+        assert!(text.contains("# TYPE mc3_peak_live_bytes gauge"));
+        assert!(text.contains("\nmc3_peak_live_bytes 3072\n"));
+        assert!(text.contains("# TYPE mc3_peak_rss_bytes gauge"));
+        assert!(text.contains("\nmc3_peak_rss_bytes 2097152\n"));
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn gen_tree(rng: &mut StdRng, depth: u32, next_id: &mut u32) -> SpanData {
         wall_ns: child_wall + rng.gen_range(1..=1_000_000u64),
         count: rng.gen_range(1..=5u64),
         counters: BTreeMap::new(),
+        mem: mc3_telemetry::SpanMem::default(),
         children,
     }
 }
@@ -60,8 +61,7 @@ fn walk<'a>(
 fn report_with(spans: Vec<SpanData>) -> TelemetryReport {
     TelemetryReport {
         spans,
-        counters: BTreeMap::new(),
-        histograms: Vec::new(),
+        ..TelemetryReport::default()
     }
 }
 
@@ -216,6 +216,7 @@ fn prometheus_text_round_trips_counts_and_sums() {
             spans: roots.clone(),
             counters: counters.clone(),
             histograms: histograms.clone(),
+            ..TelemetryReport::default()
         };
         let text = prometheus_text(&report);
         let samples = parse_prom(&text);
@@ -308,11 +309,13 @@ fn gate_base(rng: &mut StdRng) -> TelemetryReport {
             wall_ns: rng.gen_range(1_000..=1_000_000u64) * 4,
             count: 1,
             counters: BTreeMap::new(),
+            mem: mc3_telemetry::SpanMem::default(),
             children: vec![SpanData {
                 name: "inner".to_owned(),
                 wall_ns: rng.gen_range(100..=100_000u64) * 4,
                 count: 1,
                 counters: BTreeMap::new(),
+                mem: mc3_telemetry::SpanMem::default(),
                 children: Vec::new(),
             }],
         },
@@ -321,13 +324,14 @@ fn gate_base(rng: &mut StdRng) -> TelemetryReport {
             wall_ns: rng.gen_range(100..=100_000u64) * 4,
             count: 1,
             counters: BTreeMap::new(),
+            mem: mc3_telemetry::SpanMem::default(),
             children: Vec::new(),
         },
     ];
     TelemetryReport {
         spans,
         counters,
-        histograms: Vec::new(),
+        ..TelemetryReport::default()
     }
 }
 
@@ -342,6 +346,7 @@ fn gate_boundaries_are_exact_at_every_tolerance() {
                 wall_tol: tol,
                 counter_tol: tol,
                 min_wall_ns: 0,
+                check_mem: true,
             };
 
             // Identical reports always pass.

@@ -175,10 +175,11 @@ pub fn solve_greedy(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
     let mut covered = BitCover::new(instance.num_elements());
     let mut uncovered_left = instance.num_elements();
     let mut cursor = 0usize;
-    // Reinserted stale-but-alive entries; stays small (≤ one per reinsert).
-    let mut overflow: BinaryHeap<Entry> = BinaryHeap::new();
+    // Reinserted stale-but-alive entries; at most one live entry per set,
+    // so capacity m keeps the selection loop allocation-free.
+    let mut overflow: BinaryHeap<Entry> = BinaryHeap::with_capacity(m);
 
-    let mut selected = Vec::new();
+    let mut selected = Vec::with_capacity(m);
     // Certificate (verify feature): record each element's selection-time
     // price cost/newly_covered; dual fitting turns those into a proof of
     // the H(Δ) guarantee (see crate::verify).
@@ -186,6 +187,9 @@ pub fn solve_greedy(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
     let mut price: Vec<f64> = vec![0.0; instance.num_elements()];
     let mut iterations = 0u64;
     let mut pq_rebuilds = 0u64;
+    // Steady-state selection loop: every buffer is preallocated above, so
+    // this span records zero allocations (pinned by `mc3-audit consistency`).
+    let select_span = mc3_telemetry::span("setcover.greedy.select");
     while uncovered_left > 0 {
         // Next inspection: the larger of the cursor head and overflow top.
         let from_overflow = match (order.get(cursor), overflow.peek()) {
@@ -242,6 +246,7 @@ pub fn solve_greedy(instance: &SetCoverInstance) -> Result<SetCoverSolution> {
         }
         uncovered_left -= covered.mark(instance.set(s)) as usize;
     }
+    drop(select_span);
     mc3_telemetry::span_add(
         mc3_telemetry::Counter::BitCoverWordOps,
         covered.take_word_ops(),

@@ -71,7 +71,13 @@ pub fn local_search(instance: &SetCoverInstance, solution: &SetCoverSolution) ->
     };
 
     let mut selection = solution.selected.clone();
-    let mut unique: Vec<u32> = Vec::new();
+    // A set's uniquely-covered elements are a subset of the set itself, so
+    // the largest set bounds the scratch buffer for every pass.
+    let max_set_len = (0..instance.num_sets())
+        .map(|s| instance.set(s).len())
+        .max()
+        .unwrap_or(0);
+    let mut unique: Vec<u32> = Vec::with_capacity(max_set_len);
     let mut converged = false;
     for _ in 0..MAX_PASSES {
         let mut improved = false;
@@ -82,6 +88,10 @@ pub fn local_search(instance: &SetCoverInstance, solution: &SetCoverSolution) ->
         // audit:allow(no-alloc-in-hot-loops) reviewed: one allocation per pass, bounded by MAX_PASSES
         let mut result: Vec<usize> = Vec::with_capacity(selection.len());
 
+        // Steady-state swap/drop sweep: scratch buffers are preallocated, so
+        // this span records zero allocations (pinned by `mc3-audit
+        // consistency`).
+        let pass_span = mc3_telemetry::span("setcover.local_search.pass");
         for &s in &selection {
             // elements only this set covers
             unique.clear();
@@ -144,6 +154,7 @@ pub fn local_search(instance: &SetCoverInstance, solution: &SetCoverSolution) ->
                 None => result.push(s),
             }
         }
+        drop(pass_span);
 
         #[cfg(debug_assertions)]
         {

@@ -41,6 +41,9 @@ pub fn prune_redundant(
     order.sort_by_key(|&s| (std::cmp::Reverse(instance.cost(s)), std::cmp::Reverse(s)));
 
     let mut keep: Vec<usize> = Vec::with_capacity(order.len());
+    // Steady-state reverse-delete loop: all buffers preallocated above, so
+    // this span records zero allocations (pinned by `mc3-audit consistency`).
+    let prune_span = mc3_telemetry::span("setcover.prune");
     for s in order {
         let removable = !unique.intersects(instance.set(s));
         if removable && !instance.cost(s).is_zero() {
@@ -57,6 +60,7 @@ pub fn prune_redundant(
             keep.push(s);
         }
     }
+    drop(prune_span);
     mc3_telemetry::span_add(
         mc3_telemetry::Counter::BitCoverWordOps,
         unique.take_word_ops(),

@@ -103,6 +103,10 @@ pub fn reduce_to_wsc_with(
         element_origin,
     } = scratch;
 
+    // Warm-scratch rounds run this whole body allocation-free; the span's
+    // per-instance minimum is pinned at zero by `mc3-audit consistency`.
+    let reduce_span = mc3_telemetry::span("solver.reduce");
+
     // 1. number the elements: one per (query, needed property bit)
     element_origin.clear();
     element_base.clear();
@@ -191,6 +195,7 @@ pub fn reduce_to_wsc_with(
         costs.push(ws.weight[cid.index()]);
     }
 
+    drop(reduce_span);
     let instance = SetCoverInstance::from_parts(
         num_elements,
         std::mem::take(set_off),

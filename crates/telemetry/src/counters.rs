@@ -98,6 +98,14 @@ declare_counters! {
     VerifyRatioChecks => "verify_ratio_checks",
     /// Verify feature: end-to-end solution certificates re-checked.
     VerifyCertificateChecks => "verify_certificate_checks",
+    /// Memprof: heap allocations observed while the session gate was on.
+    MemAllocs => "mem_allocs",
+    /// Memprof: bytes requested by those allocations.
+    MemAllocBytes => "mem_alloc_bytes",
+    /// Memprof: heap frees observed while the session gate was on.
+    MemFrees => "mem_frees",
+    /// Memprof: bytes released by those frees.
+    MemFreeBytes => "mem_free_bytes",
 }
 
 macro_rules! declare_hists {
@@ -130,6 +138,8 @@ declare_hists! {
     GreedyPickCoverage => "greedy_pick_coverage",
     /// Simplex pivots per `optimize` run (phase 1 and phase 2 separately).
     LpIterations => "lp_iterations",
+    /// Requested size in bytes of every tracked heap allocation.
+    AllocSize => "alloc_size_bytes",
 }
 
 /// Number of log2 buckets per histogram: bucket 0 for the value `0`,
@@ -196,15 +206,20 @@ pub fn bucket_bounds(bucket: usize) -> (u64, u64) {
     }
 }
 
-/// Records one observation into a histogram if a session is recording.
-#[inline]
-pub fn record(h: Hist, v: u64) {
-    if !crate::is_enabled() {
-        return;
-    }
+/// Unconditional histogram record, for callers that already checked the
+/// gate (the allocator hook, which must stay branch-minimal).
+pub(crate) fn raw_record(h: Hist, v: u64) {
     HIST_CELLS[h as usize][bucket_of(v)].fetch_add(1, Ordering::Relaxed);
     HIST_COUNT[h as usize].fetch_add(1, Ordering::Relaxed);
     HIST_SUM[h as usize].fetch_add(v, Ordering::Relaxed);
+}
+
+/// Records one observation into a histogram if a session is recording.
+#[inline]
+pub fn record(h: Hist, v: u64) {
+    if crate::is_enabled() {
+        raw_record(h, v);
+    }
 }
 
 /// Number of observations recorded into a histogram so far.

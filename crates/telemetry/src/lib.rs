@@ -16,6 +16,10 @@
 //!   solves of one instance report identical totals.
 //! * **Histograms** ([`Hist`], [`record`]) — log2-bucketed distributions
 //!   (component sizes, greedy pick coverage).
+//! * **Memory** (`mc3-memprof`, the `memprof` module) — a tracking
+//!   `#[global_allocator]` that attributes allocation counts, bytes and
+//!   live-byte peaks to the current span, exactly-deterministically for
+//!   pinned workloads (the bench-gate pins per-span allocation counts).
 //!
 //! The hard rule: **when no [`Session`] is recording, everything is a
 //! no-op behind one relaxed atomic load** ([`is_enabled`]). Solver crates
@@ -44,6 +48,7 @@
 //! ```
 
 mod counters;
+mod memprof;
 mod report;
 mod spans;
 
@@ -51,7 +56,8 @@ pub use counters::{
     bucket_bounds, bucket_of, count, hist_count, record, total, Counter, Hist, COUNTER_NAMES,
     HIST_BUCKETS, HIST_NAMES,
 };
-pub use report::{HistogramData, SpanData, TelemetryReport, REPORT_VERSION};
+pub use memprof::peak_rss_bytes;
+pub use report::{HistogramData, SpanData, SpanMem, TelemetryReport, REPORT_VERSION};
 pub use spans::{
     current_span_path, open_span_depth, span, span_add, timed_span, SpanGuard, TimedSpan,
 };
@@ -105,6 +111,10 @@ impl Session {
         let lock = SESSION.lock().unwrap_or_else(|p| p.into_inner());
         counters::reset();
         spans::take_finished();
+        memprof::reset();
+        // Pre-grow this thread's span stack while the gate is still off,
+        // so deep span nesting never shows up as a tracked allocation.
+        spans::reserve_stack(64);
         ENABLED.store(true, Ordering::SeqCst);
         Session { _lock: lock }
     }

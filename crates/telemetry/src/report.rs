@@ -9,17 +9,42 @@
 //! the schema-drift guard CI leans on (see `docs/observability.md`).
 
 use crate::counters::{self, Counter, Hist, COUNTER_NAMES, HIST_NAMES};
+use crate::memprof;
 use crate::spans::{self, RawSpan};
 use mc3_core::json::Json;
 use mc3_core::u32_of;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Schema version emitted in the JSON `version` field.
-pub const REPORT_VERSION: u64 = 1;
+/// Schema version emitted in the JSON `version` field. Version 2 added
+/// the per-span `mem` object and the report-level `peak_live_bytes` /
+/// `peak_rss_bytes` fields (the memprof axis).
+pub const REPORT_VERSION: u64 = 2;
+
+/// Aggregated memory tally of one span node (inclusive of children, like
+/// `wall_ns`). All counts cover only the time a session gate was open.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanMem {
+    /// Heap allocations across all merged instances.
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+    /// Heap frees across all merged instances.
+    pub frees: u64,
+    /// Bytes released by those frees.
+    pub free_bytes: u64,
+    /// Maximum over merged instances of the span's net-live high-water
+    /// mark (bytes), relative to its own open.
+    pub peak_live_bytes: u64,
+    /// Minimum allocation count over merged instances — the steady-state
+    /// signal: a kernel whose warm instances are allocation-free reads 0
+    /// here even when its first instance grew buffers. (`u64::MAX` is
+    /// never emitted: a node always merges at least one instance.)
+    pub min_instance_allocs: u64,
+}
 
 /// One aggregated span node: all same-name siblings merged.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SpanData {
     /// Span name (see the taxonomy in `docs/observability.md`).
     pub name: String,
@@ -29,6 +54,8 @@ pub struct SpanData {
     pub count: u64,
     /// Counter increments attributed to this span (wire name → total).
     pub counters: BTreeMap<String, u64>,
+    /// Memory attribution across all merged instances.
+    pub mem: SpanMem,
     /// Aggregated children, in first-seen order.
     pub children: Vec<SpanData>,
 }
@@ -65,7 +92,7 @@ impl HistogramData {
 }
 
 /// A full telemetry snapshot for one recording session.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TelemetryReport {
     /// Aggregated span roots, in first-seen order.
     pub spans: Vec<SpanData>,
@@ -73,6 +100,12 @@ pub struct TelemetryReport {
     pub counters: BTreeMap<String, u64>,
     /// Every registered histogram (empty ones included).
     pub histograms: Vec<HistogramData>,
+    /// Session-wide peak of net live bytes allocated since the gate
+    /// opened (0 when nothing allocated while recording).
+    pub peak_live_bytes: u64,
+    /// Peak resident set size of the process in bytes (`VmHWM` from
+    /// `/proc/self/status`; 0 where unavailable).
+    pub peak_rss_bytes: u64,
 }
 
 fn merge_into(siblings: &mut Vec<SpanData>, raw: RawSpan) {
@@ -81,10 +114,13 @@ fn merge_into(siblings: &mut Vec<SpanData>, raw: RawSpan) {
         None => {
             siblings.push(SpanData {
                 name: raw.name.to_owned(),
-                wall_ns: 0,
-                count: 0,
-                counters: BTreeMap::new(),
-                children: Vec::new(),
+                mem: SpanMem {
+                    // Identity for the `min` fold below; overwritten by
+                    // the first merged instance.
+                    min_instance_allocs: u64::MAX,
+                    ..SpanMem::default()
+                },
+                ..SpanData::default()
             });
             siblings.len() - 1
         }
@@ -98,6 +134,12 @@ fn merge_into(siblings: &mut Vec<SpanData>, raw: RawSpan) {
         let cell = slot.counters.entry(name.to_owned()).or_insert(0);
         *cell = cell.saturating_add(v);
     }
+    slot.mem.allocs = slot.mem.allocs.saturating_add(raw.mem.allocs);
+    slot.mem.alloc_bytes = slot.mem.alloc_bytes.saturating_add(raw.mem.alloc_bytes);
+    slot.mem.frees = slot.mem.frees.saturating_add(raw.mem.frees);
+    slot.mem.free_bytes = slot.mem.free_bytes.saturating_add(raw.mem.free_bytes);
+    slot.mem.peak_live_bytes = slot.mem.peak_live_bytes.max(raw.mem.peak_live_bytes);
+    slot.mem.min_instance_allocs = slot.mem.min_instance_allocs.min(raw.mem.allocs);
     for child in raw.children {
         merge_into(&mut slot.children, child);
     }
@@ -128,7 +170,39 @@ pub(crate) fn gather() -> TelemetryReport {
                 }
             })
             .collect(),
+        peak_live_bytes: memprof::global_peak(),
+        peak_rss_bytes: memprof::peak_rss_bytes(),
     }
+}
+
+fn mem_to_json(m: &SpanMem) -> Json {
+    Json::object([
+        ("allocs", Json::Int(m.allocs as i128)),
+        ("alloc_bytes", Json::Int(m.alloc_bytes as i128)),
+        ("frees", Json::Int(m.frees as i128)),
+        ("free_bytes", Json::Int(m.free_bytes as i128)),
+        ("peak_live_bytes", Json::Int(m.peak_live_bytes as i128)),
+        (
+            "min_instance_allocs",
+            Json::Int(m.min_instance_allocs as i128),
+        ),
+    ])
+}
+
+fn mem_from_json(name: &str, v: &Json) -> Result<SpanMem, String> {
+    let field = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("span '{name}' mem missing u64 '{key}'"))
+    };
+    Ok(SpanMem {
+        allocs: field("allocs")?,
+        alloc_bytes: field("alloc_bytes")?,
+        frees: field("frees")?,
+        free_bytes: field("free_bytes")?,
+        peak_live_bytes: field("peak_live_bytes")?,
+        min_instance_allocs: field("min_instance_allocs")?,
+    })
 }
 
 fn span_to_json(s: &SpanData) -> Json {
@@ -145,6 +219,7 @@ fn span_to_json(s: &SpanData) -> Json {
                     .collect(),
             ),
         ),
+        ("mem", mem_to_json(&s.mem)),
         (
             "children",
             Json::Array(s.children.iter().map(span_to_json).collect()),
@@ -178,6 +253,10 @@ fn span_from_json(v: &Json) -> Result<SpanData, String> {
         }
         _ => return Err(format!("span '{name}' missing object 'counters'")),
     }
+    let mem = match v.get("mem") {
+        Some(obj @ Json::Object(_)) => mem_from_json(&name, obj)?,
+        _ => return Err(format!("span '{name}' missing object 'mem'")),
+    };
     let mut children = Vec::new();
     match v.get("children") {
         Some(Json::Array(items)) => {
@@ -192,6 +271,7 @@ fn span_from_json(v: &Json) -> Result<SpanData, String> {
         wall_ns,
         count,
         counters,
+        mem,
         children,
     })
 }
@@ -267,6 +347,73 @@ fn fmt_ns(ns: u64) -> String {
         format!("{:.1}µs", ns as f64 / 1e3)
     } else {
         format!("{ns}ns")
+    }
+}
+
+/// Renders a byte count adaptively (`B`, `KiB`, `MiB` or `GiB`).
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2}MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Memory-axis sibling of [`render_node`]: one line per span with bytes
+/// allocated, allocation/free counts and the per-span live peak; the
+/// percentage is the share of the parent's allocated bytes.
+fn render_mem_node(
+    out: &mut String,
+    node: &SpanData,
+    prefix: &str,
+    last: Option<bool>,
+    parent_bytes: Option<u64>,
+) {
+    let connector = match last {
+        None => "",
+        Some(true) => "└─ ",
+        Some(false) => "├─ ",
+    };
+    let pct = match parent_bytes {
+        Some(p) if p > 0 => format!(" {:5.1}%", 100.0 * node.mem.alloc_bytes as f64 / p as f64),
+        _ => String::new(),
+    };
+    let times = if node.count > 1 {
+        format!(" ×{}", node.count)
+    } else {
+        String::new()
+    };
+    let mut line = format!(
+        "{prefix}{connector}{} {}{pct}{times}  [allocs={} frees={} peak={}",
+        node.name,
+        fmt_bytes(node.mem.alloc_bytes),
+        node.mem.allocs,
+        node.mem.frees,
+        fmt_bytes(node.mem.peak_live_bytes),
+    );
+    if node.count > 1 {
+        let _ = write!(line, " min/inst={}", node.mem.min_instance_allocs);
+    }
+    line.push(']');
+    let _ = writeln!(out, "{line}");
+    let child_prefix = match last {
+        None => String::new(),
+        Some(true) => format!("{prefix}   "),
+        Some(false) => format!("{prefix}│  "),
+    };
+    let n = node.children.len();
+    for (i, child) in node.children.iter().enumerate() {
+        render_mem_node(
+            out,
+            child,
+            &child_prefix,
+            Some(i + 1 == n),
+            Some(node.mem.alloc_bytes),
+        );
     }
 }
 
@@ -346,6 +493,8 @@ impl TelemetryReport {
                 "histograms",
                 Json::Array(self.histograms.iter().map(hist_to_json).collect()),
             ),
+            ("peak_live_bytes", Json::Int(self.peak_live_bytes as i128)),
+            ("peak_rss_bytes", Json::Int(self.peak_rss_bytes as i128)),
         ])
     }
 
@@ -407,10 +556,20 @@ impl TelemetryReport {
                 ));
             }
         }
+        let peak_live_bytes = v
+            .get("peak_live_bytes")
+            .and_then(Json::as_u64)
+            .ok_or("report missing u64 'peak_live_bytes'")?;
+        let peak_rss_bytes = v
+            .get("peak_rss_bytes")
+            .and_then(Json::as_u64)
+            .ok_or("report missing u64 'peak_rss_bytes'")?;
         Ok(TelemetryReport {
             spans,
             counters,
             histograms,
+            peak_live_bytes,
+            peak_rss_bytes,
         })
     }
 
@@ -476,6 +635,55 @@ impl TelemetryReport {
         }
         out
     }
+
+    /// Memory-axis flame dump — the body of `mc3 profile --mem`: bytes
+    /// and allocation counts per span, the session live-bytes peak and
+    /// the process RSS high-water mark.
+    pub fn render_mem(&self) -> String {
+        let mut out = String::new();
+        if self.spans.is_empty() {
+            let _ = writeln!(out, "(no spans recorded)");
+        }
+        for root in &self.spans {
+            render_mem_node(&mut out, root, "", None, None);
+        }
+        let allocs = self.counters.get("mem_allocs").copied().unwrap_or(0);
+        let bytes = self.counters.get("mem_alloc_bytes").copied().unwrap_or(0);
+        let _ = writeln!(out, "\ntotal: {} in {allocs} allocations", fmt_bytes(bytes));
+        let _ = writeln!(
+            out,
+            "peak live bytes (session): {}",
+            fmt_bytes(self.peak_live_bytes)
+        );
+        if self.peak_rss_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "peak rss (process): {}",
+                fmt_bytes(self.peak_rss_bytes)
+            );
+        }
+        if let Some(h) = self
+            .histograms
+            .iter()
+            .find(|h| h.name == "alloc_size_bytes" && h.count > 0)
+        {
+            let _ = writeln!(
+                out,
+                "\nhistogram {} (n={}, sum={}):",
+                h.name, h.count, h.sum
+            );
+            for &(b, c) in &h.buckets {
+                let (lo, hi) = counters::bucket_bounds(b as usize);
+                let label = if lo == hi {
+                    format!("{lo}")
+                } else {
+                    format!("{lo}..={hi}")
+                };
+                let _ = writeln!(out, "  {label:>12}  {c}");
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -488,6 +696,13 @@ mod tests {
             wall_ns: wall,
             counters: vec![("dinic_phases", 2)],
             children,
+            mem: crate::memprof::RawSpanMem {
+                allocs: wall / 10,
+                alloc_bytes: wall,
+                frees: wall / 20,
+                free_bytes: wall / 2,
+                peak_live_bytes: wall / 2,
+            },
         }
     }
 
@@ -509,6 +724,14 @@ mod tests {
         assert_eq!(roots[0].children.len(), 1);
         assert_eq!(roots[0].children[0].wall_ns, 50);
         assert_eq!(roots[0].children[0].count, 2);
+        // Memory merges: counts/bytes sum, the peak takes the max, and
+        // min_instance_allocs keeps the smallest single-instance count.
+        assert_eq!(roots[0].mem.allocs, 15);
+        assert_eq!(roots[0].mem.alloc_bytes, 150);
+        assert_eq!(roots[0].mem.frees, 7);
+        assert_eq!(roots[0].mem.peak_live_bytes, 50);
+        assert_eq!(roots[0].mem.min_instance_allocs, 5);
+        assert_eq!(roots[0].children[0].mem.min_instance_allocs, 1);
     }
 
     fn sample_report() -> TelemetryReport {
@@ -533,6 +756,8 @@ mod tests {
                     buckets: vec![(1, 1), (3, 2)],
                 })
                 .collect(),
+            peak_live_bytes: 4096,
+            peak_rss_bytes: 1 << 20,
         }
     }
 
@@ -593,5 +818,51 @@ mod tests {
         assert!(text.contains("setup"));
         assert!(text.contains("counters (non-zero"));
         assert!(text.contains("histogram component_size"));
+    }
+
+    #[test]
+    fn from_json_rejects_a_span_without_mem() {
+        let report = sample_report();
+        let mut v = report.to_json();
+        if let Json::Object(map) = &mut v {
+            if let Some(Json::Array(spans)) = map.get_mut("spans") {
+                if let Some(Json::Object(span)) = spans.first_mut() {
+                    span.remove("mem");
+                }
+            }
+        }
+        let err = TelemetryReport::from_json(&v).expect_err("must flag v2 drift");
+        assert!(err.contains("mem"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn from_json_rejects_a_missing_peak_field() {
+        let report = sample_report();
+        let mut v = report.to_json();
+        if let Json::Object(map) = &mut v {
+            map.remove("peak_rss_bytes");
+        }
+        let err = TelemetryReport::from_json(&v).expect_err("must flag v2 drift");
+        assert!(err.contains("peak_rss_bytes"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn render_mem_shows_bytes_per_span_and_peaks() {
+        let report = sample_report();
+        let text = report.render_mem();
+        assert!(text.contains("solve"), "{text}");
+        assert!(text.contains("setup"), "{text}");
+        assert!(text.contains("allocs="), "{text}");
+        assert!(text.contains("peak live bytes (session): 4.0KiB"), "{text}");
+        assert!(text.contains("peak rss (process): 1.00MiB"), "{text}");
+    }
+
+    #[test]
+    fn bytes_format_adaptively() {
+        assert_eq!(fmt_bytes(0), "0B");
+        assert_eq!(fmt_bytes(1023), "1023B");
+        assert_eq!(fmt_bytes(1536), "1.5KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00MiB");
+        assert_eq!(fmt_bytes(5 << 30), "5.00GiB");
     }
 }

@@ -15,6 +15,7 @@
 //! relaxed atomic load.
 
 use crate::counters::Counter;
+use crate::memprof::{self, RawSpanMem, SpanMemState};
 use std::cell::RefCell;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -26,13 +27,21 @@ pub(crate) struct RawSpan {
     pub(crate) wall_ns: u64,
     pub(crate) counters: Vec<(&'static str, u64)>,
     pub(crate) children: Vec<RawSpan>,
+    pub(crate) mem: RawSpanMem,
 }
+
+/// Upper bound on distinct counters any single span attributes (the
+/// busiest spans today attach ≤ 4). Pre-reserving this many slots when a
+/// span opens keeps [`span_add`]'s find-or-push allocation-free, which is
+/// what lets the zero-steady-state kernel spans record exactly 0 allocs.
+const SPAN_COUNTER_CAPACITY: usize = 8;
 
 struct OpenSpan {
     name: &'static str,
     start: Instant,
     counters: Vec<(&'static str, u64)>,
     children: Vec<RawSpan>,
+    mem_state: SpanMemState,
 }
 
 thread_local! {
@@ -51,11 +60,16 @@ fn close_current(wall_override: Option<Duration>) {
         let mut stack = s.borrow_mut();
         let Some(open) = stack.pop() else { return };
         let wall = wall_override.unwrap_or_else(|| open.start.elapsed());
+        // Take the memory delta *before* building and filing the node so
+        // the node push itself is attributed to the parent, not the span
+        // that just closed.
+        let mem = memprof::span_close(&open.mem_state);
         let node = RawSpan {
             name: open.name,
             wall_ns: duration_ns(wall),
             counters: open.counters,
             children: open.children,
+            mem,
         };
         match stack.last_mut() {
             Some(parent) => parent.children.push(node),
@@ -100,12 +114,20 @@ pub fn span(name: &'static str) -> SpanGuard {
         return SpanGuard { active: false };
     }
     STACK.with(|s| {
-        s.borrow_mut().push(OpenSpan {
+        let mut stack = s.borrow_mut();
+        // Push first (the push and the counter-slot reservation may
+        // allocate and belong to the *parent*), then snapshot the memory
+        // totals so this span's own tally starts clean.
+        stack.push(OpenSpan {
             name,
             start: Instant::now(),
-            counters: Vec::new(),
+            counters: Vec::with_capacity(SPAN_COUNTER_CAPACITY),
             children: Vec::new(),
+            mem_state: SpanMemState::default(),
         });
+        if let Some(top) = stack.last_mut() {
+            top.mem_state = memprof::span_open();
+        }
     });
     SpanGuard { active: true }
 }
@@ -179,6 +201,19 @@ pub fn current_span_path() -> Option<String> {
             Some(stack.iter().map(|o| o.name).collect::<Vec<_>>().join("/"))
         }
     })
+}
+
+/// Pre-grows this thread's span stack to at least `cap` slots (session
+/// start), so opening spans never reallocates the stack mid-measurement
+/// and pollutes a parent span's allocation tally.
+pub(crate) fn reserve_stack(cap: usize) {
+    STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let have = stack.capacity();
+        if have < cap {
+            stack.reserve(cap - have);
+        }
+    });
 }
 
 /// Drains every finished root recorded so far (all threads).

@@ -15,7 +15,8 @@
 use mc3_core::rng::prelude::*;
 use mc3_telemetry::{
     bucket_bounds, bucket_of, count, open_span_depth, record, span, span_add, timed_span, total,
-    Counter, Hist, HistogramData, Session, SpanData, TelemetryReport, COUNTER_NAMES, HIST_BUCKETS,
+    Counter, Hist, HistogramData, Session, SpanData, SpanMem, TelemetryReport, COUNTER_NAMES,
+    HIST_BUCKETS,
 };
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -26,6 +27,22 @@ static TEST_LOCK: Mutex<()> = Mutex::new(());
 
 fn locked() -> std::sync::MutexGuard<'static, ()> {
     TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The `mem_*` counters are fed by the allocator hook, not by explicit
+/// `count`/`span_add` calls, so exact-total assertions skip them (any
+/// allocation on any thread while a session records moves them).
+fn is_mem_counter(name: &str) -> bool {
+    name.starts_with("mem_")
+}
+
+/// Counters whose totals move only via explicit increments.
+fn explicit_counters() -> Vec<Counter> {
+    Counter::ALL
+        .iter()
+        .copied()
+        .filter(|c| !is_mem_counter(c.name()))
+        .collect()
 }
 
 /// Σ over every node of a well-nestedness check: children's wall times
@@ -69,7 +86,8 @@ fn random_span_trees_are_well_nested_and_counts_are_exact() {
                     closed += 1;
                 }
                 _ => {
-                    let c = Counter::ALL[rng.gen_range(0..Counter::ALL.len())];
+                    let pool = explicit_counters();
+                    let c = pool[rng.gen_range(0..pool.len())];
                     let n = rng.gen_range(0..100u64);
                     span_add(c, n);
                     *expected.entry(c.name()).or_insert(0) += n;
@@ -89,6 +107,9 @@ fn random_span_trees_are_well_nested_and_counts_are_exact() {
             "seed {seed}: every closed span is reported once"
         );
         for name in COUNTER_NAMES {
+            if is_mem_counter(name) {
+                continue;
+            }
             let want = expected.get(name).copied().unwrap_or(0);
             let got = report.counters.get(*name).copied();
             assert_eq!(got, Some(want), "seed {seed}: counter {name} total");
@@ -115,7 +136,8 @@ fn counter_totals_are_monotone_under_increments() {
     for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(0xBEEF ^ seed);
         let session = Session::begin();
-        let c = Counter::ALL[rng.gen_range(0..Counter::ALL.len())];
+        let pool = explicit_counters();
+        let c = pool[rng.gen_range(0..pool.len())];
         let mut last = total(c);
         assert_eq!(last, 0, "seed {seed}: session begin resets counters");
         let mut sum = 0u64;
@@ -170,7 +192,12 @@ fn disabled_gate_records_nothing() {
         report.spans.is_empty(),
         "disabled ops must not leave spans behind"
     );
-    assert!(report.counters.values().all(|&v| v == 0));
+    // mem_* totals are excluded: another test thread allocating inside
+    // the begin/finish window would legitimately move them.
+    assert!(report
+        .counters
+        .iter()
+        .all(|(name, &v)| is_mem_counter(name) || v == 0));
 }
 
 #[test]
@@ -245,6 +272,14 @@ fn random_span_data(rng: &mut StdRng, depth: usize) -> SpanData {
         wall_ns: rng.next_u64() >> 1,
         count: rng.gen_range(1..4u64),
         counters,
+        mem: SpanMem {
+            allocs: rng.next_u64() >> 1,
+            alloc_bytes: rng.next_u64() >> 1,
+            frees: rng.next_u64() >> 1,
+            free_bytes: rng.next_u64() >> 1,
+            peak_live_bytes: rng.next_u64() >> 1,
+            min_instance_allocs: rng.next_u64() >> 1,
+        },
         children: (0..n_children)
             .map(|_| random_span_data(rng, depth + 1))
             .collect(),
@@ -253,6 +288,9 @@ fn random_span_data(rng: &mut StdRng, depth: usize) -> SpanData {
 
 #[test]
 fn random_reports_round_trip_through_json() {
+    // Not a session test, but heavily allocating: serialize with the
+    // session-holding tests so their mem counters stay unpolluted.
+    let _guard = locked();
     for seed in 0..CASES {
         let mut rng = StdRng::seed_from_u64(0x10_AD ^ seed);
         let report = TelemetryReport {
@@ -274,6 +312,8 @@ fn random_reports_round_trip_through_json() {
                         .collect(),
                 })
                 .collect(),
+            peak_live_bytes: rng.next_u64() >> 1,
+            peak_rss_bytes: rng.next_u64() >> 1,
         };
         let text = report.to_json().to_string_pretty();
         let parsed = mc3_core::json::parse(&text)
@@ -281,6 +321,115 @@ fn random_reports_round_trip_through_json() {
         let back = TelemetryReport::from_json(&parsed)
             .unwrap_or_else(|e| panic!("seed {seed}: strict parse failed: {e}"));
         assert_eq!(back, report, "seed {seed}: JSON round trip must be exact");
+    }
+}
+
+#[test]
+fn disabled_gate_tracks_no_allocations() {
+    let _guard = locked();
+    // Reset all counters, then close the gate again.
+    drop(Session::begin().finish());
+    assert!(!mc3_telemetry::is_enabled());
+    let v: Vec<u64> = (0..1000).collect();
+    drop(v);
+    assert_eq!(total(Counter::MemAllocs), 0);
+    assert_eq!(total(Counter::MemAllocBytes), 0);
+    assert_eq!(total(Counter::MemFrees), 0);
+    assert_eq!(mc3_telemetry::hist_count(Hist::AllocSize), 0);
+}
+
+#[test]
+fn recorded_allocations_attribute_to_the_open_span() {
+    let _guard = locked();
+    let session = Session::begin();
+    {
+        let _s = span("alloc.host");
+        let v = vec![0u8; 4096];
+        drop(v);
+    }
+    let report = session.finish();
+    let node = report
+        .spans
+        .iter()
+        .find(|s| s.name == "alloc.host")
+        .expect("span recorded");
+    assert!(node.mem.allocs >= 1, "{:?}", node.mem);
+    assert!(node.mem.alloc_bytes >= 4096, "{:?}", node.mem);
+    assert!(node.mem.frees >= 1, "{:?}", node.mem);
+    assert!(node.mem.peak_live_bytes >= 4096, "{:?}", node.mem);
+    assert!(report.counters["mem_allocs"] >= 1);
+    assert!(report.counters["mem_alloc_bytes"] >= 4096);
+    assert!(report.peak_live_bytes >= 4096);
+    let h = report
+        .histograms
+        .iter()
+        .find(|h| h.name == Hist::AllocSize.name())
+        .expect("alloc size histogram present");
+    assert!(h.count >= 1);
+}
+
+/// Deterministic allocation script: the same `(name, seed)` performs the
+/// same allocation sequence whether run inline or on a worker thread.
+fn mem_workload(name: &'static str, seed: u64) {
+    let _s = span(name);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut keep: Vec<Vec<u8>> = Vec::new();
+    for _ in 0..rng.gen_range(1..12usize) {
+        keep.push(vec![0u8; rng.gen_range(1..2048usize)]);
+    }
+}
+
+#[test]
+fn parallel_and_sequential_span_mem_totals_agree() {
+    let _guard = locked();
+    const WORKERS: [&str; 4] = ["mem.w0", "mem.w1", "mem.w2", "mem.w3"];
+    for case in 0..CASES {
+        let session = Session::begin();
+        for (i, name) in WORKERS.iter().enumerate() {
+            mem_workload(name, case ^ ((i as u64) << 32));
+        }
+        let seq = session.finish();
+
+        let session = Session::begin();
+        std::thread::scope(|scope| {
+            for (i, name) in WORKERS.iter().enumerate() {
+                scope.spawn(move || mem_workload(name, case ^ ((i as u64) << 32)));
+            }
+        });
+        let par = session.finish();
+
+        for name in WORKERS {
+            let a = seq
+                .spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("case {case}: sequential span {name} missing"));
+            let b = par
+                .spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("case {case}: parallel span {name} missing"));
+            assert!(a.mem.allocs >= 1, "case {case}: span {name} saw no allocs");
+            assert_eq!(
+                (
+                    a.mem.allocs,
+                    a.mem.alloc_bytes,
+                    a.mem.frees,
+                    a.mem.free_bytes
+                ),
+                (
+                    b.mem.allocs,
+                    b.mem.alloc_bytes,
+                    b.mem.frees,
+                    b.mem.free_bytes
+                ),
+                "case {case}: span {name} parallel ≡ sequential totals"
+            );
+            assert_eq!(
+                a.mem.peak_live_bytes, b.mem.peak_live_bytes,
+                "case {case}: span {name} relative live peak"
+            );
+        }
     }
 }
 
