@@ -2,46 +2,10 @@
 
 use mc3_solver::Algorithm;
 
-/// Which dataset generator `mc3 generate` uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum GeneratorKind {
-    /// The paper's §6.1 synthetic recipe.
-    Synthetic,
-    /// Synthetic restricted to length-2 queries.
-    SyntheticShort,
-    /// BestBuy-alike (uniform costs, 95 % short).
-    BestBuy,
-    /// Private-alike (three categories, costs 1–63).
-    Private,
-    /// Only the Fashion category of the private-alike dataset.
-    PrivateFashion,
-}
-
-impl GeneratorKind {
-    /// The CLI spelling of this generator (inverse of [`GeneratorKind::parse`]).
-    pub fn name(self) -> &'static str {
-        match self {
-            GeneratorKind::Synthetic => "synthetic",
-            GeneratorKind::SyntheticShort => "synthetic-short",
-            GeneratorKind::BestBuy => "bestbuy",
-            GeneratorKind::Private => "private",
-            GeneratorKind::PrivateFashion => "private-fashion",
-        }
-    }
-
-    pub(crate) fn parse(s: &str) -> Result<GeneratorKind, String> {
-        match s {
-            "synthetic" => Ok(GeneratorKind::Synthetic),
-            "synthetic-short" => Ok(GeneratorKind::SyntheticShort),
-            "bestbuy" => Ok(GeneratorKind::BestBuy),
-            "private" => Ok(GeneratorKind::Private),
-            "private-fashion" => Ok(GeneratorKind::PrivateFashion),
-            other => Err(format!(
-                "unknown generator '{other}' (expected synthetic, synthetic-short, bestbuy, private, private-fashion)"
-            )),
-        }
-    }
-}
+// The generator vocabulary lives in `mc3-workload` (shared with the
+// serving-plane request mix); re-exported here so downstream users of the
+// CLI crate keep a stable path.
+pub use mc3_workload::GeneratorKind;
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone)]
@@ -177,6 +141,27 @@ pub enum Command {
         /// Dataset JSON path.
         dataset: String,
     },
+    /// `mc3 serve [--addr HOST:PORT] [--workers N]`
+    Serve {
+        /// Listen address.
+        addr: String,
+        /// Worker threads (0 = one per available core).
+        workers: usize,
+    },
+    /// `mc3 loadgen [--addr HOST:PORT] [--duration SECS] [--concurrency N]
+    /// [--mix SPEC] [--slo p99=MS]`
+    Loadgen {
+        /// Server address to drive.
+        addr: String,
+        /// Run duration in seconds.
+        duration_secs: u64,
+        /// Concurrent client connections.
+        concurrency: usize,
+        /// Workload mix spec; `None` = the pinned bench-gate mix.
+        mix: Option<String>,
+        /// p99 latency SLO for `/solve`, in milliseconds.
+        slo_p99_ms: Option<u64>,
+    },
     /// `mc3 help`
     Help,
 }
@@ -205,37 +190,21 @@ USAGE:
   mc3 parse <QUERIES.txt> [--uniform-cost <N> | --cost-range <LO..HI> [--seed <S>]]
             --out <FILE|->
   mc3 compare <DATASET.json>
+  mc3 serve [--addr <HOST:PORT>] [--workers <N>]
+  mc3 loadgen [--addr <HOST:PORT>] [--duration <SECS>] [--concurrency <N>]
+              [--mix <kind:queries:seed[:algo][xW],...>] [--slo p99=<MS>]
   mc3 help
 ";
 
 pub(crate) fn parse_algorithm(s: &str) -> Result<Algorithm, String> {
-    match s {
-        "auto" => Ok(Algorithm::Auto),
-        "k2" => Ok(Algorithm::K2Exact),
-        "general" => Ok(Algorithm::General),
-        "short-first" => Ok(Algorithm::ShortFirst),
-        "exact" => Ok(Algorithm::Exact),
-        "property-oriented" | "po" => Ok(Algorithm::PropertyOriented),
-        "query-oriented" | "qo" => Ok(Algorithm::QueryOriented),
-        "mixed" => Ok(Algorithm::Mixed),
-        "local-greedy" | "lg" => Ok(Algorithm::LocalGreedy),
-        other => Err(format!("unknown algorithm '{other}'")),
-    }
+    // The vocabulary lives on the enum itself so the server's `/solve`
+    // request field and the CLI can never drift apart.
+    Algorithm::parse_name(s)
 }
 
 /// The canonical CLI spelling of an algorithm (inverse of the parser).
 pub(crate) fn algorithm_name(a: Algorithm) -> &'static str {
-    match a {
-        Algorithm::Auto => "auto",
-        Algorithm::K2Exact => "k2",
-        Algorithm::General => "general",
-        Algorithm::ShortFirst => "short-first",
-        Algorithm::Exact => "exact",
-        Algorithm::PropertyOriented => "property-oriented",
-        Algorithm::QueryOriented => "query-oriented",
-        Algorithm::Mixed => "mixed",
-        Algorithm::LocalGreedy => "local-greedy",
-    }
+    a.name()
 }
 
 struct ArgStream {
@@ -548,6 +517,66 @@ impl Cli {
                     .ok_or("compare requires a dataset path")?
                     .to_owned(),
             },
+            "serve" => {
+                let mut addr = "127.0.0.1:7920".to_owned();
+                let mut workers = 0usize;
+                while let Some(flag) = s.next().map(str::to_owned) {
+                    match flag.as_str() {
+                        "--addr" => addr = s.value_of("--addr")?,
+                        "--workers" => {
+                            workers = s
+                                .value_of("--workers")?
+                                .parse()
+                                .map_err(|e| format!("--workers: {e}"))?
+                        }
+                        other => return Err(format!("unknown flag '{other}' for serve")),
+                    }
+                }
+                Command::Serve { addr, workers }
+            }
+            "loadgen" => {
+                let mut addr = "127.0.0.1:7920".to_owned();
+                let mut duration_secs = 10u64;
+                let mut concurrency = 4usize;
+                let mut mix = None;
+                let mut slo_p99_ms = None;
+                while let Some(flag) = s.next().map(str::to_owned) {
+                    match flag.as_str() {
+                        "--addr" => addr = s.value_of("--addr")?,
+                        "--duration" => {
+                            let v = s.value_of("--duration")?;
+                            let v = v.strip_suffix('s').unwrap_or(&v);
+                            duration_secs = v.parse().map_err(|e| format!("--duration: {e}"))?
+                        }
+                        "--concurrency" => {
+                            concurrency = s
+                                .value_of("--concurrency")?
+                                .parse()
+                                .map_err(|e| format!("--concurrency: {e}"))?
+                        }
+                        "--mix" => mix = Some(s.value_of("--mix")?),
+                        "--slo" => {
+                            let v = s.value_of("--slo")?;
+                            let ms = v
+                                .strip_prefix("p99=")
+                                .ok_or_else(|| format!("--slo expects p99=<MS>, got '{v}'"))?;
+                            let ms = ms.strip_suffix("ms").unwrap_or(ms);
+                            slo_p99_ms = Some(ms.parse().map_err(|e| format!("--slo p99: {e}"))?)
+                        }
+                        other => return Err(format!("unknown flag '{other}' for loadgen")),
+                    }
+                }
+                if concurrency == 0 {
+                    return Err("--concurrency must be >= 1".into());
+                }
+                Command::Loadgen {
+                    addr,
+                    duration_secs,
+                    concurrency,
+                    mix,
+                    slo_p99_ms,
+                }
+            }
             other => return Err(format!("unknown command '{other}'\n{USAGE}")),
         };
         Ok(Cli { command })
@@ -856,6 +885,76 @@ mod tests {
         ] {
             assert_eq!(parse_algorithm(algorithm_name(alg)).unwrap(), alg);
         }
+    }
+
+    #[test]
+    fn parses_serve_and_loadgen() {
+        let cli = Cli::parse(["serve"]).unwrap();
+        match cli.command {
+            Command::Serve { addr, workers } => {
+                assert_eq!(addr, "127.0.0.1:7920");
+                assert_eq!(workers, 0);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cli = Cli::parse(["serve", "--addr", "0.0.0.0:8080", "--workers", "6"]).unwrap();
+        match cli.command {
+            Command::Serve { addr, workers } => {
+                assert_eq!(addr, "0.0.0.0:8080");
+                assert_eq!(workers, 6);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cli = Cli::parse([
+            "loadgen",
+            "--addr",
+            "127.0.0.1:9999",
+            "--duration",
+            "5s",
+            "--concurrency",
+            "8",
+            "--mix",
+            "synthetic:100:7",
+            "--slo",
+            "p99=500ms",
+        ])
+        .unwrap();
+        match cli.command {
+            Command::Loadgen {
+                addr,
+                duration_secs,
+                concurrency,
+                mix,
+                slo_p99_ms,
+            } => {
+                assert_eq!(addr, "127.0.0.1:9999");
+                assert_eq!(duration_secs, 5);
+                assert_eq!(concurrency, 8);
+                assert_eq!(mix.as_deref(), Some("synthetic:100:7"));
+                assert_eq!(slo_p99_ms, Some(500));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Defaults, bare-`p99=` without the ms suffix, plain seconds.
+        let cli = Cli::parse(["loadgen", "--duration", "3", "--slo", "p99=250"]).unwrap();
+        match cli.command {
+            Command::Loadgen {
+                duration_secs,
+                concurrency,
+                mix,
+                slo_p99_ms,
+                ..
+            } => {
+                assert_eq!(duration_secs, 3);
+                assert_eq!(concurrency, 4);
+                assert_eq!(mix, None);
+                assert_eq!(slo_p99_ms, Some(250));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(Cli::parse(["loadgen", "--slo", "p50=10"]).is_err());
+        assert!(Cli::parse(["loadgen", "--concurrency", "0"]).is_err());
+        assert!(Cli::parse(["serve", "--frob"]).is_err());
     }
 
     #[test]

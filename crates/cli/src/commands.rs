@@ -5,9 +5,7 @@ use crate::args::{Cli, Command, GeneratorKind, USAGE};
 use crate::solution_io::SolutionFile;
 use mc3_core::InstanceStats;
 use mc3_solver::Mc3Solver;
-use mc3_workload::{
-    read_dataset_json, write_dataset_json, BestBuyConfig, Dataset, PrivateConfig, SyntheticConfig,
-};
+use mc3_workload::{generate_dataset, read_dataset_json, write_dataset_json, Dataset};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::Read;
@@ -102,6 +100,37 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             out,
         } => parse_cmd(queries, *uniform_cost, *cost_range, *seed, out),
         Command::Compare { dataset } => compare(dataset),
+        Command::Serve { addr, workers } => {
+            let cfg = mc3_server::ServerConfig {
+                addr: addr.clone(),
+                workers: *workers,
+            };
+            let server = mc3_server::Server::start(&cfg)?;
+            // Announce before blocking: `join` only returns on a fatal
+            // accept-loop error, and scripts need the resolved port.
+            println!("mc3 serve: listening on http://{}", server.local_addr());
+            server.join()
+        }
+        Command::Loadgen {
+            addr,
+            duration_secs,
+            concurrency,
+            mix,
+            slo_p99_ms,
+        } => {
+            let mix = match mix {
+                Some(spec) => mc3_workload::RequestMix::parse(spec)?,
+                None => mc3_workload::RequestMix::pinned(),
+            };
+            let cfg = mc3_server::LoadgenConfig {
+                addr: addr.clone(),
+                duration_secs: *duration_secs,
+                concurrency: *concurrency,
+                mix,
+                slo_p99_ms: *slo_p99_ms,
+            };
+            mc3_server::run_loadgen(&cfg)
+        }
     }
 }
 
@@ -116,31 +145,6 @@ fn write_out(path: &str, content: &str) -> Result<String, String> {
     } else {
         std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
         Ok(format!("wrote {path}\n"))
-    }
-}
-
-/// Builds the dataset a generator kind describes (shared by `generate`,
-/// `profile` and `bench-gate`).
-fn generate_dataset(kind: GeneratorKind, queries: usize, seed: u64) -> Dataset {
-    match kind {
-        GeneratorKind::Synthetic => SyntheticConfig::with_queries(queries).seed(seed).generate(),
-        GeneratorKind::SyntheticShort => SyntheticConfig::short(queries).seed(seed).generate(),
-        GeneratorKind::BestBuy => {
-            let mut cfg = BestBuyConfig::with_queries(queries);
-            cfg.seed = seed.max(1);
-            cfg.generate()
-        }
-        GeneratorKind::Private => {
-            let mut cfg = PrivateConfig::with_queries(queries);
-            cfg.seed = seed.max(1);
-            cfg.generate()
-        }
-        GeneratorKind::PrivateFashion => {
-            // the fashion share is queries/10 of the configured total
-            let mut cfg = PrivateConfig::with_queries(queries * 10);
-            cfg.seed = seed.max(1);
-            cfg.generate_fashion()
-        }
     }
 }
 
@@ -330,8 +334,13 @@ fn profile(
         text.push_str(&tel.render_mem());
     } else {
         text.push_str(&tel.render_top(top));
-        if tel.peak_rss_bytes > 0 {
-            let _ = writeln!(text, "peak rss (process): {} bytes", tel.peak_rss_bytes);
+        match tel.peak_rss_bytes {
+            Some(rss) => {
+                let _ = writeln!(text, "peak rss (process): {rss} bytes");
+            }
+            None => {
+                let _ = writeln!(text, "peak rss (process): not measured on this platform");
+            }
         }
     }
     if let Some(path) = json {

@@ -30,6 +30,7 @@
 //! sustained floods are summarized by `dropped` counts.
 
 use mc3_core::json::Json;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -183,6 +184,55 @@ struct SinkState {
 static GATE: AtomicU8 = AtomicU8::new(u8::MAX);
 static SEQ: AtomicU64 = AtomicU64::new(0);
 static SINK: Mutex<Option<SinkState>> = Mutex::new(None);
+/// Cumulative rate-limiter drops since process start. Unlike the per-line
+/// `dropped` field (which resets on every admitted event) this never
+/// resets, so `/metrics` can expose it as a live monotonic counter
+/// (`mc3_log_events_dropped_total`) instead of the figure only being
+/// reconstructable from the log at shutdown.
+static DROPPED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Request id attached to every event this thread emits while a
+    /// [`RequestIdScope`] is live — the span-context analogue for server
+    /// requests, so one request's log lines correlate without parsing.
+    static REQUEST_ID: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Total events dropped by the token-bucket rate limiter since process
+/// start (monotonic; never reset by sink reinstalls).
+pub fn dropped_total() -> u64 {
+    // audit:allow(no-relaxed-atomics) reviewed: monotonic counter read for a metrics scrape — no ordering needed
+    DROPPED_TOTAL.load(Ordering::Relaxed)
+}
+
+/// RAII scope attaching `request_id` to every event emitted from this
+/// thread until the guard drops. Scopes are per-thread (the type is
+/// `!Send`) and restore the previous id on drop, so brief nested scopes
+/// behave.
+pub struct RequestIdScope {
+    prev: Option<String>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Opens a [`RequestIdScope`] for `request_id` on this thread.
+pub fn request_id_scope(request_id: &str) -> RequestIdScope {
+    let prev = REQUEST_ID.with(|r| r.borrow_mut().replace(request_id.to_owned()));
+    RequestIdScope {
+        prev,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for RequestIdScope {
+    fn drop(&mut self) {
+        REQUEST_ID.with(|r| *r.borrow_mut() = self.prev.take());
+    }
+}
+
+/// The request id currently scoped onto this thread, if any.
+pub fn current_request_id() -> Option<String> {
+    REQUEST_ID.with(|r| r.borrow().clone())
+}
 
 fn lock_sink() -> std::sync::MutexGuard<'static, Option<SinkState>> {
     SINK.lock().unwrap_or_else(|p| p.into_inner())
@@ -280,6 +330,7 @@ pub fn enabled(level: Level) -> bool {
     level.as_gate() >= GATE.load(Ordering::Relaxed) && GATE.load(Ordering::Relaxed) != u8::MAX
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_line(
     seq: u64,
     ts_ns: u64,
@@ -288,6 +339,7 @@ fn build_line(
     msg: &str,
     fields: &[(&str, Value)],
     span: Option<String>,
+    request_id: Option<String>,
     dropped: u64,
 ) -> String {
     let mut map: BTreeMap<String, Json> = BTreeMap::new();
@@ -298,6 +350,9 @@ fn build_line(
     map.insert("msg".to_owned(), Json::Str(msg.to_owned()));
     if let Some(span) = span {
         map.insert("span".to_owned(), Json::Str(span));
+    }
+    if let Some(rid) = request_id {
+        map.insert("request_id".to_owned(), Json::Str(rid));
     }
     if !fields.is_empty() {
         map.insert(
@@ -327,6 +382,7 @@ pub fn event(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
     }
     let now = mc3_telemetry::monotonic_ns();
     let span = mc3_telemetry::current_span_path();
+    let request_id = current_request_id();
     let mut sink = lock_sink();
     let Some(state) = sink.as_mut() else { return };
 
@@ -339,6 +395,8 @@ pub fn event(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
         state.tokens_nano = (state.tokens_nano + refill).min(cap);
         if state.tokens_nano < 1_000_000_000 {
             state.dropped += 1;
+            // audit:allow(no-relaxed-atomics) reviewed: monotonic tally — readers only need eventual totals
+            DROPPED_TOTAL.fetch_add(1, Ordering::Relaxed);
             return;
         }
         state.tokens_nano -= 1_000_000_000;
@@ -347,7 +405,9 @@ pub fn event(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
     // audit:allow(no-relaxed-atomics) reviewed: seq only needs uniqueness — writes are serialized by the sink mutex
     let seq = SEQ.fetch_add(1, Ordering::Relaxed);
     let dropped = std::mem::take(&mut state.dropped);
-    let line = build_line(seq, now, level, target, msg, fields, span, dropped);
+    let line = build_line(
+        seq, now, level, target, msg, fields, span, request_id, dropped,
+    );
     if writeln!(state.writer, "{line}").is_err() || state.writer.flush().is_err() {
         // Last resort when the sink itself is broken: say so once on
         // stderr and tear the sink down rather than erroring every event.
@@ -377,6 +437,25 @@ pub fn warn(target: &str, msg: &str, fields: &[(&str, Value)]) {
 /// Emits a [`Level::Error`] event.
 pub fn error(target: &str, msg: &str, fields: &[(&str, Value)]) {
     event(Level::Error, target, msg, fields);
+}
+
+/// Emits one structured access-log event for a served HTTP request
+/// (target `server.access`, level info). The request id riding on the
+/// thread's [`RequestIdScope`] attaches automatically, so the line
+/// correlates with every other event the request emitted.
+pub fn access(method: &str, route: &str, status: u16, latency_ns: u64, bytes_out: u64) {
+    event(
+        Level::Info,
+        "server.access",
+        "request served",
+        &[
+            ("method", Value::Str(method.to_owned())),
+            ("route", Value::Str(route.to_owned())),
+            ("status", Value::U64(u64::from(status))),
+            ("latency_ns", Value::U64(latency_ns)),
+            ("bytes_out", Value::U64(bytes_out)),
+        ],
+    );
 }
 
 #[cfg(test)]
@@ -519,6 +598,91 @@ mod tests {
             v.get("span").and_then(Json::as_str),
             Some("solve/solve_core")
         );
+    }
+
+    #[test]
+    fn request_id_scope_attaches_and_restores() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let lines = install_capture(EventLogConfig {
+            min_level: Level::Debug,
+            ..EventLogConfig::default()
+        });
+        info("t", "before", &[]);
+        {
+            let _scope = request_id_scope("req-42");
+            assert_eq!(current_request_id().as_deref(), Some("req-42"));
+            info("t", "inside", &[]);
+        }
+        assert_eq!(current_request_id(), None);
+        info("t", "after", &[]);
+        uninstall();
+        let lines = lines.lock().unwrap_or_else(|p| p.into_inner());
+        assert_eq!(lines.len(), 3);
+        assert_eq!(parse_line(&lines[0]).get("request_id"), None);
+        assert_eq!(
+            parse_line(&lines[1])
+                .get("request_id")
+                .and_then(Json::as_str),
+            Some("req-42")
+        );
+        assert_eq!(parse_line(&lines[2]).get("request_id"), None);
+    }
+
+    #[test]
+    fn access_event_carries_route_status_and_request_id() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let lines = install_capture(EventLogConfig {
+            min_level: Level::Debug,
+            ..EventLogConfig::default()
+        });
+        {
+            let _scope = request_id_scope("req-7");
+            access("POST", "/solve", 200, 1_234, 567);
+        }
+        uninstall();
+        let lines = lines.lock().unwrap_or_else(|p| p.into_inner());
+        let v = parse_line(&lines[0]);
+        assert_eq!(
+            v.get("target").and_then(Json::as_str),
+            Some("server.access")
+        );
+        assert_eq!(v.get("request_id").and_then(Json::as_str), Some("req-7"));
+        let fields = v.get("fields").expect("fields object");
+        assert_eq!(fields.get("route").and_then(Json::as_str), Some("/solve"));
+        assert_eq!(fields.get("status").and_then(Json::as_u64), Some(200));
+        assert_eq!(fields.get("latency_ns").and_then(Json::as_u64), Some(1_234));
+    }
+
+    #[test]
+    fn dropped_total_accumulates_across_installs() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let before = dropped_total();
+        let _lines = install_capture(EventLogConfig {
+            min_level: Level::Debug,
+            burst: 1,
+            per_sec: 1,
+        });
+        info("t", "takes the only token", &[]);
+        for _ in 0..4 {
+            info("t", "dropped", &[]);
+        }
+        uninstall();
+        let after_first = dropped_total();
+        assert!(
+            after_first >= before + 4,
+            "expected >= {} drops, saw {after_first}",
+            before + 4
+        );
+        // A reinstall resets seq but never the cumulative drop counter.
+        let _lines = install_capture(EventLogConfig {
+            min_level: Level::Debug,
+            burst: 1,
+            per_sec: 1,
+        });
+        info("t", "token", &[]);
+        info("t", "dropped again", &[]);
+        uninstall();
+        assert!(dropped_total() > after_first);
     }
 
     #[test]

@@ -201,6 +201,63 @@ pub enum GateViolation {
     },
 }
 
+impl GateViolation {
+    /// One aligned, human-readable diff line for this violation: what was
+    /// measured against what baseline, with the signed delta and the
+    /// bound that was exceeded. Rendered indented under the machine-ish
+    /// `REGRESSION:` line so a CI log shows both the greppable name and
+    /// the at-a-glance magnitude.
+    pub fn diff_line(&self) -> String {
+        fn signed(baseline: u64, candidate: u64) -> String {
+            if candidate >= baseline {
+                format!("+{}", candidate - baseline)
+            } else {
+                format!("-{}", baseline - candidate)
+            }
+        }
+        match self {
+            GateViolation::WallRegression {
+                path,
+                baseline_ns,
+                candidate_ns,
+                tol,
+            } => {
+                let pct = 100.0 * (*candidate_ns as f64 / (*baseline_ns).max(1) as f64 - 1.0);
+                format!(
+                    "  └─ {path}: wall {baseline_ns} ns -> {candidate_ns} ns \
+                     (Δ {} ns, {pct:+.1}% vs +{:.1}% allowed)",
+                    signed(*baseline_ns, *candidate_ns),
+                    tol * 100.0
+                )
+            }
+            GateViolation::CounterDrift {
+                name,
+                baseline,
+                candidate,
+                tol,
+            } => format!(
+                "  └─ {name}: counter {baseline} -> {candidate} \
+                 (Δ {}, tolerance ±{:.1}%)",
+                signed(*baseline, *candidate),
+                tol * 100.0
+            ),
+            GateViolation::MissingSpan { path } => {
+                format!("  └─ {path}: span recorded in baseline, absent from candidate")
+            }
+            GateViolation::MemDrift {
+                path,
+                field,
+                baseline,
+                candidate,
+            } => format!(
+                "  └─ {path}: {field} {baseline} -> {candidate} \
+                 (Δ {}, exact gate — re-baseline to accept)",
+                signed(*baseline, *candidate)
+            ),
+        }
+    }
+}
+
 impl fmt::Display for GateViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -263,12 +320,15 @@ impl GateOutcome {
         self.violations.is_empty()
     }
 
-    /// Human-readable verdict, one violation per line.
+    /// Human-readable verdict: for every violation, the greppable
+    /// `REGRESSION:` line plus an indented diff line showing baseline vs
+    /// measured and the bound that was exceeded, then the summary.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for v in &self.violations {
             let _ = writeln!(out, "REGRESSION: {v}");
+            let _ = writeln!(out, "{}", v.diff_line());
         }
         let _ = writeln!(
             out,
@@ -529,6 +589,49 @@ mod tests {
         assert!(out.violations.iter().any(
             |v| matches!(v, GateViolation::MissingSpan { path } if path == "solve/solve_core")
         ));
+    }
+
+    #[test]
+    fn render_snapshot_shows_diff_lines_per_violation() {
+        let outcome = GateOutcome {
+            violations: vec![
+                GateViolation::WallRegression {
+                    path: "solve".to_owned(),
+                    baseline_ns: 10_000_000,
+                    candidate_ns: 30_000_000,
+                    tol: 1.0,
+                },
+                GateViolation::CounterDrift {
+                    name: "greedy_iterations".to_owned(),
+                    baseline: 40,
+                    candidate: 36,
+                    tol: 0.0,
+                },
+                GateViolation::MissingSpan {
+                    path: "solve/solve_core".to_owned(),
+                },
+                GateViolation::MemDrift {
+                    path: "solve/solve_core".to_owned(),
+                    field: "allocs",
+                    baseline: 10,
+                    candidate: 11,
+                },
+            ],
+            spans_checked: 2,
+            counters_checked: 31,
+        };
+        let expected = "\
+REGRESSION: span 'solve': wall time regressed 10000000ns -> 30000000ns (3.00x, tolerance 2.00x)
+  └─ solve: wall 10000000 ns -> 30000000 ns (Δ +20000000 ns, +200.0% vs +100.0% allowed)
+REGRESSION: counter 'greedy_iterations': drifted 40 -> 36 (relative tolerance 0.00)
+  └─ greedy_iterations: counter 40 -> 36 (Δ -4, tolerance ±0.0%)
+REGRESSION: span 'solve/solve_core': present in baseline, absent from candidate
+  └─ solve/solve_core: span recorded in baseline, absent from candidate
+REGRESSION: span 'solve/solve_core': allocs drifted 10 -> 11 (memory gating is exact; re-record the baseline to accept)
+  └─ solve/solve_core: allocs 10 -> 11 (Δ +1, exact gate — re-baseline to accept)
+bench-gate: 2 span paths and 31 counters checked, 4 regression(s)
+";
+        assert_eq!(outcome.render(), expected);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   compares a candidate [`TelemetryReport`] against a checked-in
 //!   baseline (`BENCH_baseline.json`), span wall-times under a loose
 //!   relative tolerance and solver-internals counters strictly.
+//! * [`serve_metrics`] — the request-plane families `mc3 serve` scrapes
+//!   expose next to the solver registry: per-route/status request
+//!   counters, the in-flight gauge and log2 latency histograms.
 //!
 //! [`TelemetryReport`]: mc3_telemetry::TelemetryReport
 
@@ -28,8 +31,13 @@ pub mod chrome;
 pub mod events;
 pub mod gate;
 pub mod prom;
+pub mod serve_metrics;
 
 pub use chrome::chrome_trace_json;
-pub use events::{debug, error, event, info, warn, EventLogConfig, Level, Value};
+pub use events::{
+    access, current_request_id, debug, dropped_total, error, event, info, request_id_scope, warn,
+    EventLogConfig, Level, RequestIdScope, Value,
+};
 pub use gate::{compare, BaselineFile, GateConfig, GateOutcome, GateViolation, WorkloadSpec};
-pub use prom::prometheus_text;
+pub use prom::{build_info_text, prometheus_text};
+pub use serve_metrics::{InflightGuard, RequestMetrics, Route};

@@ -81,6 +81,27 @@ fn render_histogram(out: &mut String, h: &HistogramData) {
     let _ = writeln!(out, "{name}_count {}", h.count);
 }
 
+/// Renders the `mc3_build_info` gauge: the conventional constant-`1`
+/// info metric whose labels carry the crate version and (when the build
+/// embedded one) the git revision. Appended to both the `/metrics` scrape
+/// body and `mc3 profile --prom` exports so every exposition states
+/// which build produced it.
+pub fn build_info_text(version: &str, git: Option<&str>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# HELP mc3_build_info Build metadata as labels; the value is always 1."
+    );
+    let _ = writeln!(out, "# TYPE mc3_build_info gauge");
+    let _ = writeln!(
+        out,
+        "mc3_build_info{{version=\"{}\",git=\"{}\"}} 1",
+        escape_label(version),
+        escape_label(git.unwrap_or("unknown"))
+    );
+    out
+}
+
 /// Renders the full report as a Prometheus text exposition.
 pub fn prometheus_text(report: &TelemetryReport) -> String {
     let mut out = String::new();
@@ -96,21 +117,21 @@ pub fn prometheus_text(report: &TelemetryReport) -> String {
     for h in &report.histograms {
         render_histogram(&mut out, h);
     }
-    for (metric, help, value) in [
-        (
-            "mc3_peak_live_bytes",
-            "Peak net live bytes observed by the tracking allocator during the session.",
-            report.peak_live_bytes,
-        ),
-        (
-            "mc3_peak_rss_bytes",
-            "Process peak resident set size (VmHWM) at report time; 0 when unreadable.",
-            report.peak_rss_bytes,
-        ),
-    ] {
-        let _ = writeln!(out, "# HELP {metric} {help}");
-        let _ = writeln!(out, "# TYPE {metric} gauge");
-        let _ = writeln!(out, "{metric} {value}");
+    let _ = writeln!(
+        out,
+        "# HELP mc3_peak_live_bytes Peak net live bytes observed by the tracking allocator during the session."
+    );
+    let _ = writeln!(out, "# TYPE mc3_peak_live_bytes gauge");
+    let _ = writeln!(out, "mc3_peak_live_bytes {}", report.peak_live_bytes);
+    // "Not measured" (None) omits the family entirely — a scraper sees an
+    // absent series, never a fake zero sample.
+    if let Some(rss) = report.peak_rss_bytes {
+        let _ = writeln!(
+            out,
+            "# HELP mc3_peak_rss_bytes Process peak resident set size (VmHWM) at report time; absent where unreadable."
+        );
+        let _ = writeln!(out, "# TYPE mc3_peak_rss_bytes gauge");
+        let _ = writeln!(out, "mc3_peak_rss_bytes {rss}");
     }
 
     let mut flat: Vec<(String, &SpanData)> = Vec::new();
@@ -220,7 +241,7 @@ mod tests {
                 buckets: vec![(0, 1), (2, 3), (3, 2)],
             }],
             peak_live_bytes: 3072,
-            peak_rss_bytes: 1 << 21,
+            peak_rss_bytes: Some(1 << 21),
         }
     }
 
@@ -268,6 +289,31 @@ mod tests {
         assert!(text.contains("\nmc3_peak_live_bytes 3072\n"));
         assert!(text.contains("# TYPE mc3_peak_rss_bytes gauge"));
         assert!(text.contains("\nmc3_peak_rss_bytes 2097152\n"));
+    }
+
+    #[test]
+    fn unmeasured_rss_omits_the_gauge_family() {
+        let mut r = sample();
+        r.peak_rss_bytes = None;
+        let text = prometheus_text(&r);
+        assert!(!text.contains("mc3_peak_rss_bytes"), "{text}");
+        // The live-bytes gauge is unconditional.
+        assert!(text.contains("\nmc3_peak_live_bytes 3072\n"), "{text}");
+    }
+
+    #[test]
+    fn build_info_renders_labels_and_constant_one() {
+        let text = build_info_text("0.1.0", Some("abc1234"));
+        assert!(text.contains("# TYPE mc3_build_info gauge"), "{text}");
+        assert!(
+            text.contains("mc3_build_info{version=\"0.1.0\",git=\"abc1234\"} 1"),
+            "{text}"
+        );
+        let no_git = build_info_text("0.1.0", None);
+        assert!(
+            no_git.contains("mc3_build_info{version=\"0.1.0\",git=\"unknown\"} 1"),
+            "{no_git}"
+        );
     }
 
     #[test]

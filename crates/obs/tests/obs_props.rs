@@ -13,7 +13,10 @@
 
 use mc3_core::json::Json;
 use mc3_core::rng::prelude::*;
-use mc3_obs::{chrome_trace_json, compare, prometheus_text, GateConfig, GateViolation};
+use mc3_obs::{
+    build_info_text, chrome_trace_json, compare, prometheus_text, GateConfig, GateViolation,
+    RequestMetrics, Route,
+};
 use mc3_telemetry::{HistogramData, SpanData, TelemetryReport};
 use std::collections::BTreeMap;
 
@@ -291,6 +294,147 @@ fn prometheus_text_round_trips_counts_and_sums() {
                 samples.get(&format!("mc3_span_instances_total{{span=\"{path}\"}}")),
                 Some(&count),
                 "instances of {path} (seed {seed})"
+            );
+        }
+    }
+}
+
+/// Like [`parse_prom`], but for the serving-plane families whose sample
+/// values are seconds (floats). Every non-comment line must still parse.
+fn parse_prom_f64(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("sample line");
+        let value: f64 = value.parse().expect("numeric sample value");
+        assert!(
+            out.insert(name.to_owned(), value).is_none(),
+            "duplicate sample {name}"
+        );
+    }
+    out
+}
+
+#[test]
+fn server_families_and_build_info_round_trip() {
+    let status_class = |status: u16| match status / 100 {
+        2 => "2xx",
+        3 => "3xx",
+        4 => "4xx",
+        5 => "5xx",
+        _ => "other",
+    };
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0x5E17E ^ seed);
+        let metrics = RequestMetrics::new();
+        let mut expected: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+        let mut latency: BTreeMap<&str, (u64, u64)> = BTreeMap::new(); // route → (count, sum_ns)
+        for _ in 0..rng.gen_range(1..=200u32) {
+            let route = match rng.gen_range(0..5u32) {
+                0 => Route::Solve,
+                1 => Route::Metrics,
+                2 => Route::Healthz,
+                3 => Route::Buildinfo,
+                _ => Route::Other,
+            };
+            let status: u16 = match rng.gen_range(0..5u32) {
+                0 => 200,
+                1 => 204,
+                2 => 301,
+                3 => 404,
+                _ => 500,
+            };
+            let ns = rng.gen_range(0..=10_000_000_000u64);
+            metrics.observe(route, status, ns);
+            *expected
+                .entry((route.as_str(), status_class(status)))
+                .or_default() += 1;
+            let slot = latency.entry(route.as_str()).or_default();
+            slot.0 += 1;
+            slot.1 += ns;
+        }
+
+        let samples = parse_prom_f64(&metrics.render());
+
+        // Requests: every (route, class) cell round-trips, zeros included.
+        for route in Route::ALL {
+            for class in ["2xx", "3xx", "4xx", "5xx", "other"] {
+                let key = format!(
+                    "mc3_requests_total{{route=\"{}\",status=\"{class}\"}}",
+                    route.as_str()
+                );
+                let want = expected.get(&(route.as_str(), class)).copied().unwrap_or(0) as f64;
+                assert_eq!(samples.get(&key), Some(&want), "{key} (seed {seed})");
+            }
+        }
+
+        // Latency histograms: count and second-sum round-trip exactly
+        // (the render computes sum as `sum_ns as f64 / 1e9`; so do we),
+        // buckets are cumulative and end at +Inf == count.
+        for route in Route::ALL {
+            let r = route.as_str();
+            let (count, sum_ns) = latency.get(r).copied().unwrap_or((0, 0));
+            assert_eq!(
+                samples.get(&format!(
+                    "mc3_request_latency_seconds_count{{route=\"{r}\"}}"
+                )),
+                Some(&(count as f64))
+            );
+            assert_eq!(
+                samples.get(&format!("mc3_request_latency_seconds_sum{{route=\"{r}\"}}")),
+                Some(&(sum_ns as f64 / 1e9))
+            );
+            let prefix = format!("mc3_request_latency_seconds_bucket{{route=\"{r}\",le=\"");
+            let mut buckets: Vec<(f64, f64)> = samples
+                .iter()
+                .filter_map(|(k, &v)| {
+                    let le = k.strip_prefix(&prefix)?.trim_end_matches("\"}");
+                    let bound = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.parse().expect("numeric le")
+                    };
+                    Some((bound, v))
+                })
+                .collect();
+            buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+            assert!(!buckets.is_empty(), "no buckets for {r}");
+            for pair in buckets.windows(2) {
+                assert!(pair[0].1 <= pair[1].1, "non-cumulative buckets for {r}");
+            }
+            let last = buckets.last().expect("buckets non-empty");
+            assert!(last.0.is_infinite(), "last bucket must be +Inf for {r}");
+            assert_eq!(last.1, count as f64, "+Inf == count for {r} (seed {seed})");
+        }
+
+        assert!(samples.contains_key("mc3_inflight_requests"));
+        assert!(samples.contains_key("mc3_log_events_dropped_total"));
+    }
+
+    // build_info: labels escape cleanly and the value is the constant 1.
+    let text = build_info_text("1.2.3", Some("abc1234"));
+    let samples = parse_prom_f64(&text);
+    assert_eq!(
+        samples.get("mc3_build_info{version=\"1.2.3\",git=\"abc1234\"}"),
+        Some(&1.0)
+    );
+    let text = build_info_text("0.1.0", None);
+    assert!(text.contains("git=\"unknown\""));
+
+    // The three /metrics sections compose without declaring any family
+    // twice (Prometheus rejects duplicate # TYPE lines).
+    let mut exposition = prometheus_text(&TelemetryReport::default());
+    exposition.push_str(&build_info_text("1.0.0", Some("deadbeef")));
+    exposition.push_str(&RequestMetrics::new().render());
+    let mut seen = BTreeMap::new();
+    for line in exposition.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let family = rest.split_whitespace().next().expect("family name");
+            assert!(
+                seen.insert(family.to_owned(), ()).is_none(),
+                "family {family} declared twice across the composed exposition"
             );
         }
     }

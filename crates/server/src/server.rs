@@ -1,0 +1,414 @@
+//! The `mc3 serve` HTTP server: request-scoped tracing feeding a
+//! process-global aggregate, a scrapeable `/metrics` endpoint, and a
+//! structured access log.
+//!
+//! # Request lifecycle
+//!
+//! The accept thread owns the **one** long-lived
+//! [`mc3_telemetry::Session`] (keeping the telemetry gate open for the
+//! server's lifetime) and hands each accepted connection to a worker.
+//! Per request, the worker:
+//!
+//! 1. generates a request id and installs an
+//!    [`mc3_obs::request_id_scope`] so every event-log line the request
+//!    emits carries it,
+//! 2. takes an in-flight guard on [`RequestMetrics`],
+//! 3. for `/solve`, wraps the solver call in a
+//!    [`mc3_telemetry::ScopedSession`] — the request's span tree diverts
+//!    into a thread-local buffer instead of the global finished list —
+//!    and [`absorb`](mc3_telemetry::Aggregator::absorb)s the finished
+//!    tree into the global [`Aggregator`],
+//! 4. records route/status/latency into [`RequestMetrics`] and emits one
+//!    [`mc3_obs::access`] event.
+//!
+//! `/metrics` therefore serves three concatenated sections: the solver
+//! registry rendered from the aggregator's cumulative report
+//! ([`mc3_obs::prometheus_text`]), the constant
+//! [`mc3_obs::build_info_text`] gauge, and the live request-plane
+//! families ([`RequestMetrics::render`]).
+
+use crate::http::{encode_response, read_request, Request};
+use crate::pool::ThreadPool;
+use crate::ServerConfig;
+use mc3_core::json::Json;
+use mc3_obs::{RequestMetrics, Route};
+use mc3_solver::{Algorithm, Mc3Solver};
+use mc3_telemetry::Aggregator;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a keep-alive connection may sit idle before the worker
+/// reclaims itself.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Shared server state: the metric families `/metrics` serves.
+pub struct ServerState {
+    /// Request-plane families (counters, in-flight gauge, latency
+    /// histograms).
+    pub metrics: RequestMetrics,
+    /// Cumulative per-span solver telemetry across all requests.
+    pub aggregator: Aggregator,
+    request_seq: AtomicU64,
+    nonce: u64,
+}
+
+impl ServerState {
+    fn new() -> ServerState {
+        ServerState {
+            metrics: RequestMetrics::new(),
+            aggregator: Aggregator::new(),
+            request_seq: AtomicU64::new(0),
+            nonce: mc3_telemetry::monotonic_ns(),
+        }
+    }
+
+    fn next_request_id(&self) -> String {
+        // audit:allow(no-relaxed-atomics) reviewed: unique-id ticket counter — only atomicity matters, not ordering
+        let seq = self.request_seq.fetch_add(1, Ordering::Relaxed);
+        format!("{:08x}-{seq:08x}", self.nonce & 0xffff_ffff)
+    }
+}
+
+/// A running server; dropping it does **not** stop the accept loop —
+/// call [`Server::shutdown`] (tests) or [`Server::join`] (the CLI, which
+/// blocks until a fatal accept-loop error).
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<Result<(), String>>>,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the accept loop. Binding first means
+    /// the caller always learns the real address — `--addr 127.0.0.1:0`
+    /// works and tests never race the server's startup.
+    pub fn start(cfg: &ServerConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        let workers = if cfg.workers == 0 {
+            // Each live connection parks on a worker, so the floor must
+            // cover the loadgen default of 8 concurrent connections.
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(8)
+                .max(8)
+        } else {
+            cfg.workers
+        };
+        let state = Arc::new(ServerState::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("mc3-serve-accept".to_owned())
+                .spawn(move || accept_loop(&listener, workers, &state, &stop))
+                .map_err(|e| format!("cannot spawn accept thread: {e}"))?
+        };
+        mc3_obs::info(
+            "server",
+            "listening",
+            &[
+                ("addr", mc3_obs::Value::Str(addr.to_string())),
+                ("workers", mc3_obs::Value::U64(workers as u64)),
+            ],
+        );
+        Ok(Server {
+            addr,
+            stop,
+            accept: Some(accept),
+            state,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared metric state (exposed for tests).
+    pub fn state(&self) -> &ServerState {
+        &self.state
+    }
+
+    /// Blocks until the accept loop exits — which it never does except on
+    /// a fatal listener error or [`Server::shutdown`] from another thread.
+    pub fn join(mut self) -> Result<String, String> {
+        match self.accept.take() {
+            Some(handle) => match handle.join() {
+                Ok(Ok(())) => Ok("server stopped\n".to_owned()),
+                Ok(Err(e)) => Err(e),
+                Err(_) => Err("accept thread panicked".to_owned()),
+            },
+            None => Ok(String::new()),
+        }
+    }
+
+    /// Stops the accept loop and joins it (workers drain first).
+    pub fn shutdown(mut self) -> Result<(), String> {
+        // audit:allow(no-relaxed-atomics) reviewed: SeqCst — the stop flag must be visible to the accept loop before the wake-up connection below
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection; a
+        // failure means the accept loop is already gone, which is fine.
+        // audit:allow(no-swallowed-result) reviewed: best-effort wake-up, both outcomes converge on the join below
+        let _ = TcpStream::connect(self.addr);
+        match self.accept.take() {
+            Some(handle) => match handle.join() {
+                Ok(r) => r,
+                Err(_) => Err("accept thread panicked".to_owned()),
+            },
+            None => Ok(()),
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    workers: usize,
+    state: &Arc<ServerState>,
+    stop: &Arc<AtomicBool>,
+) -> Result<(), String> {
+    let pool = match ThreadPool::new(workers) {
+        Ok(pool) => pool,
+        Err(e) => return Err(format!("cannot spawn server workers: {e}")),
+    };
+    // The server-lifetime telemetry session: opens the recording gate so
+    // worker-thread ScopedSessions capture real span trees. Finished (and
+    // discarded) only when the accept loop ends.
+    let session = mc3_telemetry::Session::begin();
+    let result = loop {
+        let conn = listener.accept();
+        // audit:allow(no-relaxed-atomics) reviewed: SeqCst pairs with the store in shutdown(); the wake-up connection happens-after it
+        if stop.load(Ordering::SeqCst) {
+            break Ok(());
+        }
+        match conn {
+            Ok((stream, _)) => {
+                let state = Arc::clone(state);
+                pool.execute(move || serve_connection(stream, &state));
+            }
+            Err(e) => break Err(format!("accept failed: {e}")),
+        }
+    };
+    drop(pool); // join workers before closing the telemetry session
+                // The session-level report is deliberately unused: per-request trees
+                // already live in the aggregator, which is what /metrics serves.
+    session.finish();
+    result
+}
+
+fn serve_connection(stream: TcpStream, state: &ServerState) {
+    // Without the read timeout an idle client would pin its worker
+    // forever, so a socket that cannot take one is not worth serving.
+    if stream.set_read_timeout(Some(IDLE_TIMEOUT)).is_err() {
+        return;
+    }
+    if stream.set_nodelay(true).is_err() {
+        mc3_obs::debug("server", "set_nodelay failed; serving anyway", &[]);
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean close between requests
+            Err(_) => return,   // idle timeout or malformed framing
+        };
+        let close = req.wants_close();
+        let start = mc3_telemetry::monotonic_ns();
+        let request_id = state.next_request_id();
+        let _rid = mc3_obs::request_id_scope(&request_id);
+        let _inflight = state.metrics.inflight_guard();
+        let (route, response) = dispatch(state, &req, &request_id);
+        let wire = encode_response(response.status, response.content_type, &response.body);
+        // Observe BEFORE writing: a client that has read its response and
+        // then scrapes /metrics must already see this request counted.
+        let latency_ns = mc3_telemetry::monotonic_ns().saturating_sub(start);
+        state.metrics.observe(route, response.status, latency_ns);
+        mc3_obs::access(
+            &req.method,
+            route.as_str(),
+            response.status,
+            latency_ns,
+            wire.len() as u64,
+        );
+        let written = writer.write_all(&wire).and_then(|()| writer.flush());
+        if close || written.is_err() {
+            return;
+        }
+    }
+}
+
+struct HandlerResponse {
+    status: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+fn json_response(status: u16, doc: &Json) -> HandlerResponse {
+    let mut body = doc.to_string_pretty().into_bytes();
+    body.push(b'\n');
+    HandlerResponse {
+        status,
+        content_type: "application/json",
+        body,
+    }
+}
+
+fn error_response(status: u16, msg: &str) -> HandlerResponse {
+    json_response(
+        status,
+        &Json::object([("error", Json::Str(msg.to_owned()))]),
+    )
+}
+
+fn dispatch(state: &ServerState, req: &Request, request_id: &str) -> (Route, HandlerResponse) {
+    match (req.method.as_str(), req.path()) {
+        ("POST", "/solve") => (Route::Solve, handle_solve(state, req, request_id)),
+        ("GET", "/metrics") => (Route::Metrics, handle_metrics(state)),
+        ("GET", "/healthz") => (
+            Route::Healthz,
+            HandlerResponse {
+                status: 200,
+                content_type: "text/plain; charset=utf-8",
+                body: b"ok\n".to_vec(),
+            },
+        ),
+        ("GET", "/buildinfo") => (Route::Buildinfo, handle_buildinfo()),
+        ("GET" | "POST", "/solve" | "/metrics" | "/healthz" | "/buildinfo") => (
+            route_of(req.path()),
+            error_response(405, "method not allowed for this route"),
+        ),
+        _ => (Route::Other, error_response(404, "no such route")),
+    }
+}
+
+fn route_of(path: &str) -> Route {
+    match path {
+        "/solve" => Route::Solve,
+        "/metrics" => Route::Metrics,
+        "/healthz" => Route::Healthz,
+        "/buildinfo" => Route::Buildinfo,
+        _ => Route::Other,
+    }
+}
+
+/// Version/revision pair stamped into `/buildinfo` and `mc3_build_info`.
+fn build_ids() -> (&'static str, &'static str) {
+    (
+        env!("CARGO_PKG_VERSION"),
+        option_env!("MC3_GIT_SHA").unwrap_or("unknown"),
+    )
+}
+
+fn handle_buildinfo() -> HandlerResponse {
+    let (version, git) = build_ids();
+    json_response(
+        200,
+        &Json::object([
+            ("name", Json::Str("mc3".to_owned())),
+            ("version", Json::Str(version.to_owned())),
+            ("git", Json::Str(git.to_owned())),
+            (
+                "report_version",
+                Json::Int(i128::from(mc3_telemetry::REPORT_VERSION)),
+            ),
+        ]),
+    )
+}
+
+fn handle_metrics(state: &ServerState) -> HandlerResponse {
+    let (version, git) = build_ids();
+    let mut body = mc3_obs::prometheus_text(&state.aggregator.report());
+    body.push_str(&mc3_obs::build_info_text(version, Some(git)));
+    body.push_str(&state.metrics.render());
+    HandlerResponse {
+        status: 200,
+        content_type: "text/plain; version=0.0.4",
+        body: body.into_bytes(),
+    }
+}
+
+fn handle_solve(state: &ServerState, req: &Request, request_id: &str) -> HandlerResponse {
+    let algorithm = match req.query_param("algorithm") {
+        Some(name) => match Algorithm::parse_name(name) {
+            Ok(a) => a,
+            Err(e) => return error_response(400, &e),
+        },
+        None => Algorithm::Auto,
+    };
+    let ds = match mc3_workload::read_dataset_json(req.body.as_slice()) {
+        Ok(ds) => ds,
+        Err(e) => return error_response(400, &format!("bad dataset: {e}")),
+    };
+
+    // Request-scoped tracing: this request's span tree is captured on
+    // this worker thread and merged into the global aggregate. The solve
+    // stays sequential — spans fan out to other threads under
+    // `parallel(true)` and would escape the per-request scope.
+    let scope = mc3_telemetry::ScopedSession::begin();
+    let solved = Mc3Solver::new()
+        .algorithm(algorithm)
+        .parallel(false)
+        .solve_report(&ds.instance);
+    let roots = scope.finish();
+    state.aggregator.absorb(&roots);
+
+    let report = match solved {
+        Ok(r) => r,
+        Err(e) => return error_response(422, &format!("solve failed: {e}")),
+    };
+    let cert = match mc3_core::Certificate::for_solution(&ds.instance, &report.solution) {
+        Ok(c) => c,
+        Err(e) => return error_response(500, &format!("certificate construction failed: {e}")),
+    };
+    if let Err(e) = cert.verify(&ds.instance, &report.solution) {
+        return error_response(500, &format!("certificate verification failed: {e}"));
+    }
+
+    let classifiers = Json::array(
+        report
+            .solution
+            .classifiers()
+            .iter()
+            .map(|c| Json::array(c.iter().map(|p| Json::Int(i128::from(p.0))))),
+    );
+    let ns = |d: std::time::Duration| Json::Int(d.as_nanos().min(u128::from(u64::MAX)) as i128);
+    let doc = Json::object([
+        ("request_id", Json::Str(request_id.to_owned())),
+        ("dataset", Json::Str(ds.name.clone())),
+        ("queries", Json::Int(ds.instance.num_queries() as i128)),
+        ("algorithm", Json::Str(algorithm.name().to_owned())),
+        ("cost", Json::Int(i128::from(report.solution.cost().raw()))),
+        ("classifiers", classifiers),
+        ("components", Json::Int(report.components as i128)),
+        (
+            "wall_ns",
+            Json::object([
+                ("setup", ns(report.timings.setup)),
+                ("preprocess", ns(report.timings.preprocess)),
+                ("solve", ns(report.timings.solve)),
+                ("total", ns(report.timings.total)),
+            ]),
+        ),
+        (
+            "certificate",
+            Json::object([
+                ("valid", Json::Bool(true)),
+                ("optimal", Json::Bool(cert.proves_optimality())),
+            ]),
+        ),
+    ]);
+    json_response(200, &doc)
+}

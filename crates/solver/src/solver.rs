@@ -40,6 +40,41 @@ pub enum Algorithm {
     LocalGreedy,
 }
 
+impl Algorithm {
+    /// Canonical wire name, shared by the CLI's `--algorithm` vocabulary,
+    /// bench-gate baselines and the server's `/solve` request field.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Auto => "auto",
+            Algorithm::K2Exact => "k2",
+            Algorithm::General => "general",
+            Algorithm::ShortFirst => "short-first",
+            Algorithm::Exact => "exact",
+            Algorithm::PropertyOriented => "property-oriented",
+            Algorithm::QueryOriented => "query-oriented",
+            Algorithm::Mixed => "mixed",
+            Algorithm::LocalGreedy => "local-greedy",
+        }
+    }
+
+    /// Parses a wire name (plus the short aliases `po`/`qo`/`lg`) back
+    /// into an algorithm.
+    pub fn parse_name(s: &str) -> std::result::Result<Algorithm, String> {
+        match s {
+            "auto" => Ok(Algorithm::Auto),
+            "k2" => Ok(Algorithm::K2Exact),
+            "general" => Ok(Algorithm::General),
+            "short-first" => Ok(Algorithm::ShortFirst),
+            "exact" => Ok(Algorithm::Exact),
+            "property-oriented" | "po" => Ok(Algorithm::PropertyOriented),
+            "query-oriented" | "qo" => Ok(Algorithm::QueryOriented),
+            "mixed" => Ok(Algorithm::Mixed),
+            "local-greedy" | "lg" => Ok(Algorithm::LocalGreedy),
+            other => Err(format!("unknown algorithm '{other}'")),
+        }
+    }
+}
+
 /// Full solver configuration.
 #[derive(Debug, Clone)]
 pub struct SolverConfig {

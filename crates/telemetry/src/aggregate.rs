@@ -1,0 +1,190 @@
+//! The lock-striped live aggregator behind `/metrics`.
+//!
+//! Batch sessions assemble their report once, at [`Session::finish`]
+//! (crate::Session::finish). A server cannot stop the world like that:
+//! `/metrics` must reflect every request served *so far* while new
+//! requests keep recording. The [`Aggregator`] closes that gap — each
+//! request's scoped session hands over its aggregated span roots, the
+//! aggregator folds them into per-root-name accumulators guarded by a
+//! small array of stripe locks, and a scrape clones the stripes into a
+//! regular [`TelemetryReport`].
+//!
+//! Striping is by root span name (FNV-1a), so two requests whose root
+//! spans differ (`solve` vs some future `plan`) never contend, while two
+//! requests with the same root serialize only for the duration of one
+//! tree merge. Same name always maps to the same stripe, which is what
+//! makes a snapshot a plain concatenation: no root can be split across
+//! stripes.
+//!
+//! The merge itself is [`report::merge_span_data`] — identical semantics
+//! to the session-level raw merge, so after N requests the aggregate
+//! equals what one giant session over all N solves would have reported
+//! (the concurrent property test in `tests/aggregate_concurrency.rs`
+//! asserts exactly this).
+
+use crate::counters::{self, Counter, Hist};
+use crate::memprof;
+use crate::report::{self, HistogramData, SpanData, TelemetryReport};
+use std::sync::Mutex;
+
+/// Number of stripe locks. A small power of two: the server's worker
+/// counts sit well below this, and the hash is cheap enough that finer
+/// striping would only buy contention we cannot measure.
+const STRIPES: usize = 16;
+
+/// FNV-1a over the root span name; stable, zero-dep, and good enough to
+/// spread distinct names across [`STRIPES`] buckets.
+fn stripe_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % (STRIPES as u64)) as usize
+}
+
+/// Cumulative cross-request span aggregation with striped locking.
+///
+/// Writers ([`absorb`](Aggregator::absorb)) lock one stripe per distinct
+/// root name in their batch; readers ([`snapshot`](Aggregator::snapshot),
+/// [`report`](Aggregator::report)) lock each stripe briefly in turn —
+/// there is no global pause, so a scrape never blocks request progress
+/// for longer than one stripe clone.
+pub struct Aggregator {
+    stripes: [Mutex<Vec<SpanData>>; STRIPES],
+}
+
+impl Default for Aggregator {
+    fn default() -> Aggregator {
+        Aggregator::new()
+    }
+}
+
+impl Aggregator {
+    /// An empty aggregator.
+    pub fn new() -> Aggregator {
+        Aggregator {
+            stripes: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Folds one request's aggregated span roots (a
+    /// [`ScopedSession::finish`](crate::ScopedSession::finish) result)
+    /// into the cumulative totals.
+    pub fn absorb(&self, roots: &[SpanData]) {
+        for root in roots {
+            let idx = stripe_of(&root.name);
+            let Some(stripe) = self.stripes.get(idx) else {
+                continue;
+            };
+            let mut held = stripe.lock().unwrap_or_else(|p| p.into_inner());
+            report::merge_span_data(&mut held, root);
+        }
+    }
+
+    /// A point-in-time clone of every aggregated root, sorted by name so
+    /// the exposition is deterministic regardless of absorb order.
+    pub fn snapshot(&self) -> Vec<SpanData> {
+        let mut roots: Vec<SpanData> = Vec::new();
+        for stripe in &self.stripes {
+            let held = stripe.lock().unwrap_or_else(|p| p.into_inner());
+            roots.extend(held.iter().cloned());
+        }
+        roots.sort_by(|a, b| a.name.cmp(&b.name));
+        roots
+    }
+
+    /// A live [`TelemetryReport`]: the aggregated span snapshot plus the
+    /// *current* registry counter/histogram totals and memory peaks. The
+    /// registry cells are process-global and monotonic while the server's
+    /// long-lived session keeps the gate open, so successive reports from
+    /// here expose monotonically non-decreasing totals — exactly what a
+    /// Prometheus scraper assumes.
+    pub fn report(&self) -> TelemetryReport {
+        TelemetryReport {
+            spans: self.snapshot(),
+            counters: Counter::ALL
+                .iter()
+                .map(|&c| (c.name().to_owned(), counters::total(c)))
+                .collect(),
+            histograms: Hist::ALL
+                .iter()
+                .map(|&h| {
+                    let (count, sum, buckets) = counters::hist_raw(h);
+                    HistogramData {
+                        name: h.name().to_owned(),
+                        count,
+                        sum,
+                        buckets,
+                    }
+                })
+                .collect(),
+            peak_live_bytes: memprof::global_peak(),
+            peak_rss_bytes: memprof::peak_rss_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn span(name: &str, wall: u64, children: Vec<SpanData>) -> SpanData {
+        SpanData {
+            name: name.to_owned(),
+            wall_ns: wall,
+            count: 1,
+            counters: BTreeMap::from([("greedy_iterations".to_owned(), wall / 10)]),
+            mem: crate::SpanMem {
+                allocs: 2,
+                alloc_bytes: wall,
+                frees: 1,
+                free_bytes: wall / 2,
+                peak_live_bytes: wall / 2,
+                min_instance_allocs: 2,
+            },
+            children,
+        }
+    }
+
+    #[test]
+    fn absorb_merges_same_root_and_keeps_distinct_roots_apart() {
+        let agg = Aggregator::new();
+        agg.absorb(&[span("solve", 100, vec![span("setup", 10, vec![])])]);
+        agg.absorb(&[span("solve", 50, vec![span("setup", 5, vec![])])]);
+        agg.absorb(&[span("loadgen", 7, vec![])]);
+        let snap = agg.snapshot();
+        assert_eq!(snap.len(), 2);
+        // Sorted by name: loadgen before solve.
+        assert_eq!(snap[0].name, "loadgen");
+        assert_eq!(snap[1].name, "solve");
+        assert_eq!(snap[1].wall_ns, 150);
+        assert_eq!(snap[1].count, 2);
+        assert_eq!(snap[1].counters["greedy_iterations"], 15);
+        assert_eq!(snap[1].children.len(), 1);
+        assert_eq!(snap[1].children[0].wall_ns, 15);
+        assert_eq!(snap[1].mem.alloc_bytes, 150);
+        assert_eq!(snap[1].mem.peak_live_bytes, 50);
+    }
+
+    #[test]
+    fn same_name_always_lands_on_the_same_stripe() {
+        for name in ["solve", "loadgen", "a", "", "solve_core/k2"] {
+            assert_eq!(stripe_of(name), stripe_of(name));
+            assert!(stripe_of(name) < STRIPES);
+        }
+    }
+
+    #[test]
+    fn report_contains_every_registered_counter_and_histogram() {
+        let agg = Aggregator::new();
+        agg.absorb(&[span("solve", 10, vec![])]);
+        let report = agg.report();
+        for name in crate::COUNTER_NAMES {
+            assert!(report.counters.contains_key(*name), "missing {name}");
+        }
+        assert_eq!(report.histograms.len(), crate::HIST_NAMES.len());
+        assert_eq!(report.spans.len(), 1);
+    }
+}

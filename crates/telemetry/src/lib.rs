@@ -47,11 +47,13 @@
 //! assert_eq!(report.counters["dinic_phases"], 3);
 //! ```
 
+mod aggregate;
 mod counters;
 mod memprof;
 mod report;
 mod spans;
 
+pub use aggregate::Aggregator;
 pub use counters::{
     bucket_bounds, bucket_of, count, hist_count, record, total, Counter, Hist, COUNTER_NAMES,
     HIST_BUCKETS, HIST_NAMES,
@@ -130,5 +132,60 @@ impl Session {
 impl Drop for Session {
     fn drop(&mut self) {
         ENABLED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// A per-request recording scope *inside* a long-lived [`Session`].
+///
+/// A server cannot take one `Session` per request — `begin` zeroes the
+/// global counters and would destroy the cumulative totals `/metrics`
+/// depends on. Instead the server holds **one** session for its whole
+/// lifetime (keeping the gate open) and wraps each request in a
+/// `ScopedSession` on the worker thread handling it: while the scope is
+/// live, span roots closed on this thread divert into a thread-local
+/// buffer instead of the global finished list, and
+/// [`finish`](ScopedSession::finish) returns them aggregated — ready to
+/// [`absorb`](Aggregator::absorb) into the global [`Aggregator`] and to
+/// render as this request's own trace.
+///
+/// Scopes are strictly per-thread (the type is `!Send`) and must not
+/// nest on one thread: beginning a new scope discards any unfinished
+/// captured roots from the previous one. Global counters and histograms
+/// keep accumulating process-wide regardless of scopes; only the span
+/// *trees* are diverted. With no outer session recording, a scope is a
+/// no-op that finishes empty.
+pub struct ScopedSession {
+    active: bool,
+    /// Capture buffers are thread-local; moving the scope across threads
+    /// would disarm the wrong thread's buffer.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl ScopedSession {
+    /// Arms root capture on this thread.
+    pub fn begin() -> ScopedSession {
+        spans::begin_capture();
+        ScopedSession {
+            active: true,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Disarms capture and returns this scope's aggregated span roots
+    /// (same-name roots merged, exactly like a session-level report).
+    pub fn finish(mut self) -> Vec<SpanData> {
+        self.active = false;
+        report::aggregate_raw(spans::take_captured())
+    }
+}
+
+impl Drop for ScopedSession {
+    fn drop(&mut self) {
+        if self.active {
+            // Abandoned scope (handler panicked or bailed early): discard
+            // its partial capture so it cannot leak into the next request
+            // served by this thread.
+            drop(spans::take_captured());
+        }
     }
 }

@@ -235,13 +235,19 @@ pub(crate) fn global_peak() -> u64 {
 }
 
 /// Peak resident set size of this process in bytes, read from the
-/// `VmHWM` line of `/proc/self/status` (zero-dep). Returns `0` on
-/// platforms or sandboxes where the file is unavailable — consumers
-/// treat `0` as "not measured".
-pub fn peak_rss_bytes() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
+/// `VmHWM` line of `/proc/self/status` (zero-dep). Returns `None` on
+/// platforms or sandboxes where the file is unavailable or the line is
+/// missing/unparseable — "not measured" is distinct from "zero bytes",
+/// and every consumer (report JSON, Prometheus gauge, `mc3 profile`)
+/// renders the two differently.
+pub fn peak_rss_bytes() -> Option<u64> {
+    peak_rss_bytes_from("/proc/self/status")
+}
+
+/// [`peak_rss_bytes`] with the status file path injected, so the
+/// missing-file and malformed-content paths are testable on any host.
+fn peak_rss_bytes_from(path: &str) -> Option<u64> {
+    let status = std::fs::read_to_string(path).ok()?;
     for line in status.lines() {
         if let Some(rest) = line.strip_prefix("VmHWM:") {
             let kb = rest
@@ -249,11 +255,11 @@ pub fn peak_rss_bytes() -> u64 {
                 .trim_end_matches("kB")
                 .trim()
                 .parse::<u64>()
-                .unwrap_or(0);
-            return kb.saturating_mul(1024);
+                .ok()?;
+            return Some(kb.saturating_mul(1024));
         }
     }
-    0
+    None
 }
 
 #[cfg(test)]
@@ -265,8 +271,35 @@ mod tests {
         // A test process has certainly touched > 0 pages; if /proc is
         // available at all, VmHWM must parse to something positive.
         if std::path::Path::new("/proc/self/status").exists() {
-            assert!(peak_rss_bytes() > 0);
+            assert!(peak_rss_bytes().is_some_and(|b| b > 0));
         }
+    }
+
+    #[test]
+    fn peak_rss_is_none_when_the_status_file_is_missing() {
+        // The non-Linux / sandboxed path: no readable status file means
+        // "not measured", never a silent zero.
+        assert_eq!(
+            peak_rss_bytes_from("/definitely/not/a/real/status/file"),
+            None
+        );
+    }
+
+    #[test]
+    fn peak_rss_is_none_when_the_vmhwm_line_is_absent_or_malformed() {
+        let dir = std::env::temp_dir();
+        let no_line = dir.join("mc3_memprof_no_vmhwm.txt");
+        std::fs::write(&no_line, "Name:\tmc3\nVmPeak:\t  123 kB\n").expect("write fixture");
+        assert_eq!(peak_rss_bytes_from(&no_line.to_string_lossy()), None);
+        let bad_line = dir.join("mc3_memprof_bad_vmhwm.txt");
+        std::fs::write(&bad_line, "VmHWM:\tnot-a-number kB\n").expect("write fixture");
+        assert_eq!(peak_rss_bytes_from(&bad_line.to_string_lossy()), None);
+        let good_line = dir.join("mc3_memprof_good_vmhwm.txt");
+        std::fs::write(&good_line, "VmHWM:\t     2048 kB\n").expect("write fixture");
+        assert_eq!(
+            peak_rss_bytes_from(&good_line.to_string_lossy()),
+            Some(2048 * 1024)
+        );
     }
 
     #[test]

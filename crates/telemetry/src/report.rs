@@ -104,8 +104,10 @@ pub struct TelemetryReport {
     /// opened (0 when nothing allocated while recording).
     pub peak_live_bytes: u64,
     /// Peak resident set size of the process in bytes (`VmHWM` from
-    /// `/proc/self/status`; 0 where unavailable).
-    pub peak_rss_bytes: u64,
+    /// `/proc/self/status`); `None` where the platform offers no
+    /// readable measurement — serialized as JSON `null`, distinct from a
+    /// measured zero.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 fn merge_into(siblings: &mut Vec<SpanData>, raw: RawSpan) {
@@ -143,6 +145,66 @@ fn merge_into(siblings: &mut Vec<SpanData>, raw: RawSpan) {
     for child in raw.children {
         merge_into(&mut slot.children, child);
     }
+}
+
+/// Folds one already-aggregated span tree into a sibling list with the
+/// exact semantics of [`merge_into`]: wall times, counts, counters and
+/// memory tallies sum; per-instance peaks take the max; the steady-state
+/// `min_instance_allocs` takes the min. This is the merge the lock-striped
+/// [`Aggregator`](crate::Aggregator) runs per absorbed request, so the
+/// live `/metrics` totals equal what one giant session would have
+/// reported.
+pub(crate) fn merge_span_data(siblings: &mut Vec<SpanData>, incoming: &SpanData) {
+    let idx = match siblings.iter().position(|s| s.name == incoming.name) {
+        Some(i) => i,
+        None => {
+            siblings.push(SpanData {
+                name: incoming.name.clone(),
+                mem: SpanMem {
+                    min_instance_allocs: u64::MAX,
+                    ..SpanMem::default()
+                },
+                ..SpanData::default()
+            });
+            siblings.len() - 1
+        }
+    };
+    let Some(slot) = siblings.get_mut(idx) else {
+        return;
+    };
+    slot.wall_ns = slot.wall_ns.saturating_add(incoming.wall_ns);
+    slot.count = slot.count.saturating_add(incoming.count);
+    for (name, &v) in &incoming.counters {
+        let cell = slot.counters.entry(name.clone()).or_insert(0);
+        *cell = cell.saturating_add(v);
+    }
+    slot.mem.allocs = slot.mem.allocs.saturating_add(incoming.mem.allocs);
+    slot.mem.alloc_bytes = slot
+        .mem
+        .alloc_bytes
+        .saturating_add(incoming.mem.alloc_bytes);
+    slot.mem.frees = slot.mem.frees.saturating_add(incoming.mem.frees);
+    slot.mem.free_bytes = slot.mem.free_bytes.saturating_add(incoming.mem.free_bytes);
+    slot.mem.peak_live_bytes = slot.mem.peak_live_bytes.max(incoming.mem.peak_live_bytes);
+    slot.mem.min_instance_allocs = slot
+        .mem
+        .min_instance_allocs
+        .min(incoming.mem.min_instance_allocs);
+    for child in &incoming.children {
+        merge_span_data(&mut slot.children, child);
+    }
+}
+
+/// Merges a batch of raw (per-thread) span roots into aggregated form —
+/// the per-request half of the scoped-session flow: a
+/// [`ScopedSession`](crate::ScopedSession) drains its captured raw roots
+/// through this before the request hands them to the global aggregator.
+pub(crate) fn aggregate_raw(raws: Vec<RawSpan>) -> Vec<SpanData> {
+    let mut roots: Vec<SpanData> = Vec::new();
+    for raw in raws {
+        merge_into(&mut roots, raw);
+    }
+    roots
 }
 
 /// Assembles a report from the current global state (gate must already be
@@ -494,7 +556,7 @@ impl TelemetryReport {
                 Json::Array(self.histograms.iter().map(hist_to_json).collect()),
             ),
             ("peak_live_bytes", Json::Int(self.peak_live_bytes as i128)),
-            ("peak_rss_bytes", Json::Int(self.peak_rss_bytes as i128)),
+            ("peak_rss_bytes", Json::opt_u64(self.peak_rss_bytes)),
         ])
     }
 
@@ -560,10 +622,17 @@ impl TelemetryReport {
             .get("peak_live_bytes")
             .and_then(Json::as_u64)
             .ok_or("report missing u64 'peak_live_bytes'")?;
-        let peak_rss_bytes = v
-            .get("peak_rss_bytes")
-            .and_then(Json::as_u64)
-            .ok_or("report missing u64 'peak_rss_bytes'")?;
+        // Strict about presence, permissive about measurement: the key
+        // must exist (schema drift guard) but `null` means "not measured"
+        // on platforms without a readable RSS high-water mark.
+        let peak_rss_bytes = match v.get("peak_rss_bytes") {
+            Some(Json::Null) => None,
+            Some(val) => Some(
+                val.as_u64()
+                    .ok_or("report field 'peak_rss_bytes' is neither u64 nor null")?,
+            ),
+            None => return Err("report missing field 'peak_rss_bytes'".to_owned()),
+        };
         Ok(TelemetryReport {
             spans,
             counters,
@@ -655,12 +724,13 @@ impl TelemetryReport {
             "peak live bytes (session): {}",
             fmt_bytes(self.peak_live_bytes)
         );
-        if self.peak_rss_bytes > 0 {
-            let _ = writeln!(
-                out,
-                "peak rss (process): {}",
-                fmt_bytes(self.peak_rss_bytes)
-            );
+        match self.peak_rss_bytes {
+            Some(rss) => {
+                let _ = writeln!(out, "peak rss (process): {}", fmt_bytes(rss));
+            }
+            None => {
+                let _ = writeln!(out, "peak rss (process): not measured on this platform");
+            }
         }
         if let Some(h) = self
             .histograms
@@ -757,7 +827,7 @@ mod tests {
                 })
                 .collect(),
             peak_live_bytes: 4096,
-            peak_rss_bytes: 1 << 20,
+            peak_rss_bytes: Some(1 << 20),
         }
     }
 
@@ -844,6 +914,40 @@ mod tests {
         }
         let err = TelemetryReport::from_json(&v).expect_err("must flag v2 drift");
         assert!(err.contains("peak_rss_bytes"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn unmeasured_peak_rss_round_trips_as_null() {
+        let mut report = sample_report();
+        report.peak_rss_bytes = None;
+        let text = report.to_json().to_string_pretty();
+        assert!(text.contains("\"peak_rss_bytes\": null"), "{text}");
+        let parsed = mc3_core::json::parse(&text).expect("report JSON must parse");
+        let back = TelemetryReport::from_json(&parsed).expect("null rss is valid");
+        assert_eq!(back.peak_rss_bytes, None);
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn merge_span_data_matches_raw_merge_semantics() {
+        // Aggregating two requests one tree at a time through
+        // merge_span_data must equal merging all raws in one session.
+        let mut all_at_once = Vec::new();
+        merge_into(
+            &mut all_at_once,
+            raw("solve", 100, vec![raw("k2.solve", 40, vec![])]),
+        );
+        merge_into(
+            &mut all_at_once,
+            raw("solve", 50, vec![raw("k2.solve", 10, vec![])]),
+        );
+        let mut one_by_one = Vec::new();
+        let req_a = aggregate_raw(vec![raw("solve", 100, vec![raw("k2.solve", 40, vec![])])]);
+        let req_b = aggregate_raw(vec![raw("solve", 50, vec![raw("k2.solve", 10, vec![])])]);
+        for root in req_a.iter().chain(req_b.iter()) {
+            merge_span_data(&mut one_by_one, root);
+        }
+        assert_eq!(one_by_one, all_at_once);
     }
 
     #[test]

@@ -46,10 +46,48 @@ struct OpenSpan {
 
 thread_local! {
     static STACK: RefCell<Vec<OpenSpan>> = const { RefCell::new(Vec::new()) };
+    /// When armed (a [`ScopedSession`](crate::ScopedSession) is active on
+    /// this thread), roots closed here divert into this buffer instead of
+    /// the global [`FINISHED`] list, so a server worker can hand each
+    /// request's span trees to the aggregator without draining — or
+    /// polluting — the process-wide session.
+    static CAPTURE: RefCell<Option<Vec<RawSpan>>> = const { RefCell::new(None) };
 }
 
 /// Roots closed while the session gate was on, from all threads.
 static FINISHED: Mutex<Vec<RawSpan>> = Mutex::new(Vec::new());
+
+/// Arms per-thread root capture (scoped-session start). Any previously
+/// captured-but-untaken roots on this thread are discarded.
+pub(crate) fn begin_capture() {
+    CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+}
+
+/// Disarms capture and returns the roots diverted since
+/// [`begin_capture`]. Roots closed on this thread afterwards go back to
+/// the global finished list.
+pub(crate) fn take_captured() -> Vec<RawSpan> {
+    CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default()
+}
+
+/// Files a closed per-thread root: into this thread's capture buffer when
+/// a scoped session armed one, else into the global finished list.
+fn file_root(node: RawSpan) {
+    let not_captured = CAPTURE.with(|c| {
+        let mut slot = c.borrow_mut();
+        match slot.as_mut() {
+            Some(buf) => {
+                buf.push(node);
+                None
+            }
+            None => Some(node),
+        }
+    });
+    if let Some(node) = not_captured {
+        let mut finished = FINISHED.lock().unwrap_or_else(|p| p.into_inner());
+        finished.push(node);
+    }
+}
 
 pub(crate) fn duration_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
@@ -73,10 +111,7 @@ fn close_current(wall_override: Option<Duration>) {
         };
         match stack.last_mut() {
             Some(parent) => parent.children.push(node),
-            None => {
-                let mut finished = FINISHED.lock().unwrap_or_else(|p| p.into_inner());
-                finished.push(node);
-            }
+            None => file_root(node),
         }
     });
 }

@@ -1,0 +1,99 @@
+//! Concurrency property for the serving-plane aggregation pipeline: the
+//! lock-striped [`Aggregator`] absorbing per-request [`ScopedSession`]
+//! trees from many threads at once must end up **identical** to a
+//! sequential reference merge of the same trees — per-span counts, wall
+//! totals, counters and memory attribution alike.
+
+use mc3_telemetry::{Aggregator, ScopedSession, Session, SpanData};
+use std::sync::Mutex;
+
+const THREADS: usize = 4;
+const REQUESTS_PER_THREAD: usize = 25;
+
+/// One simulated request: a root span (name chosen per thread so stripes
+/// and same-name merging both get exercised) with a counted child.
+fn simulate_request(thread: usize, i: usize) -> Vec<SpanData> {
+    let scope = ScopedSession::begin();
+    {
+        // Half the roots share one name across all threads (same-stripe
+        // contention), half are per-thread (distinct roots).
+        let name: &'static str = if i % 2 == 0 {
+            "request"
+        } else {
+            match thread % 4 {
+                0 => "req_a",
+                1 => "req_b",
+                2 => "req_c",
+                _ => "req_d",
+            }
+        };
+        let _root = mc3_telemetry::span(name);
+        let _child = mc3_telemetry::span("child");
+        mc3_telemetry::span_add(mc3_telemetry::Counter::GreedyIterations, 1 + i as u64);
+        std::hint::black_box(vec![0u8; 64 + i]);
+    }
+    scope.finish()
+}
+
+#[test]
+fn concurrent_absorb_equals_sequential_reference_merge() {
+    let session = Session::begin();
+    let concurrent = Aggregator::new();
+    let recorded: Mutex<Vec<Vec<SpanData>>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let concurrent = &concurrent;
+            let recorded = &recorded;
+            scope.spawn(move || {
+                for i in 0..REQUESTS_PER_THREAD {
+                    let roots = simulate_request(t, i);
+                    assert!(!roots.is_empty(), "scope captured nothing");
+                    concurrent.absorb(&roots);
+                    recorded
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .push(roots);
+                }
+            });
+        }
+    });
+
+    // Sequential reference: absorb the very same per-request trees one by
+    // one on this thread.
+    let reference = Aggregator::new();
+    let recorded = recorded.into_inner().unwrap_or_else(|p| p.into_inner());
+    assert_eq!(recorded.len(), THREADS * REQUESTS_PER_THREAD);
+    for roots in &recorded {
+        reference.absorb(roots);
+    }
+
+    let got = concurrent.snapshot();
+    let want = reference.snapshot();
+    assert_eq!(got, want, "concurrent aggregate diverged from reference");
+
+    // Cross-check the totals against first principles: every request
+    // produced exactly one root with one `child` beneath it.
+    let total_roots: u64 = got.iter().map(|s| s.count).sum();
+    assert_eq!(total_roots, (THREADS * REQUESTS_PER_THREAD) as u64);
+    for root in &got {
+        let child = root
+            .children
+            .iter()
+            .find(|c| c.name == "child")
+            .expect("child span merged under every root");
+        assert_eq!(child.count, root.count);
+        assert!(root.wall_ns >= child.wall_ns);
+    }
+    let shared = got
+        .iter()
+        .find(|s| s.name == "request")
+        .expect("shared-name root present");
+    // Even-indexed requests of every thread share this root.
+    assert_eq!(
+        shared.count,
+        (THREADS * REQUESTS_PER_THREAD.div_ceil(2)) as u64
+    );
+
+    drop(session);
+}

@@ -313,7 +313,12 @@ fn random_reports_round_trip_through_json() {
                 })
                 .collect(),
             peak_live_bytes: rng.next_u64() >> 1,
-            peak_rss_bytes: rng.next_u64() >> 1,
+            // Exercise both the measured and the not-measured (null) arm.
+            peak_rss_bytes: if rng.gen_range(0..4u32) == 0 {
+                None
+            } else {
+                Some(rng.next_u64() >> 1)
+            },
         };
         let text = report.to_json().to_string_pretty();
         let parsed = mc3_core::json::parse(&text)

@@ -20,12 +20,14 @@
 
 pub mod bestbuy;
 pub mod io;
+pub mod mix;
 pub mod private_like;
 pub mod subset;
 pub mod synthetic;
 
 pub use bestbuy::BestBuyConfig;
 pub use io::{read_dataset_json, write_dataset_json, DatasetFile, WeightSpec};
+pub use mix::{generate_dataset, GeneratorKind, MixEntry, RequestMix};
 pub use private_like::{PrivateCategory, PrivateConfig};
 pub use subset::random_subset;
 pub use synthetic::{PropertyPopularity, SyntheticConfig};
