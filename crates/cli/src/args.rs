@@ -108,6 +108,9 @@ pub enum Command {
         algorithm: Option<Algorithm>,
         /// Skip the exact per-span allocation-count checks.
         no_mem: bool,
+        /// Thread a shared solve cache through the run. Off by default so
+        /// gated counters and allocation profiles stay deterministic.
+        cache: bool,
     },
     /// `mc3 verify DATASET SOLUTION`
     Verify {
@@ -141,12 +144,17 @@ pub enum Command {
         /// Dataset JSON path.
         dataset: String,
     },
-    /// `mc3 serve [--addr HOST:PORT] [--workers N]`
+    /// `mc3 serve [--addr HOST:PORT] [--workers N] [--cache-mb MB]
+    /// [--no-cache]`
     Serve {
         /// Listen address.
         addr: String,
         /// Worker threads (0 = one per available core).
         workers: usize,
+        /// Solve-cache budget in MiB (0 disables caching).
+        cache_mb: usize,
+        /// Disable the solve and request caches.
+        no_cache: bool,
     },
     /// `mc3 loadgen [--addr HOST:PORT] [--duration SECS] [--concurrency N]
     /// [--mix SPEC] [--slo p99=MS]`
@@ -171,7 +179,8 @@ pub const USAGE: &str = "\
 mc3 — Minimization of Classifier Construction Cost for Search Queries
 
 USAGE:
-  mc3 generate --kind <synthetic|synthetic-short|bestbuy|private|private-fashion>
+  mc3 generate --kind <synthetic|synthetic-short|bestbuy|private|private-fashion|
+                       duplicate-heavy>
                --queries <N> [--seed <S>] --out <FILE|->
   mc3 stats <DATASET.json>
   mc3 solve <DATASET.json> [--algorithm <auto|k2|general|short-first|exact|
@@ -184,13 +193,13 @@ USAGE:
               [--chrome <FILE>] [--prom <FILE>] [--mem]
   mc3 bench-gate --baseline <FILE> [--candidate <FILE>] [--update]
                  [--wall-tol <X>] [--counter-tol <X>] [--no-mem] [--kind <K>]
-                 [--queries <N>] [--seed <S>] [--algorithm <A>]
+                 [--queries <N>] [--seed <S>] [--algorithm <A>] [--cache]
   mc3 verify <DATASET.json> <SOLUTION.json>
   mc3 audit <DATASET.json> <SOLUTION.json>
   mc3 parse <QUERIES.txt> [--uniform-cost <N> | --cost-range <LO..HI> [--seed <S>]]
             --out <FILE|->
   mc3 compare <DATASET.json>
-  mc3 serve [--addr <HOST:PORT>] [--workers <N>]
+  mc3 serve [--addr <HOST:PORT>] [--workers <N>] [--cache-mb <MB>] [--no-cache]
   mc3 loadgen [--addr <HOST:PORT>] [--duration <SECS>] [--concurrency <N>]
               [--mix <kind:queries:seed[:algo][xW],...>] [--slo p99=<MS>]
   mc3 help
@@ -395,12 +404,14 @@ impl Cli {
                 let mut seed = None;
                 let mut algorithm = None;
                 let mut no_mem = false;
+                let mut cache = false;
                 while let Some(flag) = s.next().map(str::to_owned) {
                     match flag.as_str() {
                         "--baseline" => baseline = Some(s.value_of("--baseline")?),
                         "--candidate" => candidate = Some(s.value_of("--candidate")?),
                         "--update" => update = true,
                         "--no-mem" => no_mem = true,
+                        "--cache" => cache = true,
                         "--wall-tol" => {
                             wall_tol = Some(
                                 s.value_of("--wall-tol")?
@@ -450,6 +461,7 @@ impl Cli {
                     seed,
                     algorithm,
                     no_mem,
+                    cache,
                 }
             }
             "verify" => {
@@ -520,6 +532,8 @@ impl Cli {
             "serve" => {
                 let mut addr = "127.0.0.1:7920".to_owned();
                 let mut workers = 0usize;
+                let mut cache_mb = 64usize;
+                let mut no_cache = false;
                 while let Some(flag) = s.next().map(str::to_owned) {
                     match flag.as_str() {
                         "--addr" => addr = s.value_of("--addr")?,
@@ -529,10 +543,22 @@ impl Cli {
                                 .parse()
                                 .map_err(|e| format!("--workers: {e}"))?
                         }
+                        "--cache-mb" => {
+                            cache_mb = s
+                                .value_of("--cache-mb")?
+                                .parse()
+                                .map_err(|e| format!("--cache-mb: {e}"))?
+                        }
+                        "--no-cache" => no_cache = true,
                         other => return Err(format!("unknown flag '{other}' for serve")),
                     }
                 }
-                Command::Serve { addr, workers }
+                Command::Serve {
+                    addr,
+                    workers,
+                    cache_mb,
+                    no_cache,
+                }
             }
             "loadgen" => {
                 let mut addr = "127.0.0.1:7920".to_owned();
@@ -802,6 +828,7 @@ mod tests {
                 wall_tol,
                 counter_tol,
                 no_mem,
+                cache,
                 ..
             } => {
                 assert_eq!(baseline, "BENCH_baseline.json");
@@ -810,6 +837,7 @@ mod tests {
                 assert_eq!(wall_tol, Some(2.5));
                 assert_eq!(counter_tol, Some(0.1));
                 assert!(!no_mem);
+                assert!(!cache, "caching must be opt-in for the bench gate");
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -827,6 +855,7 @@ mod tests {
             "--algorithm",
             "auto",
             "--no-mem",
+            "--cache",
         ])
         .unwrap();
         match cli.command {
@@ -837,6 +866,7 @@ mod tests {
                 seed,
                 algorithm,
                 no_mem,
+                cache,
                 ..
             } => {
                 assert!(update);
@@ -845,6 +875,7 @@ mod tests {
                 assert_eq!(seed, Some(11));
                 assert_eq!(algorithm, Some(Algorithm::Auto));
                 assert!(no_mem);
+                assert!(cache);
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -869,6 +900,7 @@ mod tests {
             GeneratorKind::BestBuy,
             GeneratorKind::Private,
             GeneratorKind::PrivateFashion,
+            GeneratorKind::DuplicateHeavy,
         ] {
             assert_eq!(GeneratorKind::parse(kind.name()).unwrap(), kind);
         }
@@ -891,17 +923,41 @@ mod tests {
     fn parses_serve_and_loadgen() {
         let cli = Cli::parse(["serve"]).unwrap();
         match cli.command {
-            Command::Serve { addr, workers } => {
+            Command::Serve {
+                addr,
+                workers,
+                cache_mb,
+                no_cache,
+            } => {
                 assert_eq!(addr, "127.0.0.1:7920");
                 assert_eq!(workers, 0);
+                assert_eq!(cache_mb, 64);
+                assert!(!no_cache);
             }
             other => panic!("wrong command: {other:?}"),
         }
-        let cli = Cli::parse(["serve", "--addr", "0.0.0.0:8080", "--workers", "6"]).unwrap();
+        let cli = Cli::parse([
+            "serve",
+            "--addr",
+            "0.0.0.0:8080",
+            "--workers",
+            "6",
+            "--cache-mb",
+            "128",
+            "--no-cache",
+        ])
+        .unwrap();
         match cli.command {
-            Command::Serve { addr, workers } => {
+            Command::Serve {
+                addr,
+                workers,
+                cache_mb,
+                no_cache,
+            } => {
                 assert_eq!(addr, "0.0.0.0:8080");
                 assert_eq!(workers, 6);
+                assert_eq!(cache_mb, 128);
+                assert!(no_cache);
             }
             other => panic!("wrong command: {other:?}"),
         }

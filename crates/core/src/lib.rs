@@ -55,6 +55,7 @@
 //! assert_eq!(instance.max_query_len(), 3);
 //! ```
 
+pub mod canon;
 pub mod cast;
 pub mod certificate;
 pub mod cover;
@@ -73,6 +74,7 @@ pub mod universe;
 pub mod weight;
 pub mod weights;
 
+pub use canon::{canonicalize, canonicalize_instance, stable_hash128, Canonical, StableHasher};
 pub use cast::{i64_of, u16_of, u32_of, u8_of};
 pub use certificate::{Certificate, CoverWitness};
 pub use cover::{covered, covering_subset, is_cover};

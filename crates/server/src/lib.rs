@@ -13,7 +13,11 @@
 //!   [`mc3_telemetry::Aggregator`], plus the request-plane families),
 //!   `GET /healthz`, `GET /buildinfo`. Every request gets its own id,
 //!   propagated into the JSONL event log, and its own
-//!   [`mc3_telemetry::ScopedSession`] span tree.
+//!   [`mc3_telemetry::ScopedSession`] span tree. Repeated work is
+//!   memoized across requests: a canonical-fingerprint component cache
+//!   ([`mc3_solver::SolveCache`]) plus an exact-body response cache,
+//!   both sized by [`ServerConfig::cache_mb`] and disabled by
+//!   [`ServerConfig::no_cache`].
 //! * [`loadgen`] — `mc3 loadgen`: drives a server with a deterministic
 //!   [`mc3_workload::RequestMix`], reports per-route p50/p95/p99, and
 //!   exits non-zero when the `/solve` p99 SLO is violated (the CI smoke
@@ -38,6 +42,13 @@ pub struct ServerConfig {
     /// Worker threads; `0` = one per available core (floor 8, so the
     /// default covers `mc3 loadgen --concurrency 8`).
     pub workers: usize,
+    /// Byte budget (MiB) for the cross-request solve cache; the
+    /// exact-body request cache gets a quarter of it on top. `0`
+    /// disables both, same as `no_cache`.
+    pub cache_mb: usize,
+    /// Disable the solve and request caches (`--no-cache`): every
+    /// request recomputes from scratch.
+    pub no_cache: bool,
 }
 
 /// `mc3 loadgen` parameters.

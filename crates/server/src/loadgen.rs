@@ -8,6 +8,11 @@
 //! measured is the server's, not the generator's. The run reports
 //! p50/p95/p99 per route and exits non-zero when the `/solve` p99
 //! exceeds `--slo p99=...`.
+//!
+//! The run also scrapes the server's cache counters
+//! (`mc3_cache_hits_total`, `mc3_request_cache_hits_total`, …) before
+//! and after, and reports the hit ratios the run itself produced — the
+//! observable that makes a duplicate-heavy mix worth driving.
 
 use crate::http::{read_response, write_request};
 use crate::LoadgenConfig;
@@ -119,6 +124,54 @@ fn prepare_bodies(cfg: &LoadgenConfig) -> Result<Vec<(String, Vec<u8>)>, String>
         .collect()
 }
 
+/// Cache counters lifted from one `/metrics` exposition.
+#[derive(Debug, Default, Clone, Copy)]
+struct CacheCounters {
+    solve_hits: u64,
+    solve_misses: u64,
+    request_hits: u64,
+    request_misses: u64,
+}
+
+/// Scrapes `/metrics` once and extracts the cache counter families;
+/// `None` when the scrape itself fails (families missing parse as 0 —
+/// a `--no-cache` server still renders the registry counters).
+fn scrape_cache_counters(addr: &str) -> Option<CacheCounters> {
+    let (mut reader, mut writer) = connect(addr).ok()?;
+    write_request(&mut writer, "GET", "/metrics", None).ok()?;
+    let (status, body) = read_response(&mut reader).ok()?;
+    if !(200..300).contains(&status) {
+        return None;
+    }
+    let text = String::from_utf8(body).ok()?;
+    let value = |name: &str| -> u64 {
+        let needle = format!("{name} ");
+        text.lines()
+            .find_map(|l| l.strip_prefix(needle.as_str()))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    };
+    Some(CacheCounters {
+        solve_hits: value("mc3_cache_hits_total"),
+        solve_misses: value("mc3_cache_misses_total"),
+        request_hits: value("mc3_request_cache_hits_total"),
+        request_misses: value("mc3_request_cache_misses_total"),
+    })
+}
+
+/// `"83.3% (120/144)"`, or `"n/a"` with no lookups.
+fn hit_ratio(hits: u64, misses: u64) -> String {
+    let total = hits + misses;
+    if total == 0 {
+        "n/a".to_owned()
+    } else {
+        format!(
+            "{:.1}% ({hits}/{total})",
+            100.0 * hits as f64 / total as f64
+        )
+    }
+}
+
 fn connect(addr: &str) -> std::io::Result<(BufReader<TcpStream>, TcpStream)> {
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
@@ -189,6 +242,7 @@ fn worker_loop(
 pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<String, String> {
     let bodies = prepare_bodies(cfg)?;
     let ticket = Arc::new(AtomicU64::new(0));
+    let cache_before = scrape_cache_counters(&cfg.addr);
     let start_ns = mc3_telemetry::monotonic_ns();
     let deadline_ns = start_ns.saturating_add(cfg.duration_secs.saturating_mul(1_000_000_000));
 
@@ -223,6 +277,19 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<String, String> {
     }
 
     let mut text = report.render(cfg.concurrency.max(1));
+    if let (Some(before), Some(after)) = (cache_before, scrape_cache_counters(&cfg.addr)) {
+        text.push_str(&format!(
+            "  cache solve-components: {} hit  request-bodies: {} hit\n",
+            hit_ratio(
+                after.solve_hits.saturating_sub(before.solve_hits),
+                after.solve_misses.saturating_sub(before.solve_misses),
+            ),
+            hit_ratio(
+                after.request_hits.saturating_sub(before.request_hits),
+                after.request_misses.saturating_sub(before.request_misses),
+            ),
+        ));
+    }
     let solve_p99 = report.routes.get("solve").and_then(|s| s.percentile_ns(99));
     match (cfg.slo_p99_ms, solve_p99) {
         (Some(slo_ms), Some(p99_ns)) => {
@@ -260,6 +327,13 @@ mod tests {
         assert_eq!(stats.percentile_ns(99), Some(99));
         assert_eq!(stats.percentile_ns(100), Some(100));
         assert_eq!(RouteStats::default().percentile_ns(99), None);
+    }
+
+    #[test]
+    fn hit_ratio_formats_and_handles_empty() {
+        assert_eq!(hit_ratio(0, 0), "n/a");
+        assert_eq!(hit_ratio(3, 1), "75.0% (3/4)");
+        assert_eq!(hit_ratio(0, 5), "0.0% (0/5)");
     }
 
     #[test]

@@ -21,29 +21,168 @@
 //! 4. records route/status/latency into [`RequestMetrics`] and emits one
 //!    [`mc3_obs::access`] event.
 //!
-//! `/metrics` therefore serves three concatenated sections: the solver
+//! `/metrics` therefore serves four concatenated sections: the solver
 //! registry rendered from the aggregator's cumulative report
 //! ([`mc3_obs::prometheus_text`]), the constant
-//! [`mc3_obs::build_info_text`] gauge, and the live request-plane
-//! families ([`RequestMetrics::render`]).
+//! [`mc3_obs::build_info_text`] gauge, the live request-plane
+//! families ([`RequestMetrics::render`]), and the cache occupancy
+//! families ([`cache_metrics_text`]).
+//!
+//! # Caching
+//!
+//! Unless `--no-cache` is set, `/solve` consults two memo layers:
+//!
+//! 1. an **exact-body request cache** — a byte-bounded LRU keyed by a
+//!    stable hash of the raw body plus the algorithm selector; a hit
+//!    replays the full 200 response with `request_id` re-stamped;
+//! 2. the **cross-request component cache** ([`mc3_solver::SolveCache`],
+//!    shared by every worker via [`Mc3Solver::cache`]) — bodies that
+//!    differ textually but contain isomorphic components still hit,
+//!    keyed by `mc3-core::canon` canonical fingerprints.
 
 use crate::http::{encode_response, read_request, Request};
 use crate::pool::ThreadPool;
 use crate::ServerConfig;
 use mc3_core::json::Json;
+use mc3_core::{FxHashMap, StableHasher};
 use mc3_obs::{RequestMetrics, Route};
-use mc3_solver::{Algorithm, Mc3Solver};
+use mc3_solver::{Algorithm, Mc3Solver, SolveCache};
 use mc3_telemetry::Aggregator;
+use std::collections::BTreeMap;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How long a keep-alive connection may sit idle before the worker
 /// reclaims itself.
 const IDLE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Fixed per-entry overhead charged by the request cache on top of the
+/// rendered body: key, LRU slot, map slot, `Json` tree bookkeeping.
+const REQUEST_ENTRY_OVERHEAD: usize = 160;
+
+/// Exact-body response memo for `POST /solve`: keyed by a stable hash of
+/// the raw request body plus the algorithm selector, holding the full
+/// 200-response document. A hit clones the document and re-stamps
+/// `request_id`, so every response stays uniquely attributable.
+struct RequestCache {
+    map: FxHashMap<u128, RequestEntry>,
+    lru: BTreeMap<u64, u128>,
+    bytes: usize,
+    budget: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+struct RequestEntry {
+    doc: Json,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Snapshot of the request-cache counters, rendered into `/metrics`.
+struct RequestCacheStats {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    entries: usize,
+    bytes: usize,
+}
+
+impl RequestCache {
+    fn new(budget: usize) -> RequestCache {
+        RequestCache {
+            map: FxHashMap::default(),
+            lru: BTreeMap::new(),
+            bytes: 0,
+            budget,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn lookup(&mut self, key: u128) -> Option<Json> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&key) {
+            Some(entry) => {
+                self.lru.remove(&entry.tick);
+                entry.tick = tick;
+                self.lru.insert(tick, key);
+                self.hits += 1;
+                Some(entry.doc.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u128, doc: Json, body_len: usize) {
+        let bytes = body_len + REQUEST_ENTRY_OVERHEAD;
+        if bytes > self.budget {
+            return; // never evict the whole cache for one giant response
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.lru.remove(&old.tick);
+            self.bytes -= old.bytes;
+        }
+        while self.bytes + bytes > self.budget {
+            let Some((&oldest, &victim)) = self.lru.iter().next() else {
+                break;
+            };
+            self.lru.remove(&oldest);
+            if let Some(evicted) = self.map.remove(&victim) {
+                self.bytes -= evicted.bytes;
+                self.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        self.lru.insert(self.tick, key);
+        self.map.insert(
+            key,
+            RequestEntry {
+                doc,
+                bytes,
+                tick: self.tick,
+            },
+        );
+        self.bytes += bytes;
+    }
+
+    fn stats(&self) -> RequestCacheStats {
+        RequestCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// Stable exact-body key: length-prefixed body bytes, then the algorithm
+/// selector, through the same seedless hasher the solve cache uses.
+fn body_key(body: &[u8], algorithm: &str) -> u128 {
+    let mut h = StableHasher::new();
+    for bytes in [body, algorithm.as_bytes()] {
+        h.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            h.write_u64(u64::from_le_bytes(w));
+        }
+    }
+    h.finish128()
+}
 
 /// Shared server state: the metric families `/metrics` serves.
 pub struct ServerState {
@@ -54,16 +193,27 @@ pub struct ServerState {
     pub aggregator: Aggregator,
     request_seq: AtomicU64,
     nonce: u64,
+    solve_cache: Option<Arc<SolveCache>>,
+    request_cache: Option<Mutex<RequestCache>>,
 }
 
 impl ServerState {
-    fn new() -> ServerState {
+    fn new(cfg: &ServerConfig) -> ServerState {
+        let caching = !cfg.no_cache && cfg.cache_mb > 0;
         ServerState {
             metrics: RequestMetrics::new(),
             aggregator: Aggregator::new(),
             request_seq: AtomicU64::new(0),
             nonce: mc3_telemetry::monotonic_ns(),
+            solve_cache: caching.then(|| Arc::new(SolveCache::with_capacity_mb(cfg.cache_mb))),
+            request_cache: caching
+                .then(|| Mutex::new(RequestCache::new(cfg.cache_mb * (1 << 20) / 4))),
         }
+    }
+
+    /// The cross-request component solve cache, when enabled.
+    pub fn solve_cache(&self) -> Option<&Arc<SolveCache>> {
+        self.solve_cache.as_ref()
     }
 
     fn next_request_id(&self) -> String {
@@ -103,7 +253,7 @@ impl Server {
         } else {
             cfg.workers
         };
-        let state = Arc::new(ServerState::new());
+        let state = Arc::new(ServerState::new(cfg));
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
             let state = Arc::clone(&state);
@@ -119,6 +269,14 @@ impl Server {
             &[
                 ("addr", mc3_obs::Value::Str(addr.to_string())),
                 ("workers", mc3_obs::Value::U64(workers as u64)),
+                (
+                    "cache_mb",
+                    mc3_obs::Value::U64(if state.solve_cache.is_some() {
+                        cfg.cache_mb as u64
+                    } else {
+                        0
+                    }),
+                ),
             ],
         );
         Ok(Server {
@@ -328,11 +486,50 @@ fn handle_buildinfo() -> HandlerResponse {
     )
 }
 
+/// Live gauge/counter families for the two caches. The cumulative
+/// `mc3_cache_hits_total` / `mc3_cache_misses_total` /
+/// `mc3_cache_evictions_total` counters already arrive through the
+/// telemetry registry ([`mc3_obs::prometheus_text`]); this adds the
+/// instantaneous occupancy families the registry cannot carry, plus the
+/// request-cache plane.
+fn cache_metrics_text(state: &ServerState) -> String {
+    let mut out = String::new();
+    if let Some(cache) = &state.solve_cache {
+        let s = cache.stats();
+        out.push_str("# TYPE mc3_cache_resident_bytes gauge\n");
+        out.push_str(&format!("mc3_cache_resident_bytes {}\n", s.resident_bytes));
+        out.push_str("# TYPE mc3_cache_capacity_bytes gauge\n");
+        out.push_str(&format!("mc3_cache_capacity_bytes {}\n", s.capacity_bytes));
+        out.push_str("# TYPE mc3_cache_entries gauge\n");
+        out.push_str(&format!("mc3_cache_entries {}\n", s.entries));
+    }
+    if let Some(cache) = &state.request_cache {
+        if let Ok(cache) = cache.lock() {
+            let s = cache.stats();
+            out.push_str("# TYPE mc3_request_cache_hits_total counter\n");
+            out.push_str(&format!("mc3_request_cache_hits_total {}\n", s.hits));
+            out.push_str("# TYPE mc3_request_cache_misses_total counter\n");
+            out.push_str(&format!("mc3_request_cache_misses_total {}\n", s.misses));
+            out.push_str("# TYPE mc3_request_cache_evictions_total counter\n");
+            out.push_str(&format!(
+                "mc3_request_cache_evictions_total {}\n",
+                s.evictions
+            ));
+            out.push_str("# TYPE mc3_request_cache_entries gauge\n");
+            out.push_str(&format!("mc3_request_cache_entries {}\n", s.entries));
+            out.push_str("# TYPE mc3_request_cache_resident_bytes gauge\n");
+            out.push_str(&format!("mc3_request_cache_resident_bytes {}\n", s.bytes));
+        }
+    }
+    out
+}
+
 fn handle_metrics(state: &ServerState) -> HandlerResponse {
     let (version, git) = build_ids();
     let mut body = mc3_obs::prometheus_text(&state.aggregator.report());
     body.push_str(&mc3_obs::build_info_text(version, Some(git)));
     body.push_str(&state.metrics.render());
+    body.push_str(&cache_metrics_text(state));
     HandlerResponse {
         status: 200,
         content_type: "text/plain; version=0.0.4",
@@ -348,6 +545,25 @@ fn handle_solve(state: &ServerState, req: &Request, request_id: &str) -> Handler
         },
         None => Algorithm::Auto,
     };
+    // Exact-body fast path: an identical (body, algorithm) pair replays
+    // the memoized response, re-stamped with this request's id.
+    let key = state
+        .request_cache
+        .as_ref()
+        .map(|_| body_key(req.body.as_slice(), algorithm.name()));
+    if let (Some(cache), Some(key)) = (state.request_cache.as_ref(), key) {
+        let cached = match cache.lock() {
+            Ok(mut cache) => cache.lookup(key),
+            Err(_) => None, // poisoned lock: serve uncached, never fail the request
+        };
+        if let Some(mut doc) = cached {
+            if let Json::Object(map) = &mut doc {
+                map.insert("request_id".to_owned(), Json::Str(request_id.to_owned()));
+            }
+            return json_response(200, &doc);
+        }
+    }
+
     let ds = match mc3_workload::read_dataset_json(req.body.as_slice()) {
         Ok(ds) => ds,
         Err(e) => return error_response(400, &format!("bad dataset: {e}")),
@@ -358,10 +574,11 @@ fn handle_solve(state: &ServerState, req: &Request, request_id: &str) -> Handler
     // stays sequential — spans fan out to other threads under
     // `parallel(true)` and would escape the per-request scope.
     let scope = mc3_telemetry::ScopedSession::begin();
-    let solved = Mc3Solver::new()
-        .algorithm(algorithm)
-        .parallel(false)
-        .solve_report(&ds.instance);
+    let mut solver = Mc3Solver::new().algorithm(algorithm).parallel(false);
+    if let Some(cache) = &state.solve_cache {
+        solver = solver.cache(Arc::clone(cache));
+    }
+    let solved = solver.solve_report(&ds.instance);
     let roots = scope.finish();
     state.aggregator.absorb(&roots);
 
@@ -410,5 +627,11 @@ fn handle_solve(state: &ServerState, req: &Request, request_id: &str) -> Handler
             ]),
         ),
     ]);
-    json_response(200, &doc)
+    let response = json_response(200, &doc);
+    if let (Some(cache), Some(key)) = (state.request_cache.as_ref(), key) {
+        if let Ok(mut cache) = cache.lock() {
+            cache.insert(key, doc, response.body.len());
+        }
+    }
+    response
 }

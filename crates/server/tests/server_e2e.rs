@@ -43,11 +43,23 @@ fn requests_total(metrics: &str, route: &str, status: &str) -> u64 {
         .unwrap_or_else(|| panic!("family {needle} missing from:\n{metrics}"))
 }
 
+/// Value of an unlabeled family line (`name value`).
+fn family_value(metrics: &str, name: &str) -> u64 {
+    let needle = format!("{name} ");
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(needle.as_str()))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("family {name} missing from:\n{metrics}"))
+}
+
 #[test]
 fn serving_plane_end_to_end() {
     let server = Server::start(&ServerConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers: 3,
+        cache_mb: 32,
+        no_cache: false,
     })
     .expect("server start");
     let addr = server.local_addr();
@@ -121,6 +133,53 @@ fn serving_plane_end_to_end() {
     assert!(requests_total(&m2, "metrics", "2xx") >= 1);
     assert!(requests_total(&m2, "other", "4xx") >= 1);
 
+    // --- request cache: an identical (body, algorithm) pair replays the
+    // response, byte-equal modulo a freshly stamped request_id ---
+    let (status, first) = request(addr, "POST", "/solve?algorithm=general", Some(&body_bytes));
+    assert_eq!(status, 200);
+    let (status, replay) = request(addr, "POST", "/solve?algorithm=general", Some(&body_bytes));
+    assert_eq!(status, 200);
+    let split_id = |text: &str| {
+        let mut doc = mc3_core::json::parse(text).expect("solve response json");
+        let mc3_core::json::Json::Object(map) = &mut doc else {
+            panic!("solve response is not an object: {text}");
+        };
+        let id = map
+            .remove("request_id")
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .expect("request_id present");
+        (id, doc)
+    };
+    let (first_id, first_doc) = split_id(&first);
+    let (replay_id, replay_doc) = split_id(&replay);
+    assert_eq!(first_doc, replay_doc, "replay must match modulo request_id");
+    assert_ne!(first_id, replay_id, "every response gets a fresh id");
+
+    // --- solve cache: a textually different but isomorphic body misses
+    // the request cache yet answers every component from the shared
+    // component cache ---
+    let mut padded = body_bytes.clone();
+    padded.push(b'\n');
+    let (status, _) = request(addr, "POST", "/solve?algorithm=general", Some(&padded));
+    assert_eq!(status, 200);
+    let (_, m3) = request(addr, "GET", "/metrics", None);
+    for family in [
+        "# TYPE mc3_cache_resident_bytes gauge",
+        "# TYPE mc3_cache_entries gauge",
+        "# TYPE mc3_request_cache_entries gauge",
+    ] {
+        assert!(m3.contains(family), "missing {family} in:\n{m3}");
+    }
+    assert!(
+        family_value(&m3, "mc3_request_cache_hits_total") >= 1,
+        "identical replay must hit the request cache:\n{m3}"
+    );
+    assert!(
+        family_value(&m3, "mc3_cache_hits_total") >= 1,
+        "isomorphic re-solve must hit the component cache:\n{m3}"
+    );
+    assert!(family_value(&m3, "mc3_cache_resident_bytes") > 0);
+
     // --- loadgen against the live server: small mix, no failures ---
     let report = mc3_server::run_loadgen(&LoadgenConfig {
         addr: addr.to_string(),
@@ -134,6 +193,10 @@ fn serving_plane_end_to_end() {
     assert!(report.contains("route solve"), "report: {report}");
     assert!(report.contains("loadgen: PASS"), "report: {report}");
     assert!(report.contains(" 0 failures"), "report: {report}");
+    assert!(
+        report.contains("cache solve-components:"),
+        "report: {report}"
+    );
 
     // --- an impossible SLO must fail the run (non-zero CLI exit) ---
     let err = mc3_server::run_loadgen(&LoadgenConfig {

@@ -1,0 +1,517 @@
+//! Cross-request memoization of per-component solves.
+//!
+//! Observation 3.2 makes the connected component the unit of solver
+//! work, and serving traffic replays structurally identical components
+//! constantly (same workload generators, same seeds, shared catalog
+//! shapes). [`SolveCache`] memoizes component solutions keyed by the
+//! [`mc3_core::canon`] canonical fingerprint, so a repeated component
+//! costs one canonicalization + hash lookup instead of a reduction and
+//! a WSC solve.
+//!
+//! # Safety model
+//!
+//! A cache hit is never trusted blindly: the cached solution (stored in
+//! *canonical* property ids) is remapped through the current
+//! component's relabeling and then re-verified against the live
+//! [`WorkState`] — every classifier must still exist, be usable, sum to
+//! the cached cost, and the remapped masks must cover every residual
+//! query (the mask-level equivalent of the `mc3-core::cover` check,
+//! extended to partially covered queries). Any mismatch — a fingerprint
+//! collision, an entry corrupted by a bug, a weight drift — degrades to
+//! a miss and evicts the entry; the solver then solves the component
+//! from scratch. A corrupted cache can cost time, never correctness.
+//!
+//! # Concurrency and accounting
+//!
+//! The cache is lock-striped into [`SHARDS`] shards selected by key
+//! bits, so the parallel work-stealing component workers rarely
+//! contend. Each shard owns its own LRU order and byte budget
+//! (`capacity / SHARDS`); entry sizes are estimated from their set
+//! payloads. All statistics live under the shard locks — no atomics —
+//! and are summed on demand by [`SolveCache::stats`]. Hits, misses,
+//! evictions and lookup latency are also reported through the
+//! `mc3-telemetry` registry (`cache_hits`/`cache_misses`/
+//! `cache_evictions`/`cache_lookup_ns`), which is what surfaces them as
+//! `mc3_cache_*` Prometheus families in `mc3 serve`.
+
+use crate::work::WorkState;
+use mc3_core::canon::{self, Canonical, StableHasher};
+use mc3_core::{u32_of, ClassifierId, FxHashMap, PropSet, Weight};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Number of lock stripes. A power of two so shard selection is a mask.
+const SHARDS: usize = 16;
+
+/// Fixed per-entry overhead estimate (map node, LRU node, `Entry`).
+const ENTRY_OVERHEAD: usize = 112;
+
+/// One memoized component solution, in canonical property ids.
+#[derive(Debug, Clone)]
+pub struct CachedSolve {
+    /// The chosen classifiers, each a sorted set of canonical ids.
+    pub sets: Vec<Vec<u32>>,
+    /// Total weight of the solution when it was inserted (raw `Weight`).
+    pub cost_raw: u64,
+}
+
+impl CachedSolve {
+    fn bytes(&self) -> usize {
+        ENTRY_OVERHEAD
+            + self
+                .sets
+                .iter()
+                .map(|s| std::mem::size_of::<Vec<u32>>() + 4 * s.len())
+                .sum::<usize>()
+    }
+}
+
+struct Entry {
+    solve: CachedSolve,
+    bytes: usize,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<u128, Entry>,
+    /// LRU order: tick → key. Ticks are unique per shard.
+    lru: BTreeMap<u64, u128>,
+    bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: u128) {
+        if let Some(e) = self.map.get_mut(&key) {
+            self.lru.remove(&e.tick);
+            self.tick += 1;
+            e.tick = self.tick;
+            self.lru.insert(self.tick, key);
+        }
+    }
+
+    fn remove(&mut self, key: u128) {
+        if let Some(e) = self.map.remove(&key) {
+            self.lru.remove(&e.tick);
+            self.bytes -= e.bytes;
+        }
+    }
+
+    fn evict_to(&mut self, budget: usize) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > budget {
+            let Some((&tick, &key)) = self.lru.iter().next() else {
+                break;
+            };
+            self.lru.remove(&tick);
+            if let Some(e) = self.map.remove(&key) {
+                self.bytes -= e.bytes;
+            }
+            evicted += 1;
+        }
+        self.evictions += evicted;
+        evicted
+    }
+}
+
+/// Aggregated statistics of a [`SolveCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (after successful re-verification).
+    pub hits: u64,
+    /// Lookups that found nothing usable (including failed re-verifies).
+    pub misses: u64,
+    /// Entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Entries inserted over the cache's lifetime.
+    pub insertions: u64,
+    /// Live entries right now.
+    pub entries: u64,
+    /// Estimated resident bytes right now.
+    pub resident_bytes: u64,
+    /// Configured capacity in bytes.
+    pub capacity_bytes: u64,
+}
+
+/// A lock-striped, byte-bounded, LRU-evicting memoization cache for
+/// per-component solves, keyed by canonical fingerprint (mixed with a
+/// solver-configuration digest, so e.g. `general` and `k2` results never
+/// alias).
+pub struct SolveCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for SolveCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveCache")
+            .field("capacity_bytes", &self.capacity)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl SolveCache {
+    /// A cache bounded to (an estimate of) `bytes` resident bytes.
+    pub fn with_capacity_bytes(bytes: usize) -> SolveCache {
+        SolveCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: (bytes / SHARDS).max(ENTRY_OVERHEAD),
+            capacity: bytes,
+        }
+    }
+
+    /// A cache bounded to `mb` megabytes.
+    pub fn with_capacity_mb(mb: usize) -> SolveCache {
+        Self::with_capacity_bytes(mb.saturating_mul(1024 * 1024))
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<Shard> {
+        &self.shards[(key as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up a candidate entry, refreshing its LRU position. Does
+    /// *not* count a hit — callers must re-verify the candidate first
+    /// and then call [`confirm_hit`](Self::confirm_hit) or
+    /// [`reject`](Self::reject).
+    pub fn lookup(&self, key: u128) -> Option<CachedSolve> {
+        let mut shard = self.shard(key).lock().ok()?;
+        shard.touch(key);
+        shard.map.get(&key).map(|e| e.solve.clone())
+    }
+
+    /// Records a verified hit.
+    pub fn confirm_hit(&self, key: u128) {
+        if let Ok(mut shard) = self.shard(key).lock() {
+            shard.hits += 1;
+        }
+        mc3_telemetry::count(mc3_telemetry::Counter::CacheHits, 1);
+    }
+
+    /// Records a miss (no entry, or a candidate that failed verification).
+    pub fn note_miss(&self, key: u128) {
+        if let Ok(mut shard) = self.shard(key).lock() {
+            shard.misses += 1;
+        }
+        mc3_telemetry::count(mc3_telemetry::Counter::CacheMisses, 1);
+    }
+
+    /// Drops an entry that failed re-verification (collision/corruption).
+    pub fn reject(&self, key: u128) {
+        if let Ok(mut shard) = self.shard(key).lock() {
+            shard.remove(key);
+        }
+    }
+
+    /// Inserts (or replaces) an entry, evicting LRU entries as needed to
+    /// stay under the shard's byte budget. Entries larger than the
+    /// budget are not admitted at all.
+    pub fn insert(&self, key: u128, solve: CachedSolve) {
+        let bytes = solve.bytes();
+        if bytes > self.shard_budget {
+            return;
+        }
+        let evicted = {
+            let Ok(mut shard) = self.shard(key).lock() else {
+                return;
+            };
+            shard.remove(key);
+            shard.tick += 1;
+            let tick = shard.tick;
+            shard.lru.insert(tick, key);
+            shard.bytes += bytes;
+            shard.insertions += 1;
+            shard.map.insert(key, Entry { solve, bytes, tick });
+            shard.evict_to(self.shard_budget)
+        };
+        if evicted > 0 {
+            mc3_telemetry::count(mc3_telemetry::Counter::CacheEvictions, evicted);
+        }
+    }
+
+    /// Sums per-shard statistics.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = CacheStats {
+            capacity_bytes: self.capacity as u64,
+            ..CacheStats::default()
+        };
+        for shard in &self.shards {
+            if let Ok(shard) = shard.lock() {
+                s.hits += shard.hits;
+                s.misses += shard.misses;
+                s.evictions += shard.evictions;
+                s.insertions += shard.insertions;
+                s.entries += shard.map.len() as u64;
+                s.resident_bytes += shard.bytes as u64;
+            }
+        }
+        s
+    }
+}
+
+/// Mixes a component fingerprint with the solver-configuration digest
+/// into the final cache key.
+pub(crate) fn component_key(canonical: &Canonical, config_digest: u64) -> u128 {
+    let mut h = StableHasher::new();
+    h.write_u64(config_digest);
+    h.write_u64((canonical.fingerprint() >> 64) as u64);
+    h.write_u64(canonical.fingerprint() as u64);
+    h.finish128()
+}
+
+fn write_str(h: &mut StableHasher, s: &str) {
+    let bytes = s.as_bytes();
+    h.write_u64(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h.write_u64(u64::from_le_bytes(word));
+    }
+}
+
+/// A stable digest of every configuration knob that changes what a
+/// component solve produces. Two configurations with different digests
+/// never share cache entries.
+pub(crate) fn config_digest(
+    effective: crate::Algorithm,
+    config: &crate::SolverConfig,
+    kp: usize,
+) -> u64 {
+    let mut h = StableHasher::new();
+    write_str(&mut h, effective.name());
+    write_str(&mut h, &format!("{:?}", config.wsc_strategy));
+    write_str(&mut h, &format!("{:?}", config.lp_limits));
+    write_str(&mut h, &format!("{:?}", config.flow_algorithm));
+    h.write_u64(u64::from(config.refine_wsc));
+    h.write_u64(kp as u64);
+    h.finish128() as u64
+}
+
+/// Canonicalizes one residual component of the working state: the
+/// original queries with their covered masks, and the live weight
+/// oracle (removed / absent → ∞, selected → 0).
+pub(crate) fn component_canonical(
+    ws: &WorkState<'_>,
+    comp: &[usize],
+    kp: usize,
+) -> Option<Canonical> {
+    let queries: Vec<(&mc3_core::Query, u32)> = comp
+        .iter()
+        .map(|&q| (&ws.instance.queries()[q], ws.covered[q]))
+        .collect();
+    canon::canonicalize(&queries, kp, canon::DEFAULT_BUDGET, |qi, mask| {
+        let local = ws.universe.query_local(comp[qi]);
+        let id = local.table[mask as usize];
+        if id.is_none() || !ws.is_available(id) {
+            Weight::INFINITE
+        } else {
+            ws.weight[id.index()]
+        }
+    })
+}
+
+/// Remaps a cached canonical solution back into the current component's
+/// classifier ids and re-verifies it end to end. `None` = unusable
+/// (treat as a miss).
+pub(crate) fn remap_verified(
+    ws: &WorkState<'_>,
+    comp: &[usize],
+    canonical: &Canonical,
+    cached: &CachedSolve,
+) -> Option<Vec<ClassifierId>> {
+    let mut ids = Vec::with_capacity(cached.sets.len());
+    let mut total = Weight::ZERO;
+    for set in &cached.sets {
+        let props: Option<Vec<mc3_core::PropId>> =
+            set.iter().map(|&c| canonical.original_of(c)).collect();
+        let ps = PropSet::from_ids(props?);
+        let id = ws.universe.id_of(&ps)?;
+        if !ws.is_usable(id) {
+            return None;
+        }
+        total = total.saturating_add(ws.weight[id.index()]);
+        ids.push(id);
+    }
+    if total.is_infinite() || total.raw() != cached.cost_raw {
+        return None;
+    }
+    // Residual cover check: the union of the remapped classifiers' masks
+    // must include every still-needed bit of every component query.
+    let mut pos_of: FxHashMap<u32, usize> = FxHashMap::default();
+    for (i, &q) in comp.iter().enumerate() {
+        pos_of.insert(u32_of(q), i);
+    }
+    let mut union = vec![0u32; comp.len()];
+    for &id in &ids {
+        for (q, mask) in ws.occurrences(id) {
+            if let Some(&i) = pos_of.get(&q) {
+                union[i] |= mask;
+            }
+        }
+    }
+    for (i, &q) in comp.iter().enumerate() {
+        let need = ws.need(q);
+        if union[i] & need != need {
+            return None;
+        }
+    }
+    Some(ids)
+}
+
+/// Expresses a fresh component solution in canonical ids for insertion.
+/// `None` when a classifier strays outside the canonicalized props
+/// (cannot happen for component-local solves; checked defensively).
+pub(crate) fn canonical_sets(
+    ws: &WorkState<'_>,
+    canonical: &Canonical,
+    ids: &[ClassifierId],
+) -> Option<CachedSolve> {
+    let mut sets = Vec::with_capacity(ids.len());
+    let mut total = Weight::ZERO;
+    for &id in ids {
+        let set: Option<Vec<u32>> = ws
+            .universe
+            .classifier(id)
+            .iter()
+            .map(|p| canonical.canonical_of(p))
+            .collect();
+        let mut set = set?;
+        set.sort_unstable();
+        sets.push(set);
+        total = total.saturating_add(ws.weight[id.index()]);
+    }
+    if total.is_infinite() {
+        return None;
+    }
+    sets.sort_unstable();
+    Some(CachedSolve {
+        sets,
+        cost_raw: total.raw(),
+    })
+}
+
+/// Everything the per-component loop needs to consult the cache.
+pub(crate) struct CacheContext {
+    pub cache: Arc<SolveCache>,
+    pub digest: u64,
+    pub kp: usize,
+}
+
+impl CacheContext {
+    /// The full consult: canonicalize → lookup → remap + re-verify; on a
+    /// miss, run `solve` and memoize its result. When canonicalization
+    /// exhausts its budget the component is solved uncached and neither
+    /// a hit nor a miss is recorded (the cache was never consulted).
+    pub fn solve_component(
+        &self,
+        ws: &WorkState<'_>,
+        comp: &[usize],
+        solve: impl FnOnce() -> mc3_core::Result<Vec<ClassifierId>>,
+    ) -> mc3_core::Result<Vec<ClassifierId>> {
+        let t0 = mc3_telemetry::monotonic_ns();
+        let Some(canonical) = component_canonical(ws, comp, self.kp) else {
+            return solve();
+        };
+        let key = component_key(&canonical, self.digest);
+        if let Some(cached) = self.cache.lookup(key) {
+            if let Some(ids) = remap_verified(ws, comp, &canonical, &cached) {
+                self.cache.confirm_hit(key);
+                mc3_telemetry::record(
+                    mc3_telemetry::Hist::CacheLookupNs,
+                    mc3_telemetry::monotonic_ns().saturating_sub(t0),
+                );
+                return Ok(ids);
+            }
+            // Collision or corruption: never trust it, never keep it.
+            self.cache.reject(key);
+        }
+        self.cache.note_miss(key);
+        mc3_telemetry::record(
+            mc3_telemetry::Hist::CacheLookupNs,
+            mc3_telemetry::monotonic_ns().saturating_sub(t0),
+        );
+        let ids = solve()?;
+        if let Some(solve) = canonical_sets(ws, &canonical, &ids) {
+            self.cache.insert(key, solve);
+        }
+        Ok(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: usize, fill: u32) -> CachedSolve {
+        CachedSolve {
+            sets: vec![vec![fill; n]],
+            cost_raw: u64::from(fill),
+        }
+    }
+
+    #[test]
+    fn lookup_insert_roundtrip_and_stats() {
+        let cache = SolveCache::with_capacity_mb(1);
+        assert!(cache.lookup(7).is_none());
+        cache.note_miss(7);
+        cache.insert(7, entry(3, 9));
+        let got = cache.lookup(7).expect("present");
+        assert_eq!(got.sets, vec![vec![9, 9, 9]]);
+        assert_eq!(got.cost_raw, 9);
+        cache.confirm_hit(7);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.capacity_bytes, 1024 * 1024);
+        assert!(s.resident_bytes > 0);
+    }
+
+    #[test]
+    fn reject_drops_the_entry() {
+        let cache = SolveCache::with_capacity_mb(1);
+        cache.insert(5, entry(2, 1));
+        assert!(cache.lookup(5).is_some());
+        cache.reject(5);
+        assert!(cache.lookup(5).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_first() {
+        // Budget fits ~2 entries per shard; keys 0, 16, 32 share shard 0.
+        let cache = SolveCache::with_capacity_bytes(SHARDS * (2 * ENTRY_OVERHEAD + 64));
+        cache.insert(0, entry(1, 1));
+        cache.insert(16, entry(1, 2));
+        // Touch key 0 so key 16 is the LRU victim.
+        assert!(cache.lookup(0).is_some());
+        cache.insert(32, entry(1, 3));
+        assert!(cache.lookup(16).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(0).is_some());
+        assert!(cache.lookup(32).is_some());
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn oversized_entries_are_not_admitted() {
+        let cache = SolveCache::with_capacity_bytes(SHARDS * ENTRY_OVERHEAD);
+        cache.insert(3, entry(100_000, 1));
+        assert!(cache.lookup(3).is_none());
+        assert_eq!(cache.stats().insertions, 0);
+    }
+
+    #[test]
+    fn replacing_an_entry_does_not_leak_bytes() {
+        let cache = SolveCache::with_capacity_mb(1);
+        cache.insert(9, entry(50, 1));
+        let before = cache.stats().resident_bytes;
+        cache.insert(9, entry(50, 2));
+        assert_eq!(cache.stats().resident_bytes, before);
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.lookup(9).map(|e| e.cost_raw), Some(2));
+    }
+}

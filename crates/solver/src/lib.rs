@@ -14,11 +14,14 @@
 //!   including **Short-First** (§4, "Almost k = 2");
 //! * [`baselines`] — Property-Oriented, Query-Oriented, Mixed \[13\] and
 //!   Local-Greedy (§6.1);
+//! * [`cache`] — cross-request memoization of per-component solves,
+//!   keyed by `mc3-core::canon` canonical fingerprints;
 //! * [`exact`] — an exponential-time exact reference solver;
 //! * [`partial`] — the budgeted partial-cover future-work variant (§5.3);
 //! * [`multivalued_ext`] — mixed binary + multi-valued classifiers (§5.3).
 
 pub mod baselines;
+pub mod cache;
 pub mod components;
 pub mod cover_dp;
 pub mod exact;
@@ -34,6 +37,7 @@ pub mod solver;
 pub mod verify;
 pub mod work;
 
+pub use cache::{CacheStats, CachedSolve, SolveCache};
 pub use exact::solve_exact;
 pub use general::{LpLimits, WscStrategy};
 pub use mc3_flow::FlowAlgorithm;

@@ -104,6 +104,13 @@ pub struct SolverConfig {
     /// classifiers only. Prebuilt classifiers outside `C_Q` are ignored
     /// (they cannot participate in any cover).
     pub prebuilt: Vec<mc3_core::Classifier>,
+    /// Memoization cache for per-component solves, shared across solver
+    /// instances (and, in `mc3 serve`, across requests). `None` — the
+    /// default — disables memoization entirely: the solve path is then
+    /// byte-for-byte the uncached pipeline, which keeps `mc3 bench-gate`
+    /// counters and allocations deterministic. Ignored when `prebuilt`
+    /// is non-empty (inventory re-pricing is request-local).
+    pub cache: Option<std::sync::Arc<crate::cache::SolveCache>>,
 }
 
 impl Default for SolverConfig {
@@ -118,6 +125,7 @@ impl Default for SolverConfig {
             refine_wsc: true,
             flow_algorithm: mc3_flow::FlowAlgorithm::Dinic,
             prebuilt: Vec::new(),
+            cache: None,
         }
     }
 }
@@ -280,6 +288,16 @@ impl Mc3Solver {
         self
     }
 
+    /// Shares a [`SolveCache`](crate::cache::SolveCache): per-component
+    /// solutions are memoized by canonical fingerprint and reused —
+    /// after re-verification — whenever a structurally identical
+    /// component shows up again, in this solve or any later solve
+    /// holding the same cache.
+    pub fn cache(mut self, cache: std::sync::Arc<crate::cache::SolveCache>) -> Self {
+        self.config.cache = Some(cache);
+        self
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &SolverConfig {
         &self.config
@@ -382,13 +400,29 @@ impl Mc3Solver {
             }
         }
 
+        // Cross-request memoization (opt-in): consulted per component,
+        // keyed by canonical fingerprint + a config digest. Disabled with
+        // a prebuilt inventory, whose zero re-pricing is request-local.
+        let cache_ctx = if self.config.prebuilt.is_empty() {
+            self.config
+                .cache
+                .as_ref()
+                .map(|c| crate::cache::CacheContext {
+                    cache: std::sync::Arc::clone(c),
+                    digest: crate::cache::config_digest(effective, &self.config, kp),
+                    kp,
+                })
+        } else {
+            None
+        };
+
         // One ReductionScratch per worker (or one for the sequential loop):
         // reductions across components reuse the same buffers instead of
         // reallocating both CSR directions per component.
         let solve_component = |comp: &[usize],
                                scratch: &mut crate::reduction::ReductionScratch|
          -> Result<Vec<ClassifierId>> {
-            match effective {
+            let mut run = || match effective {
                 Algorithm::K2Exact => solve_k2_with(&ws, comp, self.config.flow_algorithm),
                 Algorithm::General | Algorithm::ShortFirst => {
                     crate::general::solve_general_scratch(
@@ -401,6 +435,10 @@ impl Mc3Solver {
                     )
                 }
                 _ => unreachable!("pipeline algorithms only"),
+            };
+            match &cache_ctx {
+                Some(ctx) => ctx.solve_component(&ws, comp, run),
+                None => run(),
             }
         };
 

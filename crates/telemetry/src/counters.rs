@@ -98,6 +98,12 @@ declare_counters! {
     VerifyRatioChecks => "verify_ratio_checks",
     /// Verify feature: end-to-end solution certificates re-checked.
     VerifyCertificateChecks => "verify_certificate_checks",
+    /// Solve cache: component lookups answered from the cache.
+    CacheHits => "cache_hits",
+    /// Solve cache: component lookups that missed (or failed re-verify).
+    CacheMisses => "cache_misses",
+    /// Solve cache: entries evicted to stay under the byte budget.
+    CacheEvictions => "cache_evictions",
     /// Memprof: heap allocations observed while the session gate was on.
     MemAllocs => "mem_allocs",
     /// Memprof: bytes requested by those allocations.
@@ -138,6 +144,8 @@ declare_hists! {
     GreedyPickCoverage => "greedy_pick_coverage",
     /// Simplex pivots per `optimize` run (phase 1 and phase 2 separately).
     LpIterations => "lp_iterations",
+    /// Nanoseconds per solve-cache lookup (hit or miss, incl. re-verify).
+    CacheLookupNs => "cache_lookup_ns",
     /// Requested size in bytes of every tracked heap allocation.
     AllocSize => "alloc_size_bytes",
 }

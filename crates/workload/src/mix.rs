@@ -24,6 +24,10 @@ pub enum GeneratorKind {
     Private,
     /// Only the Fashion category of the private-alike dataset.
     PrivateFashion,
+    /// Components drawn from a small pool of repeated shapes on disjoint
+    /// property ranges — the serving pattern the cross-request solve
+    /// cache targets (isomorphic components recur across bodies).
+    DuplicateHeavy,
 }
 
 impl GeneratorKind {
@@ -37,6 +41,7 @@ impl GeneratorKind {
             GeneratorKind::BestBuy => "bestbuy",
             GeneratorKind::Private => "private",
             GeneratorKind::PrivateFashion => "private-fashion",
+            GeneratorKind::DuplicateHeavy => "duplicate-heavy",
         }
     }
 
@@ -48,8 +53,9 @@ impl GeneratorKind {
             "bestbuy" => Ok(GeneratorKind::BestBuy),
             "private" => Ok(GeneratorKind::Private),
             "private-fashion" => Ok(GeneratorKind::PrivateFashion),
+            "duplicate-heavy" => Ok(GeneratorKind::DuplicateHeavy),
             other => Err(format!(
-                "unknown generator '{other}' (expected synthetic, synthetic-short, bestbuy, private, private-fashion)"
+                "unknown generator '{other}' (expected synthetic, synthetic-short, bestbuy, private, private-fashion, duplicate-heavy)"
             )),
         }
     }
@@ -78,7 +84,54 @@ pub fn generate_dataset(kind: GeneratorKind, queries: usize, seed: u64) -> Datas
             cfg.seed = seed.max(1);
             cfg.generate_fashion()
         }
+        GeneratorKind::DuplicateHeavy => generate_duplicate_heavy(queries, seed),
     }
+}
+
+/// Fixed pool of connected component shapes (local property ids). Every
+/// duplicate-heavy instance is a seed-shuffled concatenation of these on
+/// disjoint property ranges, so any two instances — whatever their seeds
+/// — share component fingerprints pairwise.
+const DUPLICATE_SHAPES: &[&[&[u32]]] = &[
+    &[&[0, 1], &[1, 2]],
+    &[&[0, 1, 2], &[1, 2, 3]],
+    &[&[0], &[0, 1], &[1, 2]],
+    &[&[0, 1], &[0, 2], &[1, 2]],
+    &[&[0, 1, 2], &[2, 3], &[3, 4]],
+    &[&[0, 2], &[1, 2, 3], &[0, 3]],
+    &[&[0, 1, 2, 3], &[2, 3, 4]],
+    &[&[0, 1], &[1, 2], &[2, 3], &[3, 0]],
+];
+
+/// The duplicate-heavy serving workload: `queries` queries assembled from
+/// [`DUPLICATE_SHAPES`], uniform costs (cost is a property of the shape,
+/// so isomorphism is exact). The seed only permutes which shapes recur
+/// and how often — it never invents a new component structure.
+fn generate_duplicate_heavy(queries: usize, seed: u64) -> Dataset {
+    use mc3_core::rng::prelude::*;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xD0_9E));
+    let mut qs: Vec<Vec<u32>> = Vec::with_capacity(queries);
+    let mut base = 0u32;
+    while qs.len() < queries {
+        let shape = DUPLICATE_SHAPES[rng.gen_range(0..DUPLICATE_SHAPES.len())];
+        let width = shape
+            .iter()
+            .flat_map(|q| q.iter().copied())
+            .max()
+            .unwrap_or(0)
+            + 1;
+        for q in shape {
+            if qs.len() == queries {
+                break;
+            }
+            qs.push(q.iter().map(|p| base + p).collect());
+        }
+        base += width;
+    }
+    let instance = mc3_core::Instance::new(qs, mc3_core::Weights::uniform(2u64))
+        // audit:allow(no-unwrap-in-lib) generator invariant: shape-pool queries are non-empty with len <= 4
+        .expect("generator produces valid queries");
+    Dataset::new(format!("duplicate-heavy-{queries}-{seed}"), instance)
 }
 
 /// One weighted workload in a request mix.
@@ -255,10 +308,48 @@ mod tests {
             GeneratorKind::BestBuy,
             GeneratorKind::Private,
             GeneratorKind::PrivateFashion,
+            GeneratorKind::DuplicateHeavy,
         ] {
             assert_eq!(GeneratorKind::parse(kind.name()), Ok(kind));
         }
         assert!(GeneratorKind::parse("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_heavy_recycles_shapes_across_seeds() {
+        let a = generate_dataset(GeneratorKind::DuplicateHeavy, 60, 1);
+        let b = generate_dataset(GeneratorKind::DuplicateHeavy, 60, 2);
+        assert_eq!(a.instance.num_queries(), 60);
+        assert_eq!(b.instance.num_queries(), 60);
+        // Deterministic per spec.
+        let a2 = generate_dataset(GeneratorKind::DuplicateHeavy, 60, 1);
+        assert_eq!(a.instance.queries(), a2.instance.queries());
+        // Different seeds produce different query loads built from the
+        // same shape pool: normalize each query to its local (rebased)
+        // spelling and the vocabularies coincide.
+        assert_ne!(a.instance.queries(), b.instance.queries());
+        let local_shapes = |ds: &crate::Dataset| {
+            ds.instance
+                .queries()
+                .iter()
+                .map(|q| {
+                    let ids = q.ids();
+                    let lo = ids.first().copied().map_or(0, |p| p.0);
+                    ids.iter().map(|p| p.0 - lo).collect::<Vec<u32>>()
+                })
+                .collect::<std::collections::BTreeSet<Vec<u32>>>()
+        };
+        let pool: std::collections::BTreeSet<Vec<u32>> = DUPLICATE_SHAPES
+            .iter()
+            .flat_map(|shape| {
+                shape.iter().map(|q| {
+                    let lo = q.iter().copied().min().unwrap_or(0);
+                    q.iter().map(|p| p - lo).collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        assert!(local_shapes(&a).is_subset(&pool));
+        assert!(local_shapes(&b).is_subset(&pool));
     }
 
     #[test]
