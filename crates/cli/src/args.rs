@@ -48,6 +48,9 @@ pub enum Command {
         parallel: bool,
         /// Bounded classifier length `k'`.
         max_classifier_len: Option<usize>,
+        /// Worker count for the shared solve executor under `--parallel`
+        /// (0 = one per available core).
+        threads: usize,
         /// Optional solution output path (`-` = stdout).
         out: Option<String>,
         /// Telemetry trace: `None` = off, `Some(None)` = print the span
@@ -145,7 +148,7 @@ pub enum Command {
         dataset: String,
     },
     /// `mc3 serve [--addr HOST:PORT] [--workers N] [--cache-mb MB]
-    /// [--no-cache]`
+    /// [--no-cache] [--solve-threads N]`
     Serve {
         /// Listen address.
         addr: String,
@@ -155,9 +158,11 @@ pub enum Command {
         cache_mb: usize,
         /// Disable the solve and request caches.
         no_cache: bool,
+        /// Shared solve-executor size (0 = one per available core).
+        solve_threads: usize,
     },
     /// `mc3 loadgen [--addr HOST:PORT] [--duration SECS] [--concurrency N]
-    /// [--mix SPEC] [--slo p99=MS]`
+    /// [--mix SPEC] [--slo p99=MS] [--batch N]`
     Loadgen {
         /// Server address to drive.
         addr: String,
@@ -169,6 +174,8 @@ pub enum Command {
         mix: Option<String>,
         /// p99 latency SLO for `/solve`, in milliseconds.
         slo_p99_ms: Option<u64>,
+        /// Items per request: `N > 1` drives `POST /solve-batch`.
+        batch: usize,
     },
     /// `mc3 help`
     Help,
@@ -185,7 +192,7 @@ USAGE:
   mc3 stats <DATASET.json>
   mc3 solve <DATASET.json> [--algorithm <auto|k2|general|short-first|exact|
                              property-oriented|query-oriented|mixed|local-greedy>]
-            [--no-preprocess] [--no-refine] [--parallel]
+            [--no-preprocess] [--no-refine] [--parallel] [--threads <N>]
             [--max-classifier-len <K>] [--out <FILE|->] [--trace[=<FILE>]]
             [--chrome <FILE>]
   mc3 profile [DATASET.json] [--kind <K>] [--queries <N>] [--seed <S>]
@@ -200,8 +207,10 @@ USAGE:
             --out <FILE|->
   mc3 compare <DATASET.json>
   mc3 serve [--addr <HOST:PORT>] [--workers <N>] [--cache-mb <MB>] [--no-cache]
+            [--solve-threads <N>]
   mc3 loadgen [--addr <HOST:PORT>] [--duration <SECS>] [--concurrency <N>]
               [--mix <kind:queries:seed[:algo][xW],...>] [--slo p99=<MS>]
+              [--batch <N>]
   mc3 help
 ";
 
@@ -297,6 +306,7 @@ impl Cli {
                 let mut no_refine = false;
                 let mut parallel = false;
                 let mut max_classifier_len = None;
+                let mut threads = 0usize;
                 let mut out = None;
                 let mut trace = None;
                 let mut chrome = None;
@@ -306,6 +316,12 @@ impl Cli {
                         "--no-preprocess" => no_preprocess = true,
                         "--no-refine" => no_refine = true,
                         "--parallel" => parallel = true,
+                        "--threads" => {
+                            threads = s
+                                .value_of("--threads")?
+                                .parse()
+                                .map_err(|e| format!("--threads: {e}"))?
+                        }
                         "--max-classifier-len" => {
                             max_classifier_len = Some(
                                 s.value_of("--max-classifier-len")?
@@ -329,6 +345,7 @@ impl Cli {
                     no_refine,
                     parallel,
                     max_classifier_len,
+                    threads,
                     out,
                     trace,
                     chrome,
@@ -534,6 +551,7 @@ impl Cli {
                 let mut workers = 0usize;
                 let mut cache_mb = 64usize;
                 let mut no_cache = false;
+                let mut solve_threads = 0usize;
                 while let Some(flag) = s.next().map(str::to_owned) {
                     match flag.as_str() {
                         "--addr" => addr = s.value_of("--addr")?,
@@ -550,6 +568,12 @@ impl Cli {
                                 .map_err(|e| format!("--cache-mb: {e}"))?
                         }
                         "--no-cache" => no_cache = true,
+                        "--solve-threads" => {
+                            solve_threads = s
+                                .value_of("--solve-threads")?
+                                .parse()
+                                .map_err(|e| format!("--solve-threads: {e}"))?
+                        }
                         other => return Err(format!("unknown flag '{other}' for serve")),
                     }
                 }
@@ -558,6 +582,7 @@ impl Cli {
                     workers,
                     cache_mb,
                     no_cache,
+                    solve_threads,
                 }
             }
             "loadgen" => {
@@ -566,6 +591,7 @@ impl Cli {
                 let mut concurrency = 4usize;
                 let mut mix = None;
                 let mut slo_p99_ms = None;
+                let mut batch = 1usize;
                 while let Some(flag) = s.next().map(str::to_owned) {
                     match flag.as_str() {
                         "--addr" => addr = s.value_of("--addr")?,
@@ -581,6 +607,12 @@ impl Cli {
                                 .map_err(|e| format!("--concurrency: {e}"))?
                         }
                         "--mix" => mix = Some(s.value_of("--mix")?),
+                        "--batch" => {
+                            batch = s
+                                .value_of("--batch")?
+                                .parse()
+                                .map_err(|e| format!("--batch: {e}"))?
+                        }
                         "--slo" => {
                             let v = s.value_of("--slo")?;
                             let ms = v
@@ -601,6 +633,7 @@ impl Cli {
                     concurrency,
                     mix,
                     slo_p99_ms,
+                    batch,
                 }
             }
             other => return Err(format!("unknown command '{other}'\n{USAGE}")),
@@ -652,6 +685,8 @@ mod tests {
             "short-first",
             "--no-preprocess",
             "--parallel",
+            "--threads",
+            "3",
             "--max-classifier-len",
             "2",
         ])
@@ -662,6 +697,7 @@ mod tests {
                 algorithm,
                 no_preprocess,
                 parallel,
+                threads,
                 max_classifier_len,
                 ..
             } => {
@@ -669,10 +705,15 @@ mod tests {
                 assert_eq!(algorithm, Algorithm::ShortFirst);
                 assert!(no_preprocess);
                 assert!(parallel);
+                assert_eq!(threads, 3);
                 assert_eq!(max_classifier_len, Some(2));
             }
             other => panic!("wrong command: {other:?}"),
         }
+        // --threads defaults to 0 (auto) and rejects non-numbers.
+        let cli = Cli::parse(["solve", "d.json", "--parallel"]).unwrap();
+        assert!(matches!(cli.command, Command::Solve { threads: 0, .. }));
+        assert!(Cli::parse(["solve", "d.json", "--threads", "many"]).is_err());
     }
 
     #[test]
@@ -928,11 +969,13 @@ mod tests {
                 workers,
                 cache_mb,
                 no_cache,
+                solve_threads,
             } => {
                 assert_eq!(addr, "127.0.0.1:7920");
                 assert_eq!(workers, 0);
                 assert_eq!(cache_mb, 64);
                 assert!(!no_cache);
+                assert_eq!(solve_threads, 0);
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -945,6 +988,8 @@ mod tests {
             "--cache-mb",
             "128",
             "--no-cache",
+            "--solve-threads",
+            "5",
         ])
         .unwrap();
         match cli.command {
@@ -953,11 +998,13 @@ mod tests {
                 workers,
                 cache_mb,
                 no_cache,
+                solve_threads,
             } => {
                 assert_eq!(addr, "0.0.0.0:8080");
                 assert_eq!(workers, 6);
                 assert_eq!(cache_mb, 128);
                 assert!(no_cache);
+                assert_eq!(solve_threads, 5);
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -973,6 +1020,8 @@ mod tests {
             "synthetic:100:7",
             "--slo",
             "p99=500ms",
+            "--batch",
+            "8",
         ])
         .unwrap();
         match cli.command {
@@ -982,12 +1031,14 @@ mod tests {
                 concurrency,
                 mix,
                 slo_p99_ms,
+                batch,
             } => {
                 assert_eq!(addr, "127.0.0.1:9999");
                 assert_eq!(duration_secs, 5);
                 assert_eq!(concurrency, 8);
                 assert_eq!(mix.as_deref(), Some("synthetic:100:7"));
                 assert_eq!(slo_p99_ms, Some(500));
+                assert_eq!(batch, 8);
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -999,16 +1050,19 @@ mod tests {
                 concurrency,
                 mix,
                 slo_p99_ms,
+                batch,
                 ..
             } => {
                 assert_eq!(duration_secs, 3);
                 assert_eq!(concurrency, 4);
                 assert_eq!(mix, None);
                 assert_eq!(slo_p99_ms, Some(250));
+                assert_eq!(batch, 1);
             }
             other => panic!("wrong command: {other:?}"),
         }
         assert!(Cli::parse(["loadgen", "--slo", "p50=10"]).is_err());
+        assert!(Cli::parse(["loadgen", "--batch", "nope"]).is_err());
         assert!(Cli::parse(["loadgen", "--concurrency", "0"]).is_err());
         assert!(Cli::parse(["serve", "--frob"]).is_err());
     }

@@ -28,6 +28,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             no_refine,
             parallel,
             max_classifier_len,
+            threads,
             out,
             trace,
             chrome,
@@ -38,6 +39,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             *no_refine,
             *parallel,
             *max_classifier_len,
+            *threads,
             out.as_deref(),
             trace.as_ref(),
             chrome.as_deref(),
@@ -107,12 +109,14 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             workers,
             cache_mb,
             no_cache,
+            solve_threads,
         } => {
             let cfg = mc3_server::ServerConfig {
                 addr: addr.clone(),
                 workers: *workers,
                 cache_mb: *cache_mb,
                 no_cache: *no_cache,
+                solve_threads: *solve_threads,
             };
             let server = mc3_server::Server::start(&cfg)?;
             // Announce before blocking: `join` only returns on a fatal
@@ -126,6 +130,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
             concurrency,
             mix,
             slo_p99_ms,
+            batch,
         } => {
             let mix = match mix {
                 Some(spec) => mc3_workload::RequestMix::parse(spec)?,
@@ -137,6 +142,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
                 concurrency: *concurrency,
                 mix,
                 slo_p99_ms: *slo_p99_ms,
+                batch: *batch,
             };
             mc3_server::run_loadgen(&cfg)
         }
@@ -225,12 +231,16 @@ fn solve(
     no_refine: bool,
     parallel: bool,
     max_classifier_len: Option<usize>,
+    threads: usize,
     out: Option<&str>,
     trace: Option<&Option<String>>,
     chrome: Option<&str>,
 ) -> Result<String, String> {
     let ds = load_dataset(dataset)?;
-    let mut solver = Mc3Solver::new().algorithm(algorithm).parallel(parallel);
+    let mut solver = Mc3Solver::new()
+        .algorithm(algorithm)
+        .parallel(parallel)
+        .threads(threads);
     if no_preprocess {
         solver = solver.without_preprocessing();
     }

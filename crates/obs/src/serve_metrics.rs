@@ -23,6 +23,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub enum Route {
     /// `POST /solve`.
     Solve,
+    /// `POST /solve-batch`.
+    SolveBatch,
     /// `GET /metrics`.
     Metrics,
     /// `GET /healthz`.
@@ -35,8 +37,9 @@ pub enum Route {
 
 impl Route {
     /// Every route, in label order.
-    pub const ALL: [Route; 5] = [
+    pub const ALL: [Route; 6] = [
         Route::Solve,
+        Route::SolveBatch,
         Route::Metrics,
         Route::Healthz,
         Route::Buildinfo,
@@ -47,6 +50,7 @@ impl Route {
     pub fn as_str(self) -> &'static str {
         match self {
             Route::Solve => "solve",
+            Route::SolveBatch => "solve-batch",
             Route::Metrics => "metrics",
             Route::Healthz => "healthz",
             Route::Buildinfo => "buildinfo",
@@ -57,10 +61,11 @@ impl Route {
     fn idx(self) -> usize {
         match self {
             Route::Solve => 0,
-            Route::Metrics => 1,
-            Route::Healthz => 2,
-            Route::Buildinfo => 3,
-            Route::Other => 4,
+            Route::SolveBatch => 1,
+            Route::Metrics => 2,
+            Route::Healthz => 3,
+            Route::Buildinfo => 4,
+            Route::Other => 5,
         }
     }
 }

@@ -165,6 +165,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }

@@ -49,6 +49,11 @@ pub struct ServerConfig {
     /// Disable the solve and request caches (`--no-cache`): every
     /// request recomputes from scratch.
     pub no_cache: bool,
+    /// Worker count for the shared solve executor
+    /// ([`mc3_solver::executor`]) all `/solve` and `/solve-batch`
+    /// requests run their component solves on; `0` = one per available
+    /// core. The pool is process-wide and sized once, at startup.
+    pub solve_threads: usize,
 }
 
 /// `mc3 loadgen` parameters.
@@ -64,6 +69,10 @@ pub struct LoadgenConfig {
     pub mix: mc3_workload::RequestMix,
     /// p99 latency SLO for `/solve`, milliseconds.
     pub slo_p99_ms: Option<u64>,
+    /// Batch mode: `n > 1` posts each mix body as an `n`-item array to
+    /// `POST /solve-batch` and accounts per-item latencies; `0` or `1`
+    /// drives plain `POST /solve`.
+    pub batch: usize,
 }
 
 /// Starts a server and blocks forever (the `mc3 serve` entry point);

@@ -36,14 +36,22 @@ impl ThreadPool {
         })
     }
 
-    /// Enqueues a job; it runs on the first free worker.
-    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        if let Some(tx) = &self.tx {
-            // Send only fails when every worker is gone, which only
-            // happens during shutdown — dropping the job is correct then.
-            if tx.send(Box::new(job)).is_err() {
-                mc3_obs::debug("server.pool", "job dropped: pool is shutting down", &[]);
+    /// Enqueues a job; it runs on the first free worker. Returns whether
+    /// the job was accepted — `false` means the pool is shutting down and
+    /// the job was **not** run, so the caller must fail the work it
+    /// represents explicitly (the accept loop answers 503) instead of
+    /// leaving its client hanging on a silently dropped connection.
+    #[must_use]
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.tx {
+            Some(tx) => {
+                let accepted = tx.send(Box::new(job)).is_ok();
+                if !accepted {
+                    mc3_obs::debug("server.pool", "job rejected: pool is shutting down", &[]);
+                }
+                accepted
             }
+            None => false,
         }
     }
 }
@@ -99,9 +107,10 @@ mod tests {
             let pool = ThreadPool::new(3).expect("spawn pool");
             for _ in 0..32 {
                 let done = Arc::clone(&done);
-                pool.execute(move || {
+                let accepted = pool.execute(move || {
                     done.fetch_add(1, Ordering::SeqCst);
                 });
+                assert!(accepted, "live pool must accept jobs");
             }
         } // drop joins: every job must have run by now
         assert_eq!(done.load(Ordering::SeqCst), 32);
@@ -113,9 +122,9 @@ mod tests {
         {
             let pool = ThreadPool::new(0).expect("spawn pool");
             let d = Arc::clone(&done);
-            pool.execute(move || {
+            assert!(pool.execute(move || {
                 d.fetch_add(1, Ordering::SeqCst);
-            });
+            }));
         }
         assert_eq!(done.load(Ordering::SeqCst), 1);
     }

@@ -13,20 +13,25 @@
 //!    [`mc3_obs::request_id_scope`] so every event-log line the request
 //!    emits carries it,
 //! 2. takes an in-flight guard on [`RequestMetrics`],
-//! 3. for `/solve`, wraps the solver call in a
-//!    [`mc3_telemetry::ScopedSession`] — the request's span tree diverts
-//!    into a thread-local buffer instead of the global finished list —
-//!    and [`absorb`](mc3_telemetry::Aggregator::absorb)s the finished
-//!    tree into the global [`Aggregator`],
+//! 3. for `/solve` (and per item of `/solve-batch`), wraps the solver
+//!    call in a [`mc3_telemetry::ScopedSession`] — the request's span
+//!    tree diverts into a thread-local buffer instead of the global
+//!    finished list — and [`absorb`](mc3_telemetry::Aggregator::absorb)s
+//!    the finished tree into the global [`Aggregator`]. The solve itself
+//!    runs `parallel(true)` on the shared [`mc3_solver::executor`];
+//!    executor workers capture and discard their own span roots per
+//!    task, so no cross-request telemetry bleeds into this request's
+//!    tree,
 //! 4. records route/status/latency into [`RequestMetrics`] and emits one
 //!    [`mc3_obs::access`] event.
 //!
-//! `/metrics` therefore serves four concatenated sections: the solver
+//! `/metrics` therefore serves five concatenated sections: the solver
 //! registry rendered from the aggregator's cumulative report
 //! ([`mc3_obs::prometheus_text`]), the constant
 //! [`mc3_obs::build_info_text`] gauge, the live request-plane
-//! families ([`RequestMetrics::render`]), and the cache occupancy
-//! families ([`cache_metrics_text`]).
+//! families ([`RequestMetrics::render`]), the cache occupancy
+//! families ([`cache_metrics_text`]), and the live executor families
+//! ([`exec_metrics_text`]).
 //!
 //! # Caching
 //!
@@ -46,7 +51,7 @@ use crate::ServerConfig;
 use mc3_core::json::Json;
 use mc3_core::{FxHashMap, StableHasher};
 use mc3_obs::{RequestMetrics, Route};
-use mc3_solver::{Algorithm, Mc3Solver, SolveCache};
+use mc3_solver::{executor, Algorithm, Mc3Solver, SolveCache};
 use mc3_telemetry::Aggregator;
 use std::collections::BTreeMap;
 use std::io::{BufReader, Write};
@@ -195,6 +200,7 @@ pub struct ServerState {
     nonce: u64,
     solve_cache: Option<Arc<SolveCache>>,
     request_cache: Option<Mutex<RequestCache>>,
+    requests_dropped: AtomicU64,
 }
 
 impl ServerState {
@@ -208,12 +214,20 @@ impl ServerState {
             solve_cache: caching.then(|| Arc::new(SolveCache::with_capacity_mb(cfg.cache_mb))),
             request_cache: caching
                 .then(|| Mutex::new(RequestCache::new(cfg.cache_mb * (1 << 20) / 4))),
+            requests_dropped: AtomicU64::new(0),
         }
     }
 
     /// The cross-request component solve cache, when enabled.
     pub fn solve_cache(&self) -> Option<&Arc<SolveCache>> {
         self.solve_cache.as_ref()
+    }
+
+    /// Connections the accept loop had to answer 503 for because the
+    /// worker pool rejected them (shutdown in progress).
+    pub fn requests_dropped(&self) -> u64 {
+        // audit:allow(no-relaxed-atomics) reviewed: monotonic diagnostic counter
+        self.requests_dropped.load(Ordering::Relaxed)
     }
 
     fn next_request_id(&self) -> String {
@@ -253,6 +267,12 @@ impl Server {
         } else {
             cfg.workers
         };
+        // Size the shared solve executor before any request can touch it:
+        // the pool is process-wide and fixed after first use, and every
+        // /solve and /solve-batch runs its component tasks on it.
+        if cfg.solve_threads > 0 {
+            executor::configure_threads(cfg.solve_threads);
+        }
         let state = Arc::new(ServerState::new(cfg));
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
@@ -269,6 +289,10 @@ impl Server {
             &[
                 ("addr", mc3_obs::Value::Str(addr.to_string())),
                 ("workers", mc3_obs::Value::U64(workers as u64)),
+                (
+                    "solve_threads",
+                    mc3_obs::Value::U64(executor::effective_threads() as u64),
+                ),
                 (
                     "cache_mb",
                     mc3_obs::Value::U64(if state.solve_cache.is_some() {
@@ -350,8 +374,31 @@ fn accept_loop(
         }
         match conn {
             Ok((stream, _)) => {
-                let state = Arc::clone(state);
-                pool.execute(move || serve_connection(stream, &state));
+                // Keep a write handle so a rejected connection gets an
+                // explicit 503 instead of hanging until its client times
+                // out; the pool only rejects while shutting down.
+                let reject_writer = stream.try_clone();
+                let conn_state = Arc::clone(state);
+                let accepted = pool.execute(move || serve_connection(stream, &conn_state));
+                if !accepted {
+                    // audit:allow(no-relaxed-atomics) reviewed: monotonic diagnostic counter
+                    state.requests_dropped.fetch_add(1, Ordering::Relaxed);
+                    state.metrics.observe(Route::Other, 503, 0);
+                    mc3_obs::warn(
+                        "server",
+                        "connection rejected: worker pool unavailable",
+                        &[],
+                    );
+                    if let Ok(mut w) = reject_writer {
+                        let wire = encode_response(
+                            503,
+                            "application/json",
+                            b"{\"error\":\"server is shutting down\"}\n",
+                        );
+                        // audit:allow(no-swallowed-result) reviewed: best-effort courtesy response on a doomed connection
+                        let _ = w.write_all(&wire).and_then(|()| w.flush());
+                    }
+                }
             }
             Err(e) => break Err(format!("accept failed: {e}")),
         }
@@ -434,6 +481,10 @@ fn error_response(status: u16, msg: &str) -> HandlerResponse {
 fn dispatch(state: &ServerState, req: &Request, request_id: &str) -> (Route, HandlerResponse) {
     match (req.method.as_str(), req.path()) {
         ("POST", "/solve") => (Route::Solve, handle_solve(state, req, request_id)),
+        ("POST", "/solve-batch") => (
+            Route::SolveBatch,
+            handle_solve_batch(state, req, request_id),
+        ),
         ("GET", "/metrics") => (Route::Metrics, handle_metrics(state)),
         ("GET", "/healthz") => (
             Route::Healthz,
@@ -444,7 +495,7 @@ fn dispatch(state: &ServerState, req: &Request, request_id: &str) -> (Route, Han
             },
         ),
         ("GET", "/buildinfo") => (Route::Buildinfo, handle_buildinfo()),
-        ("GET" | "POST", "/solve" | "/metrics" | "/healthz" | "/buildinfo") => (
+        ("GET" | "POST", "/solve" | "/solve-batch" | "/metrics" | "/healthz" | "/buildinfo") => (
             route_of(req.path()),
             error_response(405, "method not allowed for this route"),
         ),
@@ -455,6 +506,7 @@ fn dispatch(state: &ServerState, req: &Request, request_id: &str) -> (Route, Han
 fn route_of(path: &str) -> Route {
     match path {
         "/solve" => Route::Solve,
+        "/solve-batch" => Route::SolveBatch,
         "/metrics" => Route::Metrics,
         "/healthz" => Route::Healthz,
         "/buildinfo" => Route::Buildinfo,
@@ -524,12 +576,42 @@ fn cache_metrics_text(state: &ServerState) -> String {
     out
 }
 
+/// Live executor families: pool size and queue depth gauges plus the
+/// always-on spawn counter (steady state after warmup must read a stable
+/// value — new spawns under load mean the shared pool is not actually
+/// shared), and the accept-loop drop counter. The cumulative
+/// `mc3_exec_tasks_total` / `mc3_exec_steals_total` /
+/// `mc3_exec_park_ns_total` counters and the `mc3_exec_wait_ns`
+/// histogram arrive through the telemetry registry.
+fn exec_metrics_text(state: &ServerState) -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE mc3_exec_threads gauge\n");
+    out.push_str(&format!("mc3_exec_threads {}\n", executor::pool_threads()));
+    out.push_str("# TYPE mc3_exec_queue_depth gauge\n");
+    out.push_str(&format!(
+        "mc3_exec_queue_depth {}\n",
+        executor::queue_depth()
+    ));
+    out.push_str("# TYPE mc3_exec_thread_spawns_total counter\n");
+    out.push_str(&format!(
+        "mc3_exec_thread_spawns_total {}\n",
+        executor::thread_spawns_total()
+    ));
+    out.push_str("# TYPE mc3_requests_dropped_total counter\n");
+    out.push_str(&format!(
+        "mc3_requests_dropped_total {}\n",
+        state.requests_dropped()
+    ));
+    out
+}
+
 fn handle_metrics(state: &ServerState) -> HandlerResponse {
     let (version, git) = build_ids();
     let mut body = mc3_obs::prometheus_text(&state.aggregator.report());
     body.push_str(&mc3_obs::build_info_text(version, Some(git)));
     body.push_str(&state.metrics.render());
     body.push_str(&cache_metrics_text(state));
+    body.push_str(&exec_metrics_text(state));
     HandlerResponse {
         status: 200,
         content_type: "text/plain; version=0.0.4",
@@ -569,12 +651,38 @@ fn handle_solve(state: &ServerState, req: &Request, request_id: &str) -> Handler
         Err(e) => return error_response(400, &format!("bad dataset: {e}")),
     };
 
-    // Request-scoped tracing: this request's span tree is captured on
-    // this worker thread and merged into the global aggregate. The solve
-    // stays sequential — spans fan out to other threads under
-    // `parallel(true)` and would escape the per-request scope.
+    let fields = match solve_doc(state, &ds, algorithm) {
+        Ok(fields) => fields,
+        Err((status, msg)) => return error_response(status, &msg),
+    };
+    let doc = Json::object(
+        std::iter::once(("request_id", Json::Str(request_id.to_owned()))).chain(fields),
+    );
+    let response = json_response(200, &doc);
+    if let (Some(cache), Some(key)) = (state.request_cache.as_ref(), key) {
+        if let Ok(mut cache) = cache.lock() {
+            cache.insert(key, doc, response.body.len());
+        }
+    }
+    response
+}
+
+/// Solves one dataset and renders the shared response fields (everything
+/// except `request_id`/`status`, which the callers add). `Err` carries
+/// the HTTP status and message.
+///
+/// Request-scoped tracing: the solve's span tree is captured on this
+/// worker thread and merged into the global aggregate. The solve runs
+/// `parallel(true)` on the shared executor — safe for the per-request
+/// scope because executor workers capture and discard their own span
+/// roots per task, so only this thread's `solve` tree lands here.
+fn solve_doc(
+    state: &ServerState,
+    ds: &mc3_workload::Dataset,
+    algorithm: Algorithm,
+) -> Result<Vec<(&'static str, Json)>, (u16, String)> {
     let scope = mc3_telemetry::ScopedSession::begin();
-    let mut solver = Mc3Solver::new().algorithm(algorithm).parallel(false);
+    let mut solver = Mc3Solver::new().algorithm(algorithm).parallel(true);
     if let Some(cache) = &state.solve_cache {
         solver = solver.cache(Arc::clone(cache));
     }
@@ -582,17 +690,11 @@ fn handle_solve(state: &ServerState, req: &Request, request_id: &str) -> Handler
     let roots = scope.finish();
     state.aggregator.absorb(&roots);
 
-    let report = match solved {
-        Ok(r) => r,
-        Err(e) => return error_response(422, &format!("solve failed: {e}")),
-    };
-    let cert = match mc3_core::Certificate::for_solution(&ds.instance, &report.solution) {
-        Ok(c) => c,
-        Err(e) => return error_response(500, &format!("certificate construction failed: {e}")),
-    };
-    if let Err(e) = cert.verify(&ds.instance, &report.solution) {
-        return error_response(500, &format!("certificate verification failed: {e}"));
-    }
+    let report = solved.map_err(|e| (422, format!("solve failed: {e}")))?;
+    let cert = mc3_core::Certificate::for_solution(&ds.instance, &report.solution)
+        .map_err(|e| (500, format!("certificate construction failed: {e}")))?;
+    cert.verify(&ds.instance, &report.solution)
+        .map_err(|e| (500, format!("certificate verification failed: {e}")))?;
 
     let classifiers = Json::array(
         report
@@ -602,8 +704,7 @@ fn handle_solve(state: &ServerState, req: &Request, request_id: &str) -> Handler
             .map(|c| Json::array(c.iter().map(|p| Json::Int(i128::from(p.0))))),
     );
     let ns = |d: std::time::Duration| Json::Int(d.as_nanos().min(u128::from(u64::MAX)) as i128);
-    let doc = Json::object([
-        ("request_id", Json::Str(request_id.to_owned())),
+    Ok(vec![
         ("dataset", Json::Str(ds.name.clone())),
         ("queries", Json::Int(ds.instance.num_queries() as i128)),
         ("algorithm", Json::Str(algorithm.name().to_owned())),
@@ -626,12 +727,69 @@ fn handle_solve(state: &ServerState, req: &Request, request_id: &str) -> Handler
                 ("optimal", Json::Bool(cert.proves_optimality())),
             ]),
         ),
-    ]);
-    let response = json_response(200, &doc);
-    if let (Some(cache), Some(key)) = (state.request_cache.as_ref(), key) {
-        if let Ok(mut cache) = cache.lock() {
-            cache.insert(key, doc, response.body.len());
-        }
+    ])
+}
+
+/// `POST /solve-batch`: a JSON array of dataset documents in one body,
+/// one parse pass, one response. Items are solved as consecutive task
+/// groups on the shared executor (each item's component tasks fan out
+/// across the pool) and are fully independent: a bad or infeasible item
+/// reports its own `status`/`error` without failing its siblings, and
+/// every item gets its own verified certificate. Isomorphic items hit
+/// the shared component cache, so duplicate-heavy batches amortize both
+/// parsing and solving.
+fn handle_solve_batch(state: &ServerState, req: &Request, request_id: &str) -> HandlerResponse {
+    let algorithm = match req.query_param("algorithm") {
+        Some(name) => match Algorithm::parse_name(name) {
+            Ok(a) => a,
+            Err(e) => return error_response(400, &e),
+        },
+        None => Algorithm::Auto,
+    };
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return error_response(400, "batch body must be UTF-8 JSON"),
+    };
+    let parsed = match mc3_core::json::parse(body) {
+        Ok(doc) => doc,
+        Err(e) => return error_response(400, &format!("bad batch body: {e}")),
+    };
+    let Json::Array(items) = parsed else {
+        return error_response(400, "batch body must be a JSON array of datasets");
+    };
+    if items.is_empty() {
+        return error_response(400, "empty batch");
     }
-    response
+
+    let mut ok = 0usize;
+    let mut out = Vec::with_capacity(items.len());
+    for item in &items {
+        let ds = mc3_workload::DatasetFile::from_json(item)
+            .and_then(|f| f.into_dataset().map_err(|e| e.to_string()));
+        let item_doc = match ds {
+            Ok(ds) => match solve_doc(state, &ds, algorithm) {
+                Ok(fields) => {
+                    ok += 1;
+                    Json::object(std::iter::once(("status", Json::Int(200))).chain(fields))
+                }
+                Err((status, msg)) => Json::object([
+                    ("status", Json::Int(i128::from(status))),
+                    ("error", Json::Str(msg)),
+                ]),
+            },
+            Err(e) => Json::object([
+                ("status", Json::Int(400)),
+                ("error", Json::Str(format!("bad dataset: {e}"))),
+            ]),
+        };
+        out.push(item_doc);
+    }
+    let doc = Json::object([
+        ("request_id", Json::Str(request_id.to_owned())),
+        ("algorithm", Json::Str(algorithm.name().to_owned())),
+        ("count", Json::Int(items.len() as i128)),
+        ("ok", Json::Int(ok as i128)),
+        ("items", Json::Array(out)),
+    ]);
+    json_response(200, &doc)
 }

@@ -60,6 +60,7 @@ fn serving_plane_end_to_end() {
         workers: 3,
         cache_mb: 32,
         no_cache: false,
+        solve_threads: 0,
     })
     .expect("server start");
     let addr = server.local_addr();
@@ -180,6 +181,76 @@ fn serving_plane_end_to_end() {
     );
     assert!(family_value(&m3, "mc3_cache_resident_bytes") > 0);
 
+    // --- /solve-batch: one body, many datasets, per-item verified
+    // certificates; duplicate items answered from the component cache ---
+    let batch_items =
+        mc3_workload::generate_batch(mc3_workload::GeneratorKind::DuplicateHeavy, 24, 5, 4);
+    let mut batch_body = Vec::new();
+    mc3_workload::write_batch_json(&batch_items, &mut batch_body).expect("serialize batch");
+    let (_, mb_before) = request(addr, "GET", "/metrics", None);
+    let hits_before = family_value(&mb_before, "mc3_cache_hits_total");
+    let (status, body) = request(addr, "POST", "/solve-batch", Some(&batch_body));
+    assert_eq!(status, 200, "batch failed: {body}");
+    let doc = mc3_core::json::parse(&body).expect("batch response json");
+    assert!(doc.get("request_id").and_then(|v| v.as_str()).is_some());
+    assert_eq!(doc.get("count").and_then(|v| v.as_u64()), Some(4));
+    assert_eq!(doc.get("ok").and_then(|v| v.as_u64()), Some(4));
+    let item_docs = doc
+        .get("items")
+        .and_then(|v| v.as_array())
+        .expect("items array");
+    for item in item_docs {
+        assert_eq!(item.get("status").and_then(|v| v.as_u64()), Some(200));
+        assert!(item.get("cost").and_then(|v| v.as_u64()).unwrap() > 0);
+        let cert = item.get("certificate").expect("per-item certificate");
+        assert_eq!(cert.get("valid").and_then(|v| v.as_bool()), Some(true));
+    }
+    // generate_batch duplicates consecutive seeds, so at least the
+    // duplicate items must have answered from the shared component cache.
+    let (_, mb_after) = request(addr, "GET", "/metrics", None);
+    assert!(
+        family_value(&mb_after, "mc3_cache_hits_total") > hits_before,
+        "isomorphic batch items must hit the component cache:\n{mb_after}"
+    );
+    assert!(requests_total(&mb_after, "solve-batch", "2xx") >= 1);
+    // Executor families are live: the pool exists, it ran this batch's
+    // component tasks, and nothing was dropped.
+    assert!(family_value(&mb_after, "mc3_exec_threads") >= 1);
+    assert!(family_value(&mb_after, "mc3_exec_tasks_total") >= 1);
+    assert_eq!(family_value(&mb_after, "mc3_requests_dropped_total"), 0);
+
+    // --- batch item isolation: a malformed item fails alone ---
+    let good = String::from_utf8(dataset_body(30, 9)).expect("utf8 dataset");
+    let mixed = format!("[{good}, {{\"nope\": 1}}]");
+    let (status, body) = request(addr, "POST", "/solve-batch", Some(mixed.as_bytes()));
+    assert_eq!(status, 200, "mixed batch failed: {body}");
+    let doc = mc3_core::json::parse(&body).expect("mixed batch json");
+    assert_eq!(doc.get("count").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(doc.get("ok").and_then(|v| v.as_u64()), Some(1));
+    let item_docs = doc
+        .get("items")
+        .and_then(|v| v.as_array())
+        .expect("items array");
+    assert_eq!(
+        item_docs[0].get("status").and_then(|v| v.as_u64()),
+        Some(200)
+    );
+    assert_eq!(
+        item_docs[1].get("status").and_then(|v| v.as_u64()),
+        Some(400)
+    );
+    assert!(item_docs[1].get("error").and_then(|v| v.as_str()).is_some());
+
+    // --- batch error paths ---
+    let (status, _) = request(addr, "POST", "/solve-batch", Some(b"not json"));
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/solve-batch", Some(b"{}"));
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "POST", "/solve-batch", Some(b"[]"));
+    assert_eq!(status, 400);
+    let (status, _) = request(addr, "GET", "/solve-batch", None);
+    assert_eq!(status, 405);
+
     // --- loadgen against the live server: small mix, no failures ---
     let report = mc3_server::run_loadgen(&LoadgenConfig {
         addr: addr.to_string(),
@@ -188,6 +259,7 @@ fn serving_plane_end_to_end() {
         mix: mc3_workload::RequestMix::parse("synthetic:40:7:general,synthetic-short:30:3")
             .expect("mix"),
         slo_p99_ms: Some(60_000),
+        batch: 1,
     })
     .expect("loadgen run");
     assert!(report.contains("route solve"), "report: {report}");
@@ -198,6 +270,20 @@ fn serving_plane_end_to_end() {
         "report: {report}"
     );
 
+    // --- batch-mode loadgen: per-item accounting on /solve-batch ---
+    let report = mc3_server::run_loadgen(&LoadgenConfig {
+        addr: addr.to_string(),
+        duration_secs: 1,
+        concurrency: 2,
+        mix: mc3_workload::RequestMix::parse("duplicate-heavy:24:5").expect("mix"),
+        slo_p99_ms: Some(60_000),
+        batch: 4,
+    })
+    .expect("batch loadgen run");
+    assert!(report.contains("route solve-batch"), "report: {report}");
+    assert!(report.contains("loadgen: PASS"), "report: {report}");
+    assert!(report.contains(" 0 failures"), "report: {report}");
+
     // --- an impossible SLO must fail the run (non-zero CLI exit) ---
     let err = mc3_server::run_loadgen(&LoadgenConfig {
         addr: addr.to_string(),
@@ -205,6 +291,7 @@ fn serving_plane_end_to_end() {
         concurrency: 1,
         mix: mc3_workload::RequestMix::parse("synthetic:40:7").expect("mix"),
         slo_p99_ms: Some(0),
+        batch: 1,
     })
     .expect_err("0ms SLO cannot pass");
     assert!(err.contains("loadgen: SLO FAIL"), "err: {err}");

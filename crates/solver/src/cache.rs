@@ -66,8 +66,30 @@ impl CachedSolve {
     }
 }
 
+/// What the cache remembers about a component fingerprint: either a
+/// verified solution, or the verdict that the component is uncoverable
+/// (negative-result memoization — the ROADMAP's "infeasible verdicts
+/// are work too" item). Negative entries ride the same LRU/byte
+/// accounting as positive ones, at the fixed [`ENTRY_OVERHEAD`].
+#[derive(Debug, Clone)]
+pub enum CachedOutcome {
+    /// A memoized solution (in canonical property ids).
+    Solved(CachedSolve),
+    /// The component had no finite-cost cover when it was inserted.
+    Uncoverable,
+}
+
+impl CachedOutcome {
+    fn bytes(&self) -> usize {
+        match self {
+            CachedOutcome::Solved(s) => s.bytes(),
+            CachedOutcome::Uncoverable => ENTRY_OVERHEAD,
+        }
+    }
+}
+
 struct Entry {
-    solve: CachedSolve,
+    outcome: CachedOutcome,
     bytes: usize,
     tick: u64,
 }
@@ -80,6 +102,7 @@ struct Shard {
     bytes: usize,
     tick: u64,
     hits: u64,
+    negative_hits: u64,
     misses: u64,
     evictions: u64,
     insertions: u64,
@@ -124,6 +147,9 @@ impl Shard {
 pub struct CacheStats {
     /// Lookups answered from the cache (after successful re-verification).
     pub hits: u64,
+    /// Uncoverable verdicts replayed from the cache (after re-verifying
+    /// that the component is still uncoverable).
+    pub negative_hits: u64,
     /// Lookups that found nothing usable (including failed re-verifies).
     pub misses: u64,
     /// Entries evicted to stay under the byte budget.
@@ -176,14 +202,37 @@ impl SolveCache {
         &self.shards[(key as usize) & (SHARDS - 1)]
     }
 
-    /// Looks up a candidate entry, refreshing its LRU position. Does
+    /// Looks up a candidate *solution* entry, refreshing its LRU
+    /// position; negative entries answer `None` (use
+    /// [`lookup_outcome`](Self::lookup_outcome) to see them). Does
     /// *not* count a hit — callers must re-verify the candidate first
     /// and then call [`confirm_hit`](Self::confirm_hit) or
     /// [`reject`](Self::reject).
     pub fn lookup(&self, key: u128) -> Option<CachedSolve> {
+        match self.lookup_outcome(key) {
+            Some(CachedOutcome::Solved(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a candidate entry of either polarity, refreshing its
+    /// LRU position. Like [`lookup`](Self::lookup), counts nothing —
+    /// the caller re-verifies and then confirms or rejects.
+    pub fn lookup_outcome(&self, key: u128) -> Option<CachedOutcome> {
         let mut shard = self.shard(key).lock().ok()?;
         shard.touch(key);
-        shard.map.get(&key).map(|e| e.solve.clone())
+        shard.map.get(&key).map(|e| e.outcome.clone())
+    }
+
+    /// Whether an entry (of either polarity) exists for `key`, without
+    /// touching its LRU position or any statistic. This is the
+    /// scheduler's likely-hit probe: it must not perturb eviction order
+    /// or hit accounting, because the actual consult follows moments
+    /// later on a worker.
+    pub fn contains(&self, key: u128) -> bool {
+        self.shard(key)
+            .lock()
+            .is_ok_and(|shard| shard.map.contains_key(&key))
     }
 
     /// Records a verified hit.
@@ -192,6 +241,14 @@ impl SolveCache {
             shard.hits += 1;
         }
         mc3_telemetry::count(mc3_telemetry::Counter::CacheHits, 1);
+    }
+
+    /// Records a verified negative hit (a replayed uncoverable verdict).
+    pub fn confirm_negative_hit(&self, key: u128) {
+        if let Ok(mut shard) = self.shard(key).lock() {
+            shard.negative_hits += 1;
+        }
+        mc3_telemetry::count(mc3_telemetry::Counter::CacheNegativeHits, 1);
     }
 
     /// Records a miss (no entry, or a candidate that failed verification).
@@ -209,11 +266,20 @@ impl SolveCache {
         }
     }
 
-    /// Inserts (or replaces) an entry, evicting LRU entries as needed to
-    /// stay under the shard's byte budget. Entries larger than the
-    /// budget are not admitted at all.
+    /// Inserts (or replaces) a solution entry, evicting LRU entries as
+    /// needed to stay under the shard's byte budget. Entries larger than
+    /// the budget are not admitted at all.
     pub fn insert(&self, key: u128, solve: CachedSolve) {
-        let bytes = solve.bytes();
+        self.insert_outcome(key, CachedOutcome::Solved(solve));
+    }
+
+    /// Memoizes an uncoverable verdict for `key`.
+    pub fn insert_negative(&self, key: u128) {
+        self.insert_outcome(key, CachedOutcome::Uncoverable);
+    }
+
+    fn insert_outcome(&self, key: u128, outcome: CachedOutcome) {
+        let bytes = outcome.bytes();
         if bytes > self.shard_budget {
             return;
         }
@@ -227,7 +293,14 @@ impl SolveCache {
             shard.lru.insert(tick, key);
             shard.bytes += bytes;
             shard.insertions += 1;
-            shard.map.insert(key, Entry { solve, bytes, tick });
+            shard.map.insert(
+                key,
+                Entry {
+                    outcome,
+                    bytes,
+                    tick,
+                },
+            );
             shard.evict_to(self.shard_budget)
         };
         if evicted > 0 {
@@ -244,6 +317,7 @@ impl SolveCache {
         for shard in &self.shards {
             if let Ok(shard) = shard.lock() {
                 s.hits += shard.hits;
+                s.negative_hits += shard.negative_hits;
                 s.misses += shard.misses;
                 s.evictions += shard.evictions;
                 s.insertions += shard.insertions;
@@ -396,6 +470,37 @@ pub(crate) fn canonical_sets(
     })
 }
 
+/// Re-verifies a cached *uncoverable* verdict against the live working
+/// state: returns the first component query whose residual need cannot
+/// be covered by the union of its usable subset classifiers, or `None`
+/// when every query is (still) coverable. This check is exact, not
+/// heuristic — per-query coverage only ever uses subsets of that query,
+/// and preprocessing removals are optimality-preserving, so "some needed
+/// bit of some query is reachable by no usable classifier" is precisely
+/// the condition under which every solver path reports
+/// [`Mc3Error::Uncoverable`](mc3_core::Mc3Error::Uncoverable). Like the
+/// positive-path [`remap_verified`], this means a corrupted or colliding
+/// negative entry can cost time, never correctness.
+pub(crate) fn first_uncoverable_query(ws: &WorkState<'_>, comp: &[usize]) -> Option<usize> {
+    for &q in comp {
+        let need = ws.need(q);
+        if need == 0 {
+            continue;
+        }
+        let local = ws.universe.query_local(q);
+        let mut union = 0u32;
+        for (mask, &id) in local.table.iter().enumerate() {
+            if !id.is_none() && ws.is_usable(id) {
+                union |= u32_of(mask);
+            }
+        }
+        if union & need != need {
+            return Some(q);
+        }
+    }
+    None
+}
+
 /// Everything the per-component loop needs to consult the cache.
 pub(crate) struct CacheContext {
     pub cache: Arc<SolveCache>,
@@ -414,33 +519,75 @@ impl CacheContext {
         comp: &[usize],
         solve: impl FnOnce() -> mc3_core::Result<Vec<ClassifierId>>,
     ) -> mc3_core::Result<Vec<ClassifierId>> {
+        match component_canonical(ws, comp, self.kp) {
+            Some(canonical) => self.solve_component_canonical(ws, comp, &canonical, solve),
+            None => solve(),
+        }
+    }
+
+    /// [`solve_component`](Self::solve_component) with the
+    /// canonicalization already done — the cache-aware scheduler
+    /// fingerprints every component up front to order dispatch, and
+    /// this entry point lets the worker reuse that work instead of
+    /// canonicalizing twice.
+    pub fn solve_component_canonical(
+        &self,
+        ws: &WorkState<'_>,
+        comp: &[usize],
+        canonical: &Canonical,
+        solve: impl FnOnce() -> mc3_core::Result<Vec<ClassifierId>>,
+    ) -> mc3_core::Result<Vec<ClassifierId>> {
         let t0 = mc3_telemetry::monotonic_ns();
-        let Some(canonical) = component_canonical(ws, comp, self.kp) else {
-            return solve();
-        };
-        let key = component_key(&canonical, self.digest);
-        if let Some(cached) = self.cache.lookup(key) {
-            if let Some(ids) = remap_verified(ws, comp, &canonical, &cached) {
-                self.cache.confirm_hit(key);
-                mc3_telemetry::record(
-                    mc3_telemetry::Hist::CacheLookupNs,
-                    mc3_telemetry::monotonic_ns().saturating_sub(t0),
-                );
-                return Ok(ids);
+        let key = component_key(canonical, self.digest);
+        match self.cache.lookup_outcome(key) {
+            Some(CachedOutcome::Solved(cached)) => {
+                if let Some(ids) = remap_verified(ws, comp, canonical, &cached) {
+                    self.cache.confirm_hit(key);
+                    mc3_telemetry::record(
+                        mc3_telemetry::Hist::CacheLookupNs,
+                        mc3_telemetry::monotonic_ns().saturating_sub(t0),
+                    );
+                    return Ok(ids);
+                }
+                // Collision or corruption: never trust it, never keep it.
+                self.cache.reject(key);
             }
-            // Collision or corruption: never trust it, never keep it.
-            self.cache.reject(key);
+            Some(CachedOutcome::Uncoverable) => {
+                if let Some(query_index) = first_uncoverable_query(ws, comp) {
+                    self.cache.confirm_negative_hit(key);
+                    mc3_telemetry::record(
+                        mc3_telemetry::Hist::CacheLookupNs,
+                        mc3_telemetry::monotonic_ns().saturating_sub(t0),
+                    );
+                    return Err(mc3_core::Mc3Error::Uncoverable { query_index });
+                }
+                // The verdict no longer holds here (collision, or a
+                // different weight landscape): drop it and solve fresh.
+                self.cache.reject(key);
+            }
+            None => {}
         }
         self.cache.note_miss(key);
         mc3_telemetry::record(
             mc3_telemetry::Hist::CacheLookupNs,
             mc3_telemetry::monotonic_ns().saturating_sub(t0),
         );
-        let ids = solve()?;
-        if let Some(solve) = canonical_sets(ws, &canonical, &ids) {
-            self.cache.insert(key, solve);
+        match solve() {
+            Ok(ids) => {
+                if let Some(solve) = canonical_sets(ws, canonical, &ids) {
+                    self.cache.insert(key, solve);
+                }
+                Ok(ids)
+            }
+            Err(e @ mc3_core::Mc3Error::Uncoverable { .. }) => {
+                // Infeasibility is a solve result too: memoize the
+                // verdict so the next structurally identical component
+                // fails in one verified scan instead of a full solve.
+                self.cache.insert_negative(key);
+                Err(e)
+            }
+            Err(e) => Err(e),
         }
-        Ok(ids)
     }
 }
 
@@ -502,6 +649,36 @@ mod tests {
         cache.insert(3, entry(100_000, 1));
         assert!(cache.lookup(3).is_none());
         assert_eq!(cache.stats().insertions, 0);
+    }
+
+    #[test]
+    fn negative_entries_roundtrip_and_hide_from_positive_lookup() {
+        let cache = SolveCache::with_capacity_mb(1);
+        cache.insert_negative(11);
+        assert!(cache.lookup(11).is_none(), "not a solution entry");
+        assert!(matches!(
+            cache.lookup_outcome(11),
+            Some(CachedOutcome::Uncoverable)
+        ));
+        assert!(cache.contains(11));
+        cache.confirm_negative_hit(11);
+        let s = cache.stats();
+        assert_eq!((s.negative_hits, s.entries, s.insertions), (1, 1, 1));
+        cache.reject(11);
+        assert!(!cache.contains(11));
+    }
+
+    #[test]
+    fn contains_probe_does_not_perturb_lru_order() {
+        // Budget fits ~2 entries per shard; keys 0, 16, 32 share shard 0.
+        let cache = SolveCache::with_capacity_bytes(SHARDS * (2 * ENTRY_OVERHEAD + 64));
+        cache.insert(0, entry(1, 1));
+        cache.insert(16, entry(1, 2));
+        // A lookup would promote key 0; the scheduler probe must not.
+        assert!(cache.contains(0));
+        cache.insert(32, entry(1, 3));
+        assert!(cache.lookup(0).is_none(), "key 0 stayed the LRU victim");
+        assert!(cache.lookup(16).is_some());
     }
 
     #[test]

@@ -170,6 +170,68 @@ fn parallel_workers_share_the_cache() {
 }
 
 #[test]
+fn negative_verdicts_memoize_and_replay() {
+    use mc3_core::{Mc3Error, Weight, WeightsBuilder};
+    for seed in 0..50u64 {
+        // Three two-property components; the seed picks which one stays
+        // all-infinite (uncoverable), so the verdict's query index
+        // varies — the replayed error must name the right query.
+        let queries = vec![vec![0u32, 1], vec![2u32, 3], vec![4u32, 5]];
+        let bad = (seed % 3) as u32;
+        let cost = 1 + seed % 7;
+        let mut b = WeightsBuilder::new().default_weight(Weight::INFINITE);
+        for c in 0..3u32 {
+            if c != bad {
+                b = b
+                    .classifier([2 * c], cost)
+                    .classifier([2 * c + 1], cost + 1);
+            }
+        }
+        let instance = Instance::new(queries, b.build()).expect("valid instance");
+        // Instance::new canonicalizes query order, so locate the
+        // uncoverable query in the instance, not the input.
+        let bad_index = instance
+            .queries()
+            .iter()
+            .position(|q| q.iter().map(|p| p.0).eq([2 * bad, 2 * bad + 1]))
+            .expect("uncoverable query present");
+        let expected = Mc3Error::Uncoverable {
+            query_index: bad_index,
+        };
+
+        let uncached = solver(None).solve(&instance).expect_err("uncoverable");
+        assert_eq!(uncached, expected, "seed {seed}: uncached verdict");
+
+        let cache = Arc::new(SolveCache::with_capacity_mb(4));
+        let cold = solver(Some(&cache))
+            .solve(&instance)
+            .expect_err("uncoverable");
+        assert_eq!(cold, expected, "seed {seed}: cold cached verdict");
+        assert_eq!(
+            cache.stats().negative_hits,
+            0,
+            "seed {seed}: a fresh cache cannot hit"
+        );
+
+        let warm = solver(Some(&cache))
+            .solve(&instance)
+            .expect_err("uncoverable");
+        assert_eq!(warm, expected, "seed {seed}: replayed verdict drifted");
+        assert!(
+            cache.stats().negative_hits > 0,
+            "seed {seed}: the second solve must replay the memoized verdict"
+        );
+
+        // The executor path replays the same verdict too.
+        let par = solver(Some(&cache))
+            .parallel(true)
+            .solve(&instance)
+            .expect_err("uncoverable");
+        assert_eq!(par, expected, "seed {seed}: parallel cached verdict");
+    }
+}
+
+#[test]
 fn k2_pipeline_uses_the_cache_too() {
     let mut queries = Vec::new();
     for c in 0..6u32 {

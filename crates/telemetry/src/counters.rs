@@ -104,6 +104,14 @@ declare_counters! {
     CacheMisses => "cache_misses",
     /// Solve cache: entries evicted to stay under the byte budget.
     CacheEvictions => "cache_evictions",
+    /// Solve cache: infeasibility verdicts replayed from the cache.
+    CacheNegativeHits => "cache_negative_hits",
+    /// Solve executor: component tasks executed by the shared workers.
+    ExecTasks => "exec_tasks",
+    /// Solve executor: tasks taken from another worker's deque.
+    ExecSteals => "exec_steals",
+    /// Solve executor: nanoseconds workers spent parked waiting for work.
+    ExecParkNs => "exec_park_ns",
     /// Memprof: heap allocations observed while the session gate was on.
     MemAllocs => "mem_allocs",
     /// Memprof: bytes requested by those allocations.
@@ -146,6 +154,9 @@ declare_hists! {
     LpIterations => "lp_iterations",
     /// Nanoseconds per solve-cache lookup (hit or miss, incl. re-verify).
     CacheLookupNs => "cache_lookup_ns",
+    /// Nanoseconds a scheduled executor task waited in queue before
+    /// a worker picked it up.
+    ExecWaitNs => "exec_wait_ns",
     /// Requested size in bytes of every tracked heap allocation.
     AllocSize => "alloc_size_bytes",
 }

@@ -88,6 +88,18 @@ pub fn generate_dataset(kind: GeneratorKind, queries: usize, seed: u64) -> Datas
     }
 }
 
+/// Generates an `n`-item batch for one spec — the payload of one
+/// `POST /solve-batch` request. Item `i` uses seed `seed + i/2`, so
+/// consecutive pairs are exact duplicates: every batch of `n > 1` is
+/// guaranteed intra-batch isomorphic work for the solve cache while
+/// still rotating through `⌈n/2⌉` distinct instances. Deterministic,
+/// like [`generate_dataset`].
+pub fn generate_batch(kind: GeneratorKind, queries: usize, seed: u64, n: usize) -> Vec<Dataset> {
+    (0..n.max(1))
+        .map(|i| generate_dataset(kind, queries, seed.wrapping_add(i as u64 / 2)))
+        .collect()
+}
+
 /// Fixed pool of connected component shapes (local property ids). Every
 /// duplicate-heavy instance is a seed-shuffled concatenation of these on
 /// disjoint property ranges, so any two instances — whatever their seeds
